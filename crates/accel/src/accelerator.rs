@@ -1,0 +1,176 @@
+//! Complete accelerator design points.
+
+use crate::connectivity::Connectivity;
+use crate::sizing::ArchitecturalSizing;
+use naas_ir::Dim;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error constructing or validating an accelerator design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DesignError {
+    /// The array rank was not 1, 2 or 3.
+    BadArrayRank(usize),
+    /// `sizes` and `parallel` had different lengths.
+    RankMismatch {
+        /// Length of the sizes vector.
+        sizes: usize,
+        /// Length of the parallel-dims vector.
+        parallel: usize,
+    },
+    /// An array dimension had zero clusters.
+    ZeroArrayDim,
+    /// The same tensor dimension was mapped to two array axes.
+    DuplicateParallelDim(Dim),
+    /// The design exceeds a resource envelope.
+    ExceedsResources(String),
+}
+
+impl fmt::Display for DesignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DesignError::BadArrayRank(r) => {
+                write!(f, "array rank must be 1, 2 or 3, got {r}")
+            }
+            DesignError::RankMismatch { sizes, parallel } => write!(
+                f,
+                "array has {sizes} sizes but {parallel} parallel dimensions"
+            ),
+            DesignError::ZeroArrayDim => write!(f, "array dimension sizes must be nonzero"),
+            DesignError::DuplicateParallelDim(d) => {
+                write!(f, "tensor dimension {d} mapped to more than one array axis")
+            }
+            DesignError::ExceedsResources(why) => write!(f, "design exceeds resources: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for DesignError {}
+
+/// A complete accelerator design point: sizing + connectivity
+/// (the decoded form of the paper's hardware encoding vector, Fig. 2).
+///
+/// ```
+/// use naas_accel::{Accelerator, ArchitecturalSizing, Connectivity};
+/// use naas_ir::Dim;
+///
+/// let design = Accelerator::new(
+///     "demo",
+///     ArchitecturalSizing::new(512, 108 * 1024, 16.0, 4.0),
+///     Connectivity::grid(12, 14, Dim::R, Dim::Y)?,
+/// );
+/// assert_eq!(design.pe_count(), 168);
+/// assert_eq!(design.total_onchip_bytes(), 108 * 1024 + 168 * 512);
+/// # Ok::<(), naas_accel::DesignError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Accelerator {
+    name: String,
+    sizing: ArchitecturalSizing,
+    connectivity: Connectivity,
+}
+
+impl Accelerator {
+    /// Creates a design point from its two halves.
+    pub fn new(
+        name: impl Into<String>,
+        sizing: ArchitecturalSizing,
+        connectivity: Connectivity,
+    ) -> Self {
+        Accelerator {
+            name: name.into(),
+            sizing,
+            connectivity,
+        }
+    }
+
+    /// Design name (baseline designs use their canonical names).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Architectural sizing.
+    pub fn sizing(&self) -> &ArchitecturalSizing {
+        &self.sizing
+    }
+
+    /// Array connectivity.
+    pub fn connectivity(&self) -> &Connectivity {
+        &self.connectivity
+    }
+
+    /// Total processing elements.
+    pub fn pe_count(&self) -> u64 {
+        self.connectivity.pe_count()
+    }
+
+    /// Total on-chip SRAM: shared L2 plus the private L1 of every PE.
+    pub fn total_onchip_bytes(&self) -> u64 {
+        self.sizing.l2_bytes() + self.pe_count() * self.sizing.l1_bytes()
+    }
+
+    /// Renders the Fig.-7-style design card.
+    pub fn design_card(&self) -> String {
+        format!(
+            "{}\n  Array Size : {}\n  Dataflow   : {}\n  L1 Buffer  : {} B\n  L2 Buffer  : {:.0} KB\n  NoC BW     : {:.0} B/cyc\n  #PEs       : {}",
+            self.name,
+            self.connectivity.size_label(),
+            self.connectivity.dataflow_label(),
+            self.sizing.l1_bytes(),
+            self.sizing.l2_bytes() as f64 / 1024.0,
+            self.sizing.noc_bandwidth(),
+            self.pe_count(),
+        )
+    }
+}
+
+impl fmt::Display for Accelerator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} PEs, {}, {}",
+            self.name,
+            self.pe_count(),
+            self.connectivity,
+            self.sizing
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Accelerator {
+        Accelerator::new(
+            "demo",
+            ArchitecturalSizing::new(512, 108 * 1024, 16.0, 4.0),
+            Connectivity::grid(12, 14, Dim::R, Dim::Y).unwrap(),
+        )
+    }
+
+    #[test]
+    fn totals() {
+        let a = demo();
+        assert_eq!(a.pe_count(), 168);
+        assert_eq!(a.total_onchip_bytes(), 108 * 1024 + 168 * 512);
+    }
+
+    #[test]
+    fn design_card_has_all_fields() {
+        let card = demo().design_card();
+        for needle in ["Array Size", "Dataflow", "L1 Buffer", "L2 Buffer", "#PEs"] {
+            assert!(card.contains(needle), "missing {needle}");
+        }
+        assert!(card.contains("12x14"));
+        assert!(card.contains("R-Y' Parallel"));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = DesignError::DuplicateParallelDim(Dim::C).to_string();
+        assert!(e.contains('C'));
+        let e = DesignError::BadArrayRank(4).to_string();
+        assert!(e.contains('4'));
+    }
+}

@@ -1,0 +1,198 @@
+//! PE-array connectivity: array dimensionality, per-dimension sizes, and
+//! the parallel tensor dimension assigned to each array dimension.
+
+use naas_ir::Dim;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The connectivity half of an accelerator description (paper §II-A0a,
+/// class 2): a `k`-dimensional PE array (`k` ∈ 1..=3) where array
+/// dimension `i` has `sizes[i]` clusters and spatially maps tensor
+/// dimension `parallel[i]`.
+///
+/// The parallel-dimension choice *is* the PE inter-connection (paper
+/// §II-A0b): mapping a reduction dimension (`C`/`R`/`S`) implies a partial
+/// sum accumulate/forward network along that axis; mapping `K` implies an
+/// input-activation broadcast; mapping `Y'`/`X'` implies a weight
+/// broadcast with halo-shared inputs.
+///
+/// ```
+/// use naas_accel::Connectivity;
+/// use naas_ir::Dim;
+/// let c = Connectivity::new(vec![16, 16], vec![Dim::K, Dim::C])?;
+/// assert_eq!(c.ndim(), 2);
+/// assert_eq!(c.pe_count(), 256);
+/// assert!(c.has_reduction_axis());
+/// # Ok::<(), naas_accel::DesignError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Connectivity {
+    sizes: Vec<u64>,
+    parallel: Vec<Dim>,
+}
+
+use crate::accelerator::DesignError;
+
+impl Connectivity {
+    /// Creates a connectivity description.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesignError`] unless `1 <= sizes.len() == parallel.len()
+    /// <= 3`, every size is ≥ 1, and the parallel dimensions are distinct.
+    pub fn new(sizes: Vec<u64>, parallel: Vec<Dim>) -> Result<Self, DesignError> {
+        if sizes.is_empty() || sizes.len() > 3 {
+            return Err(DesignError::BadArrayRank(sizes.len()));
+        }
+        if sizes.len() != parallel.len() {
+            return Err(DesignError::RankMismatch {
+                sizes: sizes.len(),
+                parallel: parallel.len(),
+            });
+        }
+        if sizes.contains(&0) {
+            return Err(DesignError::ZeroArrayDim);
+        }
+        for i in 0..parallel.len() {
+            for j in (i + 1)..parallel.len() {
+                if parallel[i] == parallel[j] {
+                    return Err(DesignError::DuplicateParallelDim(parallel[i]));
+                }
+            }
+        }
+        Ok(Connectivity { sizes, parallel })
+    }
+
+    /// One-dimensional array (a PE vector).
+    pub fn linear(size: u64, dim: Dim) -> Result<Self, DesignError> {
+        Connectivity::new(vec![size], vec![dim])
+    }
+
+    /// Two-dimensional array (the most common accelerator organization).
+    pub fn grid(rows: u64, cols: u64, row_dim: Dim, col_dim: Dim) -> Result<Self, DesignError> {
+        Connectivity::new(vec![rows, cols], vec![row_dim, col_dim])
+    }
+
+    /// Number of array dimensions (1, 2 or 3).
+    pub fn ndim(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Cluster count along each array dimension, outermost first.
+    pub fn sizes(&self) -> &[u64] {
+        &self.sizes
+    }
+
+    /// Parallel tensor dimension of each array dimension, outermost first.
+    pub fn parallel_dims(&self) -> &[Dim] {
+        &self.parallel
+    }
+
+    /// Total number of processing elements (product of array sizes).
+    pub fn pe_count(&self) -> u64 {
+        self.sizes.iter().product()
+    }
+
+    /// Spatial fan-out assigned to a tensor dimension, or 1 if the
+    /// dimension is not spatially mapped.
+    pub fn spatial_extent(&self, dim: Dim) -> u64 {
+        self.parallel
+            .iter()
+            .zip(&self.sizes)
+            .filter(|(d, _)| **d == dim)
+            .map(|(_, &s)| s)
+            .product()
+    }
+
+    /// `true` if any array axis spatially maps a reduction dimension
+    /// (`C`/`R`/`S`), implying an inter-PE accumulation network.
+    pub fn has_reduction_axis(&self) -> bool {
+        self.parallel.iter().any(|d| d.is_reduction())
+    }
+
+    /// Canonical dataflow label, e.g. `"K-X' Parallel"` (Fig. 7 style).
+    pub fn dataflow_label(&self) -> String {
+        let names: Vec<&str> = self.parallel.iter().map(|d| d.paper_name()).collect();
+        format!("{} Parallel", names.join("-"))
+    }
+
+    /// Array-size label, e.g. `"16x16"` or `"4x6x6"` (Fig. 7 style).
+    pub fn size_label(&self) -> String {
+        self.sizes
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join("x")
+    }
+}
+
+impl fmt::Display for Connectivity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.size_label(), self.dataflow_label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_accessors() {
+        let c = Connectivity::grid(12, 14, Dim::R, Dim::Y).unwrap();
+        assert_eq!(c.ndim(), 2);
+        assert_eq!(c.pe_count(), 168);
+        assert_eq!(c.spatial_extent(Dim::R), 12);
+        assert_eq!(c.spatial_extent(Dim::K), 1);
+        assert!(c.has_reduction_axis());
+    }
+
+    #[test]
+    fn three_dimensional_array() {
+        let c = Connectivity::new(vec![4, 6, 6], vec![Dim::C, Dim::K, Dim::X]).unwrap();
+        assert_eq!(c.pe_count(), 144);
+        assert_eq!(c.dataflow_label(), "C-K-X' Parallel");
+        assert_eq!(c.size_label(), "4x6x6");
+    }
+
+    #[test]
+    fn rank_zero_and_four_rejected() {
+        assert!(matches!(
+            Connectivity::new(vec![], vec![]),
+            Err(DesignError::BadArrayRank(0))
+        ));
+        assert!(matches!(
+            Connectivity::new(vec![2, 2, 2, 2], vec![Dim::K, Dim::C, Dim::Y, Dim::X]),
+            Err(DesignError::BadArrayRank(4))
+        ));
+    }
+
+    #[test]
+    fn duplicate_parallel_dim_rejected() {
+        assert!(matches!(
+            Connectivity::grid(4, 4, Dim::K, Dim::K),
+            Err(DesignError::DuplicateParallelDim(Dim::K))
+        ));
+    }
+
+    #[test]
+    fn mismatched_ranks_rejected() {
+        assert!(matches!(
+            Connectivity::new(vec![4, 4], vec![Dim::K]),
+            Err(DesignError::RankMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        assert!(matches!(
+            Connectivity::grid(0, 4, Dim::K, Dim::C),
+            Err(DesignError::ZeroArrayDim)
+        ));
+    }
+
+    #[test]
+    fn no_reduction_axis_for_output_parallel() {
+        let c = Connectivity::grid(8, 8, Dim::Y, Dim::X).unwrap();
+        assert!(!c.has_reduction_axis());
+    }
+}

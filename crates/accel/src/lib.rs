@@ -1,0 +1,37 @@
+//! # naas-accel — accelerator architecture descriptions
+//!
+//! The *hardware side* of the NAAS search space (paper §II-A, Fig. 2):
+//!
+//! * [`ArchitecturalSizing`] — the numerical knobs every prior framework
+//!   already searched: L1/L2 scratch-pad sizes, NoC/DRAM bandwidth;
+//! * [`Connectivity`] — the knobs NAAS adds: the number of array
+//!   dimensions (1D/2D/3D), the size of each dimension, and the *parallel
+//!   dimension* assigned to each (which determines the PE
+//!   inter-connection: broadcast for `K`/`Y'`/`X'`, reduction for
+//!   `C`/`R`/`S`);
+//! * [`Accelerator`] — a complete design point;
+//! * [`ResourceConstraint`] — the (#PE, on-chip SRAM, bandwidth) envelope
+//!   each experiment must stay within;
+//! * [`baselines`] — Eyeriss, NVDLA-256/1024, EdgeTPU and ShiDianNao
+//!   reference designs with their canonical dataflows.
+//!
+//! ```
+//! use naas_accel::{baselines, ResourceConstraint};
+//!
+//! let eyeriss = baselines::eyeriss();
+//! let envelope = ResourceConstraint::from_design(&eyeriss);
+//! assert!(envelope.admits(&eyeriss).is_ok());
+//! assert_eq!(eyeriss.pe_count(), 168);
+//! ```
+
+pub mod accelerator;
+pub mod area;
+pub mod baselines;
+pub mod connectivity;
+pub mod resource;
+pub mod sizing;
+
+pub use accelerator::{Accelerator, DesignError};
+pub use connectivity::Connectivity;
+pub use resource::ResourceConstraint;
+pub use sizing::ArchitecturalSizing;

@@ -1,0 +1,170 @@
+//! Resource envelopes: the fairness constraint of every NAAS experiment.
+
+use crate::accelerator::{Accelerator, DesignError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A computation-resource envelope (paper §III-A0a): the maximum #PEs,
+/// maximum *total* on-chip memory (shared L2 plus all private L1), and the
+/// NoC bandwidth available to any design competing under this constraint.
+///
+/// NAAS is always conducted *within* a baseline's envelope so that wins
+/// come from better architecture/mapping, not from more silicon.
+///
+/// ```
+/// use naas_accel::{baselines, ResourceConstraint};
+/// let c = ResourceConstraint::from_design(&baselines::nvdla(256));
+/// assert_eq!(c.max_pes(), 256);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceConstraint {
+    name: String,
+    max_pes: u64,
+    max_onchip_bytes: u64,
+    noc_bandwidth: f64,
+    dram_bandwidth: f64,
+}
+
+impl ResourceConstraint {
+    /// Creates an envelope with explicit limits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any limit is zero/non-positive.
+    pub fn new(
+        name: impl Into<String>,
+        max_pes: u64,
+        max_onchip_bytes: u64,
+        noc_bandwidth: f64,
+        dram_bandwidth: f64,
+    ) -> Self {
+        assert!(max_pes > 0, "pe limit must be positive");
+        assert!(max_onchip_bytes > 0, "memory limit must be positive");
+        assert!(noc_bandwidth > 0.0, "noc bandwidth must be positive");
+        assert!(dram_bandwidth > 0.0, "dram bandwidth must be positive");
+        ResourceConstraint {
+            name: name.into(),
+            max_pes,
+            max_onchip_bytes,
+            noc_bandwidth,
+            dram_bandwidth,
+        }
+    }
+
+    /// Derives the envelope spanned by an existing design — exactly how
+    /// the paper derives the EdgeTPU/NVDLA/Eyeriss/ShiDianNao constraints.
+    pub fn from_design(design: &Accelerator) -> Self {
+        ResourceConstraint::new(
+            format!("{}_resources", design.name()),
+            design.pe_count(),
+            design.total_onchip_bytes(),
+            design.sizing().noc_bandwidth(),
+            design.sizing().dram_bandwidth(),
+        )
+    }
+
+    /// Envelope name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Maximum number of PEs.
+    pub fn max_pes(&self) -> u64 {
+        self.max_pes
+    }
+
+    /// Maximum total on-chip SRAM in bytes (L2 + Σ L1).
+    pub fn max_onchip_bytes(&self) -> u64 {
+        self.max_onchip_bytes
+    }
+
+    /// NoC bandwidth ceiling in bytes per cycle.
+    pub fn noc_bandwidth(&self) -> f64 {
+        self.noc_bandwidth
+    }
+
+    /// DRAM bandwidth in bytes per cycle (fixed per deployment scenario).
+    pub fn dram_bandwidth(&self) -> f64 {
+        self.dram_bandwidth
+    }
+
+    /// Checks whether a design fits inside this envelope.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesignError::ExceedsResources`] naming the violated limit.
+    pub fn admits(&self, design: &Accelerator) -> Result<(), DesignError> {
+        if design.pe_count() > self.max_pes {
+            return Err(DesignError::ExceedsResources(format!(
+                "{} PEs > limit {}",
+                design.pe_count(),
+                self.max_pes
+            )));
+        }
+        if design.total_onchip_bytes() > self.max_onchip_bytes {
+            return Err(DesignError::ExceedsResources(format!(
+                "{} B on-chip > limit {} B",
+                design.total_onchip_bytes(),
+                self.max_onchip_bytes
+            )));
+        }
+        if design.sizing().noc_bandwidth() > self.noc_bandwidth + 1e-9 {
+            return Err(DesignError::ExceedsResources(format!(
+                "{} B/cyc NoC > limit {} B/cyc",
+                design.sizing().noc_bandwidth(),
+                self.noc_bandwidth
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ResourceConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: ≤{} PEs, ≤{:.0} KB on-chip, ≤{:.0} B/cyc NoC",
+            self.name,
+            self.max_pes,
+            self.max_onchip_bytes as f64 / 1024.0,
+            self.noc_bandwidth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines;
+
+    #[test]
+    fn from_design_matches_design_totals() {
+        let d = baselines::eyeriss();
+        let c = ResourceConstraint::from_design(&d);
+        assert_eq!(c.max_pes(), d.pe_count());
+        assert_eq!(c.max_onchip_bytes(), d.total_onchip_bytes());
+        assert!(c.admits(&d).is_ok());
+    }
+
+    #[test]
+    fn too_many_pes_rejected() {
+        let small = baselines::shidiannao();
+        let envelope = ResourceConstraint::from_design(&small);
+        let big = baselines::nvdla(1024);
+        let err = envelope.admits(&big).unwrap_err();
+        assert!(err.to_string().contains("PEs"));
+    }
+
+    #[test]
+    fn memory_overflow_rejected() {
+        let d = baselines::eyeriss();
+        let tight = ResourceConstraint::new("tight", d.pe_count(), 1024, 1e9, 1e9);
+        assert!(tight.admits(&d).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "pe limit")]
+    fn zero_limits_panic() {
+        let _ = ResourceConstraint::new("bad", 0, 1, 1.0, 1.0);
+    }
+}

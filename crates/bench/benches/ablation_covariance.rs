@@ -1,0 +1,61 @@
+//! Ablation (DESIGN.md §8.2): diagonal-covariance CEM vs. the
+//! full-covariance (rank-μ) update, on a per-layer mapping search.
+//!
+//! Measures wall-clock of both variants; the quality comparison is
+//! printed once at the start (full covariance helps when hardware and
+//! mapping knobs correlate, at O(d²) sampling cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use naas::prelude::*;
+use naas::{search_layer_mapping, MappingSearchConfig};
+use naas_opt::EsConfig;
+
+fn cfg(full: bool, seed: u64) -> MappingSearchConfig {
+    MappingSearchConfig {
+        population: 12,
+        iterations: 4,
+        es: EsConfig {
+            full_covariance: full,
+            ..EsConfig::default()
+        },
+        seed,
+        ..MappingSearchConfig::default()
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let model = CostModel::new();
+    let accel = baselines::eyeriss();
+    let layer = models::mobilenet_v2(224).layers()[7].clone();
+
+    // One-shot quality report.
+    let diag = search_layer_mapping(&model, &layer, &accel, &cfg(false, 1)).expect("maps");
+    let full = search_layer_mapping(&model, &layer, &accel, &cfg(true, 1)).expect("maps");
+    println!(
+        "[ablation_covariance] EDP diag {:.3e} vs full {:.3e} ({:+.1}%)",
+        diag.cost.edp(),
+        full.cost.edp(),
+        (full.cost.edp() / diag.cost.edp() - 1.0) * 100.0
+    );
+
+    let mut group = c.benchmark_group("es_covariance");
+    group.sample_size(20);
+    for (name, full) in [("diagonal", false), ("full_rank_mu", true)] {
+        group.bench_function(name, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                std::hint::black_box(search_layer_mapping(
+                    &model,
+                    &layer,
+                    &accel,
+                    &cfg(full, seed),
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

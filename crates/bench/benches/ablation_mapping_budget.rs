@@ -1,0 +1,56 @@
+//! Ablation (DESIGN.md §8.3): inner-loop (mapping search) budget vs. EDP
+//! quality — how many samples per layer does the co-search actually need?
+//!
+//! Prints the quality curve once, then benches each budget's wall-clock.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use naas::mapping_search::network_mapping_search;
+use naas::prelude::*;
+use naas::MappingSearchConfig;
+
+fn cfg(population: usize, iterations: usize, seed: u64) -> MappingSearchConfig {
+    MappingSearchConfig {
+        population,
+        iterations,
+        seed,
+        ..MappingSearchConfig::default()
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let model = CostModel::new();
+    let accel = baselines::eyeriss();
+    let net = models::squeezenet(224);
+
+    println!("[ablation_mapping_budget] EDP vs budget (SqueezeNet @ Eyeriss):");
+    for (pop, iters) in [(4, 2), (8, 4), (16, 6), (32, 10)] {
+        let cost = network_mapping_search(&model, &net, &accel, &cfg(pop, iters, 3))
+            .expect("maps");
+        println!(
+            "  pop {pop:>2} x iters {iters:>2} ({:>3} samples/layer): EDP {:.4e}",
+            pop * iters,
+            cost.edp()
+        );
+    }
+
+    let mut group = c.benchmark_group("mapping_budget");
+    group.sample_size(10);
+    for (pop, iters) in [(4usize, 2usize), (16, 6), (32, 10)] {
+        group.bench_function(format!("pop{pop}_it{iters}"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                std::hint::black_box(network_mapping_search(
+                    &model,
+                    &net,
+                    &accel,
+                    &cfg(pop, iters, seed),
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

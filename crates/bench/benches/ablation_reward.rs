@@ -1,0 +1,65 @@
+//! Ablation (DESIGN.md §8.4): geomean reward (the paper's §III-B choice)
+//! vs. worst-case reward across the benchmark set.
+//!
+//! Prints the per-network EDP profile of both rewards' winning designs
+//! once, then benches the search wall-clock (identical work, the
+//! aggregation is free — the bench documents that switching rewards is
+//! cost-neutral).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use naas::prelude::*;
+use naas::{search_accelerator_seeded, RewardKind};
+use naas_bench::budget::{Budget, Preset};
+
+fn run(kind: RewardKind, seed: u64) -> naas::AccelSearchResult {
+    let model = CostModel::new();
+    let baseline = baselines::eyeriss();
+    let envelope = ResourceConstraint::from_design(&baseline);
+    let nets = models::mobile_benchmarks();
+    let budget = Budget::new(Preset::Smoke);
+    let mut cfg = budget.accel_cfg(seed);
+    cfg.reward = kind;
+    search_accelerator_seeded(
+        &model,
+        &nets,
+        &envelope,
+        &cfg,
+        std::slice::from_ref(&baseline),
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    // One-shot quality report: worst-case reward should flatten the
+    // per-network EDP spread relative to geomean.
+    for kind in [RewardKind::Geomean, RewardKind::WorstCase] {
+        let result = run(kind, 5);
+        let edps: Vec<f64> = result.best.per_network.iter().map(|c| c.edp()).collect();
+        let max = edps.iter().cloned().fold(0.0f64, f64::max);
+        let min = edps.iter().cloned().fold(f64::INFINITY, f64::min);
+        let formatted: Vec<String> = edps.iter().map(|e| format!("{e:.3e}")).collect();
+        println!(
+            "[ablation_reward] {kind:?}: per-net EDPs [{}], spread {:.2}x",
+            formatted.join(", "),
+            max / min
+        );
+    }
+
+    let mut group = c.benchmark_group("reward_kind");
+    group.sample_size(10);
+    for (name, kind) in [
+        ("geomean", RewardKind::Geomean),
+        ("worst_case", RewardKind::WorstCase),
+    ] {
+        group.bench_function(name, |b| {
+            let mut seed = 100u64;
+            b.iter(|| {
+                seed += 1;
+                std::hint::black_box(run(kind, seed))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

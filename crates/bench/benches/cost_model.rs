@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks of the cost-model hot path: single-layer
+//! evaluation and whole-network evaluation with heuristic mappings.
+//!
+//! The analytical model's throughput is what makes NAAS's < 0.25 GPU-day
+//! search cost possible (Table IV): every population member costs
+//! thousands of these calls.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use naas_cost::CostModel;
+use naas_ir::models;
+use naas_mapping::Mapping;
+
+fn bench(c: &mut Criterion) {
+    let model = CostModel::new();
+    let mut group = c.benchmark_group("cost_model");
+
+    // Single-layer evaluation on each baseline design class.
+    let layer = models::resnet50(224).layers()[5].clone();
+    for accel in naas_accel::baselines::all() {
+        let mapping = Mapping::balanced(&layer, &accel);
+        group.bench_function(format!("layer_eval/{}", accel.name()), |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    model
+                        .evaluate(&layer, &accel, &mapping)
+                        .expect("balanced mapping valid"),
+                )
+            });
+        });
+    }
+
+    // Whole-network evaluation (heuristic mappings).
+    for net in [models::mobilenet_v2(224), models::resnet50(224)] {
+        let accel = naas_accel::baselines::eyeriss();
+        let mappings: Vec<Mapping> = net
+            .iter()
+            .map(|l| Mapping::balanced(l, &accel))
+            .collect();
+        group.bench_function(format!("network_eval/{}", net.name()), |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    model
+                        .evaluate_network(&net, &accel, &mappings)
+                        .expect("balanced mappings valid"),
+                )
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

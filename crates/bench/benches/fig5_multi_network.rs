@@ -1,0 +1,26 @@
+//! Criterion bench wrapping the Fig. 5 multi-network experiment at the smoke preset.
+//!
+//! The measured quantity is the full end-to-end search wall-clock — the
+//! "search cost" axis of the paper (Table IV); correctness of the
+//! regenerated numbers is asserted by the integration tests, not here.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use naas_bench::budget::{Budget, Preset};
+use naas_bench::experiments::fig5;
+
+fn bench(c: &mut Criterion) {
+    let budget = Budget::new(Preset::Smoke);
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("five_scenarios", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            std::hint::black_box(fig5::run(&budget, seed))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

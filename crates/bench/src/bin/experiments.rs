@@ -1,0 +1,73 @@
+//! Regenerates every figure and table of the NAAS paper.
+//!
+//! ```text
+//! cargo run -p naas-bench --release --bin experiments -- <target> [preset] [seed]
+//!
+//! targets : fig4 fig5 fig6 fig7 fig8 fig9 fig10 table3 table4 all
+//! preset  : smoke | quick (default) | paper     (or env NAAS_PRESET)
+//! seed    : u64 (default 2021)
+//! ```
+
+use naas_bench::budget::{Budget, Preset};
+use naas_bench::experiments::*;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments <fig4|fig5|fig6|fig7|fig8|fig9|fig10|table1|table2|table3|table4|pareto|all> \
+         [smoke|quick|paper] [seed]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let target = args.first().map(String::as_str).unwrap_or_else(|| usage());
+    let budget = args
+        .get(1)
+        .and_then(|s| Preset::parse(s))
+        .map(Budget::new)
+        .unwrap_or_else(Budget::from_env);
+    let seed: u64 = args
+        .get(2)
+        .map(|s| s.parse().expect("seed must be a u64"))
+        .unwrap_or(2021);
+
+    println!(
+        "# NAAS experiments — preset {:?}, seed {seed}\n",
+        budget.preset
+    );
+    let t0 = Instant::now();
+    match target {
+        "fig4" => print!("{}", fig4::run(&budget, seed).render()),
+        "fig5" => print!("{}", fig5::run(&budget, seed).render()),
+        "fig6" => print!("{}", fig6::run(&budget, seed).render()),
+        "fig7" => print!("{}", fig7::run(&budget, seed).render()),
+        "fig8" => print!("{}", fig8::run(&budget, seed).render()),
+        "fig9" => print!("{}", fig9::run(&budget, seed).render()),
+        "fig10" => print!("{}", fig10::run(&budget, seed).render()),
+        "table3" => print!("{}", table3::run(&budget, seed).render()),
+        "table4" => print!("{}", table4::run(&budget, seed).render()),
+        "pareto" => print!("{}", pareto::run(&budget, seed).render()),
+        "table1" => print!("{}", table1::run(&budget, seed).render()),
+        "table2" => print!("{}", table2::run(&budget, seed).render()),
+        "all" => {
+            print!("{}\n\n", table1::run(&budget, seed).render());
+            print!("{}\n\n", table2::run(&budget, seed).render());
+            print!("{}\n\n", fig4::run(&budget, seed).render());
+            print!("{}\n\n", fig5::run(&budget, seed).render());
+            print!("{}\n\n", fig6::run(&budget, seed).render());
+            print!("{}\n\n", fig7::run(&budget, seed).render());
+            print!("{}\n\n", fig8::run(&budget, seed).render());
+            print!("{}\n\n", fig9::run(&budget, seed).render());
+            print!("{}\n\n", fig10::run(&budget, seed).render());
+            print!("{}\n\n", table3::run(&budget, seed).render());
+            println!("{}", table4::run(&budget, seed).render());
+        }
+        _ => usage(),
+    }
+    eprintln!(
+        "\n[experiments] {target} finished in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
+}

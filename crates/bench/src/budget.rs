@@ -1,0 +1,153 @@
+//! Search-budget presets shared by all experiments.
+
+use naas::{AccelSearchConfig, MappingSearchConfig};
+use naas_nas::NasConfig;
+use serde::{Deserialize, Serialize};
+
+/// Named budget presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Preset {
+    /// Minimal budgets for CI smoke tests and Criterion benches.
+    Smoke,
+    /// Laptop-scale budgets: minutes per experiment, same qualitative
+    /// results.
+    Quick,
+    /// The paper's budgets (population 20 × 15 iterations outer loop).
+    Paper,
+}
+
+impl Preset {
+    /// Parses a preset name (case-insensitive).
+    pub fn parse(s: &str) -> Option<Preset> {
+        match s.to_ascii_lowercase().as_str() {
+            "smoke" => Some(Preset::Smoke),
+            "quick" => Some(Preset::Quick),
+            "paper" => Some(Preset::Paper),
+            _ => None,
+        }
+    }
+}
+
+/// Concrete budgets derived from a preset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Budget {
+    /// The preset this budget came from.
+    pub preset: Preset,
+    /// Outer-loop population.
+    pub accel_population: usize,
+    /// Outer-loop iterations.
+    pub accel_iterations: usize,
+    /// Inner-loop (mapping) population.
+    pub map_population: usize,
+    /// Inner-loop (mapping) iterations.
+    pub map_iterations: usize,
+    /// NAS population (joint search).
+    pub nas_population: usize,
+    /// NAS generations (joint search).
+    pub nas_generations: usize,
+}
+
+impl Budget {
+    /// Builds the budget for a preset.
+    pub fn new(preset: Preset) -> Self {
+        match preset {
+            Preset::Smoke => Budget {
+                preset,
+                accel_population: 5,
+                accel_iterations: 3,
+                map_population: 6,
+                map_iterations: 2,
+                nas_population: 4,
+                nas_generations: 2,
+            },
+            Preset::Quick => Budget {
+                preset,
+                accel_population: 10,
+                accel_iterations: 8,
+                map_population: 12,
+                map_iterations: 4,
+                nas_population: 8,
+                nas_generations: 4,
+            },
+            Preset::Paper => Budget {
+                preset,
+                accel_population: 20,
+                accel_iterations: 15,
+                map_population: 16,
+                map_iterations: 6,
+                nas_population: 16,
+                nas_generations: 8,
+            },
+        }
+    }
+
+    /// Budget from the `NAAS_PRESET` environment variable
+    /// (default `quick`).
+    pub fn from_env() -> Self {
+        let preset = std::env::var("NAAS_PRESET")
+            .ok()
+            .and_then(|s| Preset::parse(&s))
+            .unwrap_or(Preset::Quick);
+        Budget::new(preset)
+    }
+
+    /// Mapping-search configuration at this budget.
+    pub fn mapping_cfg(&self, seed: u64) -> MappingSearchConfig {
+        MappingSearchConfig {
+            population: self.map_population,
+            iterations: self.map_iterations,
+            seed,
+            ..MappingSearchConfig::default()
+        }
+    }
+
+    /// Accelerator-search configuration at this budget.
+    pub fn accel_cfg(&self, seed: u64) -> AccelSearchConfig {
+        AccelSearchConfig {
+            population: self.accel_population,
+            iterations: self.accel_iterations,
+            mapping: self.mapping_cfg(seed),
+            seed,
+            ..AccelSearchConfig::paper(seed)
+        }
+    }
+
+    /// NAS configuration at this budget.
+    pub fn nas_cfg(&self, seed: u64) -> NasConfig {
+        NasConfig {
+            population: self.nas_population,
+            generations: self.nas_generations,
+            seed,
+            ..NasConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_parse() {
+        assert_eq!(Preset::parse("smoke"), Some(Preset::Smoke));
+        assert_eq!(Preset::parse("QUICK"), Some(Preset::Quick));
+        assert_eq!(Preset::parse("Paper"), Some(Preset::Paper));
+        assert_eq!(Preset::parse("huge"), None);
+    }
+
+    #[test]
+    fn paper_budget_matches_paper_counts() {
+        let b = Budget::new(Preset::Paper);
+        assert_eq!(b.accel_population, 20);
+        assert_eq!(b.accel_iterations, 15);
+    }
+
+    #[test]
+    fn configs_inherit_budget() {
+        let b = Budget::new(Preset::Smoke);
+        let cfg = b.accel_cfg(7);
+        assert_eq!(cfg.population, 5);
+        assert_eq!(cfg.mapping.population, 6);
+        assert_eq!(cfg.seed, 7);
+    }
+}

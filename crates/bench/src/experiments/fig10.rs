@@ -1,0 +1,179 @@
+//! Figure 10: accuracy vs. normalized EDP on ImageNet under the Eyeriss
+//! envelope — the payoff of integrating NAS.
+//!
+//! Four points, as in the paper: (1) Eyeriss running ResNet-50;
+//! (2) NHAS (NN + sizing-only co-search, heuristic mapping);
+//! (3) NAAS accelerator-compiler co-search with ResNet-50 fixed;
+//! (4) NAAS accelerator-compiler-NN joint co-search.
+
+use crate::budget::Budget;
+use crate::table;
+use naas::baselines::{baseline_network_cost, search_nhas, NhasConfig};
+use naas::prelude::*;
+use naas::search_accelerator_seeded;
+use naas_nas::{AccuracyModel, Subnet};
+use serde::{Deserialize, Serialize};
+
+/// One scatter point of Fig. 10.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParetoPoint {
+    /// Approach label.
+    pub approach: String,
+    /// Predicted ImageNet top-1 accuracy (percent).
+    pub accuracy: f64,
+    /// EDP normalized to the Eyeriss + ResNet-50 point.
+    pub normalized_edp: f64,
+}
+
+/// Figure 10 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig10 {
+    /// Points in the paper's order.
+    pub points: Vec<ParetoPoint>,
+}
+
+/// Runs the Fig. 10 experiment.
+pub fn run(budget: &Budget, seed: u64) -> Fig10 {
+    let model = CostModel::new();
+    let accuracy_model = AccuracyModel::default();
+    let eyeriss = baselines::eyeriss();
+    let envelope = ResourceConstraint::from_design(&eyeriss);
+    let resnet = Subnet::resnet50_baseline();
+    let resnet_net = resnet.to_network();
+    let resnet_acc = accuracy_model.predict(&resnet);
+
+    // (1) Eyeriss + ResNet-50 (fair mapping search on the fixed design).
+    let eyeriss_cost =
+        baseline_network_cost(&model, &resnet_net, &eyeriss, &budget.mapping_cfg(seed))
+            .expect("eyeriss runs resnet50");
+    let norm = eyeriss_cost.edp();
+    let mut points = vec![ParetoPoint {
+        approach: "Eyeriss (ResNet-50)".into(),
+        accuracy: resnet_acc,
+        normalized_edp: 1.0,
+    }];
+
+    // (2) NHAS: NN + sizing-only. Its *search* uses the heuristic
+    // compiler it was published with, but the reported point re-compiles
+    // the final (design, subnet) pair with the same mapping search every
+    // other point enjoys — you would not deploy with a worse compiler.
+    let mut nhas_nas = budget.nas_cfg(seed + 1);
+    nhas_nas.accuracy_floor = 76.5; // must beat the ResNet-50 baseline
+    let nhas_cfg = NhasConfig {
+        population: budget.accel_population.div_ceil(2),
+        iterations: budget.accel_iterations.div_ceil(2),
+        nas: nhas_nas,
+        seed: seed + 1,
+        ..NhasConfig::quick(seed + 1)
+    };
+    if let Some(nhas) = search_nhas(&model, &eyeriss, &envelope, &accuracy_model, &nhas_cfg) {
+        let recompiled = naas::mapping_search::network_mapping_search(
+            &model,
+            &nhas.subnet.to_network(),
+            &nhas.accelerator,
+            &budget.mapping_cfg(seed + 1),
+        )
+        .map_or(nhas.edp, |c| c.edp());
+        points.push(ParetoPoint {
+            approach: "NHAS (NN + sizing)".into(),
+            accuracy: nhas.accuracy,
+            normalized_edp: recompiled / norm,
+        });
+    }
+
+    // (3) NAAS accelerator-compiler co-search, network fixed.
+    let accel_only = search_accelerator_seeded(
+        &model,
+        std::slice::from_ref(&resnet_net),
+        &envelope,
+        &budget.accel_cfg(seed + 2),
+        std::slice::from_ref(&eyeriss),
+    );
+    points.push(ParetoPoint {
+        approach: "NAAS (accel-compiler)".into(),
+        accuracy: resnet_acc,
+        normalized_edp: accel_only.best.reward / norm,
+    });
+
+    // (4) NAAS joint co-search, with the paper's "guaranteed accuracy":
+    // the floor is set above the ResNet-50 baseline so the search must
+    // deliver an accuracy *gain* along with the EDP gain.
+    let mut joint_nas = budget.nas_cfg(seed + 3);
+    joint_nas.accuracy_floor = 77.0;
+    let joint_cfg = naas::JointConfig {
+        accel: budget.accel_cfg(seed + 3),
+        nas: joint_nas,
+    };
+    if let Some(joint) = naas::search_joint(&model, &envelope, &accuracy_model, &joint_cfg) {
+        points.push(ParetoPoint {
+            approach: "NAAS (accel-compiler-NN)".into(),
+            accuracy: joint.accuracy,
+            normalized_edp: joint.edp / norm,
+        });
+    }
+
+    Fig10 { points }
+}
+
+impl Fig10 {
+    /// Paper-style rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Fig. 10 — accuracy vs normalized EDP (Eyeriss resources, ResNet-50 space)\n",
+        );
+        let rows: Vec<Vec<String>> = self
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.approach.clone(),
+                    format!("{:.1}%", p.accuracy),
+                    format!("{:.3}", p.normalized_edp),
+                ]
+            })
+            .collect();
+        out.push_str(&table::render(
+            &["approach", "top-1 accuracy", "normalized EDP"],
+            &rows,
+        ));
+        if let (Some(accel), Some(joint)) = (self.point("NAAS (accel-compiler)"), self.point("NAAS (accel-compiler-NN)")) {
+            out.push_str(&format!(
+                "joint vs accel-only: {} EDP, {:+.1}% accuracy\n",
+                table::ratio(accel.normalized_edp / joint.normalized_edp),
+                joint.accuracy - accel.accuracy
+            ));
+        }
+        out
+    }
+
+    /// Looks up a point by approach label.
+    pub fn point(&self, approach: &str) -> Option<&ParetoPoint> {
+        self.points.iter().find(|p| p.approach == approach)
+    }
+
+    /// The headline claim: the joint search dominates the fixed-network
+    /// points — higher accuracy at no EDP cost, or lower EDP.
+    pub fn joint_improves(&self) -> bool {
+        match (self.point("NAAS (accel-compiler)"), self.point("NAAS (accel-compiler-NN)")) {
+            (Some(a), Some(j)) => {
+                j.accuracy >= a.accuracy - 0.3 || j.normalized_edp <= a.normalized_edp
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::Preset;
+
+    #[test]
+    fn smoke_produces_at_least_three_points() {
+        let out = run(&Budget::new(Preset::Smoke), 2);
+        assert!(out.points.len() >= 3, "got {:?}", out.points);
+        assert!(out.point("Eyeriss (ResNet-50)").is_some());
+        let text = out.render();
+        assert!(text.contains("normalized EDP"));
+    }
+}

@@ -1,0 +1,126 @@
+//! Figure 6: speedup and energy savings when NAAS specializes the
+//! accelerator and mapping for a *single* network inside each baseline
+//! envelope — the 6-network × 5-envelope matrix.
+
+use crate::budget::Budget;
+use crate::experiments::fig5::{run_scenario, Scenario};
+use crate::table;
+use naas::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Figure 6 result: one single-network scenario per (envelope, network)
+/// pair, following the paper's set split (large nets on large envelopes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig6 {
+    /// `(baseline name, network name, speedup, energy saving)` cells.
+    pub cells: Vec<Scenario>,
+}
+
+/// Runs Fig. 6: each benchmark network searched alone under its set's
+/// envelopes.
+pub fn run(budget: &Budget, seed: u64) -> Fig6 {
+    let model = CostModel::new();
+    let mut cells = Vec::new();
+    let mut salt = 0u64;
+
+    let large_envelopes = [baselines::edge_tpu(), baselines::nvdla(1024)];
+    for net in models::large_benchmarks() {
+        for baseline in &large_envelopes {
+            salt += 1;
+            cells.push(run_scenario(
+                &model,
+                baseline,
+                std::slice::from_ref(&net),
+                budget,
+                seed + salt,
+            ));
+        }
+    }
+    let mobile_envelopes = [
+        baselines::eyeriss(),
+        baselines::nvdla(256),
+        baselines::shidiannao(),
+    ];
+    for net in models::mobile_benchmarks() {
+        for baseline in &mobile_envelopes {
+            salt += 1;
+            cells.push(run_scenario(
+                &model,
+                baseline,
+                std::slice::from_ref(&net),
+                budget,
+                seed + salt,
+            ));
+        }
+    }
+    Fig6 { cells }
+}
+
+impl Fig6 {
+    /// Paper-style rendering: the speedup/energy matrix.
+    pub fn render(&self) -> String {
+        let mut out =
+            String::from("Fig. 6 — single-network NAAS vs baselines (one search per cell)\n");
+        let rows: Vec<Vec<String>> = self
+            .cells
+            .iter()
+            .map(|s| {
+                let r = &s.rows[0];
+                vec![
+                    s.baseline.clone(),
+                    r.network.clone(),
+                    table::ratio(r.speedup),
+                    table::ratio(r.energy_saving),
+                    table::ratio(r.edp_reduction),
+                ]
+            })
+            .collect();
+        out.push_str(&table::render(
+            &["resource", "network", "speedup", "energy saving", "EDP reduction"],
+            &rows,
+        ));
+        out
+    }
+
+    /// Specialization claim: per-network searches should win on EDP in
+    /// (at least) the overwhelming majority of cells.
+    pub fn win_fraction(&self) -> f64 {
+        let wins = self
+            .cells
+            .iter()
+            .filter(|s| s.rows[0].edp_reduction >= 1.0)
+            .count();
+        wins as f64 / self.cells.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::{Budget, Preset};
+    use naas::baselines::baseline_network_cost;
+    use naas::search_accelerator;
+
+    #[test]
+    fn single_cell_specialization_beats_baseline_edp() {
+        // One cell of the matrix, checked end to end: MobileNetV2 under
+        // the ShiDianNao envelope (the paper's biggest win is 16.5×).
+        let model = CostModel::new();
+        let budget = Budget::new(Preset::Smoke);
+        let net = models::mobilenet_v2(224);
+        let base = baselines::shidiannao();
+        let envelope = ResourceConstraint::from_design(&base);
+        let result = search_accelerator(
+            &model,
+            std::slice::from_ref(&net),
+            &envelope,
+            &budget.accel_cfg(9),
+        );
+        let baseline = baseline_network_cost(&model, &net, &base, &budget.mapping_cfg(9))
+            .expect("shidiannao runs mobilenet");
+        assert!(
+            result.best.per_network[0].edp() <= baseline.edp(),
+            "specialized design must not lose to the baseline"
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! Figure 7: the searched-architecture showcases — NAAS proposes
+//! *different* array shapes, dataflows and buffer splits for different
+//! (network, resource) pairs, beyond numerical tuning.
+//!
+//! Paper examples: (a) 2D `K-X'`-parallel array for ResNet under Eyeriss
+//! resources; (b) 2D `C-X'` for VGG16 under EdgeTPU resources;
+//! (c) 3D `C-K-X'` for VGG16 under ShiDianNao resources.
+
+use crate::budget::Budget;
+use naas::prelude::*;
+use naas::search_accelerator_seeded;
+use serde::{Deserialize, Serialize};
+
+/// One showcased design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Showcase {
+    /// Workload name.
+    pub network: String,
+    /// Envelope source design.
+    pub resource: String,
+    /// The searched design card (array size, dataflow, buffers).
+    pub design_card: String,
+    /// The dataflow label (e.g. `"K-X' Parallel"`).
+    pub dataflow: String,
+    /// Number of array dimensions chosen by the search.
+    pub ndim: usize,
+}
+
+/// Figure 7 result: the three showcases.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig7 {
+    /// Showcases in the paper's order.
+    pub showcases: Vec<Showcase>,
+}
+
+/// Runs the three (network, resource) showcases of Fig. 7.
+pub fn run(budget: &Budget, seed: u64) -> Fig7 {
+    let model = CostModel::new();
+    let cases = [
+        (models::resnet50(224), baselines::eyeriss()),
+        (models::vgg16(224), baselines::edge_tpu()),
+        (models::vgg16(224), baselines::shidiannao()),
+    ];
+    let mut showcases = Vec::new();
+    for (i, (net, baseline)) in cases.into_iter().enumerate() {
+        let envelope = ResourceConstraint::from_design(&baseline);
+        let result = search_accelerator_seeded(
+            &model,
+            std::slice::from_ref(&net),
+            &envelope,
+            &budget.accel_cfg(seed + i as u64),
+            std::slice::from_ref(&baseline),
+        );
+        let design = &result.best.accelerator;
+        showcases.push(Showcase {
+            network: net.name().to_string(),
+            resource: baseline.name().to_string(),
+            design_card: design.design_card(),
+            dataflow: design.connectivity().dataflow_label(),
+            ndim: design.connectivity().ndim(),
+        });
+    }
+    Fig7 { showcases }
+}
+
+impl Fig7 {
+    /// Renders the three design cards.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Fig. 7 — searched architectures per (network, resource)\n\n");
+        for s in &self.showcases {
+            out.push_str(&format!("--- {} @ {} resources ---\n", s.network, s.resource));
+            out.push_str(&s.design_card);
+            out.push_str("\n\n");
+        }
+        out
+    }
+
+    /// The diversity claim: the searches should not all land on one
+    /// dataflow.
+    pub fn distinct_dataflows(&self) -> usize {
+        let mut labels: Vec<&str> = self.showcases.iter().map(|s| s.dataflow.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        labels.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::Preset;
+
+    #[test]
+    fn showcases_render_cards() {
+        // Smoke: only check plumbing on the cheapest case.
+        let model = CostModel::new();
+        let budget = Budget::new(Preset::Smoke);
+        let net = models::mobilenet_v2(224);
+        let baseline = baselines::shidiannao();
+        let envelope = ResourceConstraint::from_design(&baseline);
+        let result = search_accelerator(
+            &model,
+            std::slice::from_ref(&net),
+            &envelope,
+            &budget.accel_cfg(1),
+        );
+        let card = result.best.accelerator.design_card();
+        assert!(card.contains("Dataflow"));
+    }
+}

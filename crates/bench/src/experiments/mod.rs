@@ -1,0 +1,16 @@
+//! One runner per paper artifact. Every runner takes a [`crate::Budget`]
+//! and a seed, returns a serializable result struct, and renders a
+//! paper-style table via `render()`.
+
+pub mod fig10;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod pareto;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;

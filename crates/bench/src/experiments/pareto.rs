@@ -1,0 +1,100 @@
+//! Extension experiment (beyond the paper): the full accuracy-vs-EDP
+//! Pareto curve of the joint co-design space, swept over accuracy floors
+//! — Fig. 10 shows one point of this curve; here is the whole frontier.
+
+use crate::budget::Budget;
+use crate::table;
+use naas::prelude::*;
+use naas::{pareto_sweep, JointConfig};
+use naas_nas::AccuracyModel;
+use serde::{Deserialize, Serialize};
+
+/// One frontier point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrontierPoint {
+    /// Accuracy floor the joint search was run under (percent).
+    pub floor: f64,
+    /// Achieved accuracy (percent).
+    pub accuracy: f64,
+    /// Achieved EDP (cycles · nJ).
+    pub edp: f64,
+    /// The matched design's dataflow label.
+    pub dataflow: String,
+}
+
+/// Pareto-sweep result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pareto {
+    /// Frontier points in floor order.
+    pub points: Vec<FrontierPoint>,
+}
+
+/// Sweeps the joint search over accuracy floors under the Eyeriss
+/// envelope.
+pub fn run(budget: &Budget, seed: u64) -> Pareto {
+    let model = CostModel::new();
+    let accuracy_model = AccuracyModel::default();
+    let envelope = ResourceConstraint::from_design(&baselines::eyeriss());
+    let cfg = JointConfig {
+        accel: budget.accel_cfg(seed),
+        nas: budget.nas_cfg(seed),
+    };
+    let floors = [74.0, 75.5, 76.5, 77.5, 78.5];
+    let entries = pareto_sweep(&model, &envelope, &accuracy_model, &cfg, &floors);
+    Pareto {
+        points: entries
+            .into_iter()
+            .map(|e| FrontierPoint {
+                floor: e.floor,
+                accuracy: e.result.accuracy,
+                edp: e.result.edp,
+                dataflow: e.result.accelerator.connectivity().dataflow_label(),
+            })
+            .collect(),
+    }
+}
+
+impl Pareto {
+    /// Renders the frontier table.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Pareto sweep (extension) — accuracy floor vs achieved (accuracy, EDP)\n",
+        );
+        let rows: Vec<Vec<String>> = self
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    format!("{:.1}%", p.floor),
+                    format!("{:.1}%", p.accuracy),
+                    table::sci(p.edp),
+                    p.dataflow.clone(),
+                ]
+            })
+            .collect();
+        out.push_str(&table::render(
+            &["floor", "accuracy", "EDP", "dataflow"],
+            &rows,
+        ));
+        out
+    }
+
+    /// Frontier sanity: accuracy never drops below the floor.
+    pub fn floors_respected(&self) -> bool {
+        self.points.iter().all(|p| p.accuracy >= p.floor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::Preset;
+
+    #[test]
+    fn sweep_produces_feasible_frontier() {
+        let out = run(&Budget::new(Preset::Smoke), 6);
+        assert!(!out.points.is_empty());
+        assert!(out.floors_respected());
+        assert!(out.render().contains("Pareto"));
+    }
+}

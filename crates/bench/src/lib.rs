@@ -1,0 +1,28 @@
+//! # naas-bench — experiment harness for every figure and table
+//!
+//! One runner per artifact of the paper's evaluation section
+//! (see DESIGN.md §7 for the experiment index):
+//!
+//! | module | artifact |
+//! |---|---|
+//! | [`experiments::fig4`] | Fig. 4 — EDP vs. iteration, NAAS vs. random |
+//! | [`experiments::fig5`] | Fig. 5 — multi-network speedup/energy |
+//! | [`experiments::fig6`] | Fig. 6 — single-network speedup/energy |
+//! | [`experiments::fig7`] | Fig. 7 — searched architecture showcases |
+//! | [`experiments::fig8`] | Fig. 8 — sizing-only ablation |
+//! | [`experiments::fig9`] | Fig. 9 — encoding ablation |
+//! | [`experiments::fig10`] | Fig. 10 — accuracy vs. EDP with NAS |
+//! | [`experiments::table3`] | Table III — NASAIC comparison |
+//! | [`experiments::table4`] | Table IV — search cost |
+//!
+//! Each runner is a plain function returning a serializable result with a
+//! `render()` table, so the `experiments` binary, the Criterion benches
+//! and the integration tests all share one code path. Budgets come from
+//! [`Budget`] presets (`smoke` for CI, `quick` for a laptop run, `paper`
+//! for the full population/iteration counts of the paper).
+
+pub mod budget;
+pub mod experiments;
+pub mod table;
+
+pub use budget::{Budget, Preset};

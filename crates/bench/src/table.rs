@@ -1,0 +1,79 @@
+//! Minimal fixed-width table rendering for experiment output.
+
+/// Renders rows as a fixed-width ASCII table with a header rule.
+///
+/// ```
+/// use naas_bench::table::render;
+/// let t = render(
+///     &["net", "speedup"],
+///     &[vec!["vgg16".into(), "2.6x".into()]],
+/// );
+/// assert!(t.contains("vgg16"));
+/// assert!(t.lines().count() >= 3);
+/// ```
+pub fn render(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a ratio as `N.NNx`.
+pub fn ratio(value: f64) -> String {
+    format!("{value:.2}x")
+}
+
+/// Formats a number in engineering notation (`1.23e9`).
+pub fn sci(value: f64) -> String {
+    format!("{value:.2e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_align() {
+        let t = render(
+            &["a", "bbbb"],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["longer".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Header and rule line up.
+        assert!(lines[1].chars().all(|c| c == '-'));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(ratio(2.6), "2.60x");
+        assert_eq!(sci(1234.0), "1.23e3");
+    }
+}

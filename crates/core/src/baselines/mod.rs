@@ -1,0 +1,68 @@
+//! Re-implementations of the comparison points of the paper's evaluation:
+//! baseline designs with a fair compiler, the sizing-only search of prior
+//! work (Fig. 8), NASAIC (Table III) and NHAS (Fig. 10).
+
+pub mod nasaic;
+pub mod nhas;
+pub mod sizing_only;
+
+pub use nasaic::{search_nasaic_allocation, NasaicConfig, NasaicResult};
+pub use nhas::{search_nhas, NhasConfig, NhasResult};
+pub use sizing_only::{search_sizing_only, SizingOnlyConfig, SizingOnlyResult};
+
+use crate::mapping_search::{network_mapping_search, MappingSearchConfig};
+use naas_accel::Accelerator;
+use naas_cost::{CostModel, NetworkCost};
+use naas_ir::Network;
+use naas_mapping::Mapping;
+
+/// Cost of a network on a *fixed* baseline design, giving the baseline
+/// the same per-layer mapping search NAAS enjoys (order and tiling on the
+/// frozen dataflow). This is the denominator of every speedup/energy
+/// ratio in Fig. 5/6: the comparison isolates *architecture* quality, not
+/// compiler quality.
+///
+/// Returns `None` if some layer cannot be mapped on the baseline at all.
+pub fn baseline_network_cost(
+    model: &CostModel,
+    network: &Network,
+    baseline: &Accelerator,
+    mapping_cfg: &MappingSearchConfig,
+) -> Option<NetworkCost> {
+    network_mapping_search(model, network, baseline, mapping_cfg)
+}
+
+/// Cost of a network on a fixed design using only the deterministic
+/// balanced-mapping heuristic (no mapping search) — how sizing-only
+/// frameworks, which do not search mappings, are evaluated.
+pub fn heuristic_network_cost(
+    model: &CostModel,
+    network: &Network,
+    accel: &Accelerator,
+) -> Option<NetworkCost> {
+    let mut layers = Vec::with_capacity(network.len());
+    for layer in network {
+        let mapping = Mapping::balanced(layer, accel);
+        layers.push(model.evaluate(layer, accel, &mapping).ok()?);
+    }
+    Some(NetworkCost { layers })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naas_accel::baselines as designs;
+    use naas_ir::models;
+
+    #[test]
+    fn baseline_cost_with_search_beats_heuristic() {
+        let model = CostModel::new();
+        let net = models::cifar_resnet20();
+        let accel = designs::eyeriss();
+        let heuristic = heuristic_network_cost(&model, &net, &accel).expect("heuristic maps");
+        let searched =
+            baseline_network_cost(&model, &net, &accel, &MappingSearchConfig::quick(1))
+                .expect("search maps");
+        assert!(searched.edp() <= heuristic.edp());
+    }
+}

@@ -1,0 +1,158 @@
+//! NHAS re-implementation (Lin et al., NeurIPS WS 2019) for the Fig. 10 comparison.
+//!
+//! Neural-Hardware Architecture Search co-searches the neural
+//! architecture with the accelerator's *architectural sizing* (array and
+//! buffer sizes on a fixed-dataflow template) — but not the connectivity
+//! and not the compiler mapping. We reproduce it as: outer sizing-only
+//! evolution anchored at the baseline design; per sizing candidate, an
+//! inner subnet evolution scored with the deterministic heuristic
+//! mapping.
+
+use crate::baselines::heuristic_network_cost;
+use naas_accel::{Accelerator, ResourceConstraint};
+use naas_cost::CostModel;
+use naas_nas::search::search_subnet;
+use naas_nas::{AccuracyModel, NasConfig, Subnet};
+use naas_opt::{CemEs, EsConfig, Optimizer, SizingOnlyEncoder};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the NHAS co-search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NhasConfig {
+    /// Sizing candidates per generation.
+    pub population: usize,
+    /// Generations of the sizing evolution.
+    pub iterations: usize,
+    /// ES hyper-parameters.
+    pub es: EsConfig,
+    /// Decode attempts per slot.
+    pub resample_limit: usize,
+    /// Per-candidate NAS budget.
+    pub nas: NasConfig,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl NhasConfig {
+    /// A tiny-budget configuration for tests and smoke runs.
+    pub fn quick(seed: u64) -> Self {
+        NhasConfig {
+            population: 4,
+            iterations: 2,
+            es: EsConfig::default(),
+            resample_limit: 25,
+            nas: NasConfig {
+                population: 6,
+                generations: 2,
+                seed,
+                ..NasConfig::default()
+            },
+            seed,
+        }
+    }
+}
+
+/// Result of the NHAS co-search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NhasResult {
+    /// Best sizing variant found.
+    pub accelerator: Accelerator,
+    /// Best subnet found on it.
+    pub subnet: Subnet,
+    /// Predicted accuracy of the subnet (percent).
+    pub accuracy: f64,
+    /// EDP of the pair (cycles · nJ).
+    pub edp: f64,
+}
+
+/// Runs the NHAS-style co-search anchored at `baseline` inside
+/// `constraint`. Returns `None` if no feasible pair is found.
+pub fn search_nhas(
+    model: &CostModel,
+    baseline: &Accelerator,
+    constraint: &ResourceConstraint,
+    accuracy_model: &AccuracyModel,
+    cfg: &NhasConfig,
+) -> Option<NhasResult> {
+    let encoder = SizingOnlyEncoder::new(baseline.clone(), constraint.clone());
+    let mut es = CemEs::new(encoder.dim(), cfg.es, cfg.seed);
+    let mut best: Option<NhasResult> = None;
+
+    for iteration in 0..cfg.iterations {
+        let mut scored = Vec::with_capacity(cfg.population);
+        for slot in 0..cfg.population {
+            let mut decoded = None;
+            let mut last = None;
+            for _ in 0..cfg.resample_limit {
+                let theta = es.ask();
+                match encoder.decode(&theta) {
+                    Some(d) => {
+                        decoded = Some((theta, d));
+                        break;
+                    }
+                    None => last = Some(theta),
+                }
+            }
+            let Some((theta, accel)) = decoded else {
+                if let Some(t) = last {
+                    scored.push((t, f64::INFINITY));
+                }
+                continue;
+            };
+            let nas_cfg = NasConfig {
+                seed: cfg
+                    .seed
+                    .wrapping_mul(7_368_787)
+                    .wrapping_add((iteration * cfg.population + slot) as u64),
+                ..cfg.nas
+            };
+            let outcome = search_subnet(&nas_cfg, accuracy_model, |net| {
+                heuristic_network_cost(model, net, &accel).map(|c| c.edp())
+            });
+            match outcome {
+                Some(out) => {
+                    if best.as_ref().is_none_or(|b| out.reward < b.edp) {
+                        best = Some(NhasResult {
+                            accelerator: accel,
+                            subnet: out.subnet,
+                            accuracy: out.accuracy,
+                            edp: out.reward,
+                        });
+                    }
+                    scored.push((theta, out.reward));
+                }
+                None => scored.push((theta, f64::INFINITY)),
+            }
+        }
+        es.tell(&scored);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naas_accel::baselines as designs;
+
+    #[test]
+    fn nhas_finds_feasible_pair() {
+        let model = CostModel::new();
+        let base = designs::eyeriss();
+        let envelope = ResourceConstraint::from_design(&base);
+        let out = search_nhas(
+            &model,
+            &base,
+            &envelope,
+            &AccuracyModel::default(),
+            &NhasConfig::quick(3),
+        )
+        .expect("nhas finds a pair");
+        assert!(out.accuracy >= 76.0);
+        assert!(envelope.admits(&out.accelerator).is_ok());
+        assert_eq!(
+            out.accelerator.connectivity().dataflow_label(),
+            base.connectivity().dataflow_label(),
+            "NHAS must not change the dataflow"
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! Architectural-sizing-only search — the prior-work baseline
+//! (NASAIC, NHAS) that Fig. 8 compares NAAS against.
+//!
+//! Connectivity (array shape class, dataflow) stays frozen to the source
+//! design; only #PEs scale, buffer split and bandwidth move; the compiler
+//! uses the deterministic heuristic mapping (these frameworks do not
+//! search mappings).
+
+use crate::baselines::heuristic_network_cost;
+use crate::reward::geomean;
+use naas_accel::{Accelerator, ResourceConstraint};
+use naas_cost::{CostModel, NetworkCost};
+use naas_ir::Network;
+use naas_opt::{CemEs, EsConfig, Optimizer, SizingOnlyEncoder};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the sizing-only search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SizingOnlyConfig {
+    /// Candidates per generation.
+    pub population: usize,
+    /// Generations.
+    pub iterations: usize,
+    /// ES hyper-parameters.
+    pub es: EsConfig,
+    /// Decode attempts per slot.
+    pub resample_limit: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SizingOnlyConfig {
+    fn default() -> Self {
+        SizingOnlyConfig {
+            population: 16,
+            iterations: 10,
+            es: EsConfig::default(),
+            resample_limit: 50,
+            seed: 0,
+        }
+    }
+}
+
+impl SizingOnlyConfig {
+    /// A tiny-budget configuration for tests.
+    pub fn quick(seed: u64) -> Self {
+        SizingOnlyConfig {
+            population: 6,
+            iterations: 3,
+            seed,
+            ..SizingOnlyConfig::default()
+        }
+    }
+}
+
+/// Result of the sizing-only search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SizingOnlyResult {
+    /// The best sizing variant found.
+    pub accelerator: Accelerator,
+    /// Heuristic-mapped cost per network.
+    pub per_network: Vec<NetworkCost>,
+    /// Geomean EDP reward.
+    pub reward: f64,
+}
+
+/// Searches the sizing-only space anchored at `baseline` inside
+/// `constraint`. Returns `None` if no candidate maps every benchmark.
+pub fn search_sizing_only(
+    model: &CostModel,
+    networks: &[Network],
+    baseline: &Accelerator,
+    constraint: &ResourceConstraint,
+    cfg: &SizingOnlyConfig,
+) -> Option<SizingOnlyResult> {
+    assert!(!networks.is_empty(), "need at least one benchmark network");
+    let encoder = SizingOnlyEncoder::new(baseline.clone(), constraint.clone());
+    let mut es = CemEs::new(encoder.dim(), cfg.es, cfg.seed);
+    let mut best: Option<SizingOnlyResult> = None;
+
+    for _ in 0..cfg.iterations {
+        let mut scored = Vec::with_capacity(cfg.population);
+        for _ in 0..cfg.population {
+            let mut decoded = None;
+            let mut last = None;
+            for _ in 0..cfg.resample_limit {
+                let theta = es.ask();
+                match encoder.decode(&theta) {
+                    Some(d) => {
+                        decoded = Some((theta, d));
+                        break;
+                    }
+                    None => last = Some(theta),
+                }
+            }
+            let Some((theta, accel)) = decoded else {
+                if let Some(t) = last {
+                    scored.push((t, f64::INFINITY));
+                }
+                continue;
+            };
+            let costs: Option<Vec<NetworkCost>> = networks
+                .iter()
+                .map(|net| heuristic_network_cost(model, net, &accel))
+                .collect();
+            match costs {
+                Some(per_network) => {
+                    let edps: Vec<f64> = per_network.iter().map(NetworkCost::edp).collect();
+                    let reward = geomean(&edps);
+                    if best.as_ref().is_none_or(|b| reward < b.reward) {
+                        best = Some(SizingOnlyResult {
+                            accelerator: accel,
+                            per_network,
+                            reward,
+                        });
+                    }
+                    scored.push((theta, reward));
+                }
+                None => scored.push((theta, f64::INFINITY)),
+            }
+        }
+        es.tell(&scored);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naas_accel::baselines as designs;
+    use naas_ir::models;
+
+    #[test]
+    fn sizing_only_stays_in_connectivity_class() {
+        let model = CostModel::new();
+        let base = designs::nvdla(256);
+        let envelope = ResourceConstraint::from_design(&base);
+        let out = search_sizing_only(
+            &model,
+            &[models::cifar_resnet20()],
+            &base,
+            &envelope,
+            &SizingOnlyConfig::quick(2),
+        )
+        .expect("finds a sizing variant");
+        assert_eq!(
+            out.accelerator.connectivity().dataflow_label(),
+            base.connectivity().dataflow_label()
+        );
+        assert!(envelope.admits(&out.accelerator).is_ok());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let model = CostModel::new();
+        let base = designs::eyeriss();
+        let envelope = ResourceConstraint::from_design(&base);
+        let cfg = SizingOnlyConfig::quick(6);
+        let nets = [models::cifar_resnet20()];
+        let a = search_sizing_only(&model, &nets, &base, &envelope, &cfg).unwrap();
+        let b = search_sizing_only(&model, &nets, &base, &envelope, &cfg).unwrap();
+        assert_eq!(a.accelerator, b.accelerator);
+    }
+}

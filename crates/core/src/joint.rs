@@ -1,0 +1,236 @@
+//! The third level: joint neural-accelerator-compiler co-search
+//! (paper §II-C, the "Integrated with NAS" path of Fig. 1).
+//!
+//! For every accelerator candidate proposed by the outer evolution, an
+//! inner NAS evolution (adapted Once-For-All search) proposes subnets that
+//! satisfy the accuracy floor; each subnet is scored by the mapping
+//! search on that candidate; the best subnet's EDP becomes the
+//! accelerator's reward. The result is a matched
+//! (accelerator, network, mapping) tuple "with guaranteed accuracy and
+//! lowest EDP".
+
+use crate::accel_search::AccelSearchConfig;
+use crate::mapping_search::network_mapping_search;
+use naas_accel::{Accelerator, ResourceConstraint};
+use naas_cost::CostModel;
+use naas_nas::search::search_subnet;
+use naas_nas::{AccuracyModel, NasConfig, Subnet};
+use naas_opt::{CemEs, HardwareEncoder, Optimizer};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the joint search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JointConfig {
+    /// Outer accelerator-search budget (its `mapping` field also budgets
+    /// the innermost mapping search).
+    pub accel: AccelSearchConfig,
+    /// Per-candidate NAS budget.
+    pub nas: NasConfig,
+}
+
+impl JointConfig {
+    /// A tiny-budget configuration for tests and smoke runs.
+    pub fn quick(seed: u64) -> Self {
+        JointConfig {
+            accel: AccelSearchConfig::quick(seed),
+            nas: NasConfig {
+                population: 6,
+                generations: 2,
+                seed,
+                ..NasConfig::default()
+            },
+        }
+    }
+}
+
+/// Result of the joint co-search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JointResult {
+    /// The matched accelerator.
+    pub accelerator: Accelerator,
+    /// The matched subnet.
+    pub subnet: Subnet,
+    /// Predicted ImageNet top-1 accuracy of the subnet (percent).
+    pub accuracy: f64,
+    /// EDP of the subnet on the accelerator with searched mappings
+    /// (cycles · nJ).
+    pub edp: f64,
+    /// Total subnet evaluations across all accelerator candidates.
+    pub evaluations: usize,
+}
+
+/// Runs the joint neural-accelerator-compiler co-search.
+///
+/// Returns `None` when no (design, subnet) pair satisfying the accuracy
+/// floor was found within the budget.
+pub fn search_joint(
+    model: &CostModel,
+    constraint: &ResourceConstraint,
+    accuracy_model: &AccuracyModel,
+    cfg: &JointConfig,
+) -> Option<JointResult> {
+    let encoder = HardwareEncoder::new(constraint.clone(), cfg.accel.scheme);
+    let mut es = CemEs::new(encoder.dim(), cfg.accel.es, cfg.accel.seed);
+    let mut best: Option<JointResult> = None;
+    let mut total_evals = 0usize;
+
+    for iteration in 0..cfg.accel.iterations {
+        let mut scored: Vec<(Vec<f64>, f64)> = Vec::with_capacity(cfg.accel.population);
+        for slot in 0..cfg.accel.population {
+            // Resample until a decodable design appears.
+            let mut design = None;
+            let mut theta_last = None;
+            for _ in 0..cfg.accel.resample_limit {
+                let theta = es.ask();
+                match encoder.decode(&theta) {
+                    Some(d) => {
+                        design = Some((theta, d));
+                        break;
+                    }
+                    None => theta_last = Some(theta),
+                }
+            }
+            let Some((theta, accel)) = design else {
+                if let Some(t) = theta_last {
+                    scored.push((t, f64::INFINITY));
+                }
+                continue;
+            };
+
+            // Inner NAS evolution on this candidate.
+            let nas_cfg = NasConfig {
+                seed: cfg
+                    .nas
+                    .seed
+                    .wrapping_mul(9_176_131)
+                    .wrapping_add((iteration * cfg.accel.population + slot) as u64),
+                ..cfg.nas
+            };
+            let mapping_cfg = crate::mapping_search::MappingSearchConfig {
+                seed: nas_cfg.seed,
+                ..cfg.accel.mapping
+            };
+            let outcome = search_subnet(&nas_cfg, accuracy_model, |net| {
+                network_mapping_search(model, net, &accel, &mapping_cfg)
+                    .map(|cost| cost.edp())
+            });
+            match outcome {
+                Some(out) => {
+                    total_evals += out.evaluations;
+                    if best.as_ref().is_none_or(|b| out.reward < b.edp) {
+                        best = Some(JointResult {
+                            accelerator: accel,
+                            subnet: out.subnet,
+                            accuracy: out.accuracy,
+                            edp: out.reward,
+                            evaluations: total_evals,
+                        });
+                    }
+                    scored.push((theta, out.reward));
+                }
+                None => scored.push((theta, f64::INFINITY)),
+            }
+        }
+        es.tell(&scored);
+    }
+
+    best.map(|mut b| {
+        b.evaluations = total_evals;
+        b
+    })
+}
+
+/// One point of an accuracy-vs-EDP Pareto sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParetoEntry {
+    /// Accuracy floor the point was searched under (percent).
+    pub floor: f64,
+    /// The matched tuple found at this floor.
+    pub result: JointResult,
+}
+
+/// Extension beyond the paper's single Fig. 10 point: sweeps the joint
+/// search over a list of accuracy floors, producing the full
+/// accuracy-vs-EDP trade-off curve of the co-design space. Floors that
+/// admit no feasible tuple are skipped.
+pub fn pareto_sweep(
+    model: &CostModel,
+    constraint: &ResourceConstraint,
+    accuracy_model: &AccuracyModel,
+    cfg: &JointConfig,
+    floors: &[f64],
+) -> Vec<ParetoEntry> {
+    let mut out = Vec::with_capacity(floors.len());
+    for (i, &floor) in floors.iter().enumerate() {
+        let mut swept = *cfg;
+        swept.nas.accuracy_floor = floor;
+        swept.nas.seed = cfg.nas.seed.wrapping_add(i as u64);
+        if let Some(result) = search_joint(model, constraint, accuracy_model, &swept) {
+            out.push(ParetoEntry { floor, result });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naas_accel::baselines;
+
+    #[test]
+    fn joint_search_finds_accurate_low_edp_pair() {
+        let model = CostModel::new();
+        let envelope = ResourceConstraint::from_design(&baselines::eyeriss());
+        let cfg = JointConfig::quick(4);
+        let accuracy = AccuracyModel::default();
+        let out = search_joint(&model, &envelope, &accuracy, &cfg).expect("finds a pair");
+        assert!(out.accuracy >= cfg.nas.accuracy_floor);
+        assert!(out.edp > 0.0);
+        assert!(envelope.admits(&out.accelerator).is_ok());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let model = CostModel::new();
+        let envelope = ResourceConstraint::from_design(&baselines::shidiannao());
+        let cfg = JointConfig::quick(11);
+        let accuracy = AccuracyModel::default();
+        let a = search_joint(&model, &envelope, &accuracy, &cfg).unwrap();
+        let b = search_joint(&model, &envelope, &accuracy, &cfg).unwrap();
+        assert_eq!(a.subnet, b.subnet);
+        assert_eq!(a.edp, b.edp);
+    }
+
+    #[test]
+    fn pareto_sweep_respects_floors() {
+        let model = CostModel::new();
+        let envelope = ResourceConstraint::from_design(&baselines::eyeriss());
+        let cfg = JointConfig::quick(8);
+        let accuracy = AccuracyModel::default();
+        let entries = pareto_sweep(&model, &envelope, &accuracy, &cfg, &[74.0, 76.5]);
+        assert!(!entries.is_empty());
+        for e in &entries {
+            assert!(
+                e.result.accuracy >= e.floor,
+                "floor {} violated by {}",
+                e.floor,
+                e.result.accuracy
+            );
+        }
+        // Higher floors cannot make EDP better (larger feasible nets).
+        if entries.len() == 2 {
+            assert!(entries[1].result.edp >= entries[0].result.edp * 0.5);
+        }
+    }
+
+    #[test]
+    fn infeasible_floor_is_skipped() {
+        let model = CostModel::new();
+        let envelope = ResourceConstraint::from_design(&baselines::shidiannao());
+        let cfg = JointConfig::quick(9);
+        let accuracy = AccuracyModel::default();
+        // 99% is above the surrogate's ceiling — no feasible subnet.
+        let entries = pareto_sweep(&model, &envelope, &accuracy, &cfg, &[99.0]);
+        assert!(entries.is_empty());
+    }
+}

@@ -1,0 +1,124 @@
+//! Shape-keyed memoization of per-layer mapping searches.
+//!
+//! Networks repeat layer shapes heavily (ResNet-50's 54 layers collapse to
+//! ~22 distinct shapes), and the inner mapping search is the hot path of
+//! the whole co-search, so both the paper's MAESTRO harness and this
+//! reproduction dedupe evaluation by layer shape.
+
+use naas_ir::ConvSpec;
+use std::collections::HashMap;
+
+/// Hashable identity of a convolution workload: two layers with equal
+/// keys have identical cost under every `(accelerator, mapping)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LayerKey {
+    batch: u64,
+    in_channels: u64,
+    out_channels: u64,
+    in_y: u64,
+    in_x: u64,
+    kernel_r: u64,
+    kernel_s: u64,
+    stride: u64,
+    padding: u64,
+    groups: u64,
+}
+
+impl LayerKey {
+    /// Extracts the shape key of a layer (name and kind are cost-neutral
+    /// labels and are excluded).
+    pub fn of(layer: &ConvSpec) -> Self {
+        LayerKey {
+            batch: layer.batch(),
+            in_channels: layer.in_channels(),
+            out_channels: layer.out_channels(),
+            in_y: layer.in_y(),
+            in_x: layer.in_x(),
+            kernel_r: layer.kernel_r(),
+            kernel_s: layer.kernel_s(),
+            stride: layer.stride(),
+            padding: layer.padding(),
+            groups: layer.groups(),
+        }
+    }
+}
+
+/// A memo table from layer shape to search results.
+#[derive(Debug, Default)]
+pub struct LayerCache<V> {
+    map: HashMap<LayerKey, V>,
+}
+
+impl<V> LayerCache<V> {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        LayerCache {
+            map: HashMap::new(),
+        }
+    }
+
+    /// Returns the cached value for a layer's shape, computing and
+    /// inserting it on miss.
+    pub fn get_or_insert_with(&mut self, layer: &ConvSpec, f: impl FnOnce() -> V) -> &V {
+        self.map.entry(LayerKey::of(layer)).or_insert_with(f)
+    }
+
+    /// Number of distinct shapes cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` if nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naas_ir::models;
+
+    #[test]
+    fn same_shape_same_key_different_name() {
+        let a = ConvSpec::conv2d("a", 64, 64, (56, 56), (3, 3), 1, 1).unwrap();
+        let b = ConvSpec::conv2d("b", 64, 64, (56, 56), (3, 3), 1, 1).unwrap();
+        assert_eq!(LayerKey::of(&a), LayerKey::of(&b));
+    }
+
+    #[test]
+    fn different_stride_different_key() {
+        let a = ConvSpec::conv2d("a", 64, 64, (56, 56), (3, 3), 1, 1).unwrap();
+        let b = ConvSpec::conv2d("b", 64, 64, (56, 56), (3, 3), 2, 1).unwrap();
+        assert_ne!(LayerKey::of(&a), LayerKey::of(&b));
+    }
+
+    #[test]
+    fn resnet_dedupes_substantially() {
+        let net = models::resnet50(224);
+        let mut cache: LayerCache<u32> = LayerCache::new();
+        let mut computed = 0;
+        for l in net.layers() {
+            cache.get_or_insert_with(l, || {
+                computed += 1;
+                0
+            });
+        }
+        assert_eq!(cache.len(), computed);
+        assert!(
+            cache.len() * 2 < net.len(),
+            "expected ≥2× dedup: {} shapes for {} layers",
+            cache.len(),
+            net.len()
+        );
+    }
+
+    #[test]
+    fn cache_hits_do_not_recompute() {
+        let l = ConvSpec::conv2d("a", 8, 8, (8, 8), (3, 3), 1, 1).unwrap();
+        let mut cache: LayerCache<u32> = LayerCache::new();
+        cache.get_or_insert_with(&l, || 1);
+        let v = *cache.get_or_insert_with(&l, || panic!("must not recompute"));
+        assert_eq!(v, 1);
+    }
+}

@@ -1,0 +1,64 @@
+//! # naas — Neural Accelerator Architecture Search
+//!
+//! A from-scratch reproduction of *NAAS: Neural Accelerator Architecture
+//! Search* (Lin, Yang, Han — DAC 2021): data-driven co-search of the
+//! accelerator architecture, the compiler mapping, and (optionally) the
+//! neural architecture, in one nested optimization loop (paper Fig. 1).
+//!
+//! * the **inner loop** ([`mapping_search`]) finds, per layer, the loop
+//!   order and tiling minimizing EDP on a given design;
+//! * the **outer loop** ([`accel_search`]) evolves accelerator designs —
+//!   sizing *and* connectivity — scoring each by its mapping-searched EDP
+//!   over a benchmark suite (geomean reward);
+//! * the **joint loop** ([`joint`]) adds the Once-For-All NAS level from
+//!   §II-C: per accelerator candidate, an evolutionary subnet search under
+//!   an accuracy floor supplies the workload.
+//!
+//! [`baselines`] re-implements the comparison points (sizing-only search,
+//! NASAIC, NHAS) and [`cost_accounting`] reproduces the Table-IV search
+//! cost model.
+//!
+//! ```no_run
+//! use naas::prelude::*;
+//!
+//! let model = CostModel::new();
+//! let envelope = ResourceConstraint::from_design(&baselines::eyeriss());
+//! let nets = [models::mobilenet_v2(224)];
+//! let cfg = AccelSearchConfig::quick(42);
+//! let result = search_accelerator(&model, &nets, &envelope, &cfg);
+//! println!("best design:\n{}", result.best.accelerator.design_card());
+//! ```
+
+pub mod accel_search;
+pub mod baselines;
+pub mod cost_accounting;
+pub mod joint;
+pub mod layer_cache;
+pub mod mapping_search;
+pub mod reward;
+
+pub use accel_search::{
+    search_accelerator, search_accelerator_seeded, AccelCandidate, AccelSearchConfig,
+    AccelSearchResult, IterationStats, SearchStrategy,
+};
+pub use joint::{pareto_sweep, search_joint, JointConfig, JointResult, ParetoEntry};
+pub use mapping_search::{search_layer_mapping, MappingSearchConfig, MappingSearchResult};
+pub use reward::{geomean, RewardKind};
+
+/// Convenience re-exports for downstream code and examples.
+pub mod prelude {
+    pub use crate::accel_search::{
+        search_accelerator, search_accelerator_seeded, AccelSearchConfig, AccelSearchResult,
+        SearchStrategy,
+    };
+    pub use crate::joint::{search_joint, JointConfig, JointResult};
+    pub use crate::mapping_search::{
+        network_mapping_search, search_layer_mapping, MappingSearchConfig,
+    };
+    pub use naas_accel::baselines;
+    pub use naas_accel::{Accelerator, ArchitecturalSizing, Connectivity, ResourceConstraint};
+    pub use naas_cost::{CostModel, LayerCost, NetworkCost};
+    pub use naas_ir::{models, ConvSpec, Dim, Network};
+    pub use naas_mapping::Mapping;
+    pub use naas_opt::EncodingScheme;
+}

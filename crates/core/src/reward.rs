@@ -1,0 +1,122 @@
+//! Reward aggregation across benchmark networks.
+//!
+//! The paper uses the *geometric mean* of per-network EDP as the outer
+//! loop's reward, "to provide a balanced performance on all benchmarks"
+//! (§III-B) — an arithmetic mean would let one heavy network (VGG16)
+//! dominate the gradient.
+
+use serde::{Deserialize, Serialize};
+
+/// How per-network EDPs aggregate into the outer loop's scalar reward.
+///
+/// The paper uses the geometric mean (§III-B); worst-case is the natural
+/// alternative when a deployment must bound tail latency across models —
+/// ablated in `benches/ablation_reward.rs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum RewardKind {
+    /// Geometric mean over the benchmark networks (the paper's choice).
+    #[default]
+    Geomean,
+    /// Maximum (worst) EDP over the benchmark networks.
+    WorstCase,
+}
+
+impl RewardKind {
+    /// Aggregates per-network EDPs into the scalar reward.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice or non-positive values (like [`geomean`]).
+    pub fn aggregate(self, edps: &[f64]) -> f64 {
+        match self {
+            RewardKind::Geomean => geomean(edps),
+            RewardKind::WorstCase => {
+                assert!(!edps.is_empty(), "reward of empty set");
+                edps.iter().fold(0.0_f64, |acc, &v| {
+                    assert!(v > 0.0 && v.is_finite(), "reward requires positive finite values");
+                    acc.max(v)
+                })
+            }
+        }
+    }
+}
+
+/// Geometric mean of strictly positive values.
+///
+/// Computed in log space for numerical robustness (EDPs span ~10 orders
+/// of magnitude across our benchmark suite).
+///
+/// ```
+/// use naas::geomean;
+/// assert!((geomean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+/// assert!((geomean(&[7.5]) - 7.5).abs() < 1e-9);
+/// ```
+///
+/// # Panics
+///
+/// Panics on an empty slice or non-positive values — both indicate a bug
+/// in the calling search loop.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of empty set");
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0 && v.is_finite(), "geomean requires positive finite values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_manual_computation() {
+        let vals = [2.0, 8.0];
+        assert!((geomean(&vals) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_against_outliers() {
+        // One huge value moves the arithmetic mean far more than the
+        // geometric one — the property the paper relies on.
+        let vals = [1.0, 1.0, 1000.0];
+        let arith = vals.iter().sum::<f64>() / 3.0;
+        assert!(geomean(&vals) < arith / 10.0);
+    }
+
+    #[test]
+    fn huge_magnitudes_do_not_overflow() {
+        let vals = [1e300, 1e280, 1e290];
+        let g = geomean(&vals);
+        assert!(g.is_finite() && g > 1e279);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rejected() {
+        let _ = geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_rejected() {
+        let _ = geomean(&[]);
+    }
+
+    #[test]
+    fn reward_kinds_aggregate() {
+        let edps = [2.0, 8.0, 4.0];
+        assert!((RewardKind::Geomean.aggregate(&edps) - 4.0).abs() < 1e-12);
+        assert_eq!(RewardKind::WorstCase.aggregate(&edps), 8.0);
+        assert_eq!(RewardKind::default(), RewardKind::Geomean);
+    }
+
+    #[test]
+    fn worst_case_dominates_geomean() {
+        let edps = [1.0, 100.0];
+        assert!(RewardKind::WorstCase.aggregate(&edps) >= RewardKind::Geomean.aggregate(&edps));
+    }
+}

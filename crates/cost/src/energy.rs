@@ -1,0 +1,71 @@
+//! Per-access energy costs.
+
+use serde::{Deserialize, Serialize};
+
+/// Energy cost table in picojoules per access/operation.
+///
+/// Defaults follow the well-known Eyeriss normalized-energy ladder
+/// (MAC : RF : NoC : global buffer : DRAM = 1 : 1 : 2 : 6 : 200), anchored
+/// at 0.225 pJ per 8-bit MAC (45 nm-class estimates à la Horowitz,
+/// ISSCC'14). Absolute joules are *not* expected to match the authors'
+/// MAESTRO calibration — every experiment in the paper (and here) compares
+/// EDP ratios under a fixed table, so only the ladder matters.
+///
+/// ```
+/// use naas_cost::EnergyTable;
+/// let e = EnergyTable::default();
+/// assert!(e.dram_pj > 100.0 * e.mac_pj);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyTable {
+    /// One multiply-accumulate.
+    pub mac_pj: f64,
+    /// One byte read/written at a PE-private L1 scratch pad.
+    pub l1_pj: f64,
+    /// One byte delivered over the NoC (per delivery, incl. multicast
+    /// copies and reduction hops).
+    pub noc_pj: f64,
+    /// One byte read/written at the shared L2 scratch pad.
+    pub l2_pj: f64,
+    /// One byte read/written at DRAM.
+    pub dram_pj: f64,
+}
+
+impl EnergyTable {
+    /// The Eyeriss-ladder default, anchored at `mac_pj`.
+    pub fn eyeriss_ladder(mac_pj: f64) -> Self {
+        EnergyTable {
+            mac_pj,
+            l1_pj: mac_pj,
+            noc_pj: 2.0 * mac_pj,
+            l2_pj: 6.0 * mac_pj,
+            dram_pj: 200.0 * mac_pj,
+        }
+    }
+}
+
+impl Default for EnergyTable {
+    fn default() -> Self {
+        EnergyTable::eyeriss_ladder(0.225)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_ratios() {
+        let e = EnergyTable::default();
+        assert!((e.l2_pj / e.mac_pj - 6.0).abs() < 1e-12);
+        assert!((e.dram_pj / e.mac_pj - 200.0).abs() < 1e-12);
+        assert!((e.noc_pj / e.mac_pj - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn custom_anchor_scales_everything() {
+        let e = EnergyTable::eyeriss_ladder(1.0);
+        assert_eq!(e.dram_pj, 200.0);
+        assert_eq!(e.l1_pj, 1.0);
+    }
+}

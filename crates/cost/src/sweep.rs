@@ -1,0 +1,187 @@
+//! Sensitivity sweeps: how a design's cost moves as one resource knob
+//! scales — the designer-facing companion to the search loops.
+//!
+//! Each sweep re-evaluates a fixed `(layer, mapping)` pair across a range
+//! of one sizing knob, producing the series a roofline plot is made of.
+
+use crate::model::{CostModel, LayerCost};
+use naas_accel::{Accelerator, ArchitecturalSizing};
+use naas_ir::ConvSpec;
+use naas_mapping::Mapping;
+use serde::{Deserialize, Serialize};
+
+/// One sweep sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The swept knob's value.
+    pub value: f64,
+    /// Cost at that value (`None` if the working set no longer fits).
+    pub cost: Option<LayerCost>,
+}
+
+/// Sweeps NoC bandwidth multiplicatively over `factors` (e.g.
+/// `[0.25, 0.5, 1.0, 2.0, 4.0]`), holding everything else fixed.
+///
+/// ```
+/// use naas_accel::baselines;
+/// use naas_cost::{sweep, CostModel};
+/// use naas_ir::ConvSpec;
+/// use naas_mapping::Mapping;
+///
+/// let model = CostModel::new();
+/// let accel = baselines::eyeriss();
+/// let layer = ConvSpec::conv2d("c", 32, 64, (28, 28), (3, 3), 1, 1)?;
+/// let mapping = Mapping::balanced(&layer, &accel);
+/// let series = sweep::noc_bandwidth(&model, &layer, &accel, &mapping, &[0.5, 1.0, 2.0]);
+/// assert_eq!(series.len(), 3);
+/// # Ok::<(), naas_ir::ShapeError>(())
+/// ```
+pub fn noc_bandwidth(
+    model: &CostModel,
+    layer: &ConvSpec,
+    accel: &Accelerator,
+    mapping: &Mapping,
+    factors: &[f64],
+) -> Vec<SweepPoint> {
+    factors
+        .iter()
+        .map(|&f| {
+            let s = accel.sizing();
+            let sized = ArchitecturalSizing::new(
+                s.l1_bytes(),
+                s.l2_bytes(),
+                s.noc_bandwidth() * f,
+                s.dram_bandwidth(),
+            );
+            let variant = Accelerator::new(
+                format!("{}_noc{f}", accel.name()),
+                sized,
+                accel.connectivity().clone(),
+            );
+            SweepPoint {
+                value: s.noc_bandwidth() * f,
+                cost: model.evaluate(layer, &variant, mapping).ok(),
+            }
+        })
+        .collect()
+}
+
+/// Sweeps DRAM bandwidth multiplicatively over `factors`.
+pub fn dram_bandwidth(
+    model: &CostModel,
+    layer: &ConvSpec,
+    accel: &Accelerator,
+    mapping: &Mapping,
+    factors: &[f64],
+) -> Vec<SweepPoint> {
+    factors
+        .iter()
+        .map(|&f| {
+            let s = accel.sizing();
+            let sized = ArchitecturalSizing::new(
+                s.l1_bytes(),
+                s.l2_bytes(),
+                s.noc_bandwidth(),
+                s.dram_bandwidth() * f,
+            );
+            let variant = Accelerator::new(
+                format!("{}_dram{f}", accel.name()),
+                sized,
+                accel.connectivity().clone(),
+            );
+            SweepPoint {
+                value: s.dram_bandwidth() * f,
+                cost: model.evaluate(layer, &variant, mapping).ok(),
+            }
+        })
+        .collect()
+}
+
+/// Sweeps L1 capacity multiplicatively over `factors`. Points where the
+/// mapping's working set no longer fits come back with `cost: None` —
+/// the capacity wall made visible.
+pub fn l1_capacity(
+    model: &CostModel,
+    layer: &ConvSpec,
+    accel: &Accelerator,
+    mapping: &Mapping,
+    factors: &[f64],
+) -> Vec<SweepPoint> {
+    factors
+        .iter()
+        .map(|&f| {
+            let s = accel.sizing();
+            let l1 = ((s.l1_bytes() as f64 * f) as u64).max(16);
+            let sized = ArchitecturalSizing::new(
+                l1,
+                s.l2_bytes(),
+                s.noc_bandwidth(),
+                s.dram_bandwidth(),
+            );
+            let variant = Accelerator::new(
+                format!("{}_l1x{f}", accel.name()),
+                sized,
+                accel.connectivity().clone(),
+            );
+            SweepPoint {
+                value: l1 as f64,
+                cost: model.evaluate(layer, &variant, mapping).ok(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naas_accel::baselines;
+
+    fn setup() -> (CostModel, ConvSpec, Accelerator, Mapping) {
+        let model = CostModel::new();
+        let accel = baselines::eyeriss();
+        let layer = ConvSpec::conv2d("c", 64, 128, (28, 28), (3, 3), 1, 1).unwrap();
+        let mapping = Mapping::balanced(&layer, &accel);
+        (model, layer, accel, mapping)
+    }
+
+    #[test]
+    fn more_noc_bandwidth_never_hurts() {
+        let (model, layer, accel, mapping) = setup();
+        let series = noc_bandwidth(&model, &layer, &accel, &mapping, &[0.25, 0.5, 1.0, 2.0, 4.0]);
+        let cycles: Vec<u64> = series
+            .iter()
+            .map(|p| p.cost.expect("bandwidth change never invalidates").cycles)
+            .collect();
+        for w in cycles.windows(2) {
+            assert!(w[1] <= w[0], "latency must be non-increasing: {cycles:?}");
+        }
+    }
+
+    #[test]
+    fn bandwidth_saturates_at_compute_bound() {
+        let (model, layer, accel, mapping) = setup();
+        let series = dram_bandwidth(&model, &layer, &accel, &mapping, &[1.0, 64.0, 256.0]);
+        let last = series.last().unwrap().cost.unwrap();
+        // With absurd bandwidth, compute is the binding roofline.
+        assert!(last.dram_cycles <= last.compute_cycles as f64);
+    }
+
+    #[test]
+    fn shrinking_l1_hits_capacity_wall() {
+        let (model, layer, accel, mapping) = setup();
+        let series = l1_capacity(&model, &layer, &accel, &mapping, &[1.0, 0.25, 0.03]);
+        assert!(series[0].cost.is_some(), "nominal L1 fits");
+        assert!(
+            series.last().unwrap().cost.is_none(),
+            "3% of L1 must not fit the working set"
+        );
+    }
+
+    #[test]
+    fn energy_is_bandwidth_invariant() {
+        let (model, layer, accel, mapping) = setup();
+        let series = noc_bandwidth(&model, &layer, &accel, &mapping, &[0.5, 2.0]);
+        let e: Vec<f64> = series.iter().map(|p| p.cost.unwrap().energy_pj).collect();
+        assert!((e[0] - e[1]).abs() < 1e-6 * e[0]);
+    }
+}

@@ -1,0 +1,142 @@
+//! The three operand tensors of a convolution and their dimension
+//! relevance — the foundation of all reuse analysis.
+
+use naas_ir::{ConvSpec, Dim, DimVec};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the three operand tensors of a convolution layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Tensor {
+    /// Filter weights, shape `K × C/g × R × S`.
+    Weights,
+    /// Input activations, shape `C × Yin × Xin` (halo-indexed by `Y'`,
+    /// `X'`, `R`, `S`).
+    Inputs,
+    /// Output activations / partial sums, shape `K × Y' × X'`.
+    Outputs,
+}
+
+/// All three tensors, in canonical order.
+pub const TENSORS: [Tensor; 3] = [Tensor::Weights, Tensor::Inputs, Tensor::Outputs];
+
+impl Tensor {
+    /// Whether iterating `dim` selects *different* data of this tensor.
+    ///
+    /// Irrelevant dimensions are reuse opportunities: iterating them keeps
+    /// the same tensor tile live. Two subtleties:
+    ///
+    /// * `R`/`S` are relevant to **inputs** through the sliding-window
+    ///   halo (different kernel rows read different input rows);
+    /// * `K` becomes relevant to **inputs** for grouped/depthwise layers,
+    ///   because each output-channel group consumes its own input
+    ///   channels ([`ConvSpec::input_depends_on_k`]).
+    pub fn is_relevant(self, dim: Dim, layer: &ConvSpec) -> bool {
+        match self {
+            Tensor::Weights => matches!(dim, Dim::K | Dim::C | Dim::R | Dim::S),
+            Tensor::Inputs => match dim {
+                Dim::C | Dim::Y | Dim::X | Dim::R | Dim::S => true,
+                Dim::K => layer.input_depends_on_k(),
+            },
+            Tensor::Outputs => matches!(dim, Dim::K | Dim::Y | Dim::X),
+        }
+    }
+
+    /// Number of elements of this tensor inside a tile with the given
+    /// per-dimension extents (inputs account for the stride/kernel halo).
+    pub fn tile_elems(self, layer: &ConvSpec, tile: &DimVec<u64>) -> u64 {
+        match self {
+            Tensor::Weights => tile[Dim::K] * tile[Dim::C] * tile[Dim::R] * tile[Dim::S],
+            Tensor::Inputs => {
+                let iy = layer.input_halo(tile[Dim::Y], tile[Dim::R]);
+                let ix = layer.input_halo(tile[Dim::X], tile[Dim::S]);
+                tile[Dim::C] * iy * ix
+            }
+            Tensor::Outputs => tile[Dim::K] * tile[Dim::Y] * tile[Dim::X],
+        }
+    }
+
+    /// Total elements of this tensor for the whole layer.
+    pub fn total_elems(self, layer: &ConvSpec) -> u64 {
+        match self {
+            Tensor::Weights => layer.weight_elems(),
+            Tensor::Inputs => layer.input_elems() / layer.batch(),
+            Tensor::Outputs => layer.output_elems() / layer.batch(),
+        }
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Tensor::Weights => "weights",
+            Tensor::Inputs => "inputs",
+            Tensor::Outputs => "outputs",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn std_layer() -> ConvSpec {
+        ConvSpec::conv2d("c", 64, 128, (56, 56), (3, 3), 1, 1).unwrap()
+    }
+
+    #[test]
+    fn weight_relevance() {
+        let l = std_layer();
+        assert!(Tensor::Weights.is_relevant(Dim::K, &l));
+        assert!(Tensor::Weights.is_relevant(Dim::C, &l));
+        assert!(!Tensor::Weights.is_relevant(Dim::Y, &l));
+        assert!(!Tensor::Weights.is_relevant(Dim::X, &l));
+    }
+
+    #[test]
+    fn input_relevance_standard_vs_depthwise() {
+        let std = std_layer();
+        assert!(!Tensor::Inputs.is_relevant(Dim::K, &std));
+        let dw = ConvSpec::depthwise("dw", 32, (56, 56), (3, 3), 1, 1).unwrap();
+        assert!(Tensor::Inputs.is_relevant(Dim::K, &dw));
+    }
+
+    #[test]
+    fn output_relevance_excludes_reductions() {
+        let l = std_layer();
+        for d in [Dim::C, Dim::R, Dim::S] {
+            assert!(!Tensor::Outputs.is_relevant(d, &l));
+        }
+        for d in [Dim::K, Dim::Y, Dim::X] {
+            assert!(Tensor::Outputs.is_relevant(d, &l));
+        }
+    }
+
+    #[test]
+    fn tile_elems_input_halo() {
+        let l = std_layer();
+        let tile = DimVec([16, 8, 4, 4, 3, 3]);
+        // Inputs: 8 channels × ((4-1)*1+3)^2 = 8 * 36.
+        assert_eq!(Tensor::Inputs.tile_elems(&l, &tile), 8 * 36);
+        assert_eq!(Tensor::Weights.tile_elems(&l, &tile), 16 * 8 * 9);
+        assert_eq!(Tensor::Outputs.tile_elems(&l, &tile), 16 * 16);
+    }
+
+    #[test]
+    fn full_tile_covers_total() {
+        let l = std_layer();
+        let full = l.extents();
+        for t in TENSORS {
+            assert!(
+                t.tile_elems(&l, &full) >= t.total_elems(&l),
+                "{t} full tile must cover the tensor"
+            );
+        }
+        // Weights exactly.
+        assert_eq!(
+            Tensor::Weights.tile_elems(&l, &full),
+            Tensor::Weights.total_elems(&l)
+        );
+    }
+}

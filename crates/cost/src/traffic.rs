@@ -1,0 +1,354 @@
+//! Per-level, per-tensor traffic analysis.
+//!
+//! Three boundaries are modeled, mirroring the storage hierarchy of every
+//! design in the search space (Fig. 2 of the paper):
+//!
+//! * **DRAM ↔ L2** — temporal reuse governed by the outermost array
+//!   level's loop order/tiling;
+//! * **L2 ↔ L1 (NoC)** — temporal reuse governed by the inner array
+//!   levels, spatial reuse governed by the parallel dimensions:
+//!   a spatial axis whose parallel dim is *irrelevant* to a tensor
+//!   multicasts one copy to all its clusters (unique traffic ×1,
+//!   deliveries ×s); a *relevant* axis distributes distinct slices
+//!   (unique ×s); a *reduction* axis collapses partial sums back to one
+//!   result crossing to L2;
+//! * **L1 ↔ MAC** — register-level reuse governed by the PE loop order
+//!   (the innermost spinning loop pins one operand in a register).
+
+use crate::reuse::{distinct_tiles, fetch_multiplier, level_loops, Loop};
+use crate::tensor::{Tensor, TENSORS};
+use crate::widths::DataWidths;
+use naas_accel::Connectivity;
+use naas_ir::{ConvSpec, Dim, DimVec};
+use naas_mapping::Mapping;
+use serde::{Deserialize, Serialize};
+
+/// Traffic of one tensor through the hierarchy, in bytes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TensorTraffic {
+    /// Bytes moved between DRAM and L2 (reads for W/I; writes + RMW
+    /// re-reads for outputs).
+    pub dram_bytes: f64,
+    /// Unique bytes crossing the L2 ↔ array boundary (what the NoC
+    /// bandwidth must carry; multicast counted once).
+    pub l2_bytes: f64,
+    /// Total NoC deliveries (per-PE copies; multicast counted per
+    /// receiver) — the NoC energy driver.
+    pub noc_bytes: f64,
+    /// Bytes accessed at the L1 scratch pads (reads + writes, including
+    /// fills from the NoC).
+    pub l1_bytes: f64,
+}
+
+/// Complete traffic breakdown of one layer under one mapping.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrafficBreakdown {
+    /// Per-tensor traffic, indexed `[Weights, Inputs, Outputs]`.
+    pub per_tensor: [TensorTraffic; 3],
+}
+
+impl TrafficBreakdown {
+    /// Traffic of the given tensor.
+    pub fn tensor(&self, t: Tensor) -> &TensorTraffic {
+        match t {
+            Tensor::Weights => &self.per_tensor[0],
+            Tensor::Inputs => &self.per_tensor[1],
+            Tensor::Outputs => &self.per_tensor[2],
+        }
+    }
+
+    /// Total DRAM bytes over all tensors.
+    pub fn dram_total(&self) -> f64 {
+        self.per_tensor.iter().map(|t| t.dram_bytes).sum()
+    }
+
+    /// Total unique L2-boundary bytes over all tensors.
+    pub fn l2_total(&self) -> f64 {
+        self.per_tensor.iter().map(|t| t.l2_bytes).sum()
+    }
+
+    /// Total NoC delivery bytes over all tensors.
+    pub fn noc_total(&self) -> f64 {
+        self.per_tensor.iter().map(|t| t.noc_bytes).sum()
+    }
+
+    /// Total L1 access bytes over all tensors.
+    pub fn l1_total(&self) -> f64 {
+        self.per_tensor.iter().map(|t| t.l1_bytes).sum()
+    }
+}
+
+/// Computes the full traffic breakdown for `(layer, connectivity,
+/// mapping)`. Caller guarantees the mapping is structurally valid for the
+/// connectivity (same number of levels).
+pub fn analyze(
+    layer: &ConvSpec,
+    conn: &Connectivity,
+    mapping: &Mapping,
+    widths: &DataWidths,
+) -> TrafficBreakdown {
+    let batch = layer.batch() as f64;
+    let tiles = mapping.tiles_per_level(layer, conn);
+    let l2_tile = tiles[0];
+    let pe_tile = mapping.pe_tile(layer, conn);
+
+    // Outer (DRAM-level) loops: array level 0.
+    let outer_loops = level_loops(&mapping.levels()[0].order, &mapping.levels()[0].trips);
+    // Inner (L2-level) loops: array levels 1..k concatenated outer→inner.
+    let mut inner_loops: Vec<Loop> = Vec::new();
+    for spec in &mapping.levels()[1..] {
+        inner_loops.extend(level_loops(&spec.order, &spec.trips));
+    }
+    let n_l2_tiles: f64 = outer_loops.iter().map(|l| l.trips as f64).product();
+
+    let mut out = TrafficBreakdown::default();
+    for (slot, tensor) in TENSORS.into_iter().enumerate() {
+        let rel = |d: Dim| tensor.is_relevant(d, layer);
+        let bytes = widths.bytes(tensor) as f64;
+
+        // ---- DRAM <-> L2 ----
+        let l2_tile_elems = tensor.tile_elems(layer, &l2_tile) as f64;
+        let fetches = l2_tile_elems * fetch_multiplier(&outer_loops, rel) as f64;
+        let dram_bytes = if tensor == Tensor::Outputs {
+            let distinct = l2_tile_elems * distinct_tiles(&outer_loops, rel) as f64;
+            // Every fetch event is a write; revisits additionally re-read.
+            (fetches + (fetches - distinct)) * bytes
+        } else {
+            fetches * bytes
+        };
+
+        // ---- L2 <-> L1 over the NoC ----
+        let pe_tile_elems = tensor.tile_elems(layer, &pe_tile) as f64;
+        let per_pe_fetches = pe_tile_elems * fetch_multiplier(&inner_loops, rel) as f64;
+        let mut unique_mult = 1.0;
+        let mut delivery_mult = 1.0;
+        for (l, &p) in conn.parallel_dims().iter().enumerate() {
+            let s = conn.sizes()[l] as f64;
+            delivery_mult *= s;
+            if rel(p) {
+                unique_mult *= s;
+            }
+        }
+        let unique_per_l2_tile = per_pe_fetches * unique_mult;
+        let (l2_bytes, noc_bytes) = if tensor == Tensor::Outputs {
+            // Partial-sum revisits are read-modify-write: the re-read
+            // crosses both the L2 port and the NoC (L2 → PE), on top of
+            // the write (PE → L2).
+            let distinct_unique =
+                pe_tile_elems * distinct_tiles(&inner_loops, rel) as f64 * unique_mult;
+            let rmw_unique = unique_per_l2_tile - distinct_unique;
+            let distinct_deliveries =
+                pe_tile_elems * distinct_tiles(&inner_loops, rel) as f64 * delivery_mult;
+            let rmw_deliveries = per_pe_fetches * delivery_mult - distinct_deliveries;
+            (
+                (unique_per_l2_tile + rmw_unique) * n_l2_tiles * bytes,
+                (per_pe_fetches * delivery_mult + rmw_deliveries) * n_l2_tiles * bytes,
+            )
+        } else {
+            (
+                unique_per_l2_tile * n_l2_tiles * bytes,
+                per_pe_fetches * delivery_mult * n_l2_tiles * bytes,
+            )
+        };
+
+        // Physical consistency floors: every byte fetched into L2 from
+        // DRAM is consumed at least once across the L2 boundary, and
+        // every unique L2 byte is delivered to at least one PE. (The two
+        // levels' sticky-tile analyses are independent, so without the
+        // floors an outer-loop refetch pattern could claim more DRAM
+        // traffic than L2 traffic.)
+        let l2_bytes = l2_bytes.max(dram_bytes);
+        let noc_bytes = noc_bytes.max(l2_bytes);
+        out.per_tensor[slot] = TensorTraffic {
+            dram_bytes: dram_bytes * batch,
+            l2_bytes: l2_bytes * batch,
+            noc_bytes: noc_bytes * batch,
+            l1_bytes: 0.0, // filled below
+        };
+    }
+
+    // ---- L1 <-> MAC (register reuse from the PE loop order) ----
+    let macs = layer.macs() as f64;
+    let spin = innermost_spinning(mapping.pe_order(), &pe_tile);
+    for (slot, tensor) in TENSORS.into_iter().enumerate() {
+        let rel = |d: Dim| tensor.is_relevant(d, layer);
+        let bytes = widths.bytes(tensor) as f64;
+        let reuse = match spin {
+            Some((dim, extent)) if !rel(dim) => extent as f64,
+            _ => 1.0,
+        };
+        let accesses = match tensor {
+            // Weights/inputs: one read per MAC, amortized by register reuse.
+            Tensor::Weights | Tensor::Inputs => macs / reuse,
+            // Partial sums: read + write per MAC, amortized when the
+            // innermost loop is a reduction (accumulator register).
+            Tensor::Outputs => 2.0 * macs / reuse,
+        };
+        // Fills from the NoC also hit L1 once per delivered byte.
+        let fills = out.per_tensor[slot].noc_bytes;
+        out.per_tensor[slot].l1_bytes = accesses * bytes + fills;
+    }
+
+    out
+}
+
+/// The innermost PE-level loop that actually iterates (extent > 1),
+/// with its extent.
+fn innermost_spinning(pe_order: &[Dim; 6], pe_tile: &DimVec<u64>) -> Option<(Dim, u64)> {
+    pe_order
+        .iter()
+        .rev()
+        .find(|&&d| pe_tile[d] > 1)
+        .map(|&d| (d, pe_tile[d]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naas_accel::baselines;
+    use naas_mapping::{LevelSpec, Mapping};
+    use naas_ir::DIMS;
+
+    fn layer() -> ConvSpec {
+        ConvSpec::conv2d("c", 64, 128, (28, 28), (3, 3), 1, 1).unwrap()
+    }
+
+    fn unit_mapping(levels: usize) -> Mapping {
+        Mapping::new(vec![LevelSpec::unit(); levels], DIMS)
+    }
+
+    #[test]
+    fn dram_traffic_at_least_tensor_size() {
+        let l = layer();
+        let accel = baselines::nvdla(256);
+        let m = Mapping::balanced(&l, &accel);
+        let t = analyze(&l, accel.connectivity(), &m, &DataWidths::INT8);
+        assert!(t.tensor(Tensor::Weights).dram_bytes >= l.weight_elems() as f64);
+        assert!(t.tensor(Tensor::Inputs).dram_bytes >= l.input_elems() as f64);
+        assert!(t.tensor(Tensor::Outputs).dram_bytes >= 4.0 * l.output_elems() as f64);
+    }
+
+    #[test]
+    fn untiled_mapping_reads_each_tensor_once() {
+        let l = layer();
+        let accel = baselines::nvdla(256);
+        let m = unit_mapping(2);
+        let t = analyze(&l, accel.connectivity(), &m, &DataWidths::INT8);
+        // No temporal loops at level 0 → single fetch of each tile.
+        assert_eq!(
+            t.tensor(Tensor::Weights).dram_bytes,
+            l.weight_elems() as f64
+        );
+        // Outputs written once, no RMW.
+        assert_eq!(
+            t.tensor(Tensor::Outputs).dram_bytes,
+            4.0 * l.output_elems() as f64
+        );
+    }
+
+    #[test]
+    fn multicast_reduces_unique_but_not_deliveries() {
+        let l = layer();
+        // NVDLA: C,K parallel. Weights relevant to both → unique × 256.
+        // Inputs irrelevant to K → K axis multicasts: unique ×16 only.
+        let accel = baselines::nvdla(256);
+        let m = unit_mapping(2);
+        let t = analyze(&l, accel.connectivity(), &m, &DataWidths::INT8);
+        let w = t.tensor(Tensor::Weights);
+        let i = t.tensor(Tensor::Inputs);
+        assert!(w.l2_bytes >= w.noc_bytes * 0.99); // fully distributed
+        assert!(i.noc_bytes > i.l2_bytes * 10.0); // heavy multicast
+    }
+
+    #[test]
+    fn reduction_axis_collapses_output_writes() {
+        let l = layer();
+        let accel = baselines::nvdla(256); // C axis reduces psums
+        let m = unit_mapping(2);
+        let t = analyze(&l, accel.connectivity(), &m, &DataWidths::INT8);
+        let o = t.tensor(Tensor::Outputs);
+        // Unique output bytes = K-axis spread only (16), not 256 PEs.
+        assert!(o.l2_bytes < o.noc_bytes);
+    }
+
+    #[test]
+    fn loop_order_changes_dram_traffic() {
+        let l = layer();
+        let accel = baselines::nvdla(256);
+        // Tile K and Y at level 0; weight traffic depends on whether the
+        // (weight-irrelevant) Y loop is outside or inside the K loop.
+        let mut weights_hot = LevelSpec::unit();
+        weights_hot.trips[Dim::K] = 8;
+        weights_hot.trips[Dim::Y] = 7;
+        weights_hot.order = [Dim::K, Dim::Y, Dim::C, Dim::X, Dim::R, Dim::S];
+        let mut weights_cold = weights_hot.clone();
+        weights_cold.order = [Dim::Y, Dim::K, Dim::C, Dim::X, Dim::R, Dim::S];
+
+        let hot = analyze(
+            &l,
+            accel.connectivity(),
+            &Mapping::new(vec![weights_hot, LevelSpec::unit()], DIMS),
+            &DataWidths::INT8,
+        );
+        let cold = analyze(
+            &l,
+            accel.connectivity(),
+            &Mapping::new(vec![weights_cold, LevelSpec::unit()], DIMS),
+            &DataWidths::INT8,
+        );
+        let w_hot = hot.tensor(Tensor::Weights).dram_bytes;
+        let w_cold = cold.tensor(Tensor::Weights).dram_bytes;
+        assert!(
+            w_cold > w_hot * 6.0,
+            "outer Y loop must refetch weights: hot={w_hot} cold={w_cold}"
+        );
+    }
+
+    #[test]
+    fn pe_register_reuse_follows_innermost_loop() {
+        let l = layer();
+        let accel = baselines::nvdla(256);
+        // PE order ending in C (reduction, extent > 1 after the split):
+        // psums accumulate in a register.
+        let mut m = unit_mapping(2);
+        let t_c_inner = analyze(&l, accel.connectivity(), &m, &DataWidths::INT8);
+        // Now make K the innermost spinning dim: psums hit L1 every MAC.
+        m = Mapping::new(
+            vec![LevelSpec::unit(), LevelSpec::unit()],
+            [Dim::C, Dim::Y, Dim::X, Dim::R, Dim::S, Dim::K],
+        );
+        let t_k_inner = analyze(&l, accel.connectivity(), &m, &DataWidths::INT8);
+        assert!(
+            t_k_inner.tensor(Tensor::Outputs).l1_bytes
+                > t_c_inner.tensor(Tensor::Outputs).l1_bytes
+        );
+    }
+
+    #[test]
+    fn depthwise_k_axis_does_not_multicast_inputs() {
+        let dw = ConvSpec::depthwise("dw", 64, (28, 28), (3, 3), 1, 1).unwrap();
+        let std = layer();
+        let accel = baselines::nvdla(256);
+        let m = unit_mapping(2);
+        let t_dw = analyze(&dw, accel.connectivity(), &m, &DataWidths::INT8);
+        let t_std = analyze(&std, accel.connectivity(), &m, &DataWidths::INT8);
+        // For depthwise, inputs are relevant to K → unique input traffic
+        // scales with the K axis too (ratio of noc to l2 smaller).
+        let r_dw = t_dw.tensor(Tensor::Inputs).noc_bytes / t_dw.tensor(Tensor::Inputs).l2_bytes;
+        let r_std =
+            t_std.tensor(Tensor::Inputs).noc_bytes / t_std.tensor(Tensor::Inputs).l2_bytes;
+        assert!(r_dw < r_std);
+    }
+
+    #[test]
+    fn totals_are_sums_of_tensors() {
+        let l = layer();
+        let accel = baselines::eyeriss();
+        let m = Mapping::balanced(&l, &accel);
+        let t = analyze(&l, accel.connectivity(), &m, &DataWidths::INT8);
+        let manual: f64 = TENSORS.iter().map(|&x| t.tensor(x).dram_bytes).sum();
+        assert_eq!(t.dram_total(), manual);
+        assert!(t.l1_total() > 0.0);
+        assert!(t.noc_total() >= t.l2_total());
+    }
+}

@@ -1,0 +1,69 @@
+//! Operand data widths used to convert element counts into bytes.
+
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Bytes per element for each operand class.
+///
+/// Defaults model 8-bit integer inference (the regime of EdgeTPU/NVDLA
+/// deployments the paper targets) with 32-bit partial-sum accumulators —
+/// the width that actually travels on psum forwarding/reduction links.
+///
+/// ```
+/// use naas_cost::{DataWidths, Tensor};
+/// let w = DataWidths::default();
+/// assert_eq!(w.bytes(Tensor::Weights), 1);
+/// assert_eq!(w.bytes(Tensor::Outputs), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DataWidths {
+    /// Bytes per weight element.
+    pub weight_bytes: u64,
+    /// Bytes per input-activation element.
+    pub input_bytes: u64,
+    /// Bytes per partial-sum/output element.
+    pub psum_bytes: u64,
+}
+
+impl DataWidths {
+    /// 8-bit weights/activations with 32-bit accumulators.
+    pub const INT8: DataWidths = DataWidths {
+        weight_bytes: 1,
+        input_bytes: 1,
+        psum_bytes: 4,
+    };
+
+    /// 16-bit weights/activations with 32-bit accumulators (Eyeriss-era).
+    pub const INT16: DataWidths = DataWidths {
+        weight_bytes: 2,
+        input_bytes: 2,
+        psum_bytes: 4,
+    };
+
+    /// Bytes per element of the given tensor.
+    pub fn bytes(&self, tensor: Tensor) -> u64 {
+        match tensor {
+            Tensor::Weights => self.weight_bytes,
+            Tensor::Inputs => self.input_bytes,
+            Tensor::Outputs => self.psum_bytes,
+        }
+    }
+}
+
+impl Default for DataWidths {
+    fn default() -> Self {
+        DataWidths::INT8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        assert_eq!(DataWidths::INT8.bytes(Tensor::Inputs), 1);
+        assert_eq!(DataWidths::INT16.bytes(Tensor::Weights), 2);
+        assert_eq!(DataWidths::default(), DataWidths::INT8);
+    }
+}

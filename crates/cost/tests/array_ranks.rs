@@ -1,0 +1,94 @@
+//! Explicit coverage of 1D and 3D PE arrays through the whole cost path
+//! — the connectivity freedom NAAS adds over sizing-only frameworks
+//! (§II-A: "search among 1D, 2D and 3D array as well").
+
+use naas_accel::{Accelerator, ArchitecturalSizing, Connectivity};
+use naas_cost::{CostModel, Tensor};
+use naas_ir::{ConvSpec, Dim};
+use naas_mapping::Mapping;
+
+fn layer() -> ConvSpec {
+    ConvSpec::conv2d("c", 64, 128, (28, 28), (3, 3), 1, 1).unwrap()
+}
+
+fn design(conn: Connectivity) -> Accelerator {
+    Accelerator::new(
+        format!("rank{}", conn.ndim()),
+        ArchitecturalSizing::new(512, 256 * 1024, 32.0, 8.0),
+        conn,
+    )
+}
+
+#[test]
+fn one_dimensional_array_evaluates() {
+    let accel = design(Connectivity::linear(64, Dim::K).unwrap());
+    let l = layer();
+    let m = Mapping::balanced(&l, &accel);
+    assert_eq!(m.levels().len(), 1);
+    let cost = CostModel::new().evaluate(&l, &accel, &m).expect("1D maps");
+    assert!(cost.cycles > 0);
+    // K-parallel vector: inputs are broadcast → heavy NoC vs unique L2.
+    let i = cost.traffic.tensor(Tensor::Inputs);
+    assert!(i.noc_bytes > 10.0 * i.l2_bytes);
+}
+
+#[test]
+fn three_dimensional_array_evaluates() {
+    let accel = design(Connectivity::new(vec![4, 4, 8], vec![Dim::C, Dim::K, Dim::X]).unwrap());
+    let l = layer();
+    let m = Mapping::balanced(&l, &accel);
+    assert_eq!(m.levels().len(), 3);
+    let cost = CostModel::new().evaluate(&l, &accel, &m).expect("3D maps");
+    assert!(cost.utilization > 0.0 && cost.utilization <= 1.0);
+    // The C axis reduces partial sums: unique output traffic divides by 4.
+    let o = cost.traffic.tensor(Tensor::Outputs);
+    assert!(o.noc_bytes > o.l2_bytes);
+}
+
+#[test]
+fn rank_changes_cost_at_equal_pe_count() {
+    // 64 PEs arranged three ways — the cost model must distinguish them,
+    // otherwise connectivity search would be pointless.
+    let l = layer();
+    let model = CostModel::new();
+    let mut edps = Vec::new();
+    for conn in [
+        Connectivity::linear(64, Dim::K).unwrap(),
+        Connectivity::grid(8, 8, Dim::C, Dim::K).unwrap(),
+        Connectivity::new(vec![4, 4, 4], vec![Dim::C, Dim::K, Dim::Y]).unwrap(),
+    ] {
+        let accel = design(conn);
+        let m = Mapping::balanced(&l, &accel);
+        edps.push(model.evaluate(&l, &accel, &m).expect("maps").edp());
+    }
+    let min = edps.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = edps.iter().cloned().fold(0.0_f64, f64::max);
+    assert!(
+        max / min > 1.05,
+        "array rank must matter at equal #PEs: {edps:?}"
+    );
+}
+
+#[test]
+fn reduction_vs_broadcast_axes_change_output_traffic() {
+    let l = layer();
+    let model = CostModel::new();
+    // All-reduction grid (C,R) vs no-reduction grid (Y,X).
+    let reducing = design(Connectivity::grid(8, 8, Dim::C, Dim::R).unwrap());
+    let spatial = design(Connectivity::grid(8, 8, Dim::Y, Dim::X).unwrap());
+    let mr = Mapping::balanced(&l, &reducing);
+    let ms = Mapping::balanced(&l, &spatial);
+    let cr = model.evaluate(&l, &reducing, &mr).expect("maps");
+    let cs = model.evaluate(&l, &spatial, &ms).expect("maps");
+    // With both axes reducing, 64 partials collapse to 1 before L2: the
+    // unique-to-delivery ratio for outputs must be far smaller than in
+    // the all-spatial case.
+    let ratio_r = cr.traffic.tensor(Tensor::Outputs).l2_bytes
+        / cr.traffic.tensor(Tensor::Outputs).noc_bytes;
+    let ratio_s = cs.traffic.tensor(Tensor::Outputs).l2_bytes
+        / cs.traffic.tensor(Tensor::Outputs).noc_bytes;
+    assert!(
+        ratio_r < ratio_s,
+        "reduction axes must collapse psum traffic: {ratio_r} vs {ratio_s}"
+    );
+}

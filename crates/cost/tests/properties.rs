@@ -1,0 +1,140 @@
+//! Property-based tests of the cost model's physical invariants.
+
+use naas_accel::baselines;
+use naas_cost::reuse::{distinct_tiles, fetch_multiplier, Loop};
+use naas_cost::{capacity, CostModel, DataWidths, Tensor};
+use naas_ir::{ConvSpec, Dim, DimVec};
+use naas_mapping::Mapping;
+use proptest::prelude::*;
+
+fn arb_layer() -> impl Strategy<Value = ConvSpec> {
+    (
+        1u64..=256,
+        1u64..=256,
+        6u64..=96,
+        prop_oneof![Just(1u64), Just(3), Just(5)],
+        1u64..=2,
+    )
+        .prop_filter_map("valid shapes", |(c, k, hw, ks, s)| {
+            ConvSpec::conv2d("prop", c, k, (hw, hw), (ks, ks), s, ks / 2).ok()
+        })
+}
+
+fn arb_loops() -> impl Strategy<Value = Vec<Loop>> {
+    proptest::collection::vec(
+        (0usize..6, 2u64..=16).prop_map(|(d, trips)| Loop {
+            dim: Dim::from_index(d).expect("d < 6"),
+            trips,
+        }),
+        0..=6,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Fetch multipliers are sandwiched between distinct-tile count and
+    /// total trip product, for any relevance predicate.
+    #[test]
+    fn fetch_multiplier_bounds(loops in arb_loops(), mask in 0u8..64) {
+        let rel = |d: Dim| mask & (1 << d.index()) != 0;
+        let total: u64 = loops.iter().map(|l| l.trips).product();
+        let m = fetch_multiplier(&loops, rel);
+        let distinct = distinct_tiles(&loops, rel);
+        prop_assert!(m >= 1);
+        prop_assert!(m <= total);
+        prop_assert!(m >= distinct);
+    }
+
+    /// Moving an irrelevant loop from outermost to innermost never
+    /// increases the fetch multiplier.
+    #[test]
+    fn inward_irrelevant_moves_help(loops in arb_loops(), mask in 0u8..64) {
+        let rel = |d: Dim| mask & (1 << d.index()) != 0;
+        if let Some(pos) = loops.iter().position(|l| !rel(l.dim)) {
+            let mut moved = loops.clone();
+            let l = moved.remove(pos);
+            moved.push(l);
+            prop_assert!(
+                fetch_multiplier(&moved, rel) <= fetch_multiplier(&loops, rel)
+            );
+        }
+    }
+
+    /// Valid evaluations respect: compute floor, tensor-size floors on
+    /// DRAM traffic, MAC-energy floor, utilization in (0, 1].
+    #[test]
+    fn physical_floors(layer in arb_layer()) {
+        let model = CostModel::new();
+        for accel in baselines::all() {
+            let mapping = Mapping::balanced(&layer, &accel);
+            let Ok(cost) = model.evaluate(&layer, &accel, &mapping) else { continue };
+            prop_assert!(cost.cycles as u128 >= (layer.macs() / accel.pe_count()) as u128);
+            prop_assert!(cost.utilization > 0.0 && cost.utilization <= 1.0 + 1e-9);
+            let w = cost.traffic.tensor(Tensor::Weights);
+            prop_assert!(w.dram_bytes >= layer.weight_elems() as f64);
+            let o = cost.traffic.tensor(Tensor::Outputs);
+            prop_assert!(o.dram_bytes >= 4.0 * layer.output_elems() as f64);
+            // Deliveries dominate unique traffic (multicast only adds copies).
+            prop_assert!(cost.traffic.noc_total() >= cost.traffic.l2_total() * 0.999);
+        }
+    }
+
+    /// Wider operands scale tile footprints monotonically.
+    #[test]
+    fn capacity_monotone_in_widths(layer in arb_layer(), tile_scale in 1u64..=8) {
+        let tile = DimVec([
+            layer.extent(Dim::K).div_ceil(tile_scale).max(1),
+            layer.extent(Dim::C).div_ceil(tile_scale).max(1),
+            layer.extent(Dim::Y).div_ceil(tile_scale).max(1),
+            layer.extent(Dim::X).div_ceil(tile_scale).max(1),
+            layer.extent(Dim::R),
+            layer.extent(Dim::S),
+        ]);
+        let int8 = capacity::tile_bytes(&layer, &tile, &DataWidths::INT8);
+        let int16 = capacity::tile_bytes(&layer, &tile, &DataWidths::INT16);
+        prop_assert!(int16 >= int8);
+    }
+
+    /// Energy scales with the anchor of the Eyeriss ladder.
+    #[test]
+    fn energy_scales_with_anchor(layer in arb_layer()) {
+        use naas_cost::EnergyTable;
+        let base = CostModel::new();
+        let double =
+            CostModel::new().with_energy(EnergyTable::eyeriss_ladder(2.0 * 0.225));
+        let accel = baselines::eyeriss();
+        let mapping = Mapping::balanced(&layer, &accel);
+        if let (Ok(a), Ok(b)) = (
+            base.evaluate(&layer, &accel, &mapping),
+            double.evaluate(&layer, &accel, &mapping),
+        ) {
+            let ratio = b.energy_pj / a.energy_pj;
+            prop_assert!((ratio - 2.0).abs() < 1e-9, "ratio {ratio}");
+            // Latency is energy-independent.
+            prop_assert_eq!(a.cycles, b.cycles);
+        }
+    }
+
+    /// A mapping that is capacity-valid stays valid on a design with
+    /// strictly larger buffers.
+    #[test]
+    fn capacity_monotone_in_buffers(layer in arb_layer()) {
+        use naas_accel::{Accelerator, ArchitecturalSizing, Connectivity};
+        let small = Accelerator::new(
+            "small",
+            ArchitecturalSizing::new(256, 64 * 1024, 16.0, 4.0),
+            Connectivity::grid(8, 8, Dim::K, Dim::C).expect("static"),
+        );
+        let big = Accelerator::new(
+            "big",
+            ArchitecturalSizing::new(1024, 512 * 1024, 16.0, 4.0),
+            Connectivity::grid(8, 8, Dim::K, Dim::C).expect("static"),
+        );
+        let model = CostModel::new();
+        let mapping = Mapping::balanced(&layer, &small);
+        if model.evaluate(&layer, &small, &mapping).is_ok() {
+            prop_assert!(model.evaluate(&layer, &big, &mapping).is_ok());
+        }
+    }
+}

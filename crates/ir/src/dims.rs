@@ -1,0 +1,260 @@
+//! The six mapped convolution loop dimensions and dense per-dimension maps.
+//!
+//! NAAS encodes both PE-array parallelism and loop orders as *orderings of
+//! these six dimensions* (paper §II-A/II-B, Fig. 2-3). Batch `N` is not a
+//! mapped dimension: the paper evaluates batch = 1 and folds any larger
+//! batch into the outermost temporal loop.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A mapped convolution loop dimension.
+///
+/// `Y` and `X` denote the *output* feature-map rows/columns (the paper's
+/// `Y'`/`X'`); the input feature-map extent is derived from the output
+/// extent, stride and kernel size (the "halo").
+///
+/// ```
+/// use naas_ir::Dim;
+/// assert_eq!(Dim::K.index(), 0);
+/// assert_eq!(Dim::from_index(5), Some(Dim::S));
+/// assert_eq!(Dim::C.to_string(), "C");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Dim {
+    /// Output channels.
+    K = 0,
+    /// Input channels (reduction).
+    C = 1,
+    /// Output feature-map rows (`Y'`).
+    Y = 2,
+    /// Output feature-map columns (`X'`).
+    X = 3,
+    /// Kernel rows (reduction).
+    R = 4,
+    /// Kernel columns (reduction).
+    S = 5,
+}
+
+/// All six mapped dimensions in canonical order `K, C, Y, X, R, S`.
+pub const DIMS: [Dim; 6] = [Dim::K, Dim::C, Dim::Y, Dim::X, Dim::R, Dim::S];
+
+impl Dim {
+    /// Canonical index of this dimension (0..6), matching [`DIMS`] order.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Inverse of [`Dim::index`]. Returns `None` for `i >= 6`.
+    #[inline]
+    pub const fn from_index(i: usize) -> Option<Dim> {
+        match i {
+            0 => Some(Dim::K),
+            1 => Some(Dim::C),
+            2 => Some(Dim::Y),
+            3 => Some(Dim::X),
+            4 => Some(Dim::R),
+            5 => Some(Dim::S),
+            _ => None,
+        }
+    }
+
+    /// Whether this dimension is a *reduction* dimension: iterating it
+    /// accumulates into the same output element (`C`, `R`, `S`).
+    ///
+    /// Spatially mapping a reduction dimension implies an inter-PE
+    /// accumulate/forward connection; mapping a non-reduction dimension
+    /// implies broadcast-style connections (paper §II-A0b).
+    #[inline]
+    pub const fn is_reduction(self) -> bool {
+        matches!(self, Dim::C | Dim::R | Dim::S)
+    }
+
+    /// Short human-readable name; `Y`/`X` print as `Y'`/`X'` to match the
+    /// paper's output-dimension notation.
+    pub const fn paper_name(self) -> &'static str {
+        match self {
+            Dim::K => "K",
+            Dim::C => "C",
+            Dim::Y => "Y'",
+            Dim::X => "X'",
+            Dim::R => "R",
+            Dim::S => "S",
+        }
+    }
+}
+
+impl fmt::Display for Dim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Dim::K => "K",
+            Dim::C => "C",
+            Dim::Y => "Y",
+            Dim::X => "X",
+            Dim::R => "R",
+            Dim::S => "S",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A dense map from [`Dim`] to `T`, stored as a fixed `[T; 6]`.
+///
+/// This is the workhorse container for per-dimension extents, tile counts,
+/// importance values and trip counts.
+///
+/// ```
+/// use naas_ir::{Dim, DimVec};
+/// let mut v = DimVec::splat(1u64);
+/// v[Dim::K] = 64;
+/// assert_eq!(v[Dim::K], 64);
+/// assert_eq!(v.product(), 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DimVec<T>(pub [T; 6]);
+
+impl<T: Copy> DimVec<T> {
+    /// Builds a map with the same value for every dimension.
+    pub fn splat(value: T) -> Self {
+        DimVec([value; 6])
+    }
+
+    /// Builds a map from a function of the dimension.
+    pub fn from_fn(mut f: impl FnMut(Dim) -> T) -> Self {
+        DimVec([
+            f(Dim::K),
+            f(Dim::C),
+            f(Dim::Y),
+            f(Dim::X),
+            f(Dim::R),
+            f(Dim::S),
+        ])
+    }
+
+    /// Iterates `(dim, value)` pairs in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (Dim, T)> + '_ {
+        DIMS.iter().map(move |&d| (d, self.0[d.index()]))
+    }
+
+    /// Element-wise map.
+    pub fn map<U: Copy>(&self, mut f: impl FnMut(Dim, T) -> U) -> DimVec<U> {
+        DimVec::from_fn(|d| f(d, self.0[d.index()]))
+    }
+}
+
+impl DimVec<u64> {
+    /// Product of all six entries. Useful for trip counts and tile volumes.
+    pub fn product(&self) -> u64 {
+        self.0.iter().product()
+    }
+
+    /// `true` if every entry is at least 1 (a well-formed extent/trip map).
+    pub fn is_positive(&self) -> bool {
+        self.0.iter().all(|&v| v >= 1)
+    }
+}
+
+impl<T> std::ops::Index<Dim> for DimVec<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, d: Dim) -> &T {
+        &self.0[d.index()]
+    }
+}
+
+impl<T> std::ops::IndexMut<Dim> for DimVec<T> {
+    #[inline]
+    fn index_mut(&mut self, d: Dim) -> &mut T {
+        &mut self.0[d.index()]
+    }
+}
+
+impl<T: Copy + Default> Default for DimVec<T> {
+    fn default() -> Self {
+        DimVec([T::default(); 6])
+    }
+}
+
+/// Returns `true` if `order` is a permutation of all six dimensions.
+///
+/// ```
+/// use naas_ir::{dims::is_permutation, DIMS};
+/// assert!(is_permutation(&DIMS));
+/// assert!(!is_permutation(&[DIMS[0]; 6]));
+/// ```
+pub fn is_permutation(order: &[Dim; 6]) -> bool {
+    let mut seen = [false; 6];
+    for d in order {
+        if seen[d.index()] {
+            return false;
+        }
+        seen[d.index()] = true;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trips() {
+        for (i, &d) in DIMS.iter().enumerate() {
+            assert_eq!(d.index(), i);
+            assert_eq!(Dim::from_index(i), Some(d));
+        }
+        assert_eq!(Dim::from_index(6), None);
+    }
+
+    #[test]
+    fn reduction_dims_are_c_r_s() {
+        let reductions: Vec<Dim> = DIMS.iter().copied().filter(|d| d.is_reduction()).collect();
+        assert_eq!(reductions, vec![Dim::C, Dim::R, Dim::S]);
+    }
+
+    #[test]
+    fn paper_names_use_primes_for_outputs() {
+        assert_eq!(Dim::Y.paper_name(), "Y'");
+        assert_eq!(Dim::X.paper_name(), "X'");
+        assert_eq!(Dim::K.paper_name(), "K");
+    }
+
+    #[test]
+    fn dimvec_indexing_and_product() {
+        let mut v = DimVec::splat(2u64);
+        assert_eq!(v.product(), 64);
+        v[Dim::R] = 1;
+        v[Dim::S] = 1;
+        assert_eq!(v.product(), 16);
+        assert!(v.is_positive());
+        v[Dim::C] = 0;
+        assert!(!v.is_positive());
+    }
+
+    #[test]
+    fn dimvec_from_fn_matches_canonical_order() {
+        let v = DimVec::from_fn(|d| d.index() as u64);
+        for (i, (_, value)) in v.iter().enumerate() {
+            assert_eq!(value, i as u64);
+        }
+    }
+
+    #[test]
+    fn permutation_check() {
+        assert!(is_permutation(&DIMS));
+        let mut o = DIMS;
+        o.swap(0, 5);
+        assert!(is_permutation(&o));
+        o[0] = o[1];
+        assert!(!is_permutation(&o));
+    }
+
+    #[test]
+    fn display_is_single_letter() {
+        for d in DIMS {
+            assert_eq!(d.to_string().len(), 1);
+        }
+    }
+}

@@ -1,0 +1,563 @@
+//! Convolution layer descriptors with full shape inference.
+//!
+//! Every benchmark network lowers to a flat list of [`ConvSpec`]s: standard
+//! convolutions, grouped/depthwise convolutions, pointwise convolutions,
+//! fully-connected layers (1×1 spatial) and transposed convolutions (UNet
+//! up-convolutions, modeled as stride-1 convolutions over a zero-upsampled
+//! input — the standard lowering used by analytical cost models).
+
+use crate::dims::{Dim, DimVec};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The flavour of a convolution layer.
+///
+/// The kind does not change the shape arithmetic (which is fully determined
+/// by the numeric fields of [`ConvSpec`]); it is carried for reporting and
+/// so cost models can special-case reuse behaviour (e.g. grouped
+/// convolutions forfeit input reuse across output channels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConvKind {
+    /// Dense convolution (`groups == 1`).
+    Standard,
+    /// Depthwise convolution (`groups == in_channels`).
+    Depthwise,
+    /// 1×1 convolution.
+    Pointwise,
+    /// Fully-connected layer expressed as a 1×1 convolution over a 1×1 map.
+    FullyConnected,
+    /// Transposed convolution lowered to a stride-1 convolution over a
+    /// zero-upsampled input.
+    Transposed,
+}
+
+impl fmt::Display for ConvKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ConvKind::Standard => "conv",
+            ConvKind::Depthwise => "dwconv",
+            ConvKind::Pointwise => "pwconv",
+            ConvKind::FullyConnected => "fc",
+            ConvKind::Transposed => "tconv",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error returned when a layer description is not shape-consistent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShapeError {
+    /// A structural extent (channels, spatial size, kernel, stride) was zero.
+    ZeroExtent(&'static str),
+    /// `in_channels` or `out_channels` is not divisible by `groups`.
+    GroupMismatch {
+        /// Input channels of the offending layer.
+        in_channels: u64,
+        /// Output channels of the offending layer.
+        out_channels: u64,
+        /// Group count of the offending layer.
+        groups: u64,
+    },
+    /// The (padded) input is smaller than the kernel.
+    KernelTooLarge {
+        /// Padded input extent.
+        padded: u64,
+        /// Kernel extent.
+        kernel: u64,
+    },
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShapeError::ZeroExtent(what) => write!(f, "layer field `{what}` must be nonzero"),
+            ShapeError::GroupMismatch {
+                in_channels,
+                out_channels,
+                groups,
+            } => write!(
+                f,
+                "channels ({in_channels} in, {out_channels} out) not divisible by groups {groups}"
+            ),
+            ShapeError::KernelTooLarge { padded, kernel } => write!(
+                f,
+                "kernel extent {kernel} exceeds padded input extent {padded}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// A single convolution workload: the seven-dimensional loop nest
+/// `N × K × C/g × Y' × X' × R × S` with stride, padding and groups.
+///
+/// ```
+/// use naas_ir::{ConvSpec, Dim};
+/// let l = ConvSpec::conv2d("conv1", 3, 64, (224, 224), (7, 7), 2, 3)?;
+/// assert_eq!(l.out_y(), 112);
+/// assert_eq!(l.extent(Dim::K), 64);
+/// assert_eq!(l.macs(), 64 * 3 * 112 * 112 * 7 * 7);
+/// # Ok::<(), naas_ir::ShapeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvSpec {
+    name: String,
+    kind: ConvKind,
+    batch: u64,
+    in_channels: u64,
+    out_channels: u64,
+    in_y: u64,
+    in_x: u64,
+    kernel_r: u64,
+    kernel_s: u64,
+    stride: u64,
+    padding: u64,
+    groups: u64,
+}
+
+impl ConvSpec {
+    /// Creates a layer with every field explicit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if any extent is zero, channels are not
+    /// divisible by `groups`, or the kernel does not fit the padded input.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        kind: ConvKind,
+        batch: u64,
+        in_channels: u64,
+        out_channels: u64,
+        input_hw: (u64, u64),
+        kernel: (u64, u64),
+        stride: u64,
+        padding: u64,
+        groups: u64,
+    ) -> Result<Self, ShapeError> {
+        let spec = ConvSpec {
+            name: name.into(),
+            kind,
+            batch,
+            in_channels,
+            out_channels,
+            in_y: input_hw.0,
+            in_x: input_hw.1,
+            kernel_r: kernel.0,
+            kernel_s: kernel.1,
+            stride,
+            padding,
+            groups,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Standard dense convolution (`groups = 1`, batch = 1).
+    pub fn conv2d(
+        name: impl Into<String>,
+        in_channels: u64,
+        out_channels: u64,
+        input_hw: (u64, u64),
+        kernel: (u64, u64),
+        stride: u64,
+        padding: u64,
+    ) -> Result<Self, ShapeError> {
+        let kind = if kernel == (1, 1) {
+            ConvKind::Pointwise
+        } else {
+            ConvKind::Standard
+        };
+        ConvSpec::new(
+            name,
+            kind,
+            1,
+            in_channels,
+            out_channels,
+            input_hw,
+            kernel,
+            stride,
+            padding,
+            1,
+        )
+    }
+
+    /// Depthwise convolution: one filter per channel (`groups = channels`).
+    pub fn depthwise(
+        name: impl Into<String>,
+        channels: u64,
+        input_hw: (u64, u64),
+        kernel: (u64, u64),
+        stride: u64,
+        padding: u64,
+    ) -> Result<Self, ShapeError> {
+        ConvSpec::new(
+            name,
+            ConvKind::Depthwise,
+            1,
+            channels,
+            channels,
+            input_hw,
+            kernel,
+            stride,
+            padding,
+            channels,
+        )
+    }
+
+    /// Fully-connected layer as a 1×1 convolution over a 1×1 feature map.
+    pub fn linear(
+        name: impl Into<String>,
+        in_features: u64,
+        out_features: u64,
+    ) -> Result<Self, ShapeError> {
+        ConvSpec::new(
+            name,
+            ConvKind::FullyConnected,
+            1,
+            in_features,
+            out_features,
+            (1, 1),
+            (1, 1),
+            1,
+            0,
+            1,
+        )
+    }
+
+    /// Transposed convolution (up-convolution) producing a `scale×` larger
+    /// map, lowered to a stride-1 convolution over a zero-upsampled input.
+    ///
+    /// The MAC count of this lowering upper-bounds the true transposed
+    /// convolution (zeros are not skipped), which matches how MAESTRO-class
+    /// models treat up-convolutions.
+    pub fn transposed(
+        name: impl Into<String>,
+        in_channels: u64,
+        out_channels: u64,
+        input_hw: (u64, u64),
+        kernel: (u64, u64),
+        scale: u64,
+    ) -> Result<Self, ShapeError> {
+        if scale == 0 {
+            return Err(ShapeError::ZeroExtent("scale"));
+        }
+        let up = (input_hw.0 * scale, input_hw.1 * scale);
+        let pad = kernel.0 / 2;
+        ConvSpec::new(
+            name,
+            ConvKind::Transposed,
+            1,
+            in_channels,
+            out_channels,
+            up,
+            kernel,
+            1,
+            pad,
+            1,
+        )
+    }
+
+    fn validate(&self) -> Result<(), ShapeError> {
+        for (v, what) in [
+            (self.batch, "batch"),
+            (self.in_channels, "in_channels"),
+            (self.out_channels, "out_channels"),
+            (self.in_y, "in_y"),
+            (self.in_x, "in_x"),
+            (self.kernel_r, "kernel_r"),
+            (self.kernel_s, "kernel_s"),
+            (self.stride, "stride"),
+            (self.groups, "groups"),
+        ] {
+            if v == 0 {
+                return Err(ShapeError::ZeroExtent(what));
+            }
+        }
+        if !self.in_channels.is_multiple_of(self.groups) || !self.out_channels.is_multiple_of(self.groups) {
+            return Err(ShapeError::GroupMismatch {
+                in_channels: self.in_channels,
+                out_channels: self.out_channels,
+                groups: self.groups,
+            });
+        }
+        if self.in_y + 2 * self.padding < self.kernel_r {
+            return Err(ShapeError::KernelTooLarge {
+                padded: self.in_y + 2 * self.padding,
+                kernel: self.kernel_r,
+            });
+        }
+        if self.in_x + 2 * self.padding < self.kernel_s {
+            return Err(ShapeError::KernelTooLarge {
+                padded: self.in_x + 2 * self.padding,
+                kernel: self.kernel_s,
+            });
+        }
+        Ok(())
+    }
+
+    /// Layer name (unique within a network by convention).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Layer kind.
+    pub fn kind(&self) -> ConvKind {
+        self.kind
+    }
+
+    /// Batch size `N` (1 in all paper experiments).
+    pub fn batch(&self) -> u64 {
+        self.batch
+    }
+
+    /// Total input channels (across all groups).
+    pub fn in_channels(&self) -> u64 {
+        self.in_channels
+    }
+
+    /// Total output channels (across all groups).
+    pub fn out_channels(&self) -> u64 {
+        self.out_channels
+    }
+
+    /// Group count (1 = dense, `in_channels` = depthwise).
+    pub fn groups(&self) -> u64 {
+        self.groups
+    }
+
+    /// Input feature-map rows.
+    pub fn in_y(&self) -> u64 {
+        self.in_y
+    }
+
+    /// Input feature-map columns.
+    pub fn in_x(&self) -> u64 {
+        self.in_x
+    }
+
+    /// Kernel rows `R`.
+    pub fn kernel_r(&self) -> u64 {
+        self.kernel_r
+    }
+
+    /// Kernel columns `S`.
+    pub fn kernel_s(&self) -> u64 {
+        self.kernel_s
+    }
+
+    /// Convolution stride (same in both spatial dims).
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    /// Zero padding (same on all sides).
+    pub fn padding(&self) -> u64 {
+        self.padding
+    }
+
+    /// Output rows `Y'` = ⌊(in_y + 2·pad − R)/stride⌋ + 1.
+    pub fn out_y(&self) -> u64 {
+        (self.in_y + 2 * self.padding - self.kernel_r) / self.stride + 1
+    }
+
+    /// Output columns `X'` = ⌊(in_x + 2·pad − S)/stride⌋ + 1.
+    pub fn out_x(&self) -> u64 {
+        (self.in_x + 2 * self.padding - self.kernel_s) / self.stride + 1
+    }
+
+    /// Loop extent of a mapped dimension.
+    ///
+    /// `C` returns the *per-group* reduction depth (`in_channels / groups`),
+    /// which is the extent the loop nest actually iterates; the group count
+    /// is exposed separately through [`ConvSpec::groups`].
+    pub fn extent(&self, dim: Dim) -> u64 {
+        match dim {
+            Dim::K => self.out_channels,
+            Dim::C => self.in_channels / self.groups,
+            Dim::Y => self.out_y(),
+            Dim::X => self.out_x(),
+            Dim::R => self.kernel_r,
+            Dim::S => self.kernel_s,
+        }
+    }
+
+    /// All six loop extents as a [`DimVec`].
+    pub fn extents(&self) -> DimVec<u64> {
+        DimVec::from_fn(|d| self.extent(d))
+    }
+
+    /// Total multiply-accumulate operations:
+    /// `N · K · (C/g) · Y' · X' · R · S`.
+    pub fn macs(&self) -> u64 {
+        self.batch * self.extents().product()
+    }
+
+    /// Number of weight elements: `K · (C/g) · R · S`.
+    pub fn weight_elems(&self) -> u64 {
+        self.out_channels * (self.in_channels / self.groups) * self.kernel_r * self.kernel_s
+    }
+
+    /// Number of input activation elements: `N · C · Yin · Xin`.
+    pub fn input_elems(&self) -> u64 {
+        self.batch * self.in_channels * self.in_y * self.in_x
+    }
+
+    /// Number of output activation elements: `N · K · Y' · X'`.
+    pub fn output_elems(&self) -> u64 {
+        self.batch * self.out_channels * self.out_y() * self.out_x()
+    }
+
+    /// Input extent (halo) required to produce `tile` consecutive outputs
+    /// along one spatial dimension: `(tile − 1)·stride + kernel`.
+    ///
+    /// ```
+    /// use naas_ir::ConvSpec;
+    /// let l = ConvSpec::conv2d("c", 16, 16, (32, 32), (3, 3), 1, 1)?;
+    /// assert_eq!(l.input_halo(4, 3), 6); // 4 outputs, 3-wide kernel
+    /// # Ok::<(), naas_ir::ShapeError>(())
+    /// ```
+    pub fn input_halo(&self, tile: u64, kernel: u64) -> u64 {
+        if tile == 0 {
+            return 0;
+        }
+        (tile - 1) * self.stride + kernel
+    }
+
+    /// `true` if this layer's inputs are *not* reused across output
+    /// channels (grouped/depthwise convolutions): each `K` slice consumes a
+    /// disjoint set of input channels, so a spatial or temporal `K` loop
+    /// does not amortize input fetches.
+    pub fn input_depends_on_k(&self) -> bool {
+        self.groups > 1
+    }
+}
+
+impl fmt::Display for ConvSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {}x{}x{} -> {}x{}x{} k{}x{} s{} g{}",
+            self.name,
+            self.kind,
+            self.in_channels,
+            self.in_y,
+            self.in_x,
+            self.out_channels,
+            self.out_y(),
+            self.out_x(),
+            self.kernel_r,
+            self.kernel_s,
+            self.stride,
+            self.groups
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv2d_shape_inference() {
+        let l = ConvSpec::conv2d("c", 3, 64, (224, 224), (7, 7), 2, 3).unwrap();
+        assert_eq!(l.out_y(), 112);
+        assert_eq!(l.out_x(), 112);
+        assert_eq!(l.extent(Dim::C), 3);
+        assert_eq!(l.weight_elems(), 64 * 3 * 49);
+    }
+
+    #[test]
+    fn same_padding_3x3_preserves_size() {
+        let l = ConvSpec::conv2d("c", 16, 16, (56, 56), (3, 3), 1, 1).unwrap();
+        assert_eq!(l.out_y(), 56);
+        assert_eq!(l.out_x(), 56);
+    }
+
+    #[test]
+    fn depthwise_extents_and_macs() {
+        let l = ConvSpec::depthwise("dw", 32, (112, 112), (3, 3), 1, 1).unwrap();
+        assert_eq!(l.extent(Dim::C), 1);
+        assert_eq!(l.extent(Dim::K), 32);
+        assert_eq!(l.macs(), 32 * 112 * 112 * 9);
+        assert!(l.input_depends_on_k());
+        assert_eq!(l.weight_elems(), 32 * 9);
+    }
+
+    #[test]
+    fn linear_is_1x1_over_1x1() {
+        let l = ConvSpec::linear("fc", 2048, 1000).unwrap();
+        assert_eq!(l.macs(), 2048 * 1000);
+        assert_eq!(l.out_y(), 1);
+        assert_eq!(l.kind(), ConvKind::FullyConnected);
+    }
+
+    #[test]
+    fn transposed_doubles_spatial() {
+        let l = ConvSpec::transposed("up", 128, 64, (28, 28), (3, 3), 2).unwrap();
+        assert_eq!(l.out_y(), 56);
+        assert_eq!(l.out_x(), 56);
+        assert_eq!(l.kind(), ConvKind::Transposed);
+    }
+
+    #[test]
+    fn zero_extent_rejected() {
+        let err = ConvSpec::conv2d("bad", 0, 64, (32, 32), (3, 3), 1, 1).unwrap_err();
+        assert_eq!(err, ShapeError::ZeroExtent("in_channels"));
+    }
+
+    #[test]
+    fn group_mismatch_rejected() {
+        let err = ConvSpec::new(
+            "bad",
+            ConvKind::Standard,
+            1,
+            30,
+            64,
+            (32, 32),
+            (3, 3),
+            1,
+            1,
+            4,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ShapeError::GroupMismatch { .. }));
+    }
+
+    #[test]
+    fn kernel_too_large_rejected() {
+        let err = ConvSpec::conv2d("bad", 3, 8, (2, 2), (5, 5), 1, 0).unwrap_err();
+        assert!(matches!(err, ShapeError::KernelTooLarge { .. }));
+    }
+
+    #[test]
+    fn halo_arithmetic() {
+        let l = ConvSpec::conv2d("c", 8, 8, (32, 32), (5, 5), 2, 2).unwrap();
+        // t outputs at stride 2 with 5-wide kernel need (t-1)*2 + 5 inputs.
+        assert_eq!(l.input_halo(1, 5), 5);
+        assert_eq!(l.input_halo(3, 5), 9);
+        assert_eq!(l.input_halo(0, 5), 0);
+    }
+
+    #[test]
+    fn macs_match_manual_formula() {
+        let l = ConvSpec::conv2d("c", 64, 128, (56, 56), (3, 3), 1, 1).unwrap();
+        assert_eq!(l.macs(), 128 * 64 * 56 * 56 * 9);
+    }
+
+    #[test]
+    fn display_contains_name_and_shapes() {
+        let l = ConvSpec::conv2d("conv3_1", 128, 256, (28, 28), (3, 3), 1, 1).unwrap();
+        let s = l.to_string();
+        assert!(s.contains("conv3_1"));
+        assert!(s.contains("256"));
+    }
+
+    #[test]
+    fn error_display_is_lowercase_without_period() {
+        let e = ShapeError::ZeroExtent("stride").to_string();
+        assert!(e.starts_with("layer"));
+        assert!(!e.ends_with('.'));
+    }
+}

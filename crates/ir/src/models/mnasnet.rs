@@ -1,0 +1,108 @@
+//! MNasNet-B1 generator (mobile inverted bottlenecks with 3×3/5×5 kernels).
+
+use crate::layer::ConvSpec;
+use crate::models::make_divisible;
+use crate::network::Network;
+
+/// MBConv stage settings `(expand, kernel, channels, repeats, stride)`
+/// following the MNasNet-B1 architecture.
+const STAGES: [(u64, u64, u64, usize, u64); 6] = [
+    (3, 3, 24, 3, 2),
+    (3, 5, 40, 3, 2),
+    (6, 5, 80, 3, 2),
+    (6, 3, 96, 2, 1),
+    (6, 5, 192, 4, 2),
+    (6, 3, 320, 1, 1),
+];
+
+/// Builds MNasNet-B1 at the given input resolution:
+/// ≈0.31 GMACs and ≈4.4 M parameters at 224×224.
+///
+/// The stem is a 3×3 stride-2 convolution followed by a separable
+/// convolution (depthwise 3×3 + pointwise to 16 channels); six MBConv
+/// stages and the 1×1 head follow. SE blocks (A1 variant) are omitted,
+/// matching the B1 variant used by MAC-level benchmarks.
+///
+/// # Panics
+///
+/// Panics if `resolution` is not divisible by 32.
+pub fn mnasnet(resolution: u64) -> Network {
+    assert!(
+        resolution >= 32 && resolution.is_multiple_of(32),
+        "mnasnet resolution must be a positive multiple of 32"
+    );
+    let mut net = Network::new(format!("mnasnet_{resolution}"));
+    net.push(
+        ConvSpec::conv2d("conv1", 3, 32, (resolution, resolution), (3, 3), 2, 1)
+            .expect("mnasnet stem valid"),
+    );
+    let mut hw = resolution / 2;
+    net.push(
+        ConvSpec::depthwise("sep_dw", 32, (hw, hw), (3, 3), 1, 1).expect("sep depthwise valid"),
+    );
+    net.push(ConvSpec::conv2d("sep_pw", 32, 16, (hw, hw), (1, 1), 1, 0).expect("sep pw valid"));
+    let mut cin: u64 = 16;
+    for (stage, &(expand, kernel, ch, repeats, first_stride)) in STAGES.iter().enumerate() {
+        let cout = make_divisible(ch as f64, 8);
+        for rep in 0..repeats {
+            let stride = if rep == 0 { first_stride } else { 1 };
+            let prefix = format!("mb{}_{}", stage + 1, rep + 1);
+            let hidden = cin * expand;
+            net.push(
+                ConvSpec::conv2d(format!("{prefix}_expand"), cin, hidden, (hw, hw), (1, 1), 1, 0)
+                    .expect("mbconv expand valid"),
+            );
+            net.push(
+                ConvSpec::depthwise(
+                    format!("{prefix}_dw"),
+                    hidden,
+                    (hw, hw),
+                    (kernel, kernel),
+                    stride,
+                    kernel / 2,
+                )
+                .expect("mbconv depthwise valid"),
+            );
+            if stride == 2 {
+                hw /= 2;
+            }
+            net.push(
+                ConvSpec::conv2d(format!("{prefix}_project"), hidden, cout, (hw, hw), (1, 1), 1, 0)
+                    .expect("mbconv project valid"),
+            );
+            cin = cout;
+        }
+    }
+    net.push(
+        ConvSpec::conv2d("conv_last", cin, 1280, (hw, hw), (1, 1), 1, 0).expect("head valid"),
+    );
+    net.push(ConvSpec::linear("fc", 1280, 1000).expect("fc valid"));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnasnet_224_matches_reference_macs() {
+        let net = mnasnet(224);
+        let mmacs = net.total_macs() as f64 / 1e6;
+        assert!((mmacs - 315.0).abs() < 35.0, "got {mmacs} MMACs");
+        let mparams = net.total_weights() as f64 / 1e6;
+        assert!((mparams - 4.4).abs() < 0.5, "got {mparams} M params");
+    }
+
+    #[test]
+    fn five_by_five_kernels_present() {
+        let net = mnasnet(224);
+        assert!(net.iter().any(|l| l.kernel_r() == 5));
+    }
+
+    #[test]
+    fn stage_strides_reach_res_over_32() {
+        let net = mnasnet(224);
+        let last = net.iter().find(|l| l.name() == "conv_last").unwrap();
+        assert_eq!(last.out_y(), 7);
+    }
+}

@@ -1,0 +1,112 @@
+//! MobileNetV2 generator (inverted residual bottlenecks).
+
+use crate::layer::ConvSpec;
+use crate::models::make_divisible;
+use crate::network::Network;
+
+/// Inverted-residual stage settings `(expand, channels, repeats, stride)`
+/// from the MobileNetV2 paper, Table 2.
+const STAGES: [(u64, u64, usize, u64); 7] = [
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+];
+
+/// Builds MobileNetV2 (width 1.0) at the given input resolution:
+/// ≈0.3 GMACs and ≈3.4 M parameters at 224×224.
+///
+/// Each inverted residual is lowered to [expand 1×1] + depthwise 3×3 +
+/// project 1×1 (the expand convolution is omitted when `expand == 1`).
+///
+/// # Panics
+///
+/// Panics if `resolution` is not divisible by 32.
+pub fn mobilenet_v2(resolution: u64) -> Network {
+    assert!(
+        resolution >= 32 && resolution.is_multiple_of(32),
+        "mobilenet_v2 resolution must be a positive multiple of 32"
+    );
+    let mut net = Network::new(format!("mobilenet_v2_{resolution}"));
+    let mut hw = resolution / 2;
+    net.push(
+        ConvSpec::conv2d("conv1", 3, 32, (resolution, resolution), (3, 3), 2, 1)
+            .expect("mobilenet stem valid"),
+    );
+    let mut cin: u64 = 32;
+    for (stage, &(expand, ch, repeats, first_stride)) in STAGES.iter().enumerate() {
+        let cout = make_divisible(ch as f64, 8);
+        for rep in 0..repeats {
+            let stride = if rep == 0 { first_stride } else { 1 };
+            let prefix = format!("ir{}_{}", stage + 1, rep + 1);
+            let hidden = cin * expand;
+            if expand != 1 {
+                net.push(
+                    ConvSpec::conv2d(format!("{prefix}_expand"), cin, hidden, (hw, hw), (1, 1), 1, 0)
+                        .expect("expand valid"),
+                );
+            }
+            net.push(
+                ConvSpec::depthwise(format!("{prefix}_dw"), hidden, (hw, hw), (3, 3), stride, 1)
+                    .expect("depthwise valid"),
+            );
+            if stride == 2 {
+                hw /= 2;
+            }
+            net.push(
+                ConvSpec::conv2d(format!("{prefix}_project"), hidden, cout, (hw, hw), (1, 1), 1, 0)
+                    .expect("project valid"),
+            );
+            cin = cout;
+        }
+    }
+    net.push(
+        ConvSpec::conv2d("conv_last", cin, 1280, (hw, hw), (1, 1), 1, 0)
+            .expect("head conv valid"),
+    );
+    net.push(ConvSpec::linear("fc", 1280, 1000).expect("fc valid"));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::ConvKind;
+
+    #[test]
+    fn mobilenet_v2_224_matches_reference_macs() {
+        let net = mobilenet_v2(224);
+        let mmacs = net.total_macs() as f64 / 1e6;
+        assert!((mmacs - 300.0).abs() < 20.0, "got {mmacs} MMACs");
+        let mparams = net.total_weights() as f64 / 1e6;
+        assert!((mparams - 3.4).abs() < 0.3, "got {mparams} M params");
+    }
+
+    #[test]
+    fn depthwise_layers_are_marked() {
+        let net = mobilenet_v2(224);
+        let dw = net
+            .iter()
+            .filter(|l| l.kind() == ConvKind::Depthwise)
+            .count();
+        // One depthwise per inverted residual: 1+2+3+4+3+3+1 = 17.
+        assert_eq!(dw, 17);
+    }
+
+    #[test]
+    fn first_block_has_no_expand() {
+        let net = mobilenet_v2(224);
+        assert!(net.iter().all(|l| l.name() != "ir1_1_expand"));
+        assert!(net.iter().any(|l| l.name() == "ir2_1_expand"));
+    }
+
+    #[test]
+    fn final_spatial_is_res_over_32() {
+        let net = mobilenet_v2(192);
+        let last_conv = net.iter().find(|l| l.name() == "conv_last").unwrap();
+        assert_eq!(last_conv.out_y(), 6);
+    }
+}

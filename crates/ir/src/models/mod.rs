@@ -1,0 +1,92 @@
+//! Generators for the benchmark networks evaluated in the NAAS paper.
+//!
+//! Two benchmark sets, as in §III-A0b of the paper:
+//!
+//! * **classic large-scale**: [`vgg16`], [`resnet50`], [`unet`] — evaluated
+//!   under the large resource envelopes (EdgeTPU, NVDLA-1024);
+//! * **light-weight mobile**: [`mobilenet_v2`], [`squeezenet`], [`mnasnet`]
+//!   — evaluated under the small envelopes (Eyeriss, NVDLA-256,
+//!   ShiDianNao).
+//!
+//! [`cifar_resnet20`] and [`nasaic_cifar_net`] support the NASAIC
+//! comparison (Table III), which is conducted on CIFAR-10-scale workloads.
+//!
+//! All generators are parameterized by input resolution so the OFA-style
+//! NAS integration (which sweeps 128…256) can reuse them. MAC totals at
+//! 224×224 match the commonly cited values (see the per-model tests).
+
+mod cifar;
+mod mnasnet;
+mod mobilenet;
+mod resnet;
+mod squeezenet;
+mod unet;
+mod vgg;
+
+pub use cifar::{cifar_resnet20, nasaic_cifar_net};
+pub use mnasnet::mnasnet;
+pub use mobilenet::mobilenet_v2;
+pub use resnet::{resnet50, resnet50_elastic, BottleneckCfg};
+pub use squeezenet::squeezenet;
+pub use unet::unet;
+pub use vgg::vgg16;
+
+use crate::network::Network;
+
+/// The classic large-scale benchmark set (paper §III-A0b) at 224×224
+/// (UNet at 256×256, its customary resolution).
+pub fn large_benchmarks() -> Vec<Network> {
+    vec![vgg16(224), resnet50(224), unet(256)]
+}
+
+/// The light-weight mobile benchmark set (paper §III-A0b) at 224×224.
+pub fn mobile_benchmarks() -> Vec<Network> {
+    vec![mobilenet_v2(224), squeezenet(224), mnasnet(224)]
+}
+
+/// Rounds a scaled channel count to the nearest multiple of `divisor`,
+/// never dropping below 90 % of the unrounded value (the standard
+/// `make_divisible` used by MobileNet/MNasNet width scaling).
+pub fn make_divisible(value: f64, divisor: u64) -> u64 {
+    let d = divisor as f64;
+    let rounded = ((value + d / 2.0) / d).floor() * d;
+    let rounded = rounded.max(d);
+    if rounded < 0.9 * value {
+        (rounded + d) as u64
+    } else {
+        rounded as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn make_divisible_matches_reference_behaviour() {
+        assert_eq!(make_divisible(32.0, 8), 32);
+        assert_eq!(make_divisible(33.0, 8), 32);
+        assert_eq!(make_divisible(37.0, 8), 40);
+        // Never below 90% of the requested width.
+        assert_eq!(make_divisible(20.8, 8), 24);
+        // Never below the divisor itself.
+        assert_eq!(make_divisible(2.0, 8), 8);
+    }
+
+    #[test]
+    fn benchmark_sets_have_three_networks_each() {
+        assert_eq!(large_benchmarks().len(), 3);
+        assert_eq!(mobile_benchmarks().len(), 3);
+    }
+
+    #[test]
+    fn all_benchmarks_have_unique_layer_names() {
+        for net in large_benchmarks().into_iter().chain(mobile_benchmarks()) {
+            let mut names: Vec<&str> = net.layers().iter().map(|l| l.name()).collect();
+            let total = names.len();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), total, "duplicate layer name in {}", net.name());
+        }
+    }
+}

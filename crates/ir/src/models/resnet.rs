@@ -1,0 +1,221 @@
+//! ResNet-50 generator, plus the elastic variant backing the OFA-style
+//! neural architecture search space (paper §III-A0c).
+
+use crate::layer::ConvSpec;
+use crate::models::make_divisible;
+use crate::network::Network;
+
+/// Configuration of one bottleneck residual block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BottleneckCfg {
+    /// Output channels of the block (after the final 1×1 expansion).
+    pub out_channels: u64,
+    /// Ratio of the bottleneck mid-channels to the output channels
+    /// (0.25 in the standard ResNet-50; the NAS space offers
+    /// {0.20, 0.25, 0.35}).
+    pub mid_ratio: f64,
+    /// Stride of the 3×3 convolution (2 in the first block of stages 2-4).
+    pub stride: u64,
+}
+
+/// Standard ResNet-50 at the given input resolution: ≈4.1 GMACs and
+/// ≈25.5 M parameters at 224×224.
+///
+/// # Panics
+///
+/// Panics if `resolution` is not divisible by 32.
+pub fn resnet50(resolution: u64) -> Network {
+    resnet50_elastic(resolution, 1.0, [3, 4, 6, 3], [0.25; 4])
+}
+
+/// Elastic ResNet-50: the OFA-style design space of the paper.
+///
+/// * `width_mult` — global width multiplier (paper: 0.65, 0.8, 1.0);
+/// * `depths` — bottleneck blocks per stage (paper: up to 18 total);
+/// * `mid_ratios` — per-stage bottleneck reduction ratio
+///   (paper: 0.20, 0.25, 0.35);
+/// * `resolution` — input image size (paper: 128…256 step 16).
+///
+/// ```
+/// use naas_ir::models::resnet50_elastic;
+/// let small = resnet50_elastic(160, 0.65, [2, 2, 4, 2], [0.2; 4]);
+/// let full = resnet50_elastic(224, 1.0, [3, 4, 6, 3], [0.25; 4]);
+/// assert!(small.total_macs() < full.total_macs() / 2);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `resolution` is not divisible by 32, if any stage depth is
+/// zero, or if `width_mult`/`mid_ratios` are not positive.
+pub fn resnet50_elastic(
+    resolution: u64,
+    width_mult: f64,
+    depths: [usize; 4],
+    mid_ratios: [f64; 4],
+) -> Network {
+    assert!(
+        resolution >= 32 && resolution.is_multiple_of(32),
+        "resnet50 resolution must be a positive multiple of 32"
+    );
+    assert!(width_mult > 0.0, "width multiplier must be positive");
+    assert!(
+        depths.iter().all(|&d| d >= 1),
+        "every stage needs at least one block"
+    );
+    assert!(
+        mid_ratios.iter().all(|&r| r > 0.0),
+        "mid ratios must be positive"
+    );
+
+    let w = |ch: u64| make_divisible(ch as f64 * width_mult, 8);
+    let mut net = Network::new(format!(
+        "resnet50_r{resolution}_w{:.2}_d{}",
+        width_mult,
+        depths.iter().sum::<usize>()
+    ));
+
+    let stem = w(64);
+    net.push(
+        ConvSpec::conv2d("conv1", 3, stem, (resolution, resolution), (7, 7), 2, 3)
+            .expect("resnet stem is statically valid"),
+    );
+    // 3×3 max-pool stride 2 follows the stem.
+    let mut hw = resolution / 4;
+    let mut cin = stem;
+
+    let stage_channels: [u64; 4] = [w(256), w(512), w(1024), w(2048)];
+    for (stage, (&out_ch, &depth)) in stage_channels.iter().zip(depths.iter()).enumerate() {
+        for block in 0..depth {
+            let stride = if stage > 0 && block == 0 { 2 } else { 1 };
+            let cfg = BottleneckCfg {
+                out_channels: out_ch,
+                mid_ratio: mid_ratios[stage],
+                stride,
+            };
+            push_bottleneck(
+                &mut net,
+                &format!("s{}b{}", stage + 1, block + 1),
+                cin,
+                hw,
+                cfg,
+            );
+            if stride == 2 {
+                hw /= 2;
+            }
+            cin = out_ch;
+        }
+    }
+
+    net.push(ConvSpec::linear("fc", cin, 1000).expect("fc is statically valid"));
+    net
+}
+
+/// Appends the three convolutions of a bottleneck block (plus the
+/// projection shortcut when the shape changes).
+fn push_bottleneck(net: &mut Network, prefix: &str, cin: u64, hw: u64, cfg: BottleneckCfg) {
+    let mid = make_divisible(cfg.out_channels as f64 * cfg.mid_ratio, 8);
+    let out_hw = hw / cfg.stride;
+    net.push(
+        ConvSpec::conv2d(format!("{prefix}_pw1"), cin, mid, (hw, hw), (1, 1), 1, 0)
+            .expect("bottleneck pw1 valid"),
+    );
+    net.push(
+        ConvSpec::conv2d(
+            format!("{prefix}_conv3"),
+            mid,
+            mid,
+            (hw, hw),
+            (3, 3),
+            cfg.stride,
+            1,
+        )
+        .expect("bottleneck conv3 valid"),
+    );
+    net.push(
+        ConvSpec::conv2d(
+            format!("{prefix}_pw2"),
+            mid,
+            cfg.out_channels,
+            (out_hw, out_hw),
+            (1, 1),
+            1,
+            0,
+        )
+        .expect("bottleneck pw2 valid"),
+    );
+    if cin != cfg.out_channels || cfg.stride != 1 {
+        net.push(
+            ConvSpec::conv2d(
+                format!("{prefix}_proj"),
+                cin,
+                cfg.out_channels,
+                (hw, hw),
+                (1, 1),
+                cfg.stride,
+                0,
+            )
+            .expect("bottleneck projection valid"),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet50_224_matches_reference_macs() {
+        let net = resnet50(224);
+        let gmacs = net.total_macs() as f64 / 1e9;
+        assert!((gmacs - 4.1).abs() < 0.15, "got {gmacs} GMACs");
+        let mparams = net.total_weights() as f64 / 1e6;
+        assert!((mparams - 25.5).abs() < 1.0, "got {mparams} M params");
+    }
+
+    #[test]
+    fn resnet50_block_count() {
+        let net = resnet50(224);
+        // 16 blocks * 3 convs + 4 projections + stem + fc = 54 layers.
+        assert_eq!(net.len(), 54);
+    }
+
+    #[test]
+    fn elastic_width_shrinks_channels() {
+        let net = resnet50_elastic(224, 0.65, [3, 4, 6, 3], [0.25; 4]);
+        let stem = &net.layers()[0];
+        assert_eq!(stem.out_channels(), 40); // make_divisible(64*0.65, 8)
+        assert!(net.total_macs() < resnet50(224).total_macs());
+    }
+
+    #[test]
+    fn elastic_resolution_scales_spatial() {
+        let net = resnet50_elastic(128, 1.0, [3, 4, 6, 3], [0.25; 4]);
+        let stem = &net.layers()[0];
+        assert_eq!(stem.out_y(), 64);
+        // Last stage operates at 128/32 = 4.
+        let s4 = net
+            .iter()
+            .find(|l| l.name() == "s4b1_conv3")
+            .expect("stage-4 block exists");
+        assert_eq!(s4.out_y(), 4);
+    }
+
+    #[test]
+    fn elastic_mid_ratio_changes_bottleneck_width() {
+        let narrow = resnet50_elastic(224, 1.0, [3, 4, 6, 3], [0.2; 4]);
+        let wide = resnet50_elastic(224, 1.0, [3, 4, 6, 3], [0.35; 4]);
+        let n = narrow.iter().find(|l| l.name() == "s1b1_conv3").unwrap();
+        let w = wide.iter().find(|l| l.name() == "s1b1_conv3").unwrap();
+        assert!(n.out_channels() < w.out_channels());
+    }
+
+    #[test]
+    fn max_depth_space_has_18_blocks() {
+        let net = resnet50_elastic(224, 1.0, [4, 4, 6, 4], [0.25; 4]);
+        let blocks = net
+            .iter()
+            .filter(|l| l.name().ends_with("_pw1"))
+            .count();
+        assert_eq!(blocks, 18);
+    }
+}

@@ -1,0 +1,98 @@
+//! SqueezeNet v1.1 generator (fire modules).
+
+use crate::layer::ConvSpec;
+use crate::network::Network;
+
+/// Fire module settings: (squeeze 1×1, expand 1×1, expand 3×3).
+const FIRES: [(u64, u64, u64); 8] = [
+    (16, 64, 64),
+    (16, 64, 64),
+    (32, 128, 128),
+    (32, 128, 128),
+    (48, 192, 192),
+    (48, 192, 192),
+    (64, 256, 256),
+    (64, 256, 256),
+];
+
+/// Builds SqueezeNet v1.1 at the given input resolution:
+/// ≈0.36 GMACs and ≈1.2 M parameters at 224×224.
+///
+/// Each fire module is lowered to three convolutions: squeeze 1×1, expand
+/// 1×1 and expand 3×3 (the two expand branches are concatenated, so the
+/// following squeeze consumes `e1 + e3` channels).
+///
+/// # Panics
+///
+/// Panics if `resolution` is not divisible by 16.
+pub fn squeezenet(resolution: u64) -> Network {
+    assert!(
+        resolution >= 16 && resolution.is_multiple_of(16),
+        "squeezenet resolution must be a positive multiple of 16"
+    );
+    let mut net = Network::new(format!("squeezenet_{resolution}"));
+    net.push(
+        ConvSpec::conv2d("conv1", 3, 64, (resolution, resolution), (3, 3), 2, 1)
+            .expect("squeezenet stem valid"),
+    );
+    let mut hw = resolution / 2;
+    hw /= 2; // maxpool1
+    let mut cin: u64 = 64;
+    for (i, &(s1, e1, e3)) in FIRES.iter().enumerate() {
+        // Max-pools precede fire3 (index 2) and fire5 (index 4) in v1.1.
+        if i == 2 || i == 4 {
+            hw /= 2;
+        }
+        let n = i + 2; // fire2..fire9
+        net.push(
+            ConvSpec::conv2d(format!("fire{n}_squeeze"), cin, s1, (hw, hw), (1, 1), 1, 0)
+                .expect("squeeze valid"),
+        );
+        net.push(
+            ConvSpec::conv2d(format!("fire{n}_expand1"), s1, e1, (hw, hw), (1, 1), 1, 0)
+                .expect("expand1 valid"),
+        );
+        net.push(
+            ConvSpec::conv2d(format!("fire{n}_expand3"), s1, e3, (hw, hw), (3, 3), 1, 1)
+                .expect("expand3 valid"),
+        );
+        cin = e1 + e3;
+    }
+    net.push(
+        ConvSpec::conv2d("conv10", cin, 1000, (hw, hw), (1, 1), 1, 0).expect("conv10 valid"),
+    );
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn squeezenet_224_matches_reference_macs() {
+        let net = squeezenet(224);
+        let mmacs = net.total_macs() as f64 / 1e6;
+        // v1.1 is commonly cited at ≈0.35 GFLOPs-MAC.
+        assert!((mmacs - 360.0).abs() < 60.0, "got {mmacs} MMACs");
+        let mparams = net.total_weights() as f64 / 1e6;
+        assert!((mparams - 1.23).abs() < 0.1, "got {mparams} M params");
+    }
+
+    #[test]
+    fn fire_module_count() {
+        let net = squeezenet(224);
+        let squeezes = net
+            .iter()
+            .filter(|l| l.name().ends_with("_squeeze"))
+            .count();
+        assert_eq!(squeezes, 8);
+        assert_eq!(net.len(), 8 * 3 + 2);
+    }
+
+    #[test]
+    fn concat_feeds_next_squeeze() {
+        let net = squeezenet(224);
+        let f3s = net.iter().find(|l| l.name() == "fire3_squeeze").unwrap();
+        assert_eq!(f3s.in_channels(), 128); // 64 + 64 concat
+    }
+}

@@ -1,0 +1,120 @@
+//! UNet generator (4-level encoder/decoder with skip connections).
+
+use crate::layer::ConvSpec;
+use crate::network::Network;
+
+/// Builds the classic UNet (base width 64, four down/up levels, 2-class
+/// head) at the given input resolution with same-padding convolutions.
+///
+/// Up-convolutions are transposed convolutions lowered to stride-1
+/// convolutions over a zero-upsampled input (see
+/// [`ConvSpec::transposed`]); decoder convolutions consume the
+/// concatenation of the up-sampled features and the skip connection.
+///
+/// # Panics
+///
+/// Panics if `resolution` is not divisible by 16 (four pooling levels).
+pub fn unet(resolution: u64) -> Network {
+    assert!(
+        resolution >= 16 && resolution.is_multiple_of(16),
+        "unet resolution must be a positive multiple of 16"
+    );
+    let mut net = Network::new(format!("unet_{resolution}"));
+    let widths: [u64; 4] = [64, 128, 256, 512];
+
+    // Encoder.
+    let mut hw = resolution;
+    let mut cin: u64 = 3;
+    for (level, &w) in widths.iter().enumerate() {
+        net.push(
+            ConvSpec::conv2d(format!("enc{}_1", level + 1), cin, w, (hw, hw), (3, 3), 1, 1)
+                .expect("encoder conv valid"),
+        );
+        net.push(
+            ConvSpec::conv2d(format!("enc{}_2", level + 1), w, w, (hw, hw), (3, 3), 1, 1)
+                .expect("encoder conv valid"),
+        );
+        cin = w;
+        hw /= 2; // max-pool
+    }
+
+    // Bottleneck.
+    net.push(
+        ConvSpec::conv2d("mid_1", 512, 1024, (hw, hw), (3, 3), 1, 1).expect("mid conv valid"),
+    );
+    net.push(
+        ConvSpec::conv2d("mid_2", 1024, 1024, (hw, hw), (3, 3), 1, 1).expect("mid conv valid"),
+    );
+    let mut c = 1024u64;
+
+    // Decoder.
+    for (level, &w) in widths.iter().enumerate().rev() {
+        net.push(
+            ConvSpec::transposed(format!("up{}", level + 1), c, w, (hw, hw), (2, 2), 2)
+                .expect("up-conv valid"),
+        );
+        hw *= 2;
+        net.push(
+            ConvSpec::conv2d(
+                format!("dec{}_1", level + 1),
+                2 * w, // concat with skip
+                w,
+                (hw, hw),
+                (3, 3),
+                1,
+                1,
+            )
+            .expect("decoder conv valid"),
+        );
+        net.push(
+            ConvSpec::conv2d(format!("dec{}_2", level + 1), w, w, (hw, hw), (3, 3), 1, 1)
+                .expect("decoder conv valid"),
+        );
+        c = w;
+    }
+
+    net.push(ConvSpec::conv2d("head", 64, 2, (hw, hw), (1, 1), 1, 0).expect("head valid"));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::ConvKind;
+
+    #[test]
+    fn unet_256_is_tens_of_gmacs() {
+        let net = unet(256);
+        let gmacs = net.total_macs() as f64 / 1e9;
+        assert!(
+            gmacs > 30.0 && gmacs < 120.0,
+            "got {gmacs} GMACs — UNet should dwarf classification nets"
+        );
+        let mparams = net.total_weights() as f64 / 1e6;
+        assert!((mparams - 31.0).abs() < 4.0, "got {mparams} M params");
+    }
+
+    #[test]
+    fn decoder_returns_to_input_resolution() {
+        let net = unet(256);
+        let head = net.iter().find(|l| l.name() == "head").unwrap();
+        assert_eq!(head.out_y(), 256);
+    }
+
+    #[test]
+    fn four_transposed_convolutions() {
+        let net = unet(256);
+        let ups = net
+            .iter()
+            .filter(|l| l.kind() == ConvKind::Transposed)
+            .count();
+        assert_eq!(ups, 4);
+    }
+
+    #[test]
+    fn skip_concat_doubles_decoder_input() {
+        let net = unet(256);
+        let dec4 = net.iter().find(|l| l.name() == "dec4_1").unwrap();
+        assert_eq!(dec4.in_channels(), 1024); // 512 up + 512 skip
+    }
+}

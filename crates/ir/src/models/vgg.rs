@@ -1,0 +1,78 @@
+//! VGG-16 (configuration D) generator.
+
+use crate::layer::ConvSpec;
+use crate::network::Network;
+
+/// Builds VGG-16 at the given input resolution (224 in the paper).
+///
+/// Thirteen 3×3 convolutions in five stages separated by 2× max-pooling,
+/// followed by the three fully-connected layers. At 224×224 this is the
+/// classic ≈15.3 GMAC / ≈138 M-parameter configuration.
+///
+/// # Panics
+///
+/// Panics if `resolution` is not divisible by 32 (the five pooling stages).
+pub fn vgg16(resolution: u64) -> Network {
+    assert!(
+        resolution >= 32 && resolution.is_multiple_of(32),
+        "vgg16 resolution must be a positive multiple of 32"
+    );
+    let mut net = Network::new(format!("vgg16_{resolution}"));
+    let stages: [(u64, u64, usize); 5] = [
+        (3, 64, 2),
+        (64, 128, 2),
+        (128, 256, 3),
+        (256, 512, 3),
+        (512, 512, 3),
+    ];
+    let mut hw = resolution;
+    for (stage, &(c_in, c_out, n)) in stages.iter().enumerate() {
+        let mut cin = c_in;
+        for i in 0..n {
+            let name = format!("conv{}_{}", stage + 1, i + 1);
+            net.push(
+                ConvSpec::conv2d(name, cin, c_out, (hw, hw), (3, 3), 1, 1)
+                    .expect("vgg16 layer shapes are statically valid"),
+            );
+            cin = c_out;
+        }
+        hw /= 2; // max-pool
+    }
+    let flat = 512 * hw * hw;
+    net.push(ConvSpec::linear("fc6", flat, 4096).expect("fc6 valid"));
+    net.push(ConvSpec::linear("fc7", 4096, 4096).expect("fc7 valid"));
+    net.push(ConvSpec::linear("fc8", 4096, 1000).expect("fc8 valid"));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg16_224_matches_reference_macs() {
+        let net = vgg16(224);
+        assert_eq!(net.len(), 16);
+        let gmacs = net.total_macs() as f64 / 1e9;
+        // Reference: 15.35 GMACs conv + 0.12 GMACs FC ≈ 15.47.
+        assert!((gmacs - 15.47).abs() < 0.1, "got {gmacs} GMACs");
+        let mparams = net.total_weights() as f64 / 1e6;
+        assert!((mparams - 138.3).abs() < 1.0, "got {mparams} M params");
+    }
+
+    #[test]
+    fn vgg16_fc6_input_tracks_resolution() {
+        let net = vgg16(224);
+        let fc6 = net.iter().find(|l| l.name() == "fc6").unwrap();
+        assert_eq!(fc6.in_channels(), 25088); // 512 * 7 * 7
+        let net = vgg16(256);
+        let fc6 = net.iter().find(|l| l.name() == "fc6").unwrap();
+        assert_eq!(fc6.in_channels(), 512 * 8 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 32")]
+    fn vgg16_rejects_odd_resolution() {
+        let _ = vgg16(100);
+    }
+}

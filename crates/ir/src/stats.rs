@@ -1,0 +1,150 @@
+//! Workload statistics: arithmetic intensity and footprint profiles.
+//!
+//! These are the quantities that decide *which* dataflow wins for a given
+//! layer (the correlation table of the paper's Table II): weight-heavy
+//! layers reward `C`/`K` parallelism and weight-stationary orders,
+//! activation-heavy layers reward spatial parallelism, low-intensity
+//! layers are bandwidth-bound no matter the mapping.
+
+use crate::layer::ConvSpec;
+use crate::network::Network;
+use serde::{Deserialize, Serialize};
+
+/// Per-layer workload profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerStats {
+    /// Multiply-accumulates.
+    pub macs: u64,
+    /// Weight elements.
+    pub weights: u64,
+    /// Input activation elements.
+    pub inputs: u64,
+    /// Output activation elements.
+    pub outputs: u64,
+    /// MACs per touched element (weights + inputs + outputs): the upper
+    /// bound on arithmetic intensity any mapping can achieve.
+    pub arithmetic_intensity: f64,
+    /// Weights / (weights + inputs + outputs): 1.0 = fully weight-bound.
+    pub weight_fraction: f64,
+}
+
+impl LayerStats {
+    /// Profiles one layer.
+    pub fn of(layer: &ConvSpec) -> Self {
+        let macs = layer.macs();
+        let weights = layer.weight_elems();
+        let inputs = layer.input_elems();
+        let outputs = layer.output_elems();
+        let touched = (weights + inputs + outputs) as f64;
+        LayerStats {
+            macs,
+            weights,
+            inputs,
+            outputs,
+            arithmetic_intensity: macs as f64 / touched,
+            weight_fraction: weights as f64 / touched,
+        }
+    }
+}
+
+/// Whole-network profile: totals plus the distribution extremes that
+/// drive mapping decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkStats {
+    /// Total MACs.
+    pub total_macs: u64,
+    /// Total weights.
+    pub total_weights: u64,
+    /// Total activations (inputs + outputs over all layers).
+    pub total_activations: u64,
+    /// MAC-weighted mean arithmetic intensity.
+    pub mean_intensity: f64,
+    /// Lowest per-layer intensity (the bandwidth-bound tail).
+    pub min_intensity: f64,
+    /// Highest per-layer intensity (the compute-bound head).
+    pub max_intensity: f64,
+}
+
+impl NetworkStats {
+    /// Profiles a network.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty network.
+    pub fn of(network: &Network) -> Self {
+        assert!(!network.is_empty(), "cannot profile an empty network");
+        let mut total_macs = 0u64;
+        let mut total_weights = 0u64;
+        let mut total_acts = 0u64;
+        let mut weighted = 0.0;
+        let mut min_i = f64::INFINITY;
+        let mut max_i: f64 = 0.0;
+        for layer in network {
+            let s = LayerStats::of(layer);
+            total_macs += s.macs;
+            total_weights += s.weights;
+            total_acts += s.inputs + s.outputs;
+            weighted += s.arithmetic_intensity * s.macs as f64;
+            min_i = min_i.min(s.arithmetic_intensity);
+            max_i = max_i.max(s.arithmetic_intensity);
+        }
+        NetworkStats {
+            total_macs,
+            total_weights,
+            total_activations: total_acts,
+            mean_intensity: weighted / total_macs as f64,
+            min_intensity: min_i,
+            max_intensity: max_i,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+
+    #[test]
+    fn conv_intensity_exceeds_fc() {
+        let conv = ConvSpec::conv2d("c", 64, 64, (56, 56), (3, 3), 1, 1).unwrap();
+        let fc = ConvSpec::linear("fc", 4096, 4096).unwrap();
+        let c = LayerStats::of(&conv);
+        let f = LayerStats::of(&fc);
+        assert!(c.arithmetic_intensity > 10.0 * f.arithmetic_intensity);
+        // FC at batch 1 touches each weight exactly once.
+        assert!(f.arithmetic_intensity < 1.01);
+    }
+
+    #[test]
+    fn depthwise_has_low_intensity() {
+        let dw = ConvSpec::depthwise("dw", 128, (56, 56), (3, 3), 1, 1).unwrap();
+        let std = ConvSpec::conv2d("c", 128, 128, (56, 56), (3, 3), 1, 1).unwrap();
+        assert!(
+            LayerStats::of(&dw).arithmetic_intensity
+                < LayerStats::of(&std).arithmetic_intensity / 10.0
+        );
+    }
+
+    #[test]
+    fn vgg_is_weightier_than_mobilenet_per_mac() {
+        let vgg = NetworkStats::of(&models::vgg16(224));
+        let mnv2 = NetworkStats::of(&models::mobilenet_v2(224));
+        // VGG's mean intensity is far higher: big dense convs.
+        assert!(vgg.mean_intensity > 2.0 * mnv2.mean_intensity);
+        assert!(vgg.min_intensity <= vgg.max_intensity);
+    }
+
+    #[test]
+    fn network_totals_are_sums() {
+        let net = models::cifar_resnet20();
+        let s = NetworkStats::of(&net);
+        assert_eq!(s.total_macs, net.total_macs());
+        assert_eq!(s.total_weights, net.total_weights());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_network_rejected() {
+        let _ = NetworkStats::of(&Network::new("empty"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests of the workload IR: shape inference, MAC
+//! arithmetic and the elastic ResNet-50 generator.
+
+use naas_ir::{models, ConvSpec, Dim, DIMS};
+use proptest::prelude::*;
+
+fn arb_conv() -> impl Strategy<Value = ConvSpec> {
+    (
+        1u64..=512,
+        1u64..=512,
+        4u64..=128,
+        prop_oneof![Just(1u64), Just(3), Just(5), Just(7)],
+        1u64..=3,
+        0u64..=3,
+    )
+        .prop_filter_map("kernel must fit", |(c, k, hw, ks, s, p)| {
+            ConvSpec::conv2d("prop", c, k, (hw, hw), (ks, ks), s, p).ok()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Output extents are consistent with the padded-input formula and
+    /// the output never exceeds the padded input.
+    #[test]
+    fn output_shape_is_consistent(l in arb_conv()) {
+        let padded = l.in_y() + 2 * l.padding();
+        prop_assert!(l.out_y() >= 1);
+        prop_assert!((l.out_y() - 1) * l.stride() + l.kernel_r() <= padded);
+        // One more output row would overflow the padded input.
+        prop_assert!(l.out_y() * l.stride() + l.kernel_r() > padded);
+    }
+
+    /// MACs factor exactly into the six extents times batch.
+    #[test]
+    fn macs_factorize(l in arb_conv()) {
+        let manual: u64 = DIMS.iter().map(|&d| l.extent(d)).product();
+        prop_assert_eq!(l.macs(), manual * l.batch());
+    }
+
+    /// The halo covers at least the kernel and grows linearly in tiles.
+    #[test]
+    fn halo_bounds(l in arb_conv(), tile in 1u64..=64) {
+        let h = l.input_halo(tile, l.kernel_r());
+        prop_assert!(h >= l.kernel_r());
+        prop_assert_eq!(h, (tile - 1) * l.stride() + l.kernel_r());
+    }
+
+    /// Weight/input/output element counts are positive and weights match
+    /// the K·C/g·R·S formula.
+    #[test]
+    fn element_counts(l in arb_conv()) {
+        prop_assert!(l.weight_elems() > 0);
+        prop_assert!(l.input_elems() > 0);
+        prop_assert!(l.output_elems() > 0);
+        prop_assert_eq!(
+            l.weight_elems(),
+            l.out_channels() * (l.in_channels() / l.groups()) * l.kernel_r() * l.kernel_s()
+        );
+    }
+
+    /// Depthwise layers have unit reduction depth and K-dependent inputs
+    /// (a single-channel "depthwise" is a dense conv, so start at 2).
+    #[test]
+    fn depthwise_properties(ch in 2u64..=512, hw in 4u64..=64) {
+        let l = ConvSpec::depthwise("dw", ch, (hw, hw), (3, 3), 1, 1).unwrap();
+        prop_assert_eq!(l.extent(Dim::C), 1);
+        prop_assert_eq!(l.extent(Dim::K), ch);
+        prop_assert!(l.input_depends_on_k());
+    }
+
+    /// Elastic ResNet-50 MACs are monotone in width, depth and resolution.
+    #[test]
+    fn elastic_resnet_monotone(
+        res_step in 0u64..=4,
+        w_idx in 0usize..3,
+        extra_depth in 0usize..=1,
+    ) {
+        let widths = [0.65, 0.8, 1.0];
+        let res = 128 + 32 * res_step;
+        let base = models::resnet50_elastic(res, widths[w_idx], [2, 2, 4, 2], [0.25; 4]);
+        if res_step < 4 {
+            let bigger_res =
+                models::resnet50_elastic(res + 32, widths[w_idx], [2, 2, 4, 2], [0.25; 4]);
+            prop_assert!(bigger_res.total_macs() > base.total_macs());
+        }
+        if w_idx < 2 {
+            let wider =
+                models::resnet50_elastic(res, widths[w_idx + 1], [2, 2, 4, 2], [0.25; 4]);
+            prop_assert!(wider.total_macs() > base.total_macs());
+        }
+        let deeper = models::resnet50_elastic(
+            res,
+            widths[w_idx],
+            [2 + extra_depth, 2, 4, 2],
+            [0.25; 4],
+        );
+        prop_assert!(deeper.total_macs() >= base.total_macs());
+    }
+}

@@ -1,0 +1,37 @@
+//! # naas-mapping — compiler mapping descriptions
+//!
+//! The *compiler side* of the NAAS search space (paper §II-B, Fig. 2-3).
+//! A mapping assigns, to every level of the accelerator's loop-nest
+//! hierarchy, an execution order of the six convolution dimensions and the
+//! temporal tiling (trip counts) of each dimension:
+//!
+//! * one [`LevelSpec`] per array dimension (outermost first) — temporal
+//!   loops over tiles followed by the spatial split of that array
+//!   dimension's parallel dim;
+//! * one PE-level loop order — element-wise execution inside a PE (the
+//!   paper fixes one MAC per PE, so the PE level has orders but no tiling).
+//!
+//! [`Mapping::pe_tile`] and [`Mapping::tiles_per_level`] expose the decoded
+//! tile geometry consumed by the cost model; [`maestro`] renders the
+//! MAESTRO-style description shown in the paper's Fig. 2.
+//!
+//! ```
+//! use naas_accel::baselines;
+//! use naas_ir::models;
+//! use naas_mapping::Mapping;
+//!
+//! let accel = baselines::eyeriss();
+//! let layer = &models::resnet50(224).layers()[5].clone();
+//! let mapping = Mapping::balanced(layer, &accel);
+//! mapping.validate(&accel).expect("heuristic mappings are structurally valid");
+//! let tile = mapping.pe_tile(layer, accel.connectivity());
+//! assert!(tile.is_positive());
+//! ```
+
+pub mod maestro;
+pub mod mapping;
+pub mod order;
+pub mod tiling;
+
+pub use mapping::{LevelSpec, Mapping, MappingError};
+pub use order::{lehmer_index, order_from_importance, parallel_dims_from_importance, perm_from_lehmer};

@@ -1,0 +1,95 @@
+//! MAESTRO-style rendering of a mapping (paper Fig. 2, right panel).
+//!
+//! The paper describes mappings in MAESTRO's data-centric directive
+//! format, which fuses the array parameters and the mapping strategy:
+//! `TemporalMap(size, offset) DIM`, `SpatialMap(size, offset) DIM` and
+//! `Cluster(n, P)` describing one level of the PE hierarchy. This module
+//! renders our loop-nest mappings in that format for inspection and for
+//! comparison against the figures in the paper.
+
+use crate::mapping::Mapping;
+use naas_accel::Connectivity;
+use naas_ir::{ConvSpec, Dim};
+use std::fmt::Write as _;
+
+/// Renders a `(layer, connectivity, mapping)` triple in MAESTRO's
+/// directive syntax.
+///
+/// ```
+/// use naas_accel::baselines;
+/// use naas_ir::ConvSpec;
+/// use naas_mapping::{maestro, Mapping};
+///
+/// let accel = baselines::nvdla(256);
+/// let layer = ConvSpec::conv2d("c", 64, 128, (56, 56), (3, 3), 1, 1)?;
+/// let mapping = Mapping::balanced(&layer, &accel);
+/// let text = maestro::render(&layer, accel.connectivity(), &mapping);
+/// assert!(text.contains("SpatialMap"));
+/// assert!(text.contains("Cluster"));
+/// # Ok::<(), naas_ir::ShapeError>(())
+/// ```
+pub fn render(layer: &ConvSpec, conn: &Connectivity, mapping: &Mapping) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Network {} {{", layer.name());
+    let _ = writeln!(out, "  Type: CONV");
+    let _ = writeln!(
+        out,
+        "  Dimensions {{ K:{}, C:{}, Y':{}, X':{}, R:{}, S:{} }}",
+        layer.extent(Dim::K),
+        layer.extent(Dim::C),
+        layer.extent(Dim::Y),
+        layer.extent(Dim::X),
+        layer.extent(Dim::R),
+        layer.extent(Dim::S)
+    );
+    let _ = writeln!(out, "  Dataflow {{");
+
+    let tiles = mapping.tiles_per_level(layer, conn);
+    for (level, spec) in mapping.levels().iter().enumerate() {
+        let tile = &tiles[level];
+        for &d in &spec.order {
+            let size = tile[d];
+            let _ = writeln!(
+                out,
+                "    TemporalMap({size},{size}) {};",
+                d.paper_name()
+            );
+        }
+        let p = conn.parallel_dims()[level];
+        let _ = writeln!(out, "    SpatialMap(1,1) {};", p.paper_name());
+        let _ = writeln!(out, "    Cluster({}, P);", conn.sizes()[level]);
+    }
+    for &d in mapping.pe_order() {
+        let _ = writeln!(out, "    TemporalMap(1,1) {};", d.paper_name());
+    }
+    let _ = writeln!(out, "  }}");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naas_accel::baselines;
+
+    #[test]
+    fn render_contains_one_cluster_per_array_level() {
+        let accel = baselines::nvdla(256);
+        let layer = ConvSpec::conv2d("c", 64, 128, (56, 56), (3, 3), 1, 1).unwrap();
+        let mapping = Mapping::balanced(&layer, &accel);
+        let text = render(&layer, accel.connectivity(), &mapping);
+        assert_eq!(text.matches("Cluster(").count(), 2);
+        assert_eq!(text.matches("SpatialMap").count(), 2);
+    }
+
+    #[test]
+    fn render_uses_paper_dim_names() {
+        let accel = baselines::shidiannao();
+        let layer = ConvSpec::conv2d("c", 8, 8, (16, 16), (3, 3), 1, 1).unwrap();
+        let mapping = Mapping::balanced(&layer, &accel);
+        let text = render(&layer, accel.connectivity(), &mapping);
+        assert!(text.contains("Y'"));
+        assert!(text.contains("X'"));
+        assert!(text.contains("Dimensions"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Tile-geometry arithmetic shared by the mapping decoder and cost model.
+
+use naas_ir::DimVec;
+
+/// Ceiling division for tile extents.
+#[inline]
+pub fn ceil_div(a: u64, b: u64) -> u64 {
+    debug_assert!(b > 0, "tile divisor must be positive");
+    a.div_ceil(b)
+}
+
+/// Splits an extent into `trips` tiles: returns the extent of one child
+/// tile, `ceil(extent / trips)`.
+///
+/// The last tile may be ragged; the cost model charges full tiles (the
+/// conservative ceiling model used by MAESTRO-class estimators), so the
+/// utilization loss from ragged edges is captured by trip × tile ≥ extent.
+#[inline]
+pub fn child_extent(extent: u64, trips: u64) -> u64 {
+    ceil_div(extent, trips.max(1))
+}
+
+/// Applies a whole [`DimVec`] of trip counts to a [`DimVec`] of extents.
+pub fn child_extents(extents: &DimVec<u64>, trips: &DimVec<u64>) -> DimVec<u64> {
+    extents.map(|d, e| child_extent(e, trips[d]))
+}
+
+/// Decodes a tiling *ratio* in `[0, 1]` into a trip count in
+/// `1..=extent` — the paper's ratio-based tiling encoding (§II-B):
+/// "since tiling sizes are highly related to the network parameters, we
+/// use the scaling ratio rather than the absolute tiling value".
+///
+/// `ratio = 0` → 1 trip (no tiling); `ratio = 1` → `extent` trips
+/// (fully tiled, one element per tile).
+///
+/// ```
+/// use naas_mapping::tiling::trips_from_ratio;
+/// assert_eq!(trips_from_ratio(56, 0.0), 1);
+/// assert_eq!(trips_from_ratio(56, 1.0), 56);
+/// assert_eq!(trips_from_ratio(1, 0.7), 1);
+/// ```
+pub fn trips_from_ratio(extent: u64, ratio: f64) -> u64 {
+    if extent <= 1 {
+        return 1;
+    }
+    let r = ratio.clamp(0.0, 1.0);
+    // Geometric interpolation between 1 and extent keeps small trip counts
+    // reachable even for large extents (a linear scale would make "no
+    // tiling" a measure-zero choice for 100k-element dims).
+    let trips = (extent as f64).powf(r).round() as u64;
+    trips.clamp(1, extent)
+}
+
+/// Inverse of [`trips_from_ratio`] up to rounding: the ratio that decodes
+/// to (approximately) the given trip count.
+pub fn ratio_from_trips(extent: u64, trips: u64) -> f64 {
+    if extent <= 1 || trips <= 1 {
+        return 0.0;
+    }
+    let t = trips.min(extent) as f64;
+    (t.ln() / (extent as f64).ln()).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naas_ir::Dim;
+
+    #[test]
+    fn ceil_div_basics() {
+        assert_eq!(ceil_div(10, 3), 4);
+        assert_eq!(ceil_div(9, 3), 3);
+        assert_eq!(ceil_div(1, 5), 1);
+        assert_eq!(ceil_div(0, 5), 0);
+    }
+
+    #[test]
+    fn child_extent_covers_parent() {
+        for extent in [1u64, 7, 56, 224] {
+            for trips in [1u64, 2, 3, 5, 56] {
+                let child = child_extent(extent, trips);
+                assert!(child * trips.min(extent) >= extent);
+                assert!(child >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn child_extents_applies_per_dim() {
+        let extents = DimVec([64, 32, 56, 56, 3, 3]);
+        let trips = DimVec([4, 1, 8, 8, 1, 1]);
+        let child = child_extents(&extents, &trips);
+        assert_eq!(child[Dim::K], 16);
+        assert_eq!(child[Dim::Y], 7);
+        assert_eq!(child[Dim::R], 3);
+    }
+
+    #[test]
+    fn ratio_endpoints() {
+        assert_eq!(trips_from_ratio(100, 0.0), 1);
+        assert_eq!(trips_from_ratio(100, 1.0), 100);
+        assert_eq!(trips_from_ratio(0, 0.5), 1);
+    }
+
+    #[test]
+    fn ratio_is_monotone() {
+        let extent = 512;
+        let mut last = 0;
+        for step in 0..=20 {
+            let trips = trips_from_ratio(extent, step as f64 / 20.0);
+            assert!(trips >= last);
+            last = trips;
+        }
+    }
+
+    #[test]
+    fn ratio_round_trips_through_trips() {
+        for extent in [2u64, 7, 56, 512] {
+            for trips in [1u64, 2, extent / 2 + 1, extent] {
+                let r = ratio_from_trips(extent, trips);
+                let back = trips_from_ratio(extent, r);
+                // Round-trip within one rounding step.
+                assert!(
+                    (back as i64 - trips as i64).abs() <= 1,
+                    "extent {extent} trips {trips} -> ratio {r} -> {back}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests of mapping decode utilities and tile geometry.
+
+use naas_accel::baselines;
+use naas_ir::{dims::is_permutation, ConvSpec, DIMS};
+use naas_mapping::order::{lehmer_index, perm_from_lehmer, NUM_ORDERS};
+use naas_mapping::tiling::{ratio_from_trips, trips_from_ratio};
+use naas_mapping::{maestro, order_from_importance, Mapping};
+use proptest::prelude::*;
+
+fn arb_layer() -> impl Strategy<Value = ConvSpec> {
+    (1u64..=256, 1u64..=256, 6u64..=64, 1u64..=2).prop_filter_map(
+        "valid shapes",
+        |(c, k, hw, s)| ConvSpec::conv2d("prop", c, k, (hw, hw), (3, 3), s, 1).ok(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Importance decode always yields a permutation, and the most
+    /// important dimension is outermost.
+    #[test]
+    fn importance_decode_is_permutation(imp in proptest::array::uniform6(0.0f64..=1.0)) {
+        let order = order_from_importance(&imp);
+        prop_assert!(is_permutation(&order));
+        let max_idx = imp
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        // The argmax dim appears at slot 0 unless tied (ties break
+        // canonically, still one of the maxima).
+        prop_assert!(imp[order[0].index()] >= imp[max_idx] - 1e-12);
+    }
+
+    /// Lehmer encode/decode is a bijection over all 720 orders.
+    #[test]
+    fn lehmer_bijection(idx in 0u64..NUM_ORDERS) {
+        let p = perm_from_lehmer(idx);
+        prop_assert!(is_permutation(&p));
+        prop_assert_eq!(lehmer_index(&p), idx);
+    }
+
+    /// Ratio-decoded trip counts stay within [1, extent] and are monotone
+    /// in the ratio.
+    #[test]
+    fn trips_bounds_and_monotonicity(extent in 1u64..=4096, a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let t_lo = trips_from_ratio(extent, lo);
+        let t_hi = trips_from_ratio(extent, hi);
+        prop_assert!(t_lo >= 1 && t_lo <= extent.max(1));
+        prop_assert!(t_lo <= t_hi);
+        // Round trip within one step.
+        let r = ratio_from_trips(extent, t_hi);
+        let back = trips_from_ratio(extent, r);
+        prop_assert!((back as i64 - t_hi as i64).abs() <= 1);
+    }
+
+    /// Tile geometry covers the layer: trips × spatial × pe-tile ≥ extent
+    /// in every dimension.
+    #[test]
+    fn tiles_cover_extents(layer in arb_layer()) {
+        for accel in baselines::all() {
+            let m = Mapping::balanced(&layer, &accel);
+            let conn = accel.connectivity();
+            let pe = m.pe_tile(&layer, conn);
+            for d in DIMS {
+                let trips: u64 = m.levels().iter().map(|l| l.trips[d]).product();
+                let spatial = conn.spatial_extent(d);
+                prop_assert!(
+                    trips * spatial * pe[d] >= layer.extent(d),
+                    "{d} uncovered on {}: {} * {} * {} < {}",
+                    accel.name(), trips, spatial, pe[d], layer.extent(d)
+                );
+            }
+        }
+    }
+
+    /// The MAESTRO renderer always emits one cluster per array level and
+    /// mentions every dimension.
+    #[test]
+    fn maestro_render_is_complete(layer in arb_layer()) {
+        let accel = baselines::nvdla(256);
+        let m = Mapping::balanced(&layer, &accel);
+        let text = maestro::render(&layer, accel.connectivity(), &m);
+        prop_assert_eq!(text.matches("Cluster(").count(), accel.connectivity().ndim());
+        for d in DIMS {
+            prop_assert!(text.contains(d.paper_name()));
+        }
+    }
+}

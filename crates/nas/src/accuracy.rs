@@ -1,0 +1,171 @@
+//! Deterministic ImageNet-accuracy surrogate for elastic ResNet-50
+//! subnets (the substitution for OFA supernet evaluation; DESIGN.md §2).
+
+use crate::space::{Subnet, RATIO_CHOICES, WIDTH_CHOICES};
+use serde::{Deserialize, Serialize};
+
+/// Calibrated accuracy predictor.
+///
+/// The functional form is logarithmic in each capacity knob with a
+/// quadratic damping term (diminishing returns), anchored so that:
+///
+/// * the standard ResNet-50 genotype predicts **76.3 %** (its well-known
+///   ImageNet top-1);
+/// * the largest subnet of the space predicts just under **80 %**,
+///   matching the OFA-ResNet50 ceiling the paper's Fig. 10 operates in
+///   (the best co-searched point reports 79.0);
+/// * shrinking any knob monotonically lowers accuracy, steeply below
+///   160 px (small-resolution cliff), gently near the top.
+///
+/// ```
+/// use naas_nas::{AccuracyModel, Subnet};
+/// let model = AccuracyModel::default();
+/// let mut small = Subnet::resnet50_baseline();
+/// small.resolution = 128;
+/// small.width_idx = 0;
+/// assert!(model.predict(&small) < model.predict(&Subnet::resnet50_baseline()));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyModel {
+    /// Accuracy of the anchor genotype (standard ResNet-50).
+    pub base_accuracy: f64,
+    /// Resolution sensitivity (per log-ratio to 224).
+    pub res_coeff: f64,
+    /// Width sensitivity (per log width multiplier).
+    pub width_coeff: f64,
+    /// Depth sensitivity (per log-ratio of blocks to 16).
+    pub depth_coeff: f64,
+    /// Bottleneck-ratio sensitivity (per log-ratio to 0.25).
+    pub ratio_coeff: f64,
+    /// Quadratic damping of over-capacity gains.
+    pub damping: f64,
+    /// Hard accuracy ceiling of the space.
+    pub ceiling: f64,
+}
+
+impl Default for AccuracyModel {
+    fn default() -> Self {
+        AccuracyModel {
+            base_accuracy: 76.3,
+            res_coeff: 8.0,
+            width_coeff: 6.0,
+            depth_coeff: 5.5,
+            ratio_coeff: 3.6,
+            damping: 0.03,
+            ceiling: 79.9,
+        }
+    }
+}
+
+impl AccuracyModel {
+    /// Predicted ImageNet top-1 accuracy (percent) of a subnet.
+    pub fn predict(&self, s: &Subnet) -> f64 {
+        let res = (s.resolution.max(128) / 32 * 32) as f64; // as lowered
+        let w = WIDTH_CHOICES[s.width_idx.min(WIDTH_CHOICES.len() - 1)];
+        let blocks = s.total_blocks() as f64;
+        let mean_ratio: f64 = s
+            .ratio_idx
+            .iter()
+            .map(|&i| RATIO_CHOICES[i.min(RATIO_CHOICES.len() - 1)])
+            .sum::<f64>()
+            / 4.0;
+
+        let g_res = (res / 224.0).ln();
+        let g_w = w.ln();
+        let g_d = (blocks / 16.0).ln();
+        let g_r = (mean_ratio / 0.25).ln();
+
+        let gain = self.res_coeff * g_res
+            + self.width_coeff * g_w
+            + self.depth_coeff * g_d
+            + self.ratio_coeff * g_r;
+        // Damp only positive capacity overshoot: extra capacity saturates.
+        let overshoot = gain.max(0.0);
+        let acc = self.base_accuracy + gain - self.damping * overshoot * overshoot;
+        acc.min(self.ceiling)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::ResNet50Space;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn baseline_anchors_at_published_accuracy() {
+        let acc = AccuracyModel::default().predict(&Subnet::resnet50_baseline());
+        assert!((acc - 76.3).abs() < 1e-9, "got {acc}");
+    }
+
+    #[test]
+    fn max_subnet_approaches_ofa_ceiling() {
+        let max = Subnet {
+            width_idx: 2,
+            depths: [4, 4, 6, 4],
+            ratio_idx: [2, 2, 2, 2],
+            resolution: 256,
+        };
+        let acc = AccuracyModel::default().predict(&max);
+        assert!(acc > 77.5 && acc <= 79.9, "got {acc}");
+    }
+
+    #[test]
+    fn monotone_in_every_knob() {
+        let m = AccuracyModel::default();
+        let base = Subnet::resnet50_baseline();
+        // Lower width.
+        let mut v = base;
+        v.width_idx = 0;
+        assert!(m.predict(&v) < m.predict(&base));
+        // Lower resolution.
+        let mut v = base;
+        v.resolution = 128;
+        assert!(m.predict(&v) < m.predict(&base));
+        // Fewer blocks.
+        let mut v = base;
+        v.depths = [2, 2, 4, 2];
+        assert!(m.predict(&v) < m.predict(&base));
+        // Thinner bottlenecks.
+        let mut v = base;
+        v.ratio_idx = [0, 0, 0, 0];
+        assert!(m.predict(&v) < m.predict(&base));
+    }
+
+    #[test]
+    fn whole_space_is_within_plausible_range() {
+        let m = AccuracyModel::default();
+        let space = ResNet50Space::paper();
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let s = space.sample(&mut rng);
+            let acc = m.predict(&s);
+            assert!(
+                (60.0..=79.9).contains(&acc),
+                "implausible accuracy {acc} for {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn accuracy_correlates_with_macs() {
+        // Across random pairs, the larger-MAC subnet should usually be
+        // more accurate — a sanity property of any capacity surrogate.
+        let m = AccuracyModel::default();
+        let space = ResNet50Space::paper();
+        let mut rng = SmallRng::seed_from_u64(13);
+        let mut agree = 0;
+        let n = 200;
+        for _ in 0..n {
+            let a = space.sample(&mut rng);
+            let b = space.sample(&mut rng);
+            let (ma, mb) = (a.to_network().total_macs(), b.to_network().total_macs());
+            let (pa, pb) = (m.predict(&a), m.predict(&b));
+            if (ma > mb) == (pa > pb) || (ma == mb) {
+                agree += 1;
+            }
+        }
+        assert!(agree * 100 / n >= 75, "agreement only {agree}/{n}");
+    }
+}

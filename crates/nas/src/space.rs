@@ -1,0 +1,218 @@
+//! The elastic ResNet-50 design space (paper §III-A0c).
+
+use naas_ir::{models, Network};
+use rand::rngs::SmallRng;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+/// Width-multiplier choices of the paper's space.
+pub const WIDTH_CHOICES: [f64; 3] = [0.65, 0.8, 1.0];
+/// Bottleneck reduction-ratio choices of the paper's space.
+pub const RATIO_CHOICES: [f64; 3] = [0.20, 0.25, 0.35];
+/// Per-stage depth bounds: min and max bottleneck blocks
+/// (max depths sum to the paper's "18 residual blocks at maximum").
+pub const DEPTH_BOUNDS: [(usize, usize); 4] = [(2, 4), (2, 4), (4, 6), (2, 4)];
+/// Input resolution range and stride (128…256 step 16).
+pub const RESOLUTIONS: (u64, u64, u64) = (128, 256, 16);
+
+/// One subnet of the elastic ResNet-50 space: the NAS genotype.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Subnet {
+    /// Index into [`WIDTH_CHOICES`].
+    pub width_idx: usize,
+    /// Bottleneck blocks per stage.
+    pub depths: [usize; 4],
+    /// Index into [`RATIO_CHOICES`], per stage.
+    pub ratio_idx: [usize; 4],
+    /// Input resolution (multiple of 32 for the ResNet stem; the paper's
+    /// 16-strided grid is rounded to the nearest valid value on lowering).
+    pub resolution: u64,
+}
+
+impl Subnet {
+    /// The standard ResNet-50 point of the space (width 1.0, depths
+    /// 3-4-6-3, ratio 0.25, 224×224).
+    pub fn resnet50_baseline() -> Self {
+        Subnet {
+            width_idx: 2,
+            depths: [3, 4, 6, 3],
+            ratio_idx: [1, 1, 1, 1],
+            resolution: 224,
+        }
+    }
+
+    /// Width multiplier of this subnet.
+    pub fn width(&self) -> f64 {
+        WIDTH_CHOICES[self.width_idx]
+    }
+
+    /// Per-stage reduction ratios.
+    pub fn ratios(&self) -> [f64; 4] {
+        self.ratio_idx.map(|i| RATIO_CHOICES[i])
+    }
+
+    /// Total bottleneck blocks.
+    pub fn total_blocks(&self) -> usize {
+        self.depths.iter().sum()
+    }
+
+    /// Lowers the genotype to a concrete layer list for cost evaluation.
+    ///
+    /// Resolutions are snapped to the nearest multiple of 32 ≥ 128 so the
+    /// five stride-2 stages stay shape-consistent.
+    pub fn to_network(&self) -> Network {
+        let res = (self.resolution.max(128) / 32) * 32;
+        models::resnet50_elastic(res, self.width(), self.depths, self.ratios())
+    }
+}
+
+/// The paper's subnet space with sampling and mutation operators for the
+/// adapted OFA evolutionary search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResNet50Space;
+
+impl ResNet50Space {
+    /// The space exactly as configured in §III-A0c.
+    pub fn paper() -> Self {
+        ResNet50Space
+    }
+
+    /// `true` if the genotype's fields are all within the space.
+    pub fn contains(&self, s: &Subnet) -> bool {
+        s.width_idx < WIDTH_CHOICES.len()
+            && s.ratio_idx.iter().all(|&r| r < RATIO_CHOICES.len())
+            && s.depths
+                .iter()
+                .zip(DEPTH_BOUNDS)
+                .all(|(&d, (lo, hi))| d >= lo && d <= hi)
+            && s.resolution >= RESOLUTIONS.0
+            && s.resolution <= RESOLUTIONS.1
+            && (s.resolution - RESOLUTIONS.0).is_multiple_of(RESOLUTIONS.2)
+    }
+
+    /// Samples a uniform random subnet.
+    pub fn sample(&self, rng: &mut SmallRng) -> Subnet {
+        let (lo, hi, step) = RESOLUTIONS;
+        let steps = (hi - lo) / step + 1;
+        Subnet {
+            width_idx: rng.random_range(0..WIDTH_CHOICES.len()),
+            depths: std::array::from_fn(|i| {
+                let (dlo, dhi) = DEPTH_BOUNDS[i];
+                rng.random_range(dlo..=dhi)
+            }),
+            ratio_idx: std::array::from_fn(|_| rng.random_range(0..RATIO_CHOICES.len())),
+            resolution: lo + rng.random_range(0..steps) * step,
+        }
+    }
+
+    /// Mutates each gene independently with probability `prob`.
+    pub fn mutate(&self, s: &Subnet, prob: f64, rng: &mut SmallRng) -> Subnet {
+        let fresh = self.sample(rng);
+        let mut out = *s;
+        if rng.random_range(0.0..1.0) < prob {
+            out.width_idx = fresh.width_idx;
+        }
+        for i in 0..4 {
+            if rng.random_range(0.0..1.0) < prob {
+                out.depths[i] = fresh.depths[i];
+            }
+            if rng.random_range(0.0..1.0) < prob {
+                out.ratio_idx[i] = fresh.ratio_idx[i];
+            }
+        }
+        if rng.random_range(0.0..1.0) < prob {
+            out.resolution = fresh.resolution;
+        }
+        out
+    }
+
+    /// Uniform crossover of two parents.
+    pub fn crossover(&self, a: &Subnet, b: &Subnet, rng: &mut SmallRng) -> Subnet {
+        let pick = |rng: &mut SmallRng| rng.random_range(0..2u8) == 0;
+        Subnet {
+            width_idx: if pick(rng) { a.width_idx } else { b.width_idx },
+            depths: std::array::from_fn(|i| if pick(rng) { a.depths[i] } else { b.depths[i] }),
+            ratio_idx: std::array::from_fn(
+                |i| if pick(rng) { a.ratio_idx[i] } else { b.ratio_idx[i] },
+            ),
+            resolution: if pick(rng) { a.resolution } else { b.resolution },
+        }
+    }
+
+    /// Size of the genotype space (for documentation/tests): widths ×
+    /// depths × ratios × resolutions.
+    pub fn cardinality(&self) -> u64 {
+        let depths: u64 = DEPTH_BOUNDS.iter().map(|(lo, hi)| (hi - lo + 1) as u64).product();
+        let ratios = RATIO_CHOICES.len().pow(4) as u64;
+        let res = (RESOLUTIONS.1 - RESOLUTIONS.0) / RESOLUTIONS.2 + 1;
+        WIDTH_CHOICES.len() as u64 * depths * ratios * res
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn baseline_is_in_space() {
+        assert!(ResNet50Space::paper().contains(&Subnet::resnet50_baseline()));
+    }
+
+    #[test]
+    fn baseline_lowering_matches_resnet50() {
+        let net = Subnet::resnet50_baseline().to_network();
+        let reference = models::resnet50(224);
+        assert_eq!(net.total_macs(), reference.total_macs());
+        assert_eq!(net.len(), reference.len());
+    }
+
+    #[test]
+    fn samples_stay_in_space() {
+        let space = ResNet50Space::paper();
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..500 {
+            let s = space.sample(&mut rng);
+            assert!(space.contains(&s));
+            assert!(s.total_blocks() <= 18);
+            assert!(s.total_blocks() >= 10);
+        }
+    }
+
+    #[test]
+    fn mutation_and_crossover_stay_in_space() {
+        let space = ResNet50Space::paper();
+        let mut rng = SmallRng::seed_from_u64(6);
+        let a = space.sample(&mut rng);
+        let b = space.sample(&mut rng);
+        for _ in 0..100 {
+            assert!(space.contains(&space.mutate(&a, 0.5, &mut rng)));
+            assert!(space.contains(&space.crossover(&a, &b, &mut rng)));
+        }
+    }
+
+    #[test]
+    fn zero_prob_mutation_is_identity() {
+        let space = ResNet50Space::paper();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let s = space.sample(&mut rng);
+        assert_eq!(space.mutate(&s, 0.0, &mut rng), s);
+    }
+
+    #[test]
+    fn odd_resolutions_snap_on_lowering() {
+        let mut s = Subnet::resnet50_baseline();
+        s.resolution = 144; // valid in grid, not multiple of 32
+        let net = s.to_network();
+        let stem = &net.layers()[0];
+        assert_eq!(stem.in_y(), 128); // snapped down
+    }
+
+    #[test]
+    fn cardinality_is_large() {
+        // 3 × 81 × 81 × 9 = 177147 genotypes *of structure*; the paper's
+        // 10¹³ counts per-block ratio/width combinations — ours is the
+        // stage-granular version of the same space.
+        assert!(ResNet50Space::paper().cardinality() > 100_000);
+    }
+}

@@ -1,0 +1,106 @@
+//! Design-space cardinality accounting — reproduces the size claims of
+//! the paper's §I: "within the same #PEs and on-chip memory resources as
+//! EdgeTPU there are at least 10¹¹ hardware candidates and 10¹⁷ mapping
+//! candidates for each layer, which composes 10⁸⁶¹ possible combinations
+//! in the joint search space for ResNet-50."
+//!
+//! All counts are returned as log₁₀ (the joint space overflows any
+//! integer type by hundreds of orders of magnitude).
+
+use naas_accel::ResourceConstraint;
+use naas_ir::{ConvSpec, Network, DIMS};
+use naas_mapping::order::{num_parallel_choices, NUM_ORDERS};
+
+/// log₁₀ of the number of hardware candidates inside an envelope, using
+/// the paper's strides (#PEs stride 8, buffers stride 16 B, array dims
+/// stride 2, and the 1D/2D/3D × parallel-dimension connectivity choices).
+pub fn log10_hardware_candidates(constraint: &ResourceConstraint) -> f64 {
+    let pe_choices = (constraint.max_pes() / 8).max(1) as f64;
+    // L1/L2 split: count (L1, L2) pairs at 16-B stride that fit on chip;
+    // approximate the triangular region by half the full grid.
+    let onchip_steps = (constraint.max_onchip_bytes() / 16).max(1) as f64;
+    // L1 per PE is bounded by onchip/2/PEs; L2 takes the rest. The pair
+    // count is ≈ (l1 steps) × (l2 steps) ≈ onchip_steps²/(2·PEs·16…); we
+    // conservatively count the L2 dimension fully and L1 at its cap.
+    let l1_steps = (constraint.max_onchip_bytes() / 2 / constraint.max_pes().max(1) / 16)
+        .max(1) as f64;
+    let bw_choices = (constraint.noc_bandwidth().max(1.0)) as f64;
+    let mut connectivity = 0.0;
+    for ndim in 1..=3usize {
+        // Each array dim sized at stride 2 up to #PEs^(1/ndim)-ish; count
+        // factorizations loosely as (pe_choices)^(ndim-1) shape splits.
+        let shapes = pe_choices.powf((ndim as f64 - 1.0).max(0.0) / 2.0).max(1.0);
+        connectivity += shapes * num_parallel_choices(ndim) as f64;
+    }
+    (pe_choices * l1_steps * onchip_steps * bw_choices * connectivity).log10()
+}
+
+/// log₁₀ of the number of mapping candidates for one layer on a k-D
+/// array: per array level, a loop order (6! choices) and a tiling (each
+/// dimension splittable into 1..=extent tiles); plus the PE-level order.
+pub fn log10_mapping_candidates(layer: &ConvSpec, ndim: usize) -> f64 {
+    let order_log = (NUM_ORDERS as f64).log10();
+    let tiling_log: f64 = DIMS
+        .iter()
+        .map(|&d| (layer.extent(d) as f64).log10())
+        .sum();
+    // k array levels with order+tiling, one PE level with order only.
+    ndim as f64 * (order_log + tiling_log) + order_log
+}
+
+/// log₁₀ of the joint (hardware × per-layer mapping) space for a whole
+/// network: hardware choices once, mapping choices per layer (§I counts
+/// 10^(11 + 50·17) = 10⁸⁶¹ for ResNet-50 under EdgeTPU resources).
+pub fn log10_joint_space(constraint: &ResourceConstraint, network: &Network, ndim: usize) -> f64 {
+    log10_hardware_candidates(constraint)
+        + network
+            .iter()
+            .map(|l| log10_mapping_candidates(l, ndim))
+            .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naas_accel::baselines;
+    use naas_ir::models;
+
+    #[test]
+    fn edge_tpu_hardware_space_is_at_least_1e11() {
+        let c = ResourceConstraint::from_design(&baselines::edge_tpu());
+        let log = log10_hardware_candidates(&c);
+        assert!(log >= 11.0, "paper claims ≥10^11, got 10^{log:.1}");
+        assert!(log <= 20.0, "sanity ceiling, got 10^{log:.1}");
+    }
+
+    #[test]
+    fn per_layer_mapping_space_is_astronomical() {
+        // The paper quotes ~10^17 mapping candidates per layer.
+        let net = models::resnet50(224);
+        let mid = net.iter().find(|l| l.name() == "s2b1_conv3").unwrap();
+        let log = log10_mapping_candidates(mid, 2);
+        assert!(log >= 14.0, "got 10^{log:.1}");
+    }
+
+    #[test]
+    fn joint_space_for_resnet50_is_hundreds_of_orders() {
+        let c = ResourceConstraint::from_design(&baselines::edge_tpu());
+        let net = models::resnet50(224);
+        let log = log10_joint_space(&c, &net, 2);
+        // Paper: 10^861. Ours counts the same structure: several hundred
+        // orders of magnitude.
+        assert!(log > 400.0, "got 10^{log:.0}");
+        assert!(log.is_finite());
+    }
+
+    #[test]
+    fn bigger_envelopes_have_bigger_spaces() {
+        let small = log10_hardware_candidates(&ResourceConstraint::from_design(
+            &baselines::shidiannao(),
+        ));
+        let big = log10_hardware_candidates(&ResourceConstraint::from_design(
+            &baselines::edge_tpu(),
+        ));
+        assert!(big > small);
+    }
+}

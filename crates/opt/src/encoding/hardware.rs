@@ -1,0 +1,392 @@
+//! The full NAAS hardware encoding (paper Fig. 2): architectural sizing
+//! plus connectivity parameters.
+
+use crate::encoding::{lerp, round_stride, unit_to_index, EncodingScheme};
+use naas_accel::{Accelerator, ArchitecturalSizing, Connectivity, ResourceConstraint};
+use naas_mapping::order::{
+    num_parallel_choices, parallel_choice_index, parallel_dims_from_index,
+};
+use naas_mapping::parallel_dims_from_importance;
+
+/// Decoder from an optimizer vector to an [`Accelerator`] within a
+/// [`ResourceConstraint`].
+///
+/// Vector layout (importance scheme, 13 knobs):
+///
+/// | index | knob | decode |
+/// |---|---|---|
+/// | 0 | #PEs | stride-8 fraction of the envelope's PE budget |
+/// | 1 | L1 size | stride-16 B split of the on-chip SRAM budget |
+/// | 2 | L2 size | stride-16 B share of the remaining SRAM |
+/// | 3 | NoC bandwidth | fraction of the envelope ceiling |
+/// | 4 | #array dims | 1, 2 or 3 |
+/// | 5-6 | array dim sizes | stride-2 geometric splits of the PE budget |
+/// | 7-12 | parallel dims | six importance values, top-k win (Fig. 3) |
+///
+/// With [`EncodingScheme::Index`] the six importances collapse into a
+/// single enumeration index (8 knobs total) — the Fig. 9 baseline.
+///
+/// ```
+/// use naas_accel::{baselines, ResourceConstraint};
+/// use naas_opt::{EncodingScheme, HardwareEncoder};
+///
+/// let envelope = ResourceConstraint::from_design(&baselines::eyeriss());
+/// let enc = HardwareEncoder::new(envelope.clone(), EncodingScheme::Importance);
+/// let design = enc.decode(&vec![0.5; enc.dim()]).expect("midpoint decodes");
+/// assert!(envelope.admits(&design).is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct HardwareEncoder {
+    constraint: ResourceConstraint,
+    scheme: EncodingScheme,
+}
+
+impl HardwareEncoder {
+    /// Creates a decoder for the given resource envelope.
+    pub fn new(constraint: ResourceConstraint, scheme: EncodingScheme) -> Self {
+        HardwareEncoder { constraint, scheme }
+    }
+
+    /// The resource envelope this encoder targets.
+    pub fn constraint(&self) -> &ResourceConstraint {
+        &self.constraint
+    }
+
+    /// The encoding scheme in use.
+    pub fn scheme(&self) -> EncodingScheme {
+        self.scheme
+    }
+
+    /// Number of knobs in the vector.
+    pub fn dim(&self) -> usize {
+        match self.scheme {
+            EncodingScheme::Importance => 13,
+            EncodingScheme::Index => 8,
+        }
+    }
+
+    /// Decodes a vector into a design point, or `None` for invalid
+    /// samples (callers resample, per §II-A0c).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta.len() != self.dim()`.
+    pub fn decode(&self, theta: &[f64]) -> Option<Accelerator> {
+        assert_eq!(theta.len(), self.dim(), "wrong hardware vector length");
+        let c = &self.constraint;
+
+        // Connectivity: dimensionality, sizes, parallel dims.
+        let ndim = 1 + unit_to_index(theta[4], 3) as usize;
+        let pe_budget = round_stride(
+            lerp((c.max_pes() as f64 / 8.0).max(8.0), c.max_pes() as f64, theta[0]),
+            8,
+        )
+        .min(c.max_pes());
+        let sizes = split_array(pe_budget, ndim, theta[5], theta[6])?;
+        let pe_count: u64 = sizes.iter().product();
+        if pe_count > c.max_pes() {
+            return None;
+        }
+
+        let parallel = match self.scheme {
+            EncodingScheme::Importance => {
+                let imp: [f64; 6] = theta[7..13].try_into().expect("six importances");
+                parallel_dims_from_importance(&imp, ndim)
+            }
+            EncodingScheme::Index => {
+                let total = num_parallel_choices(ndim);
+                parallel_dims_from_index(unit_to_index(theta[7], total), ndim)
+            }
+        };
+        let connectivity = Connectivity::new(sizes, parallel).ok()?;
+
+        // Sizing: split the on-chip budget between Σ L1 and L2
+        // (buffer strides of 16 B, §III-A0a).
+        let onchip = c.max_onchip_bytes();
+        // Caps floored to the 16-B stride so the final min() stays on it.
+        let l1_cap = ((((onchip / 2) / pe_count).max(16)) / 16) * 16;
+        let l1 = round_stride(lerp(16.0, l1_cap as f64, theta[1]), 16).min(l1_cap);
+        let remaining = ((onchip.saturating_sub(pe_count * l1)) / 16) * 16;
+        if remaining < 16 {
+            return None;
+        }
+        let l2 = round_stride(
+            lerp((remaining / 8).max(16) as f64, remaining as f64, theta[2]),
+            16,
+        )
+        .min(remaining);
+        let noc = lerp(c.noc_bandwidth() / 4.0, c.noc_bandwidth(), theta[3]);
+
+        let design = Accelerator::new(
+            format!("naas_{}x{}", pe_count, connectivity.size_label()),
+            ArchitecturalSizing::new(l1, l2, noc, c.dram_bandwidth()),
+            connectivity,
+        );
+        c.admits(&design).ok()?;
+        Some(design)
+    }
+
+    /// Approximately inverts [`HardwareEncoder::decode`]: produces a
+    /// vector that decodes to (a stride-rounded neighbour of) `design`.
+    ///
+    /// Used to warm-start the outer evolution with an incumbent design —
+    /// the search should never lose to the envelope's source baseline,
+    /// since that baseline is itself a member of the space.
+    ///
+    /// Returns `None` when the design cannot be expressed (e.g. it
+    /// violates the envelope, or has more than 3 array dims).
+    pub fn encode(&self, design: &Accelerator) -> Option<Vec<f64>> {
+        let c = &self.constraint;
+        c.admits(design).ok()?;
+        let conn = design.connectivity();
+        let ndim = conn.ndim();
+        let mut theta = vec![0.5; self.dim()];
+
+        // PE budget knob.
+        let lo = (c.max_pes() as f64 / 8.0).max(8.0);
+        let pe = design.pe_count() as f64;
+        theta[0] = ((pe - lo) / (c.max_pes() as f64 - lo).max(1e-12)).clamp(0.0, 1.0);
+        let budget = round_stride(lerp(lo, c.max_pes() as f64, theta[0]), 8).min(c.max_pes());
+
+        // Array rank: the centre of the rank's decode bin.
+        theta[4] = (ndim as f64 - 1.0) / 3.0 + 1.0 / 6.0;
+
+        // Dim-size split exponents (inverse of `split_array`).
+        let b = (budget as f64).max(2.0);
+        match ndim {
+            1 => {}
+            2 => {
+                let alpha = (conn.sizes()[0] as f64).ln() / b.ln();
+                theta[5] = ((alpha - 0.2) / 0.6).clamp(0.0, 1.0);
+            }
+            3 => {
+                let a = conn.sizes()[0] as f64;
+                let alpha = a.ln() / b.ln();
+                theta[5] = ((alpha - 0.15) / 0.35).clamp(0.0, 1.0);
+                let rem = (budget / conn.sizes()[0]).max(2) as f64;
+                let beta = (conn.sizes()[1] as f64).ln() / rem.ln();
+                theta[6] = ((beta - 0.25) / 0.5).clamp(0.0, 1.0);
+            }
+            _ => return None,
+        }
+
+        // Parallel dimensions.
+        match self.scheme {
+            EncodingScheme::Importance => {
+                for slot in theta[7..13].iter_mut() {
+                    *slot = 0.2;
+                }
+                for (i, d) in conn.parallel_dims().iter().enumerate() {
+                    theta[7 + d.index()] = 0.9 - 0.1 * i as f64;
+                }
+            }
+            EncodingScheme::Index => {
+                let total = num_parallel_choices(ndim);
+                let idx = parallel_choice_index(conn.parallel_dims());
+                theta[7] = (idx as f64 + 0.5) / total as f64;
+            }
+        }
+
+        // Sizing knobs, inverted against the *decoded* PE count so the
+        // stride rounding of the split stays consistent.
+        let decoded_pe = self.decode(&theta)?.pe_count();
+        let onchip = c.max_onchip_bytes();
+        let l1_cap = (((((onchip / 2) / decoded_pe).max(16)) / 16) * 16) as f64;
+        theta[1] =
+            ((design.sizing().l1_bytes() as f64 - 16.0) / (l1_cap - 16.0).max(1e-12)).clamp(0.0, 1.0);
+        let l1 = round_stride(lerp(16.0, l1_cap, theta[1]), 16).min(l1_cap as u64);
+        let remaining = (onchip.saturating_sub(decoded_pe * l1) / 16 * 16) as f64;
+        let l2_lo = (remaining / 8.0).max(16.0);
+        theta[2] = ((design.sizing().l2_bytes() as f64 - l2_lo) / (remaining - l2_lo).max(1e-12))
+            .clamp(0.0, 1.0);
+        let bw_lo = c.noc_bandwidth() / 4.0;
+        theta[3] = ((design.sizing().noc_bandwidth() - bw_lo)
+            / (c.noc_bandwidth() - bw_lo).max(1e-12))
+        .clamp(0.0, 1.0);
+
+        // Final verification: the vector must decode to a valid design.
+        self.decode(&theta)?;
+        Some(theta)
+    }
+}
+
+/// Splits a PE budget into `ndim` stride-2 array-dimension sizes whose
+/// product does not exceed the budget.
+fn split_array(budget: u64, ndim: usize, t0: f64, t1: f64) -> Option<Vec<u64>> {
+    let b = budget as f64;
+    match ndim {
+        1 => {
+            let s = round_stride(b, 2).min(budget & !1);
+            (s >= 2).then(|| vec![s.max(2)])
+        }
+        2 => {
+            if budget < 4 {
+                return None;
+            }
+            let rows = round_stride(b.powf(lerp(0.2, 0.8, t0)), 2)
+                .clamp(2, ((budget / 2) & !1).max(2));
+            let cols = ((budget / rows) & !1).max(2);
+            Some(vec![rows, cols])
+        }
+        3 => {
+            if budget < 8 {
+                return None;
+            }
+            let a =
+                round_stride(b.powf(lerp(0.15, 0.5, t0)), 2).clamp(2, ((budget / 4) & !1).max(2));
+            let rem = budget / a;
+            if rem < 4 {
+                return None;
+            }
+            let bb = round_stride((rem as f64).powf(lerp(0.25, 0.75, t1)), 2)
+                .clamp(2, ((rem / 2) & !1).max(2));
+            let cc = ((rem / bb) & !1).max(2);
+            Some(vec![a, bb, cc])
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naas_accel::baselines;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn envelope() -> ResourceConstraint {
+        ResourceConstraint::from_design(&baselines::eyeriss())
+    }
+
+    #[test]
+    fn midpoint_decodes_for_all_baselines() {
+        for design in baselines::all() {
+            let c = ResourceConstraint::from_design(&design);
+            for scheme in [EncodingScheme::Importance, EncodingScheme::Index] {
+                let enc = HardwareEncoder::new(c.clone(), scheme);
+                let d = enc.decode(&vec![0.5; enc.dim()]);
+                assert!(d.is_some(), "midpoint must decode under {}", design.name());
+            }
+        }
+    }
+
+    #[test]
+    fn decoded_designs_always_fit_envelope() {
+        let enc = HardwareEncoder::new(envelope(), EncodingScheme::Importance);
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut valid = 0;
+        for _ in 0..500 {
+            let theta: Vec<f64> = (0..enc.dim()).map(|_| rng.random_range(0.0..=1.0)).collect();
+            if let Some(d) = enc.decode(&theta) {
+                valid += 1;
+                assert!(
+                    envelope().admits(&d).is_ok(),
+                    "decoded design must fit: {d}"
+                );
+                assert!(d.connectivity().ndim() >= 1 && d.connectivity().ndim() <= 3);
+                for &s in d.connectivity().sizes() {
+                    assert_eq!(s % 2, 0, "array sizes use stride 2");
+                }
+                assert_eq!(d.sizing().l1_bytes() % 16, 0, "L1 uses stride 16");
+            }
+        }
+        assert!(valid > 400, "decode success rate too low: {valid}/500");
+    }
+
+    #[test]
+    fn ndim_knob_selects_rank() {
+        let enc = HardwareEncoder::new(
+            ResourceConstraint::from_design(&baselines::edge_tpu()),
+            EncodingScheme::Importance,
+        );
+        let mut theta = vec![0.5; enc.dim()];
+        theta[4] = 0.0;
+        assert_eq!(enc.decode(&theta).unwrap().connectivity().ndim(), 1);
+        theta[4] = 0.5;
+        assert_eq!(enc.decode(&theta).unwrap().connectivity().ndim(), 2);
+        theta[4] = 1.0;
+        assert_eq!(enc.decode(&theta).unwrap().connectivity().ndim(), 3);
+    }
+
+    #[test]
+    fn importance_knobs_select_parallel_dims() {
+        let enc = HardwareEncoder::new(envelope(), EncodingScheme::Importance);
+        let mut theta = vec![0.5; enc.dim()];
+        theta[4] = 0.5; // 2D
+        // K and X most important.
+        theta[7..13].copy_from_slice(&[0.9, 0.1, 0.2, 0.8, 0.1, 0.1]);
+        let d = enc.decode(&theta).unwrap();
+        assert_eq!(d.connectivity().dataflow_label(), "K-X' Parallel");
+    }
+
+    #[test]
+    fn pe_knob_scales_array() {
+        let enc = HardwareEncoder::new(
+            ResourceConstraint::from_design(&baselines::nvdla(1024)),
+            EncodingScheme::Importance,
+        );
+        let mut lo = vec![0.5; enc.dim()];
+        lo[0] = 0.0;
+        let mut hi = lo.clone();
+        hi[0] = 1.0;
+        let small = enc.decode(&lo).unwrap().pe_count();
+        let big = enc.decode(&hi).unwrap().pe_count();
+        assert!(big > small, "PE knob must scale the array: {small} vs {big}");
+        assert!(big <= 1024);
+    }
+
+    #[test]
+    fn index_scheme_has_smaller_vector() {
+        let imp = HardwareEncoder::new(envelope(), EncodingScheme::Importance);
+        let idx = HardwareEncoder::new(envelope(), EncodingScheme::Index);
+        assert!(idx.dim() < imp.dim());
+    }
+
+    #[test]
+    fn encode_round_trips_all_baselines() {
+        for design in baselines::all() {
+            let c = ResourceConstraint::from_design(&design);
+            for scheme in [EncodingScheme::Importance, EncodingScheme::Index] {
+                let enc = HardwareEncoder::new(c.clone(), scheme);
+                let theta = enc
+                    .encode(&design)
+                    .unwrap_or_else(|| panic!("{} must encode", design.name()));
+                let back = enc.decode(&theta).expect("encoded vector decodes");
+                assert_eq!(back.pe_count(), design.pe_count(), "{}", design.name());
+                assert_eq!(
+                    back.connectivity().dataflow_label(),
+                    design.connectivity().dataflow_label(),
+                    "{}",
+                    design.name()
+                );
+                assert_eq!(
+                    back.connectivity().sizes(),
+                    design.connectivity().sizes(),
+                    "{}",
+                    design.name()
+                );
+                assert_eq!(
+                    back.sizing().l1_bytes(),
+                    design.sizing().l1_bytes(),
+                    "{}",
+                    design.name()
+                );
+                assert_eq!(
+                    back.sizing().l2_bytes(),
+                    design.sizing().l2_bytes(),
+                    "{}",
+                    design.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn encode_rejects_designs_outside_envelope() {
+        let enc = HardwareEncoder::new(
+            ResourceConstraint::from_design(&baselines::shidiannao()),
+            EncodingScheme::Importance,
+        );
+        assert!(enc.encode(&baselines::edge_tpu()).is_none());
+    }
+}

@@ -1,0 +1,219 @@
+//! The per-layer mapping encoding (paper Fig. 2 bottom, Fig. 3 right).
+
+use crate::encoding::{unit_to_index, EncodingScheme};
+use naas_accel::Connectivity;
+use naas_ir::{ConvSpec, Dim, DimVec, DIMS};
+use naas_mapping::order::{perm_from_lehmer, NUM_ORDERS};
+use naas_mapping::tiling::{ceil_div, trips_from_ratio};
+use naas_mapping::{order_from_importance, LevelSpec, Mapping};
+
+/// Decoder from an optimizer vector to a [`Mapping`] for one layer on one
+/// connectivity.
+///
+/// Importance scheme — per array level: 6 loop-order importances + 6
+/// tiling ratios; plus 6 PE-level order importances
+/// (`12·k + 6` knobs for a k-D array).
+///
+/// Index scheme — per array level: 1 Lehmer order index + 6 tiling
+/// ratios; plus 1 PE-level order index (`7·k + 1` knobs).
+///
+/// Tiling ratios decode against the *remaining* extent at each level
+/// (paper §II-B: ratios, not absolute sizes, so vectors adapt across
+/// layers), walking temporal tiling and spatial splits exactly like the
+/// cost model.
+///
+/// ```
+/// use naas_accel::baselines;
+/// use naas_ir::ConvSpec;
+/// use naas_opt::{EncodingScheme, MappingEncoder};
+///
+/// let accel = baselines::nvdla(256);
+/// let enc = MappingEncoder::new(accel.connectivity().ndim(), EncodingScheme::Importance);
+/// let layer = ConvSpec::conv2d("c", 64, 128, (28, 28), (3, 3), 1, 1)?;
+/// let mapping = enc.decode(&vec![0.5; enc.dim()], &layer, accel.connectivity());
+/// mapping.validate(&accel).expect("structurally valid");
+/// # Ok::<(), naas_ir::ShapeError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MappingEncoder {
+    ndim: usize,
+    scheme: EncodingScheme,
+}
+
+impl MappingEncoder {
+    /// Creates a decoder for a `ndim`-level array.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ndim` ∈ 1..=3.
+    pub fn new(ndim: usize, scheme: EncodingScheme) -> Self {
+        assert!((1..=3).contains(&ndim), "array rank must be 1..=3");
+        MappingEncoder { ndim, scheme }
+    }
+
+    /// The encoding scheme in use.
+    pub fn scheme(&self) -> EncodingScheme {
+        self.scheme
+    }
+
+    /// Number of knobs in the vector.
+    pub fn dim(&self) -> usize {
+        match self.scheme {
+            EncodingScheme::Importance => 12 * self.ndim + 6,
+            EncodingScheme::Index => 7 * self.ndim + 1,
+        }
+    }
+
+    /// Decodes a vector into a mapping. Mapping decodes are total: every
+    /// vector yields a structurally valid mapping (capacity validity is
+    /// the cost model's verdict).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta.len() != self.dim()` or if `conn.ndim()` differs
+    /// from the encoder's rank.
+    pub fn decode(&self, theta: &[f64], layer: &ConvSpec, conn: &Connectivity) -> Mapping {
+        assert_eq!(theta.len(), self.dim(), "wrong mapping vector length");
+        assert_eq!(conn.ndim(), self.ndim, "connectivity rank mismatch");
+
+        let mut rem: DimVec<u64> = layer.extents();
+        let mut levels = Vec::with_capacity(self.ndim);
+        for level in 0..self.ndim {
+            let (order, ratios) = match self.scheme {
+                EncodingScheme::Importance => {
+                    let base = level * 12;
+                    let imp: [f64; 6] = theta[base..base + 6].try_into().expect("six values");
+                    let ratios: [f64; 6] =
+                        theta[base + 6..base + 12].try_into().expect("six values");
+                    (order_from_importance(&imp), ratios)
+                }
+                EncodingScheme::Index => {
+                    let base = level * 7;
+                    let order = perm_from_lehmer(unit_to_index(theta[base], NUM_ORDERS));
+                    let ratios: [f64; 6] =
+                        theta[base + 1..base + 7].try_into().expect("six values");
+                    (order, ratios)
+                }
+            };
+            let trips = DimVec::from_fn(|d| trips_from_ratio(rem[d], ratios[d.index()]));
+            // Walk the hierarchy exactly like Mapping::tiles_per_level.
+            rem = DimVec::from_fn(|d| ceil_div(rem[d], trips[d]));
+            let p = conn.parallel_dims()[level];
+            rem[p] = ceil_div(rem[p], conn.sizes()[level]);
+            levels.push(LevelSpec { order, trips });
+        }
+
+        let pe_order: [Dim; 6] = match self.scheme {
+            EncodingScheme::Importance => {
+                let base = 12 * self.ndim;
+                let imp: [f64; 6] = theta[base..base + 6].try_into().expect("six values");
+                order_from_importance(&imp)
+            }
+            EncodingScheme::Index => {
+                perm_from_lehmer(unit_to_index(theta[7 * self.ndim], NUM_ORDERS))
+            }
+        };
+        let _ = DIMS; // canonical order referenced by decoders above
+        Mapping::new(levels, pe_order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naas_accel::baselines;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn layer() -> ConvSpec {
+        ConvSpec::conv2d("c", 64, 128, (28, 28), (3, 3), 1, 1).unwrap()
+    }
+
+    #[test]
+    fn every_vector_is_structurally_valid() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        for accel in baselines::all() {
+            for scheme in [EncodingScheme::Importance, EncodingScheme::Index] {
+                let enc = MappingEncoder::new(accel.connectivity().ndim(), scheme);
+                for _ in 0..50 {
+                    let theta: Vec<f64> =
+                        (0..enc.dim()).map(|_| rng.random_range(0.0..=1.0)).collect();
+                    let m = enc.decode(&theta, &layer(), accel.connectivity());
+                    m.validate(&accel).expect("decode is total");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_ratio_means_no_tiling() {
+        let accel = baselines::nvdla(256);
+        let enc = MappingEncoder::new(2, EncodingScheme::Importance);
+        let mut theta = vec![0.5; enc.dim()];
+        for level in 0..2 {
+            for i in 0..6 {
+                theta[level * 12 + 6 + i] = 0.0;
+            }
+        }
+        let m = enc.decode(&theta, &layer(), accel.connectivity());
+        for l in m.levels() {
+            assert!(l.trips.iter().all(|(_, t)| t == 1));
+        }
+    }
+
+    #[test]
+    fn full_ratio_tiles_to_single_elements() {
+        let accel = baselines::nvdla(256);
+        let enc = MappingEncoder::new(2, EncodingScheme::Importance);
+        let mut theta = vec![0.5; enc.dim()];
+        for i in 0..6 {
+            theta[6 + i] = 1.0; // level-0 ratios max out
+        }
+        let m = enc.decode(&theta, &layer(), accel.connectivity());
+        let l = layer();
+        for (d, t) in m.levels()[0].trips.iter() {
+            assert_eq!(t, l.extent(d), "full ratio fully tiles {d}");
+        }
+    }
+
+    #[test]
+    fn importance_controls_order() {
+        let accel = baselines::nvdla(256);
+        let enc = MappingEncoder::new(2, EncodingScheme::Importance);
+        let mut theta = vec![0.5; enc.dim()];
+        theta[0..6].copy_from_slice(&[0.1, 0.9, 0.2, 0.3, 0.4, 0.5]); // C first
+        let m = enc.decode(&theta, &layer(), accel.connectivity());
+        assert_eq!(m.levels()[0].order[0], Dim::C);
+        assert_eq!(m.levels()[0].order[5], Dim::K);
+    }
+
+    #[test]
+    fn index_scheme_round_trips_orders() {
+        let accel = baselines::nvdla(256);
+        let enc = MappingEncoder::new(2, EncodingScheme::Index);
+        let mut theta = vec![0.0; enc.dim()];
+        theta[0] = 0.0; // Lehmer 0 = canonical order
+        let m = enc.decode(&theta, &layer(), accel.connectivity());
+        assert_eq!(m.levels()[0].order, DIMS);
+    }
+
+    #[test]
+    fn ratios_adapt_to_layer_extent() {
+        // The same vector decodes sensibly for a tiny layer: trips never
+        // exceed extents.
+        let tiny = ConvSpec::conv2d("t", 3, 8, (8, 8), (3, 3), 1, 1).unwrap();
+        let accel = baselines::nvdla(256);
+        let enc = MappingEncoder::new(2, EncodingScheme::Importance);
+        let theta = vec![0.9; enc.dim()];
+        let m = enc.decode(&theta, &tiny, accel.connectivity());
+        let mut rem = tiny.extents();
+        for (level, spec) in m.levels().iter().enumerate() {
+            for (d, t) in spec.trips.iter() {
+                assert!(t <= rem[d].max(1), "trips exceed remaining extent");
+            }
+            rem = DimVec::from_fn(|d| ceil_div(rem[d], spec.trips[d]));
+            let p = accel.connectivity().parallel_dims()[level];
+            rem[p] = ceil_div(rem[p], accel.connectivity().sizes()[level]);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Decoders from optimizer vectors in `[0, 1]^|θ|` to typed design points.
+//!
+//! NAAS's key encoding insight (paper §II-A0b, Fig. 3): non-numerical
+//! choices — which dimensions to parallelize, in what order to nest loops
+//! — are encoded as *importance values*, one per dimension, and decoded by
+//! sorting. Unlike enumeration indices, importance values carry physical
+//! meaning (priority of parallelism / data locality), so the evolution
+//! strategy's arithmetic on them is meaningful. The index-based baseline
+//! ([`EncodingScheme::Index`]) is implemented for the Fig. 9 ablation.
+//!
+//! Three decoders cover the paper's search spaces:
+//!
+//! * [`HardwareEncoder`] — the full NAAS hardware vector (Fig. 2):
+//!   architectural sizing + connectivity;
+//! * [`MappingEncoder`] — per-layer mapping vectors: loop order +
+//!   tiling ratio per array level plus the PE-level order;
+//! * [`SizingOnlyEncoder`] — prior work's space (NASAIC/NHAS): numerical
+//!   sizing only, connectivity and mapping frozen (Fig. 8 ablation).
+//!
+//! Decoders return `Option`: `None` marks an invalid sample, which the
+//! caller resamples "until the candidate set reaches a predefined size"
+//! (§II-A0c).
+
+mod hardware;
+mod mapping_enc;
+mod sizing;
+
+pub use hardware::HardwareEncoder;
+pub use mapping_enc::MappingEncoder;
+pub use sizing::SizingOnlyEncoder;
+
+use serde::{Deserialize, Serialize};
+
+/// How non-numerical choices (loop orders, parallel dims) are encoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EncodingScheme {
+    /// One importance value per dimension; decode by sorting
+    /// (the paper's contribution).
+    Importance,
+    /// A single enumeration index scaled into `[0, 1]`
+    /// (the ablation baseline).
+    Index,
+}
+
+/// Linear interpolation `lo + t (hi − lo)` with `t` clamped to `[0, 1]`.
+pub(crate) fn lerp(lo: f64, hi: f64, t: f64) -> f64 {
+    lo + (hi - lo) * t.clamp(0.0, 1.0)
+}
+
+/// Rounds to the nearest positive multiple of `stride`
+/// (paper §III-A0a: #PEs stride 8, buffers stride 16 B, array dims
+/// stride 2).
+pub(crate) fn round_stride(value: f64, stride: u64) -> u64 {
+    let s = stride as f64;
+    (((value / s).round() * s) as u64).max(stride)
+}
+
+/// Scales a unit value to an integer choice in `0..n`.
+pub(crate) fn unit_to_index(value: f64, n: u64) -> u64 {
+    ((value.clamp(0.0, 1.0) * n as f64) as u64).min(n - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lerp_endpoints_and_clamp() {
+        assert_eq!(lerp(2.0, 10.0, 0.0), 2.0);
+        assert_eq!(lerp(2.0, 10.0, 1.0), 10.0);
+        assert_eq!(lerp(2.0, 10.0, -1.0), 2.0);
+        assert_eq!(lerp(2.0, 10.0, 2.0), 10.0);
+    }
+
+    #[test]
+    fn round_stride_basics() {
+        assert_eq!(round_stride(23.0, 8), 24);
+        assert_eq!(round_stride(3.0, 8), 8);
+        assert_eq!(round_stride(16.0, 16), 16);
+        assert_eq!(round_stride(0.0, 2), 2);
+    }
+
+    #[test]
+    fn unit_to_index_covers_range() {
+        assert_eq!(unit_to_index(0.0, 720), 0);
+        assert_eq!(unit_to_index(1.0, 720), 719);
+        assert_eq!(unit_to_index(0.5, 6), 3);
+    }
+}

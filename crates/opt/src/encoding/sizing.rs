@@ -1,0 +1,155 @@
+//! The sizing-only encoding of prior work (NASAIC [11], NHAS [12]) —
+//! the baseline NAAS outperforms in Fig. 8.
+//!
+//! Prior frameworks "formulate the hardware parameter search as a pure
+//! sizing optimization": the PE-array dataflow (connectivity) stays fixed
+//! to the source design and only numerical knobs move. This encoder
+//! reproduces that space: a PE-budget scale applied *uniformly* to the
+//! baseline's array shape (aspect ratio and parallel dims preserved) plus
+//! L1/L2/bandwidth splits.
+
+use crate::encoding::{lerp, round_stride};
+use naas_accel::{Accelerator, ArchitecturalSizing, Connectivity, ResourceConstraint};
+
+/// Decoder from a 4-knob vector to a sizing-only variant of a baseline
+/// design: `[pe_scale, l1_split, l2_split, bandwidth]`.
+///
+/// ```
+/// use naas_accel::{baselines, ResourceConstraint};
+/// use naas_opt::SizingOnlyEncoder;
+///
+/// let base = baselines::eyeriss();
+/// let envelope = ResourceConstraint::from_design(&base);
+/// let enc = SizingOnlyEncoder::new(base.clone(), envelope.clone());
+/// let d = enc.decode(&[0.5; 4]).expect("midpoint decodes");
+/// // Connectivity class is inherited from the baseline:
+/// assert_eq!(
+///     d.connectivity().dataflow_label(),
+///     base.connectivity().dataflow_label()
+/// );
+/// assert!(envelope.admits(&d).is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SizingOnlyEncoder {
+    baseline: Accelerator,
+    constraint: ResourceConstraint,
+}
+
+impl SizingOnlyEncoder {
+    /// Creates a sizing-only decoder anchored at `baseline` inside
+    /// `constraint`.
+    pub fn new(baseline: Accelerator, constraint: ResourceConstraint) -> Self {
+        SizingOnlyEncoder {
+            baseline,
+            constraint,
+        }
+    }
+
+    /// Number of knobs (always 4).
+    pub fn dim(&self) -> usize {
+        4
+    }
+
+    /// Decodes `[pe_scale, l1_split, l2_split, bandwidth]` into a design,
+    /// or `None` for degenerate scales.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta.len() != 4`.
+    pub fn decode(&self, theta: &[f64]) -> Option<Accelerator> {
+        assert_eq!(theta.len(), 4, "sizing-only vector has 4 knobs");
+        let c = &self.constraint;
+        let base_conn = self.baseline.connectivity();
+
+        // Scale every array dimension by a common factor ∈ [0.5, 1]·max.
+        let base_pes = base_conn.pe_count() as f64;
+        let target = lerp(base_pes / 4.0, c.max_pes() as f64, theta[0]);
+        let factor = (target / base_pes).powf(1.0 / base_conn.ndim() as f64);
+        let sizes: Vec<u64> = base_conn
+            .sizes()
+            .iter()
+            .map(|&s| round_stride(s as f64 * factor, 2).max(2))
+            .collect();
+        let connectivity =
+            Connectivity::new(sizes, base_conn.parallel_dims().to_vec()).ok()?;
+        let pe_count = connectivity.pe_count();
+        if pe_count > c.max_pes() {
+            return None;
+        }
+
+        let onchip = c.max_onchip_bytes();
+        // Caps floored to the 16-B stride so the final min() stays on it.
+        let l1_cap = ((((onchip / 2) / pe_count).max(16)) / 16) * 16;
+        let l1 = round_stride(lerp(16.0, l1_cap as f64, theta[1]), 16).min(l1_cap);
+        let remaining = ((onchip.saturating_sub(pe_count * l1)) / 16) * 16;
+        if remaining < 16 {
+            return None;
+        }
+        let l2 = round_stride(
+            lerp((remaining / 8).max(16) as f64, remaining as f64, theta[2]),
+            16,
+        )
+        .min(remaining);
+        let noc = lerp(c.noc_bandwidth() / 4.0, c.noc_bandwidth(), theta[3]);
+
+        let design = Accelerator::new(
+            format!("sizing_{}_{}", self.baseline.name(), pe_count),
+            ArchitecturalSizing::new(l1, l2, noc, c.dram_bandwidth()),
+            connectivity,
+        );
+        c.admits(&design).ok()?;
+        Some(design)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naas_accel::baselines;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn connectivity_class_is_preserved() {
+        let base = baselines::nvdla(256);
+        let enc = SizingOnlyEncoder::new(base.clone(), ResourceConstraint::from_design(&base));
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let theta: [f64; 4] = std::array::from_fn(|_| rng.random_range(0.0..=1.0));
+            if let Some(d) = enc.decode(&theta) {
+                assert_eq!(d.connectivity().ndim(), 2);
+                assert_eq!(
+                    d.connectivity().dataflow_label(),
+                    base.connectivity().dataflow_label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decodes_fit_envelope() {
+        for base in baselines::all() {
+            let c = ResourceConstraint::from_design(&base);
+            let enc = SizingOnlyEncoder::new(base, c.clone());
+            let mut rng = SmallRng::seed_from_u64(7);
+            let mut ok = 0;
+            for _ in 0..200 {
+                let theta: [f64; 4] = std::array::from_fn(|_| rng.random_range(0.0..=1.0));
+                if let Some(d) = enc.decode(&theta) {
+                    ok += 1;
+                    assert!(c.admits(&d).is_ok());
+                }
+            }
+            assert!(ok > 150, "sizing decodes should mostly succeed: {ok}");
+        }
+    }
+
+    #[test]
+    fn pe_scale_moves_array_size() {
+        let base = baselines::nvdla(1024);
+        let enc = SizingOnlyEncoder::new(base, ResourceConstraint::from_design(&baselines::nvdla(1024)));
+        let small = enc.decode(&[0.0, 0.5, 0.5, 0.5]).unwrap();
+        let big = enc.decode(&[1.0, 0.5, 0.5, 0.5]).unwrap();
+        assert!(small.pe_count() < big.pe_count());
+    }
+}

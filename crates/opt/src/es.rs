@@ -1,0 +1,364 @@
+//! The (μ, λ) evolution strategy of NAAS.
+//!
+//! Exactly the update the paper describes in §II-A0c: "we select the top
+//! solutions as the parents of the next generation and use their center to
+//! generate the new mean of the sampling distribution. We update the
+//! covariance matrix of the distribution to increase the likelihood of
+//! generating samples near the parents" — i.e. a cross-entropy-method
+//! refit of a multivariate normal, the practical core of CMA-ES
+//! [Hansen 2006] without step-size paths.
+
+use crate::gaussian::standard_normal_vec;
+use crate::Optimizer;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters for [`CemEs`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EsConfig {
+    /// Fraction of the generation kept as parents (paper keeps the "top
+    /// solutions"; ¼ is the CMA-ES default regime).
+    pub parent_fraction: f64,
+    /// Initial standard deviation of every coordinate.
+    pub init_std: f64,
+    /// Variance floor preventing premature collapse.
+    pub min_var: f64,
+    /// Exponential smoothing of the mean update (1.0 = replace).
+    pub mean_learning_rate: f64,
+    /// Use a full covariance matrix (rank-μ estimate) instead of the
+    /// diagonal refit. Costs O(d²) per sample; useful for the correlated
+    /// hardware/mapping knobs ablation.
+    pub full_covariance: bool,
+}
+
+impl Default for EsConfig {
+    fn default() -> Self {
+        EsConfig {
+            parent_fraction: 0.25,
+            init_std: 0.25,
+            min_var: 1e-4,
+            mean_learning_rate: 1.0,
+            full_covariance: false,
+        }
+    }
+}
+
+/// Cross-entropy-method evolution strategy over `[0, 1]^dim`.
+///
+/// See the crate-level example for usage. All sampling is clipped to the
+/// unit box, matching the paper's "multivariate normal distribution in
+/// `[0, 1]^|θ|`".
+#[derive(Debug, Clone)]
+pub struct CemEs {
+    dim: usize,
+    cfg: EsConfig,
+    mean: Vec<f64>,
+    /// Diagonal variances (always maintained).
+    var: Vec<f64>,
+    /// Lower-triangular Cholesky factor of the full covariance, row-major
+    /// `dim × dim`, only used when `cfg.full_covariance`.
+    chol: Option<Vec<f64>>,
+    rng: SmallRng,
+    generation: u64,
+}
+
+impl CemEs {
+    /// Creates an optimizer centred on the unit box's midpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or the config fractions are out of range.
+    pub fn new(dim: usize, cfg: EsConfig, seed: u64) -> Self {
+        assert!(dim > 0, "search space must have at least one knob");
+        assert!(
+            cfg.parent_fraction > 0.0 && cfg.parent_fraction <= 1.0,
+            "parent fraction must be in (0, 1]"
+        );
+        assert!(cfg.init_std > 0.0, "initial std must be positive");
+        CemEs {
+            dim,
+            cfg,
+            mean: vec![0.5; dim],
+            var: vec![cfg.init_std * cfg.init_std; dim],
+            chol: None,
+            rng: SmallRng::seed_from_u64(seed),
+            generation: 0,
+        }
+    }
+
+    /// Current distribution mean.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Current per-coordinate variances.
+    pub fn variances(&self) -> &[f64] {
+        &self.var
+    }
+
+    /// Generations absorbed through [`Optimizer::tell`].
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    fn sample(&mut self) -> Vec<f64> {
+        let z = standard_normal_vec(&mut self.rng, self.dim);
+        let mut x = vec![0.0; self.dim];
+        match &self.chol {
+            Some(l) if self.cfg.full_covariance => {
+                for i in 0..self.dim {
+                    let mut acc = self.mean[i];
+                    for (j, zj) in z.iter().enumerate().take(i + 1) {
+                        acc += l[i * self.dim + j] * zj;
+                    }
+                    x[i] = acc;
+                }
+            }
+            _ => {
+                for i in 0..self.dim {
+                    x[i] = self.mean[i] + self.var[i].sqrt() * z[i];
+                }
+            }
+        }
+        for v in &mut x {
+            *v = v.clamp(0.0, 1.0);
+        }
+        x
+    }
+}
+
+impl Optimizer for CemEs {
+    fn ask(&mut self) -> Vec<f64> {
+        self.sample()
+    }
+
+    fn tell(&mut self, scored: &[(Vec<f64>, f64)]) {
+        if scored.is_empty() {
+            return;
+        }
+        self.generation += 1;
+        let mut order: Vec<usize> = (0..scored.len()).collect();
+        order.sort_by(|&a, &b| {
+            scored[a]
+                .1
+                .partial_cmp(&scored[b].1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let parents = ((scored.len() as f64 * self.cfg.parent_fraction).ceil() as usize)
+            .clamp(1, scored.len());
+        let elite: Vec<&[f64]> = order[..parents]
+            .iter()
+            .map(|&i| scored[i].0.as_slice())
+            .collect();
+
+        // New mean: parent centroid (optionally smoothed).
+        let lr = self.cfg.mean_learning_rate;
+        let mut centroid = vec![0.0; self.dim];
+        for p in &elite {
+            for (c, v) in centroid.iter_mut().zip(p.iter()) {
+                *c += v;
+            }
+        }
+        for c in &mut centroid {
+            *c /= elite.len() as f64;
+        }
+        for (m, c) in self.mean.iter_mut().zip(&centroid) {
+            *m = (1.0 - lr) * *m + lr * c;
+        }
+
+        // Refit variances around the new mean.
+        for i in 0..self.dim {
+            let mut v = 0.0;
+            for p in &elite {
+                let d = p[i] - self.mean[i];
+                v += d * d;
+            }
+            v /= elite.len() as f64;
+            self.var[i] = v.max(self.cfg.min_var);
+        }
+
+        if self.cfg.full_covariance {
+            let mut cov = vec![0.0; self.dim * self.dim];
+            for p in &elite {
+                for i in 0..self.dim {
+                    let di = p[i] - self.mean[i];
+                    for j in 0..=i {
+                        cov[i * self.dim + j] += di * (p[j] - self.mean[j]);
+                    }
+                }
+            }
+            for i in 0..self.dim {
+                for j in 0..=i {
+                    cov[i * self.dim + j] /= elite.len() as f64;
+                }
+                // Variance floor on the diagonal.
+                cov[i * self.dim + i] = cov[i * self.dim + i].max(self.cfg.min_var);
+            }
+            self.chol = cholesky(&cov, self.dim);
+        }
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+/// Lower-triangular Cholesky factor of a symmetric positive-semidefinite
+/// matrix (lower triangle given row-major). Adds diagonal jitter on
+/// failure; returns `None` if the matrix cannot be factored even with
+/// jitter (the caller then falls back to the diagonal sampler).
+fn cholesky(a: &[f64], n: usize) -> Option<Vec<f64>> {
+    for jitter in [0.0, 1e-10, 1e-8, 1e-6] {
+        if let Some(l) = try_cholesky(a, n, jitter) {
+            return Some(l);
+        }
+    }
+    None
+}
+
+fn try_cholesky(a: &[f64], n: usize, jitter: f64) -> Option<Vec<f64>> {
+    let mut l = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i * n + j];
+            if i == j {
+                sum += jitter;
+            }
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l[i * n + i] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    Some(l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(mut es: CemEs, target: &[f64], gens: usize, pop: usize) -> Vec<f64> {
+        for _ in 0..gens {
+            let scored: Vec<(Vec<f64>, f64)> = (0..pop)
+                .map(|_| {
+                    let x = es.ask();
+                    let s: f64 = x
+                        .iter()
+                        .zip(target)
+                        .map(|(v, t)| (v - t) * (v - t))
+                        .sum();
+                    (x, s)
+                })
+                .collect();
+            es.tell(&scored);
+        }
+        es.mean().to_vec()
+    }
+
+    #[test]
+    fn converges_to_quadratic_optimum() {
+        let target = [0.8, 0.2, 0.5, 0.9];
+        let mean = run(CemEs::new(4, EsConfig::default(), 1), &target, 40, 24);
+        for (m, t) in mean.iter().zip(&target) {
+            assert!((m - t).abs() < 0.1, "mean {m} vs target {t}");
+        }
+    }
+
+    #[test]
+    fn full_covariance_converges_on_correlated_objective() {
+        let cfg = EsConfig {
+            full_covariance: true,
+            ..EsConfig::default()
+        };
+        let mut es = CemEs::new(3, cfg, 5);
+        // Objective couples coordinates: (x0 - x1)² + (x1 + x2 - 1)².
+        for _ in 0..50 {
+            let scored: Vec<(Vec<f64>, f64)> = (0..32)
+                .map(|_| {
+                    let x = es.ask();
+                    let s = (x[0] - x[1]).powi(2) + (x[1] + x[2] - 1.0).powi(2);
+                    (x, s)
+                })
+                .collect();
+            es.tell(&scored);
+        }
+        let m = es.mean();
+        assert!((m[0] - m[1]).abs() < 0.15);
+        assert!((m[1] + m[2] - 1.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn samples_stay_in_unit_box() {
+        let mut es = CemEs::new(8, EsConfig::default(), 9);
+        for _ in 0..100 {
+            let x = es.ask();
+            assert!(x.iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = CemEs::new(5, EsConfig::default(), 42);
+        let mut b = CemEs::new(5, EsConfig::default(), 42);
+        for _ in 0..10 {
+            assert_eq!(a.ask(), b.ask());
+        }
+    }
+
+    #[test]
+    fn variance_floor_prevents_collapse() {
+        let mut es = CemEs::new(2, EsConfig::default(), 3);
+        // Degenerate generation: identical parents.
+        let x = vec![0.5, 0.5];
+        let scored = vec![(x.clone(), 1.0), (x.clone(), 1.0), (x, 1.0)];
+        for _ in 0..5 {
+            es.tell(&scored);
+        }
+        assert!(es.variances().iter().all(|&v| v >= 1e-4));
+        // Sampling still works and differs between draws eventually.
+        let a = es.ask();
+        let b = es.ask();
+        assert!(a != b || es.ask() != a);
+    }
+
+    #[test]
+    fn empty_tell_is_noop() {
+        let mut es = CemEs::new(2, EsConfig::default(), 3);
+        let mean_before = es.mean().to_vec();
+        es.tell(&[]);
+        assert_eq!(es.mean(), mean_before.as_slice());
+        assert_eq!(es.generation(), 0);
+    }
+
+    #[test]
+    fn cholesky_of_identity_is_identity() {
+        let n = 3;
+        let mut a = vec![0.0; 9];
+        for i in 0..n {
+            a[i * n + i] = 1.0;
+        }
+        let l = cholesky(&a, n).unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((l[i * n + j] - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_counter_increments() {
+        let mut es = CemEs::new(2, EsConfig::default(), 3);
+        es.tell(&[(vec![0.1, 0.2], 1.0)]);
+        es.tell(&[(vec![0.3, 0.4], 0.5)]);
+        assert_eq!(es.generation(), 2);
+    }
+}

@@ -1,0 +1,52 @@
+//! Gaussian sampling via Box–Muller (kept in-repo to avoid a `rand_distr`
+//! dependency; see DESIGN.md §3).
+
+use rand::RngExt;
+
+/// Draws one standard-normal sample.
+///
+/// Box–Muller transform over two uniform draws; numerically safe because
+/// the first draw is bounded away from zero.
+pub fn standard_normal<R: RngExt + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Fills a vector with standard-normal samples.
+pub fn standard_normal_vec<R: RngExt + ?Sized>(rng: &mut R, n: usize) -> Vec<f64> {
+    (0..n).map(|_| standard_normal(rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_are_standard() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 200_000;
+        let samples = standard_normal_vec(&mut rng, n);
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = standard_normal_vec(&mut SmallRng::seed_from_u64(1), 8);
+        let b = standard_normal_vec(&mut SmallRng::seed_from_u64(1), 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_finite() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(standard_normal(&mut rng).is_finite());
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests of the optimizers and encoders.
+
+use naas_accel::{baselines, ResourceConstraint};
+use naas_ir::ConvSpec;
+use naas_opt::{
+    CemEs, EncodingScheme, EsConfig, HardwareEncoder, MappingEncoder, Optimizer, RandomSearch,
+    SizingOnlyEncoder,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// ES samples stay in the unit box regardless of what it was told.
+    #[test]
+    fn es_samples_in_unit_box(
+        seed in 0u64..1000,
+        dim in 1usize..=32,
+        scores in proptest::collection::vec((0.0f64..1.0, 0.0f64..1e6), 4..16),
+    ) {
+        let mut es = CemEs::new(dim, EsConfig::default(), seed);
+        let scored: Vec<(Vec<f64>, f64)> = scores
+            .iter()
+            .map(|&(x, s)| (vec![x; dim], s))
+            .collect();
+        es.tell(&scored);
+        for _ in 0..10 {
+            let v = es.ask();
+            prop_assert_eq!(v.len(), dim);
+            prop_assert!(v.iter().all(|x| (0.0..=1.0).contains(x)));
+        }
+    }
+
+    /// Random search is uniform-ish: asks are independent of tells.
+    #[test]
+    fn random_search_ignores_tells(seed in 0u64..1000) {
+        let mut a = RandomSearch::new(4, seed);
+        let mut b = RandomSearch::new(4, seed);
+        b.tell(&[(vec![0.0; 4], 0.0)]);
+        for _ in 0..5 {
+            prop_assert_eq!(a.ask(), b.ask());
+        }
+    }
+
+    /// Hardware decode is envelope-safe for every baseline and any vector,
+    /// in both schemes.
+    #[test]
+    fn hardware_decode_envelope_safe(
+        theta in proptest::collection::vec(0.0f64..=1.0, 13),
+        which in 0usize..5,
+        importance in proptest::bool::ANY,
+    ) {
+        let base = baselines::all().swap_remove(which);
+        let envelope = ResourceConstraint::from_design(&base);
+        let scheme = if importance {
+            EncodingScheme::Importance
+        } else {
+            EncodingScheme::Index
+        };
+        let enc = HardwareEncoder::new(envelope.clone(), scheme);
+        if let Some(d) = enc.decode(&theta[..enc.dim()]) {
+            prop_assert!(envelope.admits(&d).is_ok());
+            prop_assert!(d.sizing().l1_bytes() % 16 == 0);
+            prop_assert!(d.connectivity().sizes().iter().all(|s| s % 2 == 0));
+        }
+    }
+
+    /// Mapping decode is total: any vector gives a structurally valid
+    /// mapping whose trips never exceed remaining extents.
+    #[test]
+    fn mapping_decode_total(
+        theta in proptest::collection::vec(0.0f64..=1.0, 42),
+        c in 1u64..=128,
+        k in 1u64..=128,
+        hw in 6u64..=64,
+    ) {
+        let layer = ConvSpec::conv2d("prop", c, k, (hw, hw), (3, 3), 1, 1).unwrap();
+        for accel in [baselines::nvdla(256), baselines::shidiannao()] {
+            let enc = MappingEncoder::new(accel.connectivity().ndim(), EncodingScheme::Importance);
+            let m = enc.decode(&theta[..enc.dim()], &layer, accel.connectivity());
+            prop_assert!(m.validate(&accel).is_ok());
+        }
+    }
+
+    /// Sizing-only decode preserves the baseline's dataflow class.
+    #[test]
+    fn sizing_only_preserves_dataflow(theta in proptest::array::uniform4(0.0f64..=1.0)) {
+        for base in baselines::all() {
+            let envelope = ResourceConstraint::from_design(&base);
+            let enc = SizingOnlyEncoder::new(base.clone(), envelope.clone());
+            if let Some(d) = enc.decode(&theta) {
+                prop_assert_eq!(
+                    d.connectivity().dataflow_label(),
+                    base.connectivity().dataflow_label()
+                );
+                prop_assert!(envelope.admits(&d).is_ok());
+            }
+        }
+    }
+
+    /// The ES actually optimizes: after enough generations on a sphere
+    /// function, the mean is closer to the optimum than at start.
+    #[test]
+    fn es_improves_on_sphere(seed in 0u64..100) {
+        let target = [0.3, 0.8, 0.5];
+        let dist = |v: &[f64]| -> f64 {
+            v.iter().zip(&target).map(|(a, b)| (a - b) * (a - b)).sum()
+        };
+        let mut es = CemEs::new(3, EsConfig::default(), seed);
+        let start = dist(es.mean());
+        for _ in 0..15 {
+            let scored: Vec<(Vec<f64>, f64)> = (0..16)
+                .map(|_| {
+                    let x = es.ask();
+                    let s = dist(&x);
+                    (x, s)
+                })
+                .collect();
+            es.tell(&scored);
+        }
+        prop_assert!(dist(es.mean()) <= start + 1e-9);
+    }
+}

@@ -1,0 +1,65 @@
+//! Edge co-design scenario: specialize an accelerator for a suite of
+//! mobile CNNs under a tight resource envelope — the paper's Fig. 5
+//! workflow on the mobile benchmark set.
+//!
+//! ```text
+//! cargo run -p naas-examples --release --bin edge_codesign [-- <max_pes> <onchip_kb>]
+//! ```
+//!
+//! Compares three designs for {MobileNetV2, SqueezeNet, MNasNet}:
+//! the Eyeriss baseline, the NAAS-searched design inside Eyeriss's
+//! envelope, and (optionally) a custom envelope from the command line.
+
+use naas::baselines::baseline_network_cost;
+use naas::prelude::*;
+use naas::{geomean, search_accelerator_seeded};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let model = CostModel::new();
+    let nets = models::mobile_benchmarks();
+    let eyeriss = baselines::eyeriss();
+
+    let envelope = match args.as_slice() {
+        [pes, kb, ..] => {
+            let pes: u64 = pes.parse().expect("max_pes must be an integer");
+            let kb: u64 = kb.parse().expect("onchip_kb must be an integer");
+            ResourceConstraint::new("custom", pes, kb * 1024, 16.0, 4.0)
+        }
+        _ => ResourceConstraint::from_design(&eyeriss),
+    };
+    println!("envelope: {envelope}\n");
+
+    let cfg = AccelSearchConfig {
+        population: 12,
+        iterations: 8,
+        seed: 42,
+        ..AccelSearchConfig::paper(42)
+    };
+    let result =
+        search_accelerator_seeded(&model, &nets, &envelope, &cfg, std::slice::from_ref(&eyeriss));
+    println!("searched design:\n{}\n", result.best.accelerator.design_card());
+
+    println!(
+        "{:<18} {:>14} {:>14} {:>10}",
+        "network", "Eyeriss EDP", "NAAS EDP", "reduction"
+    );
+    let mut reductions = Vec::new();
+    for (net, naas_cost) in nets.iter().zip(&result.best.per_network) {
+        let base = baseline_network_cost(&model, net, &eyeriss, &cfg.mapping)
+            .expect("Eyeriss runs the mobile set");
+        let reduction = base.edp() / naas_cost.edp();
+        reductions.push(reduction);
+        println!(
+            "{:<18} {:>14.3e} {:>14.3e} {:>9.2}x",
+            net.name(),
+            base.edp(),
+            naas_cost.edp(),
+            reduction
+        );
+    }
+    println!(
+        "\ngeomean EDP reduction vs Eyeriss: {:.2}x",
+        geomean(&reductions)
+    );
+}

@@ -1,0 +1,86 @@
+//! Joint neural-accelerator-compiler co-search (the paper's §II-C /
+//! Fig. 10 workflow): find a matched (subnet, accelerator, mapping)
+//! tuple with guaranteed accuracy and minimal EDP.
+//!
+//! ```text
+//! cargo run -p naas-examples --release --bin nas_codesign [-- <accuracy_floor>]
+//! ```
+
+use naas::baselines::baseline_network_cost;
+use naas::prelude::*;
+use naas::{search_joint, JointConfig, MappingSearchConfig};
+use naas_nas::{AccuracyModel, NasConfig, Subnet};
+
+fn main() {
+    let floor: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("accuracy floor must be a number"))
+        .unwrap_or(77.0);
+
+    let model = CostModel::new();
+    let accuracy_model = AccuracyModel::default();
+    let eyeriss = baselines::eyeriss();
+    let envelope = ResourceConstraint::from_design(&eyeriss);
+
+    // Reference point: ResNet-50 on Eyeriss.
+    let base_subnet = Subnet::resnet50_baseline();
+    let base_net = base_subnet.to_network();
+    let map_cfg = MappingSearchConfig {
+        population: 12,
+        iterations: 4,
+        seed: 11,
+        ..MappingSearchConfig::default()
+    };
+    let base_cost = baseline_network_cost(&model, &base_net, &eyeriss, &map_cfg)
+        .expect("Eyeriss runs ResNet-50");
+    println!(
+        "reference: ResNet-50 on Eyeriss — {:.1}% top-1 (surrogate), EDP {:.3e}",
+        accuracy_model.predict(&base_subnet),
+        base_cost.edp()
+    );
+    println!("accuracy floor for the co-search: {floor:.1}%\n");
+
+    let cfg = JointConfig {
+        accel: AccelSearchConfig {
+            population: 8,
+            iterations: 5,
+            mapping: map_cfg,
+            seed: 11,
+            ..AccelSearchConfig::paper(11)
+        },
+        nas: NasConfig {
+            population: 10,
+            generations: 4,
+            accuracy_floor: floor,
+            seed: 11,
+            ..NasConfig::default()
+        },
+    };
+    match search_joint(&model, &envelope, &accuracy_model, &cfg) {
+        Some(result) => {
+            println!("matched tuple found after {} subnet evaluations:", result.evaluations);
+            println!("{}", result.accelerator.design_card());
+            let s = result.subnet;
+            println!(
+                "  Subnet     : width x{:.2}, depths {:?}, ratios {:?}, {}px",
+                s.width(),
+                s.depths,
+                s.ratios(),
+                s.resolution
+            );
+            println!(
+                "  Accuracy   : {:.1}% ({:+.1} vs ResNet-50)",
+                result.accuracy,
+                result.accuracy - accuracy_model.predict(&base_subnet)
+            );
+            println!(
+                "  EDP        : {:.3e} ({:.2}x reduction vs Eyeriss+ResNet-50)",
+                result.edp,
+                base_cost.edp() / result.edp
+            );
+        }
+        None => println!(
+            "no subnet meets the {floor:.1}% floor inside this budget — try a lower floor"
+        ),
+    }
+}

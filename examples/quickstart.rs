@@ -1,0 +1,86 @@
+//! Quickstart: evaluate a layer, search a mapping, search an accelerator.
+//!
+//! ```text
+//! cargo run -p naas-examples --release --bin quickstart
+//! ```
+//!
+//! Walks the three layers of the NAAS stack bottom-up:
+//! 1. cost-model evaluation of one convolution on Eyeriss;
+//! 2. per-layer mapping search (the inner loop);
+//! 3. a small accelerator search within the Eyeriss resource envelope
+//!    (the outer loop), warm-started from Eyeriss itself.
+
+use naas::prelude::*;
+use naas::{search_layer_mapping, MappingSearchConfig};
+
+fn main() {
+    // --- 1. One layer, one design, one mapping ------------------------
+    let model = CostModel::new();
+    let eyeriss = baselines::eyeriss();
+    let layer = ConvSpec::conv2d("demo", 64, 128, (56, 56), (3, 3), 1, 1)
+        .expect("static shapes are valid");
+
+    let heuristic = Mapping::balanced(&layer, &eyeriss);
+    let cost = model
+        .evaluate(&layer, &eyeriss, &heuristic)
+        .expect("heuristic mapping fits Eyeriss");
+    println!("== one layer on Eyeriss (heuristic mapping) ==");
+    println!("  {layer}");
+    println!(
+        "  cycles {:>12}   energy {:>10.1} nJ   EDP {:.3e}   util {:.1}%",
+        cost.cycles,
+        cost.energy_pj / 1000.0,
+        cost.edp(),
+        cost.utilization * 100.0
+    );
+
+    // --- 2. Inner loop: mapping search --------------------------------
+    let map_cfg = MappingSearchConfig {
+        population: 16,
+        iterations: 6,
+        seed: 7,
+        ..MappingSearchConfig::default()
+    };
+    let searched = search_layer_mapping(&model, &layer, &eyeriss, &map_cfg)
+        .expect("a valid mapping exists");
+    println!("\n== mapping search on the same layer ==");
+    println!("  heuristic EDP {:.3e}", cost.edp());
+    println!(
+        "  searched  EDP {:.3e}  ({:.2}x better, {} evaluations)",
+        searched.cost.edp(),
+        cost.edp() / searched.cost.edp(),
+        searched.evaluations
+    );
+    println!("  best mapping:\n{}", indent(&searched.mapping.to_string()));
+
+    // --- 3. Outer loop: accelerator search ----------------------------
+    let envelope = ResourceConstraint::from_design(&eyeriss);
+    let net = models::mobilenet_v2(224);
+    let cfg = AccelSearchConfig {
+        population: 10,
+        iterations: 6,
+        mapping: map_cfg,
+        seed: 7,
+        ..AccelSearchConfig::paper(7)
+    };
+    let result = search_accelerator_seeded(
+        &model,
+        std::slice::from_ref(&net),
+        &envelope,
+        &cfg,
+        std::slice::from_ref(&eyeriss),
+    );
+    println!("\n== accelerator search: MobileNetV2 within {envelope} ==");
+    println!("{}", result.best.accelerator.design_card());
+    println!(
+        "  geomean EDP {:.3e} after {} candidate evaluations",
+        result.best.reward, result.evaluations
+    );
+}
+
+fn indent(s: &str) -> String {
+    s.lines()
+        .map(|l| format!("    {l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}

@@ -1,0 +1,12 @@
+//! Cross-crate integration tests for the NAAS reproduction.
+//!
+//! The actual tests live in `tests/tests/*.rs`:
+//!
+//! * `pipeline.rs` — model zoo → cost model → mapping search →
+//!   accelerator search, end to end on every baseline envelope;
+//! * `paper_claims.rs` — smoke-budget checks of each figure/table's
+//!   qualitative claim, via the `naas-bench` experiment runners;
+//! * `properties.rs` — proptest invariants spanning crates (decode
+//!   totality, cost-model bounds, monotonicities);
+//! * `determinism.rs` — bit-for-bit reproducibility of every search
+//!   entry point under a fixed seed.

@@ -1,0 +1,95 @@
+//! Bit-for-bit reproducibility of every search entry point: the whole
+//! repository is seeded, so identical seeds must give identical results
+//! (including across the thread-parallel outer loop).
+
+use naas::baselines::{
+    search_nasaic_allocation, search_nhas, search_sizing_only, NasaicConfig, NhasConfig,
+    SizingOnlyConfig,
+};
+use naas::prelude::*;
+use naas::{
+    search_accelerator_seeded, search_joint, AccelSearchConfig, JointConfig, MappingSearchConfig,
+};
+use naas_cost::CostModel;
+use naas_nas::AccuracyModel;
+
+#[test]
+fn accel_search_is_deterministic_across_thread_counts() {
+    let model = CostModel::new();
+    let baseline = baselines::eyeriss();
+    let envelope = ResourceConstraint::from_design(&baseline);
+    let net = models::squeezenet(224);
+    let mut cfg = AccelSearchConfig::quick(404);
+    cfg.threads = 1;
+    let single = search_accelerator_seeded(
+        &model,
+        std::slice::from_ref(&net),
+        &envelope,
+        &cfg,
+        std::slice::from_ref(&baseline),
+    );
+    cfg.threads = 4;
+    let multi = search_accelerator_seeded(
+        &model,
+        std::slice::from_ref(&net),
+        &envelope,
+        &cfg,
+        std::slice::from_ref(&baseline),
+    );
+    assert_eq!(single.best.accelerator, multi.best.accelerator);
+    assert_eq!(single.best.reward, multi.best.reward);
+    assert_eq!(single.history, multi.history);
+}
+
+#[test]
+fn mapping_search_reproduces() {
+    let model = CostModel::new();
+    let accel = baselines::nvdla(256);
+    let layer = models::vgg16(224).layers()[3].clone();
+    let cfg = MappingSearchConfig::quick(99);
+    let a = naas::search_layer_mapping(&model, &layer, &accel, &cfg).expect("maps");
+    let b = naas::search_layer_mapping(&model, &layer, &accel, &cfg).expect("maps");
+    assert_eq!(a.mapping, b.mapping);
+    assert_eq!(a.cost, b.cost);
+}
+
+#[test]
+fn sizing_only_and_nhas_reproduce() {
+    let model = CostModel::new();
+    let base = baselines::eyeriss();
+    let envelope = ResourceConstraint::from_design(&base);
+    let nets = [models::mnasnet(224)];
+    let cfg = SizingOnlyConfig::quick(7);
+    let a = search_sizing_only(&model, &nets, &base, &envelope, &cfg).expect("finds");
+    let b = search_sizing_only(&model, &nets, &base, &envelope, &cfg).expect("finds");
+    assert_eq!(a.accelerator, b.accelerator);
+
+    let acc = AccuracyModel::default();
+    let ncfg = NhasConfig::quick(7);
+    let a = search_nhas(&model, &base, &envelope, &acc, &ncfg).expect("finds");
+    let b = search_nhas(&model, &base, &envelope, &acc, &ncfg).expect("finds");
+    assert_eq!(a.subnet, b.subnet);
+    assert_eq!(a.edp, b.edp);
+}
+
+#[test]
+fn nasaic_grid_search_reproduces() {
+    let model = CostModel::new();
+    let net = models::nasaic_cifar_net();
+    let a = search_nasaic_allocation(&model, &net, &NasaicConfig::default()).expect("finds");
+    let b = search_nasaic_allocation(&model, &net, &NasaicConfig::default()).expect("finds");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn joint_search_reproduces() {
+    let model = CostModel::new();
+    let envelope = ResourceConstraint::from_design(&baselines::shidiannao());
+    let cfg = JointConfig::quick(3);
+    let acc = AccuracyModel::default();
+    let a = search_joint(&model, &envelope, &acc, &cfg).expect("finds");
+    let b = search_joint(&model, &envelope, &acc, &cfg).expect("finds");
+    assert_eq!(a.subnet, b.subnet);
+    assert_eq!(a.accelerator, b.accelerator);
+    assert_eq!(a.edp, b.edp);
+}

@@ -1,0 +1,125 @@
+//! End-to-end pipeline tests: every benchmark network can be costed,
+//! mapped and searched on every baseline envelope.
+
+use naas::baselines::heuristic_network_cost;
+use naas::prelude::*;
+use naas::{search_accelerator_seeded, AccelSearchConfig, MappingSearchConfig};
+use naas_cost::CostModel;
+
+/// All 6 paper benchmarks run with heuristic mappings on all 5 baselines
+/// (or at least fail gracefully with a capacity verdict, never a panic).
+#[test]
+fn model_zoo_runs_on_every_baseline() {
+    let model = CostModel::new();
+    let nets: Vec<Network> = models::large_benchmarks()
+        .into_iter()
+        .chain(models::mobile_benchmarks())
+        .collect();
+    for accel in baselines::all() {
+        for net in &nets {
+            let cost = heuristic_network_cost(&model, net, &accel);
+            let cost = cost.unwrap_or_else(|| {
+                panic!("{} should run {} heuristically", accel.name(), net.name())
+            });
+            assert!(cost.cycles() > 0);
+            assert!(cost.energy_pj() > 0.0);
+            assert_eq!(cost.layers.len(), net.len());
+        }
+    }
+}
+
+/// Mapping search finds valid mappings for every layer of every mobile
+/// benchmark on every baseline, and never does worse than the heuristic.
+#[test]
+fn mapping_search_beats_heuristic_everywhere() {
+    let model = CostModel::new();
+    let cfg = MappingSearchConfig::quick(17);
+    for accel in baselines::all() {
+        let net = models::squeezenet(224);
+        let heuristic =
+            heuristic_network_cost(&model, &net, &accel).expect("heuristic maps squeezenet");
+        let searched =
+            naas::mapping_search::network_mapping_search(&model, &net, &accel, &cfg)
+                .expect("search maps squeezenet");
+        assert!(
+            searched.edp() <= heuristic.edp() * 1.0001,
+            "search must not lose to its own seed on {}",
+            accel.name()
+        );
+    }
+}
+
+/// The outer search returns designs inside the envelope with the claimed
+/// per-network costs attached, for both benchmark sets.
+#[test]
+fn accel_search_respects_every_envelope() {
+    let model = CostModel::new();
+    for baseline in baselines::all() {
+        let envelope = ResourceConstraint::from_design(&baseline);
+        let net = models::mobilenet_v2(224);
+        let result = search_accelerator_seeded(
+            &model,
+            std::slice::from_ref(&net),
+            &envelope,
+            &AccelSearchConfig::quick(23),
+            std::slice::from_ref(&baseline),
+        );
+        envelope
+            .admits(&result.best.accelerator)
+            .unwrap_or_else(|e| panic!("{}: {e}", baseline.name()));
+        assert_eq!(result.best.per_network.len(), 1);
+        // Reward agrees with the attached cost.
+        let edp = result.best.per_network[0].edp();
+        assert!((result.best.reward - edp).abs() / edp < 1e-9);
+    }
+}
+
+/// Warm-started search never loses to the incumbent design under the
+/// same mapping budget — the contract behind every Fig. 5/6 comparison.
+#[test]
+fn warm_start_floors_the_search() {
+    let model = CostModel::new();
+    for baseline in [baselines::eyeriss(), baselines::nvdla(256)] {
+        let envelope = ResourceConstraint::from_design(&baseline);
+        let net = models::mnasnet(224);
+        let cfg = AccelSearchConfig::quick(31);
+        let result = search_accelerator_seeded(
+            &model,
+            std::slice::from_ref(&net),
+            &envelope,
+            &cfg,
+            std::slice::from_ref(&baseline),
+        );
+        let seed_cost = naas::mapping_search::network_mapping_search(
+            &model,
+            &net,
+            &baseline,
+            &MappingSearchConfig {
+                seed: cfg.seed.wrapping_mul(1_000_003),
+                ..cfg.mapping
+            },
+        )
+        .expect("baseline maps mnasnet");
+        assert!(
+            result.best.reward <= seed_cost.edp() * 1.0001,
+            "{}: search lost to its warm start",
+            baseline.name()
+        );
+    }
+}
+
+/// EDP factorizes: reward == cycles × energy_nJ at every level of
+/// aggregation.
+#[test]
+fn edp_is_consistent_across_aggregation_levels() {
+    let model = CostModel::new();
+    let accel = baselines::nvdla(1024);
+    let net = models::cifar_resnet20();
+    let cost = heuristic_network_cost(&model, &net, &accel).expect("maps");
+    let manual: f64 = cost.cycles() as f64 * cost.energy_nj();
+    assert!((cost.edp() - manual).abs() / manual < 1e-12);
+    for layer in &cost.layers {
+        let manual = layer.cycles as f64 * layer.energy_pj / 1000.0;
+        assert!((layer.edp() - manual).abs() / manual.max(1e-12) < 1e-12);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based invariants spanning the whole stack, driven by
+//! proptest: decoders are total, the cost model respects physical
+//! bounds, and costs move monotonically with resources.
+
+use naas_accel::{baselines, Accelerator, ResourceConstraint};
+use naas_cost::{CostModel, Tensor};
+use naas_ir::ConvSpec;
+use naas_mapping::Mapping;
+use naas_opt::{EncodingScheme, HardwareEncoder, MappingEncoder};
+use proptest::prelude::*;
+
+/// Random-but-valid conv layers: channels, spatial size, kernel, stride.
+fn arb_layer() -> impl Strategy<Value = ConvSpec> {
+    (
+        1u64..=256,         // in channels
+        1u64..=256,         // out channels
+        8u64..=64,          // input spatial
+        prop_oneof![Just(1u64), Just(3), Just(5), Just(7)],
+        1u64..=2,           // stride
+    )
+        .prop_filter_map("kernel must fit padded input", |(c, k, hw, ks, s)| {
+            let pad = ks / 2;
+            ConvSpec::conv2d("prop", c, k, (hw, hw), (ks, ks), s, pad).ok()
+        })
+}
+
+fn arb_baseline() -> impl Strategy<Value = Accelerator> {
+    prop_oneof![
+        Just(baselines::eyeriss()),
+        Just(baselines::nvdla(256)),
+        Just(baselines::nvdla(1024)),
+        Just(baselines::edge_tpu()),
+        Just(baselines::shidiannao()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Mapping decode is total and structurally valid for any vector.
+    #[test]
+    fn mapping_decode_total(
+        layer in arb_layer(),
+        accel in arb_baseline(),
+        theta in proptest::collection::vec(0.0f64..=1.0, 42),
+    ) {
+        let enc = MappingEncoder::new(accel.connectivity().ndim(), EncodingScheme::Importance);
+        let m = enc.decode(&theta[..enc.dim()], &layer, accel.connectivity());
+        prop_assert!(m.validate(&accel).is_ok());
+        // And the cost model either prices it or reports capacity.
+        let model = CostModel::new();
+        match model.evaluate(&layer, &accel, &m) {
+            Ok(cost) => {
+                prop_assert!(cost.cycles > 0);
+                prop_assert!(cost.energy_pj > 0.0);
+                prop_assert!(cost.utilization > 0.0 && cost.utilization <= 1.0 + 1e-9);
+            }
+            Err(naas_cost::CostError::Capacity(_)) => {}
+            Err(e) => prop_assert!(false, "unexpected error {e}"),
+        }
+    }
+
+    /// Hardware decode always lands inside the envelope.
+    #[test]
+    fn hardware_decode_respects_envelope(
+        base in arb_baseline(),
+        theta in proptest::collection::vec(0.0f64..=1.0, 13),
+    ) {
+        let envelope = ResourceConstraint::from_design(&base);
+        let enc = HardwareEncoder::new(envelope.clone(), EncodingScheme::Importance);
+        if let Some(design) = enc.decode(&theta) {
+            prop_assert!(envelope.admits(&design).is_ok());
+        }
+    }
+
+    /// The cost model never beats the compute bound and never moves less
+    /// data than the tensors contain.
+    #[test]
+    fn cost_respects_physical_bounds(layer in arb_layer(), accel in arb_baseline()) {
+        let model = CostModel::new();
+        let mapping = Mapping::balanced(&layer, &accel);
+        if let Ok(cost) = model.evaluate(&layer, &accel, &mapping) {
+            let compute_floor = layer.macs().div_ceil(accel.pe_count());
+            prop_assert!(u128::from(cost.cycles) >= u128::from(compute_floor),
+                "cycles {} below compute floor {}", cost.cycles, compute_floor);
+            let w = cost.traffic.tensor(Tensor::Weights).dram_bytes;
+            prop_assert!(w >= layer.weight_elems() as f64);
+            let mac_energy = layer.macs() as f64 * model.energy().mac_pj;
+            prop_assert!(cost.energy_pj >= mac_energy);
+        }
+    }
+
+    /// More bandwidth never increases latency; energy is unaffected by
+    /// bandwidth (it's a per-access model).
+    #[test]
+    fn bandwidth_monotonicity(layer in arb_layer()) {
+        use naas_accel::{ArchitecturalSizing, Connectivity};
+        use naas_ir::Dim;
+        let model = CostModel::new();
+        let slow = Accelerator::new(
+            "slow",
+            ArchitecturalSizing::new(512, 256 * 1024, 8.0, 2.0),
+            Connectivity::grid(8, 8, Dim::K, Dim::C).expect("static"),
+        );
+        let fast = Accelerator::new(
+            "fast",
+            ArchitecturalSizing::new(512, 256 * 1024, 32.0, 8.0),
+            Connectivity::grid(8, 8, Dim::K, Dim::C).expect("static"),
+        );
+        let mapping = Mapping::balanced(&layer, &slow);
+        if let (Ok(s), Ok(f)) = (
+            model.evaluate(&layer, &slow, &mapping),
+            model.evaluate(&layer, &fast, &mapping),
+        ) {
+            prop_assert!(f.cycles <= s.cycles);
+            prop_assert!((f.energy_pj - s.energy_pj).abs() < 1e-6 * s.energy_pj.max(1.0));
+        }
+    }
+
+    /// Finer temporal tiling can only shrink the per-PE tile.
+    #[test]
+    fn tiling_shrinks_pe_tile(
+        layer in arb_layer(),
+        accel in arb_baseline(),
+        extra in 2u64..=8,
+    ) {
+        use naas_ir::Dim;
+        let coarse = Mapping::balanced(&layer, &accel);
+        let mut fine = coarse.clone();
+        // Double-tile the K dimension at the outermost level.
+        let mut levels: Vec<_> = fine.levels().to_vec();
+        levels[0].trips[Dim::K] = levels[0].trips[Dim::K].saturating_mul(extra);
+        fine = Mapping::new(levels, *fine.pe_order());
+        let ct = coarse.pe_tile(&layer, accel.connectivity());
+        let ft = fine.pe_tile(&layer, accel.connectivity());
+        prop_assert!(ft[Dim::K] <= ct[Dim::K]);
+        for d in naas_ir::DIMS {
+            prop_assert!(ft[d] <= ct[d]);
+        }
+    }
+
+    /// The accuracy surrogate is bounded and monotone in resolution for
+    /// any genotype.
+    #[test]
+    fn accuracy_bounded_and_monotone(
+        width in 0usize..3,
+        d1 in 2usize..=4, d2 in 2usize..=4, d3 in 4usize..=6, d4 in 2usize..=4,
+        r in 0usize..3,
+    ) {
+        use naas_nas::{AccuracyModel, Subnet};
+        let m = AccuracyModel::default();
+        let mk = |res: u64| Subnet {
+            width_idx: width,
+            depths: [d1, d2, d3, d4],
+            ratio_idx: [r; 4],
+            resolution: res,
+        };
+        let lo = m.predict(&mk(128));
+        let hi = m.predict(&mk(256));
+        prop_assert!(lo <= hi + 1e-9);
+        prop_assert!((50.0..=80.0).contains(&lo));
+        prop_assert!((50.0..=80.0).contains(&hi));
+    }
+}
