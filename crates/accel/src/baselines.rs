@@ -77,13 +77,7 @@ pub fn shidiannao() -> Accelerator {
 
 /// All five baseline designs in the paper's order.
 pub fn all() -> Vec<Accelerator> {
-    vec![
-        edge_tpu(),
-        nvdla(1024),
-        nvdla(256),
-        eyeriss(),
-        shidiannao(),
-    ]
+    vec![edge_tpu(), nvdla(1024), nvdla(256), eyeriss(), shidiannao()]
 }
 
 /// The five deployment scenarios of §III-A0b: a resource envelope plus the
@@ -148,7 +142,11 @@ mod tests {
     fn every_baseline_fits_its_own_envelope() {
         for d in all() {
             let c = ResourceConstraint::from_design(&d);
-            assert!(c.admits(&d).is_ok(), "{} violates its own envelope", d.name());
+            assert!(
+                c.admits(&d).is_ok(),
+                "{} violates its own envelope",
+                d.name()
+            );
         }
     }
 }

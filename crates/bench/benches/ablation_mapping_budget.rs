@@ -24,8 +24,7 @@ fn bench(c: &mut Criterion) {
 
     println!("[ablation_mapping_budget] EDP vs budget (SqueezeNet @ Eyeriss):");
     for (pop, iters) in [(4, 2), (8, 4), (16, 6), (32, 10)] {
-        let cost = network_mapping_search(&model, &net, &accel, &cfg(pop, iters, 3))
-            .expect("maps");
+        let cost = network_mapping_search(&model, &net, &accel, &cfg(pop, iters, 3)).expect("maps");
         println!(
             "  pop {pop:>2} x iters {iters:>2} ({:>3} samples/layer): EDP {:.4e}",
             pop * iters,

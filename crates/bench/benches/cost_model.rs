@@ -32,10 +32,7 @@ fn bench(c: &mut Criterion) {
     // Whole-network evaluation (heuristic mappings).
     for net in [models::mobilenet_v2(224), models::resnet50(224)] {
         let accel = naas_accel::baselines::eyeriss();
-        let mappings: Vec<Mapping> = net
-            .iter()
-            .map(|l| Mapping::balanced(l, &accel))
-            .collect();
+        let mappings: Vec<Mapping> = net.iter().map(|l| Mapping::balanced(l, &accel)).collect();
         group.bench_function(format!("network_eval/{}", net.name()), |b| {
             b.iter(|| {
                 std::hint::black_box(

@@ -136,7 +136,10 @@ impl Fig10 {
             &["approach", "top-1 accuracy", "normalized EDP"],
             &rows,
         ));
-        if let (Some(accel), Some(joint)) = (self.point("NAAS (accel-compiler)"), self.point("NAAS (accel-compiler-NN)")) {
+        if let (Some(accel), Some(joint)) = (
+            self.point("NAAS (accel-compiler)"),
+            self.point("NAAS (accel-compiler-NN)"),
+        ) {
             out.push_str(&format!(
                 "joint vs accel-only: {} EDP, {:+.1}% accuracy\n",
                 table::ratio(accel.normalized_edp / joint.normalized_edp),
@@ -154,7 +157,10 @@ impl Fig10 {
     /// The headline claim: the joint search dominates the fixed-network
     /// points — higher accuracy at no EDP cost, or lower EDP.
     pub fn joint_improves(&self) -> bool {
-        match (self.point("NAAS (accel-compiler)"), self.point("NAAS (accel-compiler-NN)")) {
+        match (
+            self.point("NAAS (accel-compiler)"),
+            self.point("NAAS (accel-compiler-NN)"),
+        ) {
             (Some(a), Some(j)) => {
                 j.accuracy >= a.accuracy - 0.3 || j.normalized_edp <= a.normalized_edp
             }

@@ -9,7 +9,7 @@
 use crate::budget::Budget;
 use crate::table;
 use naas::prelude::*;
-use naas::{search_accelerator, SearchStrategy};
+use naas::SearchStrategy;
 use serde::{Deserialize, Serialize};
 
 /// One plotted series point.
@@ -35,17 +35,30 @@ pub struct Fig4 {
 }
 
 /// Runs the Fig. 4 experiment: MobileNetV2 under the Eyeriss envelope.
+///
+/// Both runs share one [`CoSearchEngine`]: any design the random walk
+/// happens to revisit from the evolution's trajectory is answered from
+/// the mapping cache instead of re-searched.
 pub fn run(budget: &Budget, seed: u64) -> Fig4 {
     let model = CostModel::new();
     let envelope = ResourceConstraint::from_design(&baselines::eyeriss());
     let nets = [models::mobilenet_v2(224)];
 
-    let evo = search_accelerator(&model, &nets, &envelope, &budget.accel_cfg(seed));
+    let engine = CoSearchEngine::new(0);
+    let evo = search_accelerator_with(
+        &engine,
+        &model,
+        &nets,
+        &envelope,
+        &budget.accel_cfg(seed),
+        &[],
+        None,
+    );
     let rnd_cfg = AccelSearchConfig {
         strategy: SearchStrategy::Random,
         ..budget.accel_cfg(seed)
     };
-    let rnd = search_accelerator(&model, &nets, &envelope, &rnd_cfg);
+    let rnd = search_accelerator_with(&engine, &model, &nets, &envelope, &rnd_cfg, &[], None);
 
     let norm = evo.best.reward;
     let points = evo
@@ -79,13 +92,9 @@ impl Fig4 {
                 ]
             })
             .collect();
-        let mut out = String::from(
-            "Fig. 4 — population-mean EDP vs iteration (normalized to NAAS best)\n",
-        );
-        out.push_str(&table::render(
-            &["iter", "NAAS mean", "Random mean"],
-            &rows,
-        ));
+        let mut out =
+            String::from("Fig. 4 — population-mean EDP vs iteration (normalized to NAAS best)\n");
+        out.push_str(&table::render(&["iter", "NAAS mean", "Random mean"], &rows));
         out.push_str(&format!(
             "best EDP: NAAS {} vs Random {} ({})\n",
             table::sci(self.naas_best_edp),

@@ -76,7 +76,13 @@ impl Fig6 {
             })
             .collect();
         out.push_str(&table::render(
-            &["resource", "network", "speedup", "energy saving", "EDP reduction"],
+            &[
+                "resource",
+                "network",
+                "speedup",
+                "energy saving",
+                "EDP reduction",
+            ],
             &rows,
         ));
         out

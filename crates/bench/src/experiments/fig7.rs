@@ -68,7 +68,10 @@ impl Fig7 {
     pub fn render(&self) -> String {
         let mut out = String::from("Fig. 7 — searched architectures per (network, resource)\n\n");
         for s in &self.showcases {
-            out.push_str(&format!("--- {} @ {} resources ---\n", s.network, s.resource));
+            out.push_str(&format!(
+                "--- {} @ {} resources ---\n",
+                s.network, s.resource
+            ));
             out.push_str(&s.design_card);
             out.push_str("\n\n");
         }

@@ -84,9 +84,8 @@ pub fn run(budget: &Budget, seed: u64) -> Fig8 {
 impl Fig8 {
     /// Paper-style rendering.
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "Fig. 8 — EDP reduction vs baseline: sizing-only search vs full NAAS\n",
-        );
+        let mut out =
+            String::from("Fig. 8 — EDP reduction vs baseline: sizing-only search vs full NAAS\n");
         let rows: Vec<Vec<String>> = self
             .bars
             .iter()

@@ -67,12 +67,8 @@ pub fn run(budget: &Budget, seed: u64) -> Fig9 {
                 cfg.mapping.scheme = map;
                 // The encodings must find mappings unaided.
                 cfg.mapping.seed_with_heuristic = false;
-                let result = naas::search_accelerator(
-                    &model,
-                    std::slice::from_ref(&net),
-                    &envelope,
-                    &cfg,
-                );
+                let result =
+                    naas::search_accelerator(&model, std::slice::from_ref(&net), &envelope, &cfg);
                 log_sum += (base_cost.edp() / result.best.reward).ln();
             }
             cells.push(EncodingCell {

@@ -57,9 +57,8 @@ pub fn run(budget: &Budget, seed: u64) -> Pareto {
 impl Pareto {
     /// Renders the frontier table.
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "Pareto sweep (extension) — accuracy floor vs achieved (accuracy, EDP)\n",
-        );
+        let mut out =
+            String::from("Pareto sweep (extension) — accuracy floor vs achieved (accuracy, EDP)\n");
         let rows: Vec<Vec<String>> = self
             .points
             .iter()

@@ -42,8 +42,9 @@ pub fn run(_budget: &Budget, _seed: u64) -> Table1 {
 impl Table1 {
     /// Renders the search-space table with measured cardinalities.
     pub fn render(&self) -> String {
-        let mut out =
-            String::from("Table I — search space, with measured cardinalities (EdgeTPU envelope)\n");
+        let mut out = String::from(
+            "Table I — search space, with measured cardinalities (EdgeTPU envelope)\n",
+        );
         let rows = vec![
             vec![
                 "Accelerator".into(),

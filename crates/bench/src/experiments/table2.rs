@@ -122,24 +122,32 @@ pub fn run(_budget: &Budget, _seed: u64) -> Table2 {
 impl Table2 {
     /// Renders the ✓/· correlation matrix.
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "Table II — empirically derived neural/accelerator correlations\n",
-        );
+        let mut out =
+            String::from("Table II — empirically derived neural/accelerator correlations\n");
         let rows: Vec<Vec<String>> = self
             .rows
             .iter()
             .map(|r| {
                 let mut cells = vec![r.design.clone(), r.hw_param.clone()];
-                cells.extend(
-                    r.sensitive
-                        .iter()
-                        .map(|&s| if s { "Y".to_string() } else { "·".to_string() }),
-                );
+                cells.extend(r.sensitive.iter().map(|&s| {
+                    if s {
+                        "Y".to_string()
+                    } else {
+                        "·".to_string()
+                    }
+                }));
                 cells
             })
             .collect();
         out.push_str(&table::render(
-            &["design", "hw parameter", "in-ch", "out-ch", "kernel", "fmap"],
+            &[
+                "design",
+                "hw parameter",
+                "in-ch",
+                "out-ch",
+                "kernel",
+                "fmap",
+            ],
             &rows,
         ));
         out

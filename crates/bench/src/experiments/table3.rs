@@ -67,10 +67,7 @@ pub fn run(budget: &Budget, seed: u64) -> Table3 {
         rows: vec![
             Table3Row {
                 approach: "NASAIC".into(),
-                arch: format!(
-                    "DLA({} PEs) + Shi({} PEs)",
-                    nasaic.dla_pes, nasaic.shi_pes
-                ),
+                arch: format!("DLA({} PEs) + Shi({} PEs)", nasaic.dla_pes, nasaic.shi_pes),
                 accuracy: NASAIC_DLA_ACCURACY,
                 latency_cycles: nasaic.latency_cycles,
                 energy_nj: nasaic.energy_nj,
@@ -78,11 +75,7 @@ pub fn run(budget: &Budget, seed: u64) -> Table3 {
             },
             Table3Row {
                 approach: "NAAS".into(),
-                arch: naas
-                    .best
-                    .accelerator
-                    .connectivity()
-                    .to_string(),
+                arch: naas.best.accelerator.connectivity().to_string(),
                 accuracy: NASAIC_DLA_ACCURACY,
                 latency_cycles: naas_cost.cycles(),
                 energy_nj: naas_cost.energy_nj(),
@@ -111,7 +104,14 @@ impl Table3 {
             })
             .collect();
         out.push_str(&table::render(
-            &["approach", "arch", "CIFAR acc", "latency (cyc)", "energy (nJ)", "EDP"],
+            &[
+                "approach",
+                "arch",
+                "CIFAR acc",
+                "latency (cyc)",
+                "energy (nJ)",
+                "EDP",
+            ],
             &rows,
         ));
         if self.rows.len() == 2 {

@@ -5,9 +5,7 @@
 
 use crate::budget::Budget;
 use crate::table;
-use naas::cost_accounting::{
-    measured_co_search_gd, naas_cost, nasaic_cost, nhas_cost, SearchCost,
-};
+use naas::cost_accounting::{measured_co_search_gd, naas_cost, nasaic_cost, nhas_cost, SearchCost};
 use naas::prelude::*;
 use naas::search_accelerator;
 use serde::{Deserialize, Serialize};
@@ -67,10 +65,7 @@ pub fn run(budget: &Budget, seed: u64) -> Table4 {
     let model = CostModel::new();
     let accel = baselines::eyeriss();
     let net = models::mobilenet_v2(224);
-    let mappings: Vec<Mapping> = net
-        .iter()
-        .map(|l| Mapping::balanced(l, &accel))
-        .collect();
+    let mappings: Vec<Mapping> = net.iter().map(|l| Mapping::balanced(l, &accel)).collect();
     let start = Instant::now();
     let mut sink = 0.0f64;
     let reps = 200usize;
@@ -134,7 +129,14 @@ impl Table4 {
             })
             .collect();
         out.push_str(&table::render(
-            &["approach", "co-search (Gd)", "training (Gd)", "total (Gd)", "AWS", "CO2"],
+            &[
+                "approach",
+                "co-search (Gd)",
+                "training (Gd)",
+                "total (Gd)",
+                "AWS",
+                "CO2",
+            ],
             &rows,
         ));
         out.push_str(&format!(

@@ -60,9 +60,8 @@ mod tests {
         let net = models::cifar_resnet20();
         let accel = designs::eyeriss();
         let heuristic = heuristic_network_cost(&model, &net, &accel).expect("heuristic maps");
-        let searched =
-            baseline_network_cost(&model, &net, &accel, &MappingSearchConfig::quick(1))
-                .expect("search maps");
+        let searched = baseline_network_cost(&model, &net, &accel, &MappingSearchConfig::quick(1))
+            .expect("search maps");
         assert!(searched.edp() <= heuristic.edp());
     }
 }

@@ -30,6 +30,8 @@ pub struct NasaicConfig {
     /// Allocation grid resolution (NASAIC's RL explores a comparably
     /// coarse space; an exhaustive grid is exact here).
     pub grid: usize,
+    /// Worker threads for grid evaluation (`0` = all cores).
+    pub threads: usize,
 }
 
 impl Default for NasaicConfig {
@@ -41,6 +43,7 @@ impl Default for NasaicConfig {
             total_bandwidth: 64.0,
             dram_bandwidth: 16.0,
             grid: 9,
+            threads: 0,
         }
     }
 }
@@ -103,8 +106,10 @@ pub fn search_nasaic_allocation(
     network: &Network,
     cfg: &NasaicConfig,
 ) -> Option<NasaicResult> {
-    let mut best: Option<NasaicResult> = None;
-    for step in 1..cfg.grid {
+    // Grid points are independent: evaluate them on the engine pool and
+    // fold in grid order (first-best tie-break stays deterministic).
+    let steps: Vec<usize> = (1..cfg.grid).collect();
+    let evaluated = naas_engine::parallel_map(cfg.threads, &steps, |_idx, &step| {
         let f = step as f64 / cfg.grid as f64;
         let dla_pes = ((cfg.total_pes as f64 * f) as u64).max(4);
         let shi_pes = cfg.total_pes.saturating_sub(dla_pes).max(4);
@@ -117,16 +122,13 @@ pub fn search_nasaic_allocation(
             dla_ip(dla_pes, dla_mem, dla_bw, cfg.dram_bandwidth),
             shi_ip(shi_pes, shi_mem, shi_bw, cfg.dram_bandwidth),
         ) else {
-            continue;
+            return None;
         };
 
         // Per-layer dispatch to the better IP (heuristic mapping: NASAIC
         // does not search mappings).
-        let dla_cost = heuristic_network_cost(model, network, &dla);
-        let shi_cost = heuristic_network_cost(model, network, &shi);
-        let (Some(dla_cost), Some(shi_cost)) = (dla_cost, shi_cost) else {
-            continue;
-        };
+        let dla_cost = heuristic_network_cost(model, network, &dla)?;
+        let shi_cost = heuristic_network_cost(model, network, &shi)?;
         let mut latency = 0u64;
         let mut energy_pj = 0.0;
         let mut dla_layers = 0usize;
@@ -144,16 +146,21 @@ pub fn search_nasaic_allocation(
         }
         let energy_nj = energy_pj / 1000.0;
         let edp = latency as f64 * energy_nj;
-        if best.as_ref().is_none_or(|b| edp < b.edp) {
-            best = Some(NasaicResult {
-                dla_pes: dla.pe_count(),
-                shi_pes: shi.pe_count(),
-                dla_layers,
-                shi_layers,
-                latency_cycles: latency,
-                energy_nj,
-                edp,
-            });
+        Some(NasaicResult {
+            dla_pes: dla.pe_count(),
+            shi_pes: shi.pe_count(),
+            dla_layers,
+            shi_layers,
+            latency_cycles: latency,
+            energy_nj,
+            edp,
+        })
+    });
+
+    let mut best: Option<NasaicResult> = None;
+    for candidate in evaluated.into_iter().flatten() {
+        if best.as_ref().is_none_or(|b| candidate.edp < b.edp) {
+            best = Some(candidate);
         }
     }
     best

@@ -31,6 +31,8 @@ pub struct NhasConfig {
     pub nas: NasConfig,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for candidate evaluation (`0` = all cores).
+    pub threads: usize,
 }
 
 impl NhasConfig {
@@ -48,6 +50,7 @@ impl NhasConfig {
                 ..NasConfig::default()
             },
             seed,
+            threads: 0,
         }
     }
 }
@@ -79,7 +82,12 @@ pub fn search_nhas(
     let mut best: Option<NhasResult> = None;
 
     for iteration in 0..cfg.iterations {
-        let mut scored = Vec::with_capacity(cfg.population);
+        // Sample sequentially (the ES is stateful); each candidate's NAS
+        // evolution then runs as one job on the engine pool, seeded by
+        // slot — deterministic at any thread count because results fold
+        // in slot order.
+        let mut slots: Vec<(usize, Vec<f64>, Accelerator)> = Vec::with_capacity(cfg.population);
+        let mut infeasible: Vec<Vec<f64>> = Vec::new();
         for slot in 0..cfg.population {
             let mut decoded = None;
             let mut last = None;
@@ -93,12 +101,17 @@ pub fn search_nhas(
                     None => last = Some(theta),
                 }
             }
-            let Some((theta, accel)) = decoded else {
-                if let Some(t) = last {
-                    scored.push((t, f64::INFINITY));
+            match decoded {
+                Some((theta, accel)) => slots.push((slot, theta, accel)),
+                None => {
+                    if let Some(t) = last {
+                        infeasible.push(t);
+                    }
                 }
-                continue;
-            };
+            }
+        }
+
+        let outcomes = naas_engine::parallel_map(cfg.threads, &slots, |_idx, (slot, _, accel)| {
             let nas_cfg = NasConfig {
                 seed: cfg
                     .seed
@@ -106,9 +119,13 @@ pub fn search_nhas(
                     .wrapping_add((iteration * cfg.population + slot) as u64),
                 ..cfg.nas
             };
-            let outcome = search_subnet(&nas_cfg, accuracy_model, |net| {
-                heuristic_network_cost(model, net, &accel).map(|c| c.edp())
-            });
+            search_subnet(&nas_cfg, accuracy_model, |net| {
+                heuristic_network_cost(model, net, accel).map(|c| c.edp())
+            })
+        });
+
+        let mut scored = Vec::with_capacity(slots.len() + infeasible.len());
+        for ((_, theta, accel), outcome) in slots.into_iter().zip(outcomes) {
             match outcome {
                 Some(out) => {
                     if best.as_ref().is_none_or(|b| out.reward < b.edp) {
@@ -123,6 +140,9 @@ pub fn search_nhas(
                 }
                 None => scored.push((theta, f64::INFINITY)),
             }
+        }
+        for theta in infeasible {
+            scored.push((theta, f64::INFINITY));
         }
         es.tell(&scored);
     }

@@ -27,6 +27,8 @@ pub struct SizingOnlyConfig {
     pub resample_limit: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for candidate evaluation (`0` = all cores).
+    pub threads: usize,
 }
 
 impl Default for SizingOnlyConfig {
@@ -37,6 +39,7 @@ impl Default for SizingOnlyConfig {
             es: EsConfig::default(),
             resample_limit: 50,
             seed: 0,
+            threads: 0,
         }
     }
 }
@@ -79,7 +82,10 @@ pub fn search_sizing_only(
     let mut best: Option<SizingOnlyResult> = None;
 
     for _ in 0..cfg.iterations {
-        let mut scored = Vec::with_capacity(cfg.population);
+        // Sample sequentially (the ES is stateful), evaluate the decoded
+        // population on the engine pool, fold in slot order.
+        let mut slots: Vec<(Vec<f64>, Accelerator)> = Vec::with_capacity(cfg.population);
+        let mut infeasible: Vec<Vec<f64>> = Vec::new();
         for _ in 0..cfg.population {
             let mut decoded = None;
             let mut last = None;
@@ -93,16 +99,25 @@ pub fn search_sizing_only(
                     None => last = Some(theta),
                 }
             }
-            let Some((theta, accel)) = decoded else {
-                if let Some(t) = last {
-                    scored.push((t, f64::INFINITY));
+            match decoded {
+                Some(slot) => slots.push(slot),
+                None => {
+                    if let Some(t) = last {
+                        infeasible.push(t);
+                    }
                 }
-                continue;
-            };
-            let costs: Option<Vec<NetworkCost>> = networks
+            }
+        }
+
+        let costs = naas_engine::parallel_map(cfg.threads, &slots, |_idx, (_, accel)| {
+            networks
                 .iter()
-                .map(|net| heuristic_network_cost(model, net, &accel))
-                .collect();
+                .map(|net| heuristic_network_cost(model, net, accel))
+                .collect::<Option<Vec<NetworkCost>>>()
+        });
+
+        let mut scored = Vec::with_capacity(slots.len() + infeasible.len());
+        for ((theta, accel), costs) in slots.into_iter().zip(costs) {
             match costs {
                 Some(per_network) => {
                     let edps: Vec<f64> = per_network.iter().map(NetworkCost::edp).collect();
@@ -118,6 +133,9 @@ pub fn search_sizing_only(
                 }
                 None => scored.push((theta, f64::INFINITY)),
             }
+        }
+        for theta in infeasible {
+            scored.push((theta, f64::INFINITY));
         }
         es.tell(&scored);
     }

@@ -1,0 +1,286 @@
+//! `naas-search` — CLI driver over the engine's declarative scenarios.
+//!
+//! ```text
+//! naas-search list
+//! naas-search run <scenario> [--preset smoke|quick|paper] [--seed N]
+//!                            [--threads N] [--checkpoint FILE] [--every K]
+//! naas-search run --file scenario.json [...]
+//! naas-search resume <checkpoint-file> [--threads N]
+//! naas-search show <checkpoint-file>
+//! ```
+//!
+//! `run` executes an accelerator search for a registered scenario (or one
+//! loaded from a JSON file), optionally checkpointing every K generations;
+//! `resume` continues an interrupted run to completion — deterministically
+//! reproducing what the uninterrupted search would have returned; `show`
+//! summarizes a checkpoint without running anything.
+
+use naas::prelude::*;
+use naas::{accel_search_init, AccelSearchState};
+use naas_engine::{checkpoint, scenario, CheckpointPolicy, Scenario};
+use serde::{Deserialize, Serialize};
+use std::process::exit;
+
+/// What `naas-search` writes to disk: the search state plus the scenario
+/// it belongs to, so `resume` can rebuild the benchmark suite.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SearchCheckpoint {
+    scenario: Scenario,
+    state: AccelSearchState,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  naas-search list\n  naas-search run <scenario|--file scenario.json> \
+         [--preset smoke|quick|paper] [--seed N] [--threads N] [--checkpoint FILE] [--every K]\n  \
+         naas-search resume <checkpoint-file> [--threads N]\n  naas-search show <checkpoint-file>"
+    );
+    exit(2);
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("naas-search: {msg}");
+    exit(1);
+}
+
+/// Tiny flag parser: positionals plus `--key value` options.
+struct Args {
+    positional: Vec<String>,
+    options: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(raw: Vec<String>) -> Args {
+        let mut positional = Vec::new();
+        let mut options = Vec::new();
+        let mut it = raw.into_iter();
+        while let Some(arg) = it.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = it.next().unwrap_or_else(|| usage());
+                options.push((key.to_string(), value));
+            } else {
+                positional.push(arg);
+            }
+        }
+        Args {
+            positional,
+            options,
+        }
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.options
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_num<T: std::str::FromStr>(&self, key: &str) -> Option<T> {
+        self.get(key).map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| fail(format!("--{key} expects a number, got `{v}`")))
+        })
+    }
+}
+
+fn main() {
+    let args = Args::parse(std::env::args().skip(1).collect());
+    match args.positional.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("run") => cmd_run(&args),
+        Some("resume") => cmd_resume(&args),
+        Some("show") => cmd_show(&args),
+        _ => usage(),
+    }
+}
+
+fn cmd_list() {
+    println!("registered scenarios:\n");
+    for s in scenario::registry() {
+        println!(
+            "  {:<20} {} [{} nets, envelope {}, seed {}]",
+            s.name,
+            s.description,
+            s.networks.len(),
+            s.envelope,
+            s.seed
+        );
+    }
+    println!("\nrun one with: naas-search run <name> [--preset smoke|quick|paper]");
+}
+
+fn search_config(args: &Args, seed: u64, threads: usize) -> AccelSearchConfig {
+    let preset = args.get("preset").unwrap_or("quick");
+    let (population, iterations, map_population, map_iterations) = match preset {
+        "smoke" => (5, 3, 6, 2),
+        "quick" => (10, 8, 12, 4),
+        "paper" => (20, 15, 16, 6),
+        other => fail(format!("unknown preset `{other}` (smoke|quick|paper)")),
+    };
+    let mut cfg = AccelSearchConfig::paper(seed);
+    cfg.population = population;
+    cfg.iterations = iterations;
+    cfg.mapping.population = map_population;
+    cfg.mapping.iterations = map_iterations;
+    cfg.mapping.seed = seed;
+    cfg.threads = threads;
+    cfg
+}
+
+fn cmd_run(args: &Args) {
+    let scenario = match (args.positional.get(1), args.get("file")) {
+        (_, Some(path)) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
+            serde_json::from_str::<Scenario>(&text)
+                .unwrap_or_else(|e| fail(format!("cannot parse {path}: {e}")))
+        }
+        (Some(name), None) => scenario::find(name).unwrap_or_else(|| {
+            fail(format!(
+                "unknown scenario `{name}` — see `naas-search list`"
+            ))
+        }),
+        (None, None) => usage(),
+    };
+    let job = scenario.resolve().unwrap_or_else(|e| fail(e));
+    let seed = args.get_num("seed").unwrap_or(job.scenario.seed);
+    let threads = args.get_num("threads").unwrap_or(0);
+    let cfg = search_config(args, seed, threads);
+
+    let policy = args.get("checkpoint").map(|path| CheckpointPolicy {
+        path: path.into(),
+        every: args.get_num("every").unwrap_or(1),
+    });
+
+    println!(
+        "searching `{}` — {} network(s) within {} resources, population {} × {} generations",
+        job.scenario.name,
+        job.networks.len(),
+        job.baseline.name(),
+        cfg.population,
+        cfg.iterations
+    );
+
+    let engine = CoSearchEngine::new(cfg.threads);
+    let model = CostModel::new();
+    let seeds: Vec<_> = if job.scenario.warm_start {
+        vec![job.baseline.clone()]
+    } else {
+        vec![]
+    };
+
+    let state = accel_search_init(&job.constraint, &cfg, &seeds);
+    drive(&engine, &model, &job, state, policy.as_ref());
+}
+
+fn cmd_resume(args: &Args) {
+    let path = args
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or_else(|| usage());
+    let snapshot: SearchCheckpoint = checkpoint::load(std::path::Path::new(path))
+        .unwrap_or_else(|e| fail(format!("cannot load {path}: {e}")));
+    let job = snapshot.scenario.resolve().unwrap_or_else(|e| fail(e));
+    let threads = args
+        .get_num("threads")
+        .unwrap_or(snapshot.state.config.threads);
+    // A resumed run keeps checkpointing to the file it came from (same
+    // cadence flag as `run`), so a second interruption loses at most
+    // `--every` generations — not everything since the first crash.
+    let policy = CheckpointPolicy {
+        path: path.into(),
+        every: args.get_num("every").unwrap_or(1),
+    };
+
+    println!(
+        "resuming `{}` at generation {}/{} from {path}",
+        job.scenario.name, snapshot.state.iteration, snapshot.state.config.iterations
+    );
+    let engine = CoSearchEngine::new(threads);
+    let model = CostModel::new();
+    drive(&engine, &model, &job, snapshot.state, Some(&policy));
+}
+
+/// Steps a search to completion with progress lines and (optionally)
+/// per-generation `SearchCheckpoint` snapshots; prints the final report.
+fn drive(
+    engine: &CoSearchEngine,
+    model: &CostModel,
+    job: &naas_engine::EvalJob,
+    mut state: AccelSearchState,
+    policy: Option<&CheckpointPolicy>,
+) {
+    let iterations = state.config.iterations;
+    let started = std::time::Instant::now();
+    while naas::accel_search_step(engine, model, &job.networks, &mut state) {
+        let last = state.history().last().expect("step appends history");
+        println!(
+            "  gen {:>2}/{}: best EDP {:.3e}, population mean {:.3e}, {} valid, cache {:.0}% hit",
+            state.iteration,
+            iterations,
+            last.best_edp,
+            last.mean_edp,
+            last.valid,
+            state.cache_stats.hit_rate() * 100.0
+        );
+        if let Some(policy) = policy {
+            if policy.due_after(state.iteration - 1) || state.is_done() {
+                let snapshot = SearchCheckpoint {
+                    scenario: job.scenario.clone(),
+                    state: state.clone(),
+                };
+                checkpoint::save(&policy.path, &snapshot)
+                    .unwrap_or_else(|e| fail(format!("cannot write checkpoint: {e}")));
+            }
+        }
+    }
+    report(state, started.elapsed());
+}
+
+fn cmd_show(args: &Args) {
+    let path = args
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or_else(|| usage());
+    let snapshot: SearchCheckpoint = checkpoint::load(std::path::Path::new(path))
+        .unwrap_or_else(|e| fail(format!("cannot load {path}: {e}")));
+    let state = &snapshot.state;
+    println!(
+        "scenario `{}`: generation {}/{}, {} evaluations, cache {} entries ({:.0}% hit)",
+        snapshot.scenario.name,
+        state.iteration,
+        state.config.iterations,
+        state.history().iter().map(|h| h.valid).sum::<usize>(),
+        state.cache_stats.entries,
+        state.cache_stats.hit_rate() * 100.0
+    );
+    match state.best() {
+        Some(best) => println!(
+            "best so far: reward {:.3e}\n{}",
+            best.reward,
+            best.accelerator.design_card()
+        ),
+        None => println!("no valid design found yet"),
+    }
+}
+
+fn report(state: AccelSearchState, elapsed: std::time::Duration) {
+    let stats = state.cache_stats;
+    let result = state.into_result();
+    println!("\nbest design:\n{}", result.best.accelerator.design_card());
+    println!(
+        "reward (geomean EDP) {:.3e} after {} evaluations [{:.1}s]",
+        result.best.reward,
+        result.evaluations,
+        elapsed.as_secs_f64()
+    );
+    println!(
+        "cache: {} entries, {} hits / {} misses ({:.0}% hit rate)",
+        stats.entries,
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0
+    );
+}

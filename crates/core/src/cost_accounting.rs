@@ -16,10 +16,10 @@ pub const AWS_DOLLARS_PER_GPU_DAY: f64 = 75.0;
 pub const CO2_LBS_PER_GPU_DAY: f64 = 7.5;
 
 /// A search-cost decomposition in GPU days.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SearchCost {
     /// Approach label.
-    pub approach: &'static str,
+    pub approach: String,
     /// Co-search (exploration) cost in GPU days.
     pub co_search_gd: f64,
     /// Network training cost in GPU days.
@@ -49,7 +49,7 @@ impl SearchCost {
 pub fn nasaic_cost(n: u32) -> SearchCost {
     let n = n as f64;
     SearchCost {
-        approach: "NASAIC",
+        approach: "NASAIC".to_string(),
         co_search_gd: 500.0 * 12.0 * n,
         training_gd: 16.0 * n,
     }
@@ -60,7 +60,7 @@ pub fn nasaic_cost(n: u32) -> SearchCost {
 pub fn nhas_cost(n: u32) -> SearchCost {
     let n = n as f64;
     SearchCost {
-        approach: "NHAS",
+        approach: "NHAS".to_string(),
         co_search_gd: 12.0 + 4.0 * n,
         training_gd: 16.0 * n,
     }
@@ -72,7 +72,7 @@ pub fn nhas_cost(n: u32) -> SearchCost {
 pub fn naas_cost(n: u32) -> SearchCost {
     let n = n as f64;
     SearchCost {
-        approach: "NAAS (ours)",
+        approach: "NAAS (ours)".to_string(),
         co_search_gd: 0.25 * n,
         training_gd: 50.0,
     }

@@ -8,11 +8,19 @@
 //! accelerator's reward. The result is a matched
 //! (accelerator, network, mapping) tuple "with guaranteed accuracy and
 //! lowest EDP".
+//!
+//! Candidates of a generation are independent, so their whole NAS
+//! evolutions run in parallel on the engine's work-stealing pool; all
+//! mapping searches inside them share the engine's content-addressed
+//! cache, so a subnet layer shape evaluated once on a design is never
+//! evaluated on it again — across subnets, candidates, generations, and
+//! every sweep sharing the engine.
 
 use crate::accel_search::AccelSearchConfig;
-use crate::mapping_search::network_mapping_search;
+use crate::engine::CoSearchEngine;
 use naas_accel::{Accelerator, ResourceConstraint};
 use naas_cost::CostModel;
+use naas_engine::parallel_map;
 use naas_nas::search::search_subnet;
 use naas_nas::{AccuracyModel, NasConfig, Subnet};
 use naas_opt::{CemEs, HardwareEncoder, Optimizer};
@@ -22,7 +30,8 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct JointConfig {
     /// Outer accelerator-search budget (its `mapping` field also budgets
-    /// the innermost mapping search).
+    /// the innermost mapping search, and its `threads` field sizes the
+    /// engine pool).
     pub accel: AccelSearchConfig,
     /// Per-candidate NAS budget.
     pub nas: NasConfig,
@@ -59,11 +68,26 @@ pub struct JointResult {
     pub evaluations: usize,
 }
 
-/// Runs the joint neural-accelerator-compiler co-search.
+/// Runs the joint neural-accelerator-compiler co-search on a private
+/// engine sized by `cfg.accel.threads`.
 ///
 /// Returns `None` when no (design, subnet) pair satisfying the accuracy
 /// floor was found within the budget.
 pub fn search_joint(
+    model: &CostModel,
+    constraint: &ResourceConstraint,
+    accuracy_model: &AccuracyModel,
+    cfg: &JointConfig,
+) -> Option<JointResult> {
+    let engine = CoSearchEngine::new(cfg.accel.threads);
+    search_joint_with(&engine, model, constraint, accuracy_model, cfg)
+}
+
+/// [`search_joint`] on a caller-supplied engine, sharing its mapping
+/// cache with whatever else runs on it (e.g. the other floors of a
+/// [`pareto_sweep`]).
+pub fn search_joint_with(
+    engine: &CoSearchEngine,
     model: &CostModel,
     constraint: &ResourceConstraint,
     accuracy_model: &AccuracyModel,
@@ -75,29 +99,38 @@ pub fn search_joint(
     let mut total_evals = 0usize;
 
     for iteration in 0..cfg.accel.iterations {
-        let mut scored: Vec<(Vec<f64>, f64)> = Vec::with_capacity(cfg.accel.population);
+        // Sample the generation sequentially (the ES is stateful).
+        let mut slots: Vec<(usize, Vec<f64>, Accelerator)> =
+            Vec::with_capacity(cfg.accel.population);
+        let mut infeasible: Vec<Vec<f64>> = Vec::new();
         for slot in 0..cfg.accel.population {
-            // Resample until a decodable design appears.
-            let mut design = None;
+            let mut decoded = None;
             let mut theta_last = None;
             for _ in 0..cfg.accel.resample_limit {
                 let theta = es.ask();
                 match encoder.decode(&theta) {
                     Some(d) => {
-                        design = Some((theta, d));
+                        decoded = Some((theta, d));
                         break;
                     }
                     None => theta_last = Some(theta),
                 }
             }
-            let Some((theta, accel)) = design else {
-                if let Some(t) = theta_last {
-                    scored.push((t, f64::INFINITY));
+            match decoded {
+                Some((theta, accel)) => slots.push((slot, theta, accel)),
+                None => {
+                    if let Some(t) = theta_last {
+                        infeasible.push(t);
+                    }
                 }
-                continue;
-            };
+            }
+        }
 
-            // Inner NAS evolution on this candidate.
+        // Each candidate's whole NAS evolution is one parallel job. The
+        // NAS seed is slot-derived (deterministic sampling schedule); the
+        // mapping searches inside use the engine cache with
+        // content-derived seeds, so cross-candidate reuse is sound.
+        let outcomes = parallel_map(engine.threads(), &slots, |_idx, (slot, _, accel)| {
             let nas_cfg = NasConfig {
                 seed: cfg
                     .nas
@@ -106,14 +139,25 @@ pub fn search_joint(
                     .wrapping_add((iteration * cfg.accel.population + slot) as u64),
                 ..cfg.nas
             };
-            let mapping_cfg = crate::mapping_search::MappingSearchConfig {
-                seed: nas_cfg.seed,
-                ..cfg.accel.mapping
-            };
-            let outcome = search_subnet(&nas_cfg, accuracy_model, |net| {
-                network_mapping_search(model, net, &accel, &mapping_cfg)
-                    .map(|cost| cost.edp())
-            });
+            // One fingerprint per candidate: every subnet the NAS
+            // proposes shares it.
+            let design_fp = crate::mapping_search::design_fingerprint(accel, &cfg.accel.mapping);
+            search_subnet(&nas_cfg, accuracy_model, |net| {
+                crate::mapping_search::network_mapping_search_memo(
+                    model,
+                    net,
+                    accel,
+                    &cfg.accel.mapping,
+                    engine.cache(),
+                    design_fp,
+                )
+                .map(|cost| cost.edp())
+            })
+        });
+
+        // Fold results in slot order (deterministic tie-breaks).
+        let mut scored: Vec<(Vec<f64>, f64)> = Vec::with_capacity(slots.len() + infeasible.len());
+        for ((_, theta, accel), outcome) in slots.into_iter().zip(outcomes) {
             match outcome {
                 Some(out) => {
                     total_evals += out.evaluations;
@@ -130,6 +174,9 @@ pub fn search_joint(
                 }
                 None => scored.push((theta, f64::INFINITY)),
             }
+        }
+        for theta in infeasible {
+            scored.push((theta, f64::INFINITY));
         }
         es.tell(&scored);
     }
@@ -152,7 +199,8 @@ pub struct ParetoEntry {
 /// Extension beyond the paper's single Fig. 10 point: sweeps the joint
 /// search over a list of accuracy floors, producing the full
 /// accuracy-vs-EDP trade-off curve of the co-design space. Floors that
-/// admit no feasible tuple are skipped.
+/// admit no feasible tuple are skipped. All floors share one engine, so
+/// mapping results computed for one floor are reused by the others.
 pub fn pareto_sweep(
     model: &CostModel,
     constraint: &ResourceConstraint,
@@ -160,12 +208,14 @@ pub fn pareto_sweep(
     cfg: &JointConfig,
     floors: &[f64],
 ) -> Vec<ParetoEntry> {
+    let engine = CoSearchEngine::new(cfg.accel.threads);
     let mut out = Vec::with_capacity(floors.len());
     for (i, &floor) in floors.iter().enumerate() {
         let mut swept = *cfg;
         swept.nas.accuracy_floor = floor;
         swept.nas.seed = cfg.nas.seed.wrapping_add(i as u64);
-        if let Some(result) = search_joint(model, constraint, accuracy_model, &swept) {
+        if let Some(result) = search_joint_with(&engine, model, constraint, accuracy_model, &swept)
+        {
             out.push(ParetoEntry { floor, result });
         }
     }
@@ -199,6 +249,21 @@ mod tests {
         let b = search_joint(&model, &envelope, &accuracy, &cfg).unwrap();
         assert_eq!(a.subnet, b.subnet);
         assert_eq!(a.edp, b.edp);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let model = CostModel::new();
+        let envelope = ResourceConstraint::from_design(&baselines::eyeriss());
+        let mut cfg = JointConfig::quick(6);
+        let accuracy = AccuracyModel::default();
+        cfg.accel.threads = 1;
+        let single = search_joint(&model, &envelope, &accuracy, &cfg).unwrap();
+        cfg.accel.threads = 4;
+        let multi = search_joint(&model, &envelope, &accuracy, &cfg).unwrap();
+        assert_eq!(single.subnet, multi.subnet);
+        assert_eq!(single.accelerator, multi.accelerator);
+        assert_eq!(single.edp, multi.edp);
     }
 
     #[test]

@@ -4,44 +4,19 @@
 //! ~22 distinct shapes), and the inner mapping search is the hot path of
 //! the whole co-search, so both the paper's MAESTRO harness and this
 //! reproduction dedupe evaluation by layer shape.
+//!
+//! This single-call cache is the small sibling of the engine's
+//! population-scale one: `naas_engine::MemoCache` keys the same
+//! [`LayerKey`] under a design fingerprint and shares results across
+//! candidates, generations and searches (see [`crate::engine`]).
 
 use naas_ir::ConvSpec;
 use std::collections::HashMap;
 
-/// Hashable identity of a convolution workload: two layers with equal
-/// keys have identical cost under every `(accelerator, mapping)` pair.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct LayerKey {
-    batch: u64,
-    in_channels: u64,
-    out_channels: u64,
-    in_y: u64,
-    in_x: u64,
-    kernel_r: u64,
-    kernel_s: u64,
-    stride: u64,
-    padding: u64,
-    groups: u64,
-}
-
-impl LayerKey {
-    /// Extracts the shape key of a layer (name and kind are cost-neutral
-    /// labels and are excluded).
-    pub fn of(layer: &ConvSpec) -> Self {
-        LayerKey {
-            batch: layer.batch(),
-            in_channels: layer.in_channels(),
-            out_channels: layer.out_channels(),
-            in_y: layer.in_y(),
-            in_x: layer.in_x(),
-            kernel_r: layer.kernel_r(),
-            kernel_s: layer.kernel_s(),
-            stride: layer.stride(),
-            padding: layer.padding(),
-            groups: layer.groups(),
-        }
-    }
-}
+/// The shape identity of a convolution workload. Now defined in
+/// `naas_engine::cache` (the shared memo cache generalizes this module);
+/// re-exported here for continuity.
+pub use naas_engine::LayerKey;
 
 /// A memo table from layer shape to search results.
 #[derive(Debug, Default)]

@@ -18,6 +18,13 @@
 //! NASAIC, NHAS) and [`cost_accounting`] reproduces the Table-IV search
 //! cost model.
 //!
+//! Every loop executes through the [`engine`] module's
+//! [`CoSearchEngine`] (the `naas-engine` subsystem): work-stealing
+//! parallel candidate evaluation, a shared content-addressed cache of
+//! per-layer mapping results, and serializable search state with
+//! checkpoint/resume ([`AccelSearchState`]). Results are bit-identical
+//! at any thread count, cold or warm cache.
+//!
 //! ```no_run
 //! use naas::prelude::*;
 //!
@@ -32,28 +39,37 @@
 pub mod accel_search;
 pub mod baselines;
 pub mod cost_accounting;
+pub mod engine;
 pub mod joint;
 pub mod layer_cache;
 pub mod mapping_search;
 pub mod reward;
 
 pub use accel_search::{
-    search_accelerator, search_accelerator_seeded, AccelCandidate, AccelSearchConfig,
-    AccelSearchResult, IterationStats, SearchStrategy,
+    accel_search_init, accel_search_step, resume_accel_search, search_accelerator,
+    search_accelerator_seeded, search_accelerator_with, AccelCandidate, AccelSearchConfig,
+    AccelSearchResult, AccelSearchState, IterationStats, SearchStrategy,
 };
-pub use joint::{pareto_sweep, search_joint, JointConfig, JointResult, ParetoEntry};
-pub use mapping_search::{search_layer_mapping, MappingSearchConfig, MappingSearchResult};
+pub use engine::CoSearchEngine;
+pub use joint::{
+    pareto_sweep, search_joint, search_joint_with, JointConfig, JointResult, ParetoEntry,
+};
+pub use mapping_search::{
+    network_mapping_search_cached, search_layer_mapping, MappingSearchConfig, MappingSearchResult,
+};
 pub use reward::{geomean, RewardKind};
 
 /// Convenience re-exports for downstream code and examples.
 pub mod prelude {
     pub use crate::accel_search::{
-        search_accelerator, search_accelerator_seeded, AccelSearchConfig, AccelSearchResult,
-        SearchStrategy,
+        search_accelerator, search_accelerator_seeded, search_accelerator_with, AccelSearchConfig,
+        AccelSearchResult, SearchStrategy,
     };
+    pub use crate::engine::CoSearchEngine;
     pub use crate::joint::{search_joint, JointConfig, JointResult};
     pub use crate::mapping_search::{
-        network_mapping_search, search_layer_mapping, MappingSearchConfig,
+        network_mapping_search, network_mapping_search_cached, search_layer_mapping,
+        MappingSearchConfig,
     };
     pub use naas_accel::baselines;
     pub use naas_accel::{Accelerator, ArchitecturalSizing, Connectivity, ResourceConstraint};

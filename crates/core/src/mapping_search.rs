@@ -6,9 +6,11 @@
 //! Fig. 2/3: per-level loop-order importances and tiling ratios plus the
 //! PE-level order.
 
+use crate::engine::MappingMemo;
 use crate::layer_cache::LayerCache;
 use naas_accel::Accelerator;
 use naas_cost::{CostModel, LayerCost, NetworkCost};
+use naas_engine::LayerKey;
 use naas_ir::{ConvSpec, Network};
 use naas_mapping::Mapping;
 use naas_opt::{CemEs, EncodingScheme, EsConfig, MappingEncoder, Optimizer, RandomSearch};
@@ -149,10 +151,7 @@ pub fn search_layer_mapping(
             }
         }
         es.tell(&scored);
-        history.push(
-            best.as_ref()
-                .map_or(f64::INFINITY, |(_, c)| c.edp()),
-        );
+        history.push(best.as_ref().map_or(f64::INFINITY, |(_, c)| c.edp()));
     }
 
     best.map(|(mapping, cost)| MappingSearchResult {
@@ -166,6 +165,10 @@ pub fn search_layer_mapping(
 /// Runs the mapping search for every layer of a network (deduplicated by
 /// layer shape) and returns the aggregate cost, or `None` if any layer
 /// has no valid mapping on this design.
+///
+/// Memoization is local to this call; population-scale searches go
+/// through [`network_mapping_search_cached`] instead, which shares
+/// results across candidates, generations and searches.
 pub fn network_mapping_search(
     model: &CostModel,
     network: &Network,
@@ -178,6 +181,73 @@ pub fn network_mapping_search(
         let result = cache
             .get_or_insert_with(layer, || search_layer_mapping(model, layer, accel, cfg))
             .as_ref()?;
+        layers.push(result.cost);
+    }
+    Some(NetworkCost { layers })
+}
+
+/// Identity of a design point in the shared memo cache: the accelerator
+/// plus the *entire* inner-search configuration (budget, encoding, base
+/// seed). Two evaluations share cache entries exactly when this
+/// fingerprint — and therefore the full inner-search behaviour — agrees.
+pub fn design_fingerprint(accel: &Accelerator, cfg: &MappingSearchConfig) -> u64 {
+    naas_engine::fingerprint(&(accel, cfg))
+}
+
+/// The seed the inner search uses for one layer of one design under the
+/// shared cache: derived from content (base seed × design fingerprint ×
+/// layer-shape fingerprint), never from slot/generation/thread indices.
+/// This is what makes the shared cache sound *and* makes results
+/// identical at any thread count, cold or warm.
+pub fn layer_search_seed(base_seed: u64, design_fp: u64, key: &LayerKey) -> u64 {
+    naas_engine::derive_seed(base_seed, design_fp, key.fingerprint())
+}
+
+/// [`network_mapping_search`] through a shared [`MappingMemo`]: per-layer
+/// results are reused across every candidate, generation and search that
+/// shares the cache. Returns `None` if any layer has no valid mapping on
+/// this design (negative results are cached too).
+pub fn network_mapping_search_cached(
+    model: &CostModel,
+    network: &Network,
+    accel: &Accelerator,
+    cfg: &MappingSearchConfig,
+    cache: &MappingMemo,
+) -> Option<NetworkCost> {
+    network_mapping_search_memo(
+        model,
+        network,
+        accel,
+        cfg,
+        cache,
+        design_fingerprint(accel, cfg),
+    )
+}
+
+/// [`network_mapping_search_cached`] with the design fingerprint
+/// precomputed — callers that evaluate one design many times (several
+/// networks per candidate, thousands of subnets in a NAS evolution)
+/// hoist the serialization+hash out of the hot loop. `design_fp` must be
+/// `design_fingerprint(accel, cfg)` for the cache to be sound.
+pub fn network_mapping_search_memo(
+    model: &CostModel,
+    network: &Network,
+    accel: &Accelerator,
+    cfg: &MappingSearchConfig,
+    cache: &MappingMemo,
+    design_fp: u64,
+) -> Option<NetworkCost> {
+    let fp = design_fp;
+    let mut layers = Vec::with_capacity(network.len());
+    for layer in network {
+        let key = LayerKey::of(layer);
+        let result = cache.get_or_compute(fp, key, || {
+            let seeded = MappingSearchConfig {
+                seed: layer_search_seed(cfg.seed, fp, &key),
+                ..*cfg
+            };
+            search_layer_mapping(model, layer, accel, &seeded)
+        })?;
         layers.push(result.cost);
     }
     Some(NetworkCost { layers })
@@ -244,8 +314,8 @@ mod tests {
     fn history_is_monotone_non_increasing() {
         let model = CostModel::new();
         let accel = baselines::eyeriss();
-        let out = search_layer_mapping(&model, &layer(), &accel, &MappingSearchConfig::quick(4))
-            .unwrap();
+        let out =
+            search_layer_mapping(&model, &layer(), &accel, &MappingSearchConfig::quick(4)).unwrap();
         assert_eq!(out.history.len(), 3);
         for w in out.history.windows(2) {
             assert!(w[1] <= w[0], "best-so-far trace must not increase");

@@ -33,7 +33,10 @@ impl RewardKind {
             RewardKind::WorstCase => {
                 assert!(!edps.is_empty(), "reward of empty set");
                 edps.iter().fold(0.0_f64, |acc, &v| {
-                    assert!(v > 0.0 && v.is_finite(), "reward requires positive finite values");
+                    assert!(
+                        v > 0.0 && v.is_finite(),
+                        "reward requires positive finite values"
+                    );
                     acc.max(v)
                 })
             }
@@ -61,7 +64,10 @@ pub fn geomean(values: &[f64]) -> f64 {
     let log_sum: f64 = values
         .iter()
         .map(|&v| {
-            assert!(v > 0.0 && v.is_finite(), "geomean requires positive finite values, got {v}");
+            assert!(
+                v > 0.0 && v.is_finite(),
+                "geomean requires positive finite values, got {v}"
+            );
             v.ln()
         })
         .sum();

@@ -194,11 +194,7 @@ impl CostModel {
 
         // Compute roofline: every PE serially issues its tile, for every
         // temporal iteration of every level (ceil losses included).
-        let trips_total: u64 = mapping
-            .levels()
-            .iter()
-            .map(|l| l.trips.product())
-            .product();
+        let trips_total: u64 = mapping.levels().iter().map(|l| l.trips.product()).product();
         let pe_tile = mapping.pe_tile(layer, conn);
         let compute_cycles = layer.batch() * trips_total * pe_tile.product();
 
@@ -371,10 +367,7 @@ mod tests {
     fn network_cost_sums_layers() {
         let accel = baselines::nvdla(1024);
         let net = models::cifar_resnet20();
-        let mappings: Vec<Mapping> = net
-            .iter()
-            .map(|l| Mapping::balanced(l, &accel))
-            .collect();
+        let mappings: Vec<Mapping> = net.iter().map(|l| Mapping::balanced(l, &accel)).collect();
         let cost = CostModel::new()
             .evaluate_network(&net, &accel, &mappings)
             .expect("valid");

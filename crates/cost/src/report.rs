@@ -25,15 +25,14 @@ use std::fmt::Write as _;
 /// ```
 pub fn layer_report(cost: &LayerCost) -> String {
     let mut out = String::new();
-    let bound = if cost.dram_cycles >= cost.compute_cycles as f64
-        && cost.dram_cycles >= cost.noc_cycles
-    {
-        "DRAM"
-    } else if cost.noc_cycles >= cost.compute_cycles as f64 {
-        "NoC"
-    } else {
-        "compute"
-    };
+    let bound =
+        if cost.dram_cycles >= cost.compute_cycles as f64 && cost.dram_cycles >= cost.noc_cycles {
+            "DRAM"
+        } else if cost.noc_cycles >= cost.compute_cycles as f64 {
+            "NoC"
+        } else {
+            "compute"
+        };
     let _ = writeln!(
         out,
         "cycles {:>12}  ({} bound: compute {}, noc {:.0}, dram {:.0})",
@@ -196,13 +195,17 @@ mod tests {
         // so MACs-per-byte must be highest at DRAM and lowest at L1.
         let model = CostModel::new();
         let accel = baselines::nvdla(1024);
-        let layer =
-            naas_ir::ConvSpec::conv2d("c", 64, 128, (28, 28), (3, 3), 1, 1).unwrap();
+        let layer = naas_ir::ConvSpec::conv2d("c", 64, 128, (28, 28), (3, 3), 1, 1).unwrap();
         let cost = model
             .evaluate(&layer, &accel, &Mapping::balanced(&layer, &accel))
             .unwrap();
         for f in reuse_factors(&cost) {
-            assert!(f.dram >= f.l2 * 0.999, "dram {:.1} < l2 {:.1}", f.dram, f.l2);
+            assert!(
+                f.dram >= f.l2 * 0.999,
+                "dram {:.1} < l2 {:.1}",
+                f.dram,
+                f.l2
+            );
             assert!(f.l2 >= f.l1 * 0.999, "l2 {:.1} < l1 {:.1}", f.l2, f.l1);
             assert!(f.l1 > 0.0);
         }
@@ -215,8 +218,7 @@ mod tests {
         // serves macs/weight_elems MACs.
         let model = CostModel::new();
         let accel = baselines::edge_tpu();
-        let layer =
-            naas_ir::ConvSpec::conv2d("c", 128, 128, (28, 28), (3, 3), 1, 1).unwrap();
+        let layer = naas_ir::ConvSpec::conv2d("c", 128, 128, (28, 28), (3, 3), 1, 1).unwrap();
         let cost = model
             .evaluate(&layer, &accel, &Mapping::balanced(&layer, &accel))
             .unwrap();

@@ -112,12 +112,8 @@ pub fn l1_capacity(
         .map(|&f| {
             let s = accel.sizing();
             let l1 = ((s.l1_bytes() as f64 * f) as u64).max(16);
-            let sized = ArchitecturalSizing::new(
-                l1,
-                s.l2_bytes(),
-                s.noc_bandwidth(),
-                s.dram_bandwidth(),
-            );
+            let sized =
+                ArchitecturalSizing::new(l1, s.l2_bytes(), s.noc_bandwidth(), s.dram_bandwidth());
             let variant = Accelerator::new(
                 format!("{}_l1x{f}", accel.name()),
                 sized,
@@ -147,7 +143,13 @@ mod tests {
     #[test]
     fn more_noc_bandwidth_never_hurts() {
         let (model, layer, accel, mapping) = setup();
-        let series = noc_bandwidth(&model, &layer, &accel, &mapping, &[0.25, 0.5, 1.0, 2.0, 4.0]);
+        let series = noc_bandwidth(
+            &model,
+            &layer,
+            &accel,
+            &mapping,
+            &[0.25, 0.5, 1.0, 2.0, 4.0],
+        );
         let cycles: Vec<u64> = series
             .iter()
             .map(|p| p.cost.expect("bandwidth change never invalidates").cycles)

@@ -206,8 +206,8 @@ fn innermost_spinning(pe_order: &[Dim; 6], pe_tile: &DimVec<u64>) -> Option<(Dim
 mod tests {
     use super::*;
     use naas_accel::baselines;
-    use naas_mapping::{LevelSpec, Mapping};
     use naas_ir::DIMS;
+    use naas_mapping::{LevelSpec, Mapping};
 
     fn layer() -> ConvSpec {
         ConvSpec::conv2d("c", 64, 128, (28, 28), (3, 3), 1, 1).unwrap()
@@ -319,8 +319,7 @@ mod tests {
         );
         let t_k_inner = analyze(&l, accel.connectivity(), &m, &DataWidths::INT8);
         assert!(
-            t_k_inner.tensor(Tensor::Outputs).l1_bytes
-                > t_c_inner.tensor(Tensor::Outputs).l1_bytes
+            t_k_inner.tensor(Tensor::Outputs).l1_bytes > t_c_inner.tensor(Tensor::Outputs).l1_bytes
         );
     }
 
@@ -335,8 +334,7 @@ mod tests {
         // For depthwise, inputs are relevant to K → unique input traffic
         // scales with the K axis too (ratio of noc to l2 smaller).
         let r_dw = t_dw.tensor(Tensor::Inputs).noc_bytes / t_dw.tensor(Tensor::Inputs).l2_bytes;
-        let r_std =
-            t_std.tensor(Tensor::Inputs).noc_bytes / t_std.tensor(Tensor::Inputs).l2_bytes;
+        let r_std = t_std.tensor(Tensor::Inputs).noc_bytes / t_std.tensor(Tensor::Inputs).l2_bytes;
         assert!(r_dw < r_std);
     }
 

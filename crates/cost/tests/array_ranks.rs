@@ -83,10 +83,10 @@ fn reduction_vs_broadcast_axes_change_output_traffic() {
     // With both axes reducing, 64 partials collapse to 1 before L2: the
     // unique-to-delivery ratio for outputs must be far smaller than in
     // the all-spatial case.
-    let ratio_r = cr.traffic.tensor(Tensor::Outputs).l2_bytes
-        / cr.traffic.tensor(Tensor::Outputs).noc_bytes;
-    let ratio_s = cs.traffic.tensor(Tensor::Outputs).l2_bytes
-        / cs.traffic.tensor(Tensor::Outputs).noc_bytes;
+    let ratio_r =
+        cr.traffic.tensor(Tensor::Outputs).l2_bytes / cr.traffic.tensor(Tensor::Outputs).noc_bytes;
+    let ratio_s =
+        cs.traffic.tensor(Tensor::Outputs).l2_bytes / cs.traffic.tensor(Tensor::Outputs).noc_bytes;
     assert!(
         ratio_r < ratio_s,
         "reduction axes must collapse psum traffic: {ratio_r} vs {ratio_s}"

@@ -1,0 +1,304 @@
+//! Concurrent, two-level, content-addressed memoization of per-layer
+//! search results.
+//!
+//! Level one is a **design fingerprint** (accelerator × inner-search
+//! budget × base seed — whatever the caller folds into
+//! [`crate::fingerprint::fingerprint`]); level two is the [`LayerKey`],
+//! the shape identity of a convolution workload. Two layers with equal
+//! keys have identical cost under every `(accelerator, mapping)` pair, so
+//! a population of candidates — and every later generation, and every
+//! other search sharing the cache — reuses mapping-search results
+//! whenever a (design, shape) pair recurs.
+//!
+//! This generalizes the single-call `LayerCache` of
+//! `naas::layer_cache` (which lives and dies inside one
+//! `network_mapping_search` call) to the whole co-search: the cache is
+//! `Sync`, shared across worker threads, and hit/miss/entry counts are
+//! exported for checkpoints and reports.
+//!
+//! Correctness requires the cached value to be a pure function of the
+//! key. The engine achieves that by deriving inner-search seeds from the
+//! same content that forms the key
+//! ([`crate::fingerprint::derive_seed`]) — never from slot or
+//! generation indices.
+
+use crate::fingerprint::fnv1a;
+use naas_ir::ConvSpec;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Hashable identity of a convolution workload: two layers with equal
+/// keys have identical cost under every `(accelerator, mapping)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LayerKey {
+    batch: u64,
+    in_channels: u64,
+    out_channels: u64,
+    in_y: u64,
+    in_x: u64,
+    kernel_r: u64,
+    kernel_s: u64,
+    stride: u64,
+    padding: u64,
+    groups: u64,
+}
+
+impl LayerKey {
+    /// Extracts the shape key of a layer (name and kind are cost-neutral
+    /// labels and are excluded).
+    pub fn of(layer: &ConvSpec) -> Self {
+        LayerKey {
+            batch: layer.batch(),
+            in_channels: layer.in_channels(),
+            out_channels: layer.out_channels(),
+            in_y: layer.in_y(),
+            in_x: layer.in_x(),
+            kernel_r: layer.kernel_r(),
+            kernel_s: layer.kernel_s(),
+            stride: layer.stride(),
+            padding: layer.padding(),
+            groups: layer.groups(),
+        }
+    }
+
+    /// A stable 64-bit digest of the shape, used for seed derivation.
+    pub fn fingerprint(&self) -> u64 {
+        let fields = [
+            self.batch,
+            self.in_channels,
+            self.out_channels,
+            self.in_y,
+            self.in_x,
+            self.kernel_r,
+            self.kernel_s,
+            self.stride,
+            self.padding,
+            self.groups,
+        ];
+        let mut bytes = [0u8; 80];
+        for (i, f) in fields.iter().enumerate() {
+            bytes[i * 8..(i + 1) * 8].copy_from_slice(&f.to_le_bytes());
+        }
+        fnv1a(&bytes)
+    }
+}
+
+/// Cache occupancy and effectiveness counters; serialized into
+/// checkpoints and experiment reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered from the cache (including waits on a concurrent
+    /// computation of the same key).
+    pub hits: u64,
+    /// Lookups that ran the computation.
+    pub misses: u64,
+    /// Distinct `(design, layer-shape)` entries resident.
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from cache, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+const SHARDS: usize = 16;
+
+type Shard<V> = Mutex<HashMap<(u64, LayerKey), Arc<OnceLock<V>>>>;
+
+/// A sharded concurrent memo table from `(design fingerprint, layer
+/// shape)` to a search result.
+///
+/// Concurrent callers of the same key race once: the first runs the
+/// computation, later ones block on the entry's `OnceLock` and reuse the
+/// value — no duplicated work inside a population evaluation.
+pub struct MemoCache<V> {
+    shards: [Shard<V>; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<V> Default for MemoCache<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> MemoCache<V> {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        MemoCache {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, design_fp: u64, key: &LayerKey) -> &Shard<V> {
+        let idx = (design_fp ^ key.fingerprint()) as usize % SHARDS;
+        &self.shards[idx]
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// `true` if nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.len() as u64,
+        }
+    }
+
+    /// Drops every entry (counters are kept; they describe lifetime
+    /// traffic, not occupancy).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("cache shard poisoned").clear();
+        }
+    }
+}
+
+impl<V: Clone> MemoCache<V> {
+    /// Returns the cached value for `(design_fp, key)`, running `compute`
+    /// and inserting its result on miss. Concurrent lookups of the same
+    /// key run `compute` exactly once.
+    pub fn get_or_compute(&self, design_fp: u64, key: LayerKey, compute: impl FnOnce() -> V) -> V {
+        let cell = {
+            let mut shard = self
+                .shard(design_fp, &key)
+                .lock()
+                .expect("cache shard poisoned");
+            Arc::clone(
+                shard
+                    .entry((design_fp, key))
+                    .or_insert_with(|| Arc::new(OnceLock::new())),
+            )
+        };
+        let mut computed = false;
+        let value = cell.get_or_init(|| {
+            computed = true;
+            compute()
+        });
+        if computed {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        value.clone()
+    }
+
+    /// Returns the cached value without computing, if present and
+    /// initialized.
+    pub fn peek(&self, design_fp: u64, key: &LayerKey) -> Option<V> {
+        let shard = self
+            .shard(design_fp, key)
+            .lock()
+            .expect("cache shard poisoned");
+        shard
+            .get(&(design_fp, *key))
+            .and_then(|cell| cell.get().cloned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(c: u64, k: u64) -> LayerKey {
+        LayerKey {
+            batch: 1,
+            in_channels: c,
+            out_channels: k,
+            in_y: 8,
+            in_x: 8,
+            kernel_r: 3,
+            kernel_s: 3,
+            stride: 1,
+            padding: 1,
+            groups: 1,
+        }
+    }
+
+    #[test]
+    fn hit_does_not_recompute() {
+        let cache: MemoCache<u64> = MemoCache::new();
+        assert_eq!(cache.get_or_compute(1, key(8, 8), || 42), 42);
+        assert_eq!(
+            cache.get_or_compute(1, key(8, 8), || panic!("must not recompute")),
+            42
+        );
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn design_levels_are_isolated() {
+        let cache: MemoCache<u64> = MemoCache::new();
+        assert_eq!(cache.get_or_compute(1, key(8, 8), || 1), 1);
+        assert_eq!(cache.get_or_compute(2, key(8, 8), || 2), 2);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.peek(1, &key(8, 8)), Some(1));
+        assert_eq!(cache.peek(2, &key(8, 8)), Some(2));
+        assert_eq!(cache.peek(3, &key(8, 8)), None);
+    }
+
+    #[test]
+    fn concurrent_lookups_compute_once() {
+        use std::sync::atomic::AtomicUsize;
+        let cache: MemoCache<u64> = MemoCache::new();
+        let runs = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for i in 0..100u64 {
+                        let v = cache.get_or_compute(7, key(i, i), || {
+                            runs.fetch_add(1, Ordering::Relaxed);
+                            i * 3
+                        });
+                        assert_eq!(v, i * 3);
+                    }
+                });
+            }
+        });
+        assert_eq!(runs.load(Ordering::Relaxed), 100);
+        assert_eq!(cache.len(), 100);
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 800);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_counters() {
+        let cache: MemoCache<u64> = MemoCache::new();
+        cache.get_or_compute(1, key(1, 1), || 0);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn same_shape_same_key_distinct_fingerprints() {
+        assert_eq!(key(4, 4), key(4, 4));
+        assert_ne!(key(4, 4).fingerprint(), key(4, 5).fingerprint());
+    }
+}

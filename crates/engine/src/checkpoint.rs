@@ -1,0 +1,160 @@
+//! JSON checkpointing for long-running searches.
+//!
+//! Any serializable search state can be frozen to disk and restored
+//! bit-exactly: the serde shim keeps `u64` / `f64` identity through JSON,
+//! and the workspace's RNGs serialize their raw state, so a resumed
+//! search continues the exact trajectory of an uninterrupted one. Writes
+//! go through a sibling temp file plus rename, so an interrupted save
+//! never corrupts the previous checkpoint.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Why a checkpoint could not be saved or loaded.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The file exists but does not decode as the expected state.
+    Format(serde::Error),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Format(e) => write!(f, "checkpoint format error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<serde::Error> for CheckpointError {
+    fn from(e: serde::Error) -> Self {
+        CheckpointError::Format(e)
+    }
+}
+
+/// Saves `state` as pretty-printed JSON at `path`, atomically.
+pub fn save<T: Serialize>(path: &Path, state: &T) -> Result<(), CheckpointError> {
+    let json = serde_json::to_string_pretty(state)?;
+    // Temp name embeds the full target file name and the pid:
+    // checkpoints sharing a stem (`ckpt.1`, `ckpt.2`) or written by
+    // concurrent processes never collide on the staging file.
+    let mut tmp_name = path
+        .file_name()
+        .ok_or_else(|| {
+            CheckpointError::Io(std::io::Error::other("checkpoint path has no file name"))
+        })?
+        .to_os_string();
+    tmp_name.push(format!(".{}.tmp", std::process::id()));
+    let tmp = path.with_file_name(tmp_name);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(&tmp, json)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Loads a previously saved state from `path`.
+pub fn load<T: Deserialize>(path: &Path) -> Result<T, CheckpointError> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(serde_json::from_str(&text)?)
+}
+
+/// When and where a search writes checkpoints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Target file.
+    pub path: PathBuf,
+    /// Save every `every` completed iterations (`1` = every iteration);
+    /// a final checkpoint is always written when the search completes.
+    pub every: usize,
+}
+
+impl CheckpointPolicy {
+    /// Checkpoints to `path` after every iteration.
+    pub fn every_iteration(path: impl Into<PathBuf>) -> Self {
+        CheckpointPolicy {
+            path: path.into(),
+            every: 1,
+        }
+    }
+
+    /// `true` if a checkpoint is due after completing `iteration`
+    /// (0-based).
+    pub fn due_after(&self, iteration: usize) -> bool {
+        self.every > 0 && (iteration + 1).is_multiple_of(self.every)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct State {
+        iteration: usize,
+        rng_state: [u64; 4],
+        best: Option<f64>,
+        history: Vec<f64>,
+    }
+
+    fn tmp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("naas-engine-ckpt-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let state = State {
+            iteration: 7,
+            rng_state: [u64::MAX, 1, 2, 3],
+            best: Some(1.25e-9),
+            history: vec![f64::INFINITY, 3.5, 0.1],
+        };
+        let path = tmp_path("roundtrip");
+        save(&path, &state).unwrap();
+        let back: State = load(&path).unwrap();
+        assert_eq!(back, state);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = load::<State>(Path::new("/nonexistent/naas.ckpt")).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)));
+    }
+
+    #[test]
+    fn load_garbage_is_format_error() {
+        let path = tmp_path("garbage");
+        std::fs::write(&path, "{not json").unwrap();
+        let err = load::<State>(&path).unwrap_err();
+        assert!(matches!(err, CheckpointError::Format(_)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn policy_cadence() {
+        let p = CheckpointPolicy {
+            path: "x.json".into(),
+            every: 3,
+        };
+        assert!(!p.due_after(0));
+        assert!(!p.due_after(1));
+        assert!(p.due_after(2));
+        assert!(p.due_after(5));
+        assert!(CheckpointPolicy::every_iteration("y.json").due_after(0));
+    }
+}

@@ -1,0 +1,179 @@
+//! Work-stealing parallel evaluation.
+//!
+//! The engine's only threading primitive: [`parallel_map`] fans a slice
+//! of jobs out over a worker pool and returns results **in job order**,
+//! so callers are deterministic by construction regardless of thread
+//! count or scheduling. Unlike static chunking (what
+//! `accel_search.rs` used to hand-roll), idle workers steal work, so one
+//! expensive candidate — a big network, a pathological design — no longer
+//! serializes its whole chunk behind it.
+//!
+//! Implementation: each worker owns a deque seeded round-robin; it pops
+//! from the front of its own deque and, when empty, steals the back half
+//! of the fullest sibling deque. Job indices (not results) move between
+//! threads; results are written keyed by index, which is what makes the
+//! output order — and therefore every downstream tie-break — independent
+//! of scheduling.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Resolves a requested worker count: `0` means "all cores", anything
+/// else is taken literally.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Applies `f` to every job and returns the results in job order.
+///
+/// `threads` is resolved via [`resolve_threads`]; with one worker (or at
+/// most one job) the map runs inline with no thread overhead. `f`
+/// receives the job index alongside the job so callers can derive
+/// per-slot state (seeds, labels) without captures.
+pub fn parallel_map<J, R, F>(threads: usize, jobs: &[J], f: F) -> Vec<R>
+where
+    J: Sync,
+    R: Send,
+    F: Fn(usize, &J) -> R + Sync,
+{
+    let workers = resolve_threads(threads).min(jobs.len().max(1));
+    if workers <= 1 {
+        return jobs.iter().enumerate().map(|(i, j)| f(i, j)).collect();
+    }
+
+    // Round-robin initial distribution.
+    let mut deques: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
+    for idx in 0..jobs.len() {
+        deques[idx % workers].push_back(idx);
+    }
+    let deques: Vec<Mutex<VecDeque<usize>>> = deques.into_iter().map(Mutex::new).collect();
+
+    let mut slots: Vec<Option<R>> = (0..jobs.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for me in 0..workers {
+            let deques = &deques;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let mut produced: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let idx = pop_own(&deques[me]).or_else(|| steal(deques, me));
+                    match idx {
+                        Some(idx) => produced.push((idx, f(idx, &jobs[idx]))),
+                        // A failed steal can race a victim that drained
+                        // between the length scan and the split; retire
+                        // only once every deque is actually empty, so no
+                        // worker quits while queued work remains.
+                        None if deques
+                            .iter()
+                            .all(|d| d.lock().map(|d| d.is_empty()).unwrap_or(true)) =>
+                        {
+                            break;
+                        }
+                        None => std::thread::yield_now(),
+                    }
+                }
+                produced
+            }));
+        }
+        for handle in handles {
+            for (idx, result) in handle.join().expect("engine worker panicked") {
+                slots[idx] = Some(result);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("every job produced a result"))
+        .collect()
+}
+
+fn pop_own(deque: &Mutex<VecDeque<usize>>) -> Option<usize> {
+    deque.lock().expect("worker deque poisoned").pop_front()
+}
+
+/// Steals the back half of the fullest sibling deque into `deques[me]`
+/// and returns one stolen job.
+fn steal(deques: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
+    let victim = deques
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != me)
+        .max_by_key(|(_, d)| d.lock().map(|d| d.len()).unwrap_or(0))?
+        .0;
+    let mut loot: VecDeque<usize> = {
+        let mut victim_deque = deques[victim].lock().expect("worker deque poisoned");
+        let keep = victim_deque.len().div_ceil(2);
+        victim_deque.split_off(keep)
+    };
+    let first = loot.pop_front()?;
+    if !loot.is_empty() {
+        let mut own = deques[me].lock().expect("worker deque poisoned");
+        own.extend(loot);
+    }
+    Some(first)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_are_in_job_order_at_any_thread_count() {
+        let jobs: Vec<u64> = (0..97).collect();
+        let expect: Vec<u64> = jobs.iter().map(|j| j * j).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = parallel_map(threads, &jobs, |_, &j| j * j);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let jobs: Vec<usize> = (0..200).collect();
+        let runs = AtomicUsize::new(0);
+        let got = parallel_map(7, &jobs, |idx, &j| {
+            runs.fetch_add(1, Ordering::Relaxed);
+            assert_eq!(idx, j);
+            idx
+        });
+        assert_eq!(runs.load(Ordering::Relaxed), 200);
+        assert_eq!(got, jobs);
+    }
+
+    #[test]
+    fn uneven_work_is_stolen() {
+        // One pathologically slow job at index 0 (the first worker's
+        // deque): the other workers must still drain everything else.
+        let jobs: Vec<u64> = (0..32).collect();
+        let got = parallel_map(4, &jobs, |_, &j| {
+            if j == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            j + 1
+        });
+        assert_eq!(got, (1..=32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_threads_means_all_cores() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+        let got = parallel_map(0, &[1, 2, 3], |_, &j| j * 10);
+        assert_eq!(got, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn empty_and_single_job_edge_cases() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(4, &empty, |_, &j| j).is_empty());
+        assert_eq!(parallel_map(4, &[5u32], |_, &j| j + 1), vec![6]);
+    }
+}

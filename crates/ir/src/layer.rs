@@ -275,7 +275,9 @@ impl ConvSpec {
                 return Err(ShapeError::ZeroExtent(what));
             }
         }
-        if !self.in_channels.is_multiple_of(self.groups) || !self.out_channels.is_multiple_of(self.groups) {
+        if !self.in_channels.is_multiple_of(self.groups)
+            || !self.out_channels.is_multiple_of(self.groups)
+        {
             return Err(ShapeError::GroupMismatch {
                 in_channels: self.in_channels,
                 out_channels: self.out_channels,

@@ -28,8 +28,16 @@ pub fn cifar_resnet20() -> Network {
             );
             if cin != w {
                 net.push(
-                    ConvSpec::conv2d(format!("{p}_proj"), cin, w, (hw * stride, hw * stride), (1, 1), stride, 0)
-                        .expect("projection valid"),
+                    ConvSpec::conv2d(
+                        format!("{p}_proj"),
+                        cin,
+                        w,
+                        (hw * stride, hw * stride),
+                        (1, 1),
+                        stride,
+                        0,
+                    )
+                    .expect("projection valid"),
                 );
             }
             cin = w;

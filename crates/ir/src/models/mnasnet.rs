@@ -49,8 +49,16 @@ pub fn mnasnet(resolution: u64) -> Network {
             let prefix = format!("mb{}_{}", stage + 1, rep + 1);
             let hidden = cin * expand;
             net.push(
-                ConvSpec::conv2d(format!("{prefix}_expand"), cin, hidden, (hw, hw), (1, 1), 1, 0)
-                    .expect("mbconv expand valid"),
+                ConvSpec::conv2d(
+                    format!("{prefix}_expand"),
+                    cin,
+                    hidden,
+                    (hw, hw),
+                    (1, 1),
+                    1,
+                    0,
+                )
+                .expect("mbconv expand valid"),
             );
             net.push(
                 ConvSpec::depthwise(
@@ -67,15 +75,21 @@ pub fn mnasnet(resolution: u64) -> Network {
                 hw /= 2;
             }
             net.push(
-                ConvSpec::conv2d(format!("{prefix}_project"), hidden, cout, (hw, hw), (1, 1), 1, 0)
-                    .expect("mbconv project valid"),
+                ConvSpec::conv2d(
+                    format!("{prefix}_project"),
+                    hidden,
+                    cout,
+                    (hw, hw),
+                    (1, 1),
+                    1,
+                    0,
+                )
+                .expect("mbconv project valid"),
             );
             cin = cout;
         }
     }
-    net.push(
-        ConvSpec::conv2d("conv_last", cin, 1280, (hw, hw), (1, 1), 1, 0).expect("head valid"),
-    );
+    net.push(ConvSpec::conv2d("conv_last", cin, 1280, (hw, hw), (1, 1), 1, 0).expect("head valid"));
     net.push(ConvSpec::linear("fc", 1280, 1000).expect("fc valid"));
     net
 }

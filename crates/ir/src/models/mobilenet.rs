@@ -45,8 +45,16 @@ pub fn mobilenet_v2(resolution: u64) -> Network {
             let hidden = cin * expand;
             if expand != 1 {
                 net.push(
-                    ConvSpec::conv2d(format!("{prefix}_expand"), cin, hidden, (hw, hw), (1, 1), 1, 0)
-                        .expect("expand valid"),
+                    ConvSpec::conv2d(
+                        format!("{prefix}_expand"),
+                        cin,
+                        hidden,
+                        (hw, hw),
+                        (1, 1),
+                        1,
+                        0,
+                    )
+                    .expect("expand valid"),
                 );
             }
             net.push(
@@ -57,15 +65,22 @@ pub fn mobilenet_v2(resolution: u64) -> Network {
                 hw /= 2;
             }
             net.push(
-                ConvSpec::conv2d(format!("{prefix}_project"), hidden, cout, (hw, hw), (1, 1), 1, 0)
-                    .expect("project valid"),
+                ConvSpec::conv2d(
+                    format!("{prefix}_project"),
+                    hidden,
+                    cout,
+                    (hw, hw),
+                    (1, 1),
+                    1,
+                    0,
+                )
+                .expect("project valid"),
             );
             cin = cout;
         }
     }
     net.push(
-        ConvSpec::conv2d("conv_last", cin, 1280, (hw, hw), (1, 1), 1, 0)
-            .expect("head conv valid"),
+        ConvSpec::conv2d("conv_last", cin, 1280, (hw, hw), (1, 1), 1, 0).expect("head conv valid"),
     );
     net.push(ConvSpec::linear("fc", 1280, 1000).expect("fc valid"));
     net

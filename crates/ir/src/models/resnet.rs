@@ -212,10 +212,7 @@ mod tests {
     #[test]
     fn max_depth_space_has_18_blocks() {
         let net = resnet50_elastic(224, 1.0, [4, 4, 6, 4], [0.25; 4]);
-        let blocks = net
-            .iter()
-            .filter(|l| l.name().ends_with("_pw1"))
-            .count();
+        let blocks = net.iter().filter(|l| l.name().ends_with("_pw1")).count();
         assert_eq!(blocks, 18);
     }
 }

@@ -58,9 +58,7 @@ pub fn squeezenet(resolution: u64) -> Network {
         );
         cin = e1 + e3;
     }
-    net.push(
-        ConvSpec::conv2d("conv10", cin, 1000, (hw, hw), (1, 1), 1, 0).expect("conv10 valid"),
-    );
+    net.push(ConvSpec::conv2d("conv10", cin, 1000, (hw, hw), (1, 1), 1, 0).expect("conv10 valid"));
     net
 }
 

@@ -27,8 +27,16 @@ pub fn unet(resolution: u64) -> Network {
     let mut cin: u64 = 3;
     for (level, &w) in widths.iter().enumerate() {
         net.push(
-            ConvSpec::conv2d(format!("enc{}_1", level + 1), cin, w, (hw, hw), (3, 3), 1, 1)
-                .expect("encoder conv valid"),
+            ConvSpec::conv2d(
+                format!("enc{}_1", level + 1),
+                cin,
+                w,
+                (hw, hw),
+                (3, 3),
+                1,
+                1,
+            )
+            .expect("encoder conv valid"),
         );
         net.push(
             ConvSpec::conv2d(format!("enc{}_2", level + 1), w, w, (hw, hw), (3, 3), 1, 1)
@@ -39,9 +47,7 @@ pub fn unet(resolution: u64) -> Network {
     }
 
     // Bottleneck.
-    net.push(
-        ConvSpec::conv2d("mid_1", 512, 1024, (hw, hw), (3, 3), 1, 1).expect("mid conv valid"),
-    );
+    net.push(ConvSpec::conv2d("mid_1", 512, 1024, (hw, hw), (3, 3), 1, 1).expect("mid conv valid"));
     net.push(
         ConvSpec::conv2d("mid_2", 1024, 1024, (hw, hw), (3, 3), 1, 1).expect("mid conv valid"),
     );

@@ -34,4 +34,6 @@ pub mod order;
 pub mod tiling;
 
 pub use mapping::{LevelSpec, Mapping, MappingError};
-pub use order::{lehmer_index, order_from_importance, parallel_dims_from_importance, perm_from_lehmer};
+pub use order::{
+    lehmer_index, order_from_importance, parallel_dims_from_importance, perm_from_lehmer,
+};

@@ -49,11 +49,7 @@ pub fn render(layer: &ConvSpec, conn: &Connectivity, mapping: &Mapping) -> Strin
         let tile = &tiles[level];
         for &d in &spec.order {
             let size = tile[d];
-            let _ = writeln!(
-                out,
-                "    TemporalMap({size},{size}) {};",
-                d.paper_name()
-            );
+            let _ = writeln!(out, "    TemporalMap({size},{size}) {};", d.paper_name());
         }
         let p = conn.parallel_dims()[level];
         let _ = writeln!(out, "    SpatialMap(1,1) {};", p.paper_name());

@@ -363,7 +363,10 @@ mod tests {
         let m = Mapping::new(vec![LevelSpec::unit(), zero], DIMS);
         assert!(matches!(
             m.validate(&accel),
-            Err(MappingError::ZeroTrips { level: 1, dim: Dim::K })
+            Err(MappingError::ZeroTrips {
+                level: 1,
+                dim: Dim::K
+            })
         ));
     }
 

@@ -192,10 +192,7 @@ mod tests {
         // Fig. 3 right: importances K=3,C=5,Y'=2,X'=4,R=5,S=1
         // → order C,R,X',K,Y',S (ties C-before-R by canonical order).
         let order = order_from_importance(&[3.0, 5.0, 2.0, 4.0, 5.0, 1.0]);
-        assert_eq!(
-            order,
-            [Dim::C, Dim::R, Dim::X, Dim::K, Dim::Y, Dim::S]
-        );
+        assert_eq!(order, [Dim::C, Dim::R, Dim::X, Dim::K, Dim::Y, Dim::S]);
     }
 
     #[test]

@@ -8,10 +8,10 @@ use naas_mapping::{maestro, order_from_importance, Mapping};
 use proptest::prelude::*;
 
 fn arb_layer() -> impl Strategy<Value = ConvSpec> {
-    (1u64..=256, 1u64..=256, 6u64..=64, 1u64..=2).prop_filter_map(
-        "valid shapes",
-        |(c, k, hw, s)| ConvSpec::conv2d("prop", c, k, (hw, hw), (3, 3), s, 1).ok(),
-    )
+    (1u64..=256, 1u64..=256, 6u64..=64, 1u64..=2)
+        .prop_filter_map("valid shapes", |(c, k, hw, s)| {
+            ConvSpec::conv2d("prop", c, k, (hw, hw), (3, 3), s, 1).ok()
+        })
 }
 
 proptest! {

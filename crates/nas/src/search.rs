@@ -110,7 +110,9 @@ pub fn search_subnet(
         }
         if scored.is_empty() {
             // Re-seed and retry.
-            population = (0..cfg.population).map(|_| space.sample(&mut rng)).collect();
+            population = (0..cfg.population)
+                .map(|_| space.sample(&mut rng))
+                .collect();
             continue;
         }
         scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));

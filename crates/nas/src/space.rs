@@ -132,17 +132,28 @@ impl ResNet50Space {
         Subnet {
             width_idx: if pick(rng) { a.width_idx } else { b.width_idx },
             depths: std::array::from_fn(|i| if pick(rng) { a.depths[i] } else { b.depths[i] }),
-            ratio_idx: std::array::from_fn(
-                |i| if pick(rng) { a.ratio_idx[i] } else { b.ratio_idx[i] },
-            ),
-            resolution: if pick(rng) { a.resolution } else { b.resolution },
+            ratio_idx: std::array::from_fn(|i| {
+                if pick(rng) {
+                    a.ratio_idx[i]
+                } else {
+                    b.ratio_idx[i]
+                }
+            }),
+            resolution: if pick(rng) {
+                a.resolution
+            } else {
+                b.resolution
+            },
         }
     }
 
     /// Size of the genotype space (for documentation/tests): widths ×
     /// depths × ratios × resolutions.
     pub fn cardinality(&self) -> u64 {
-        let depths: u64 = DEPTH_BOUNDS.iter().map(|(lo, hi)| (hi - lo + 1) as u64).product();
+        let depths: u64 = DEPTH_BOUNDS
+            .iter()
+            .map(|(lo, hi)| (hi - lo + 1) as u64)
+            .product();
         let ratios = RATIO_CHOICES.len().pow(4) as u64;
         let res = (RESOLUTIONS.1 - RESOLUTIONS.0) / RESOLUTIONS.2 + 1;
         WIDTH_CHOICES.len() as u64 * depths * ratios * res

@@ -22,9 +22,9 @@ pub fn log10_hardware_candidates(constraint: &ResourceConstraint) -> f64 {
     // L1 per PE is bounded by onchip/2/PEs; L2 takes the rest. The pair
     // count is ≈ (l1 steps) × (l2 steps) ≈ onchip_steps²/(2·PEs·16…); we
     // conservatively count the L2 dimension fully and L1 at its cap.
-    let l1_steps = (constraint.max_onchip_bytes() / 2 / constraint.max_pes().max(1) / 16)
-        .max(1) as f64;
-    let bw_choices = (constraint.noc_bandwidth().max(1.0)) as f64;
+    let l1_steps =
+        (constraint.max_onchip_bytes() / 2 / constraint.max_pes().max(1) / 16).max(1) as f64;
+    let bw_choices = constraint.noc_bandwidth().max(1.0);
     let mut connectivity = 0.0;
     for ndim in 1..=3usize {
         // Each array dim sized at stride 2 up to #PEs^(1/ndim)-ish; count
@@ -40,10 +40,7 @@ pub fn log10_hardware_candidates(constraint: &ResourceConstraint) -> f64 {
 /// dimension splittable into 1..=extent tiles); plus the PE-level order.
 pub fn log10_mapping_candidates(layer: &ConvSpec, ndim: usize) -> f64 {
     let order_log = (NUM_ORDERS as f64).log10();
-    let tiling_log: f64 = DIMS
-        .iter()
-        .map(|&d| (layer.extent(d) as f64).log10())
-        .sum();
+    let tiling_log: f64 = DIMS.iter().map(|&d| (layer.extent(d) as f64).log10()).sum();
     // k array levels with order+tiling, one PE level with order only.
     ndim as f64 * (order_log + tiling_log) + order_log
 }
@@ -95,12 +92,10 @@ mod tests {
 
     #[test]
     fn bigger_envelopes_have_bigger_spaces() {
-        let small = log10_hardware_candidates(&ResourceConstraint::from_design(
-            &baselines::shidiannao(),
-        ));
-        let big = log10_hardware_candidates(&ResourceConstraint::from_design(
-            &baselines::edge_tpu(),
-        ));
+        let small =
+            log10_hardware_candidates(&ResourceConstraint::from_design(&baselines::shidiannao()));
+        let big =
+            log10_hardware_candidates(&ResourceConstraint::from_design(&baselines::edge_tpu()));
         assert!(big > small);
     }
 }

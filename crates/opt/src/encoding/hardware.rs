@@ -3,9 +3,7 @@
 
 use crate::encoding::{lerp, round_stride, unit_to_index, EncodingScheme};
 use naas_accel::{Accelerator, ArchitecturalSizing, Connectivity, ResourceConstraint};
-use naas_mapping::order::{
-    num_parallel_choices, parallel_choice_index, parallel_dims_from_index,
-};
+use naas_mapping::order::{num_parallel_choices, parallel_choice_index, parallel_dims_from_index};
 use naas_mapping::parallel_dims_from_importance;
 
 /// Decoder from an optimizer vector to an [`Accelerator`] within a
@@ -78,7 +76,11 @@ impl HardwareEncoder {
         // Connectivity: dimensionality, sizes, parallel dims.
         let ndim = 1 + unit_to_index(theta[4], 3) as usize;
         let pe_budget = round_stride(
-            lerp((c.max_pes() as f64 / 8.0).max(8.0), c.max_pes() as f64, theta[0]),
+            lerp(
+                (c.max_pes() as f64 / 8.0).max(8.0),
+                c.max_pes() as f64,
+                theta[0],
+            ),
             8,
         )
         .min(c.max_pes());
@@ -192,8 +194,8 @@ impl HardwareEncoder {
         let decoded_pe = self.decode(&theta)?.pe_count();
         let onchip = c.max_onchip_bytes();
         let l1_cap = (((((onchip / 2) / decoded_pe).max(16)) / 16) * 16) as f64;
-        theta[1] =
-            ((design.sizing().l1_bytes() as f64 - 16.0) / (l1_cap - 16.0).max(1e-12)).clamp(0.0, 1.0);
+        theta[1] = ((design.sizing().l1_bytes() as f64 - 16.0) / (l1_cap - 16.0).max(1e-12))
+            .clamp(0.0, 1.0);
         let l1 = round_stride(lerp(16.0, l1_cap, theta[1]), 16).min(l1_cap as u64);
         let remaining = (onchip.saturating_sub(decoded_pe * l1) / 16 * 16) as f64;
         let l2_lo = (remaining / 8.0).max(16.0);
@@ -223,8 +225,8 @@ fn split_array(budget: u64, ndim: usize, t0: f64, t1: f64) -> Option<Vec<u64>> {
             if budget < 4 {
                 return None;
             }
-            let rows = round_stride(b.powf(lerp(0.2, 0.8, t0)), 2)
-                .clamp(2, ((budget / 2) & !1).max(2));
+            let rows =
+                round_stride(b.powf(lerp(0.2, 0.8, t0)), 2).clamp(2, ((budget / 2) & !1).max(2));
             let cols = ((budget / rows) & !1).max(2);
             Some(vec![rows, cols])
         }
@@ -276,7 +278,9 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(17);
         let mut valid = 0;
         for _ in 0..500 {
-            let theta: Vec<f64> = (0..enc.dim()).map(|_| rng.random_range(0.0..=1.0)).collect();
+            let theta: Vec<f64> = (0..enc.dim())
+                .map(|_| rng.random_range(0.0..=1.0))
+                .collect();
             if let Some(d) = enc.decode(&theta) {
                 valid += 1;
                 assert!(
@@ -313,7 +317,7 @@ mod tests {
         let enc = HardwareEncoder::new(envelope(), EncodingScheme::Importance);
         let mut theta = vec![0.5; enc.dim()];
         theta[4] = 0.5; // 2D
-        // K and X most important.
+                        // K and X most important.
         theta[7..13].copy_from_slice(&[0.9, 0.1, 0.2, 0.8, 0.1, 0.1]);
         let d = enc.decode(&theta).unwrap();
         assert_eq!(d.connectivity().dataflow_label(), "K-X' Parallel");
@@ -331,7 +335,10 @@ mod tests {
         hi[0] = 1.0;
         let small = enc.decode(&lo).unwrap().pe_count();
         let big = enc.decode(&hi).unwrap().pe_count();
-        assert!(big > small, "PE knob must scale the array: {small} vs {big}");
+        assert!(
+            big > small,
+            "PE knob must scale the array: {small} vs {big}"
+        );
         assert!(big <= 1024);
     }
 

@@ -136,8 +136,9 @@ mod tests {
             for scheme in [EncodingScheme::Importance, EncodingScheme::Index] {
                 let enc = MappingEncoder::new(accel.connectivity().ndim(), scheme);
                 for _ in 0..50 {
-                    let theta: Vec<f64> =
-                        (0..enc.dim()).map(|_| rng.random_range(0.0..=1.0)).collect();
+                    let theta: Vec<f64> = (0..enc.dim())
+                        .map(|_| rng.random_range(0.0..=1.0))
+                        .collect();
                     let m = enc.decode(&theta, &layer(), accel.connectivity());
                     m.validate(&accel).expect("decode is total");
                 }

@@ -70,8 +70,7 @@ impl SizingOnlyEncoder {
             .iter()
             .map(|&s| round_stride(s as f64 * factor, 2).max(2))
             .collect();
-        let connectivity =
-            Connectivity::new(sizes, base_conn.parallel_dims().to_vec()).ok()?;
+        let connectivity = Connectivity::new(sizes, base_conn.parallel_dims().to_vec()).ok()?;
         let pe_count = connectivity.pe_count();
         if pe_count > c.max_pes() {
             return None;
@@ -147,7 +146,10 @@ mod tests {
     #[test]
     fn pe_scale_moves_array_size() {
         let base = baselines::nvdla(1024);
-        let enc = SizingOnlyEncoder::new(base, ResourceConstraint::from_design(&baselines::nvdla(1024)));
+        let enc = SizingOnlyEncoder::new(
+            base,
+            ResourceConstraint::from_design(&baselines::nvdla(1024)),
+        );
         let small = enc.decode(&[0.0, 0.5, 0.5, 0.5]).unwrap();
         let big = enc.decode(&[1.0, 0.5, 0.5, 0.5]).unwrap();
         assert!(small.pe_count() < big.pe_count());

@@ -49,7 +49,11 @@ impl Default for EsConfig {
 /// See the crate-level example for usage. All sampling is clipped to the
 /// unit box, matching the paper's "multivariate normal distribution in
 /// `[0, 1]^|θ|`".
-#[derive(Debug, Clone)]
+///
+/// The full state — distribution, Cholesky factor, RNG — is
+/// serde-serializable so checkpointed searches resume the exact sampling
+/// trajectory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CemEs {
     dim: usize,
     cfg: EsConfig,
@@ -250,11 +254,7 @@ mod tests {
             let scored: Vec<(Vec<f64>, f64)> = (0..pop)
                 .map(|_| {
                     let x = es.ask();
-                    let s: f64 = x
-                        .iter()
-                        .zip(target)
-                        .map(|(v, t)| (v - t) * (v - t))
-                        .sum();
+                    let s: f64 = x.iter().zip(target).map(|(v, t)| (v - t) * (v - t)).sum();
                     (x, s)
                 })
                 .collect();

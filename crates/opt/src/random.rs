@@ -4,10 +4,12 @@
 use crate::Optimizer;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 /// Uniform sampler over `[0, 1]^dim` with the same ask/tell interface as
-/// [`crate::CemEs`]; `tell` is a no-op (no learning).
-#[derive(Debug, Clone)]
+/// [`crate::CemEs`]; `tell` is a no-op (no learning). Serializable for
+/// checkpoint/resume, like [`crate::CemEs`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RandomSearch {
     dim: usize,
     rng: SmallRng,
@@ -30,7 +32,9 @@ impl RandomSearch {
 
 impl Optimizer for RandomSearch {
     fn ask(&mut self) -> Vec<f64> {
-        (0..self.dim).map(|_| self.rng.random_range(0.0..=1.0)).collect()
+        (0..self.dim)
+            .map(|_| self.rng.random_range(0.0..=1.0))
+            .collect()
     }
 
     fn tell(&mut self, _scored: &[(Vec<f64>, f64)]) {}

@@ -36,9 +36,17 @@ fn main() {
         seed: 42,
         ..AccelSearchConfig::paper(42)
     };
-    let result =
-        search_accelerator_seeded(&model, &nets, &envelope, &cfg, std::slice::from_ref(&eyeriss));
-    println!("searched design:\n{}\n", result.best.accelerator.design_card());
+    let result = search_accelerator_seeded(
+        &model,
+        &nets,
+        &envelope,
+        &cfg,
+        std::slice::from_ref(&eyeriss),
+    );
+    println!(
+        "searched design:\n{}\n",
+        result.best.accelerator.design_card()
+    );
 
     println!(
         "{:<18} {:>14} {:>14} {:>10}",

@@ -35,9 +35,18 @@ fn main() {
     trips[Dim::X] = 14;
 
     let orders: [(&str, [Dim; 6]); 3] = [
-        ("weights-stationary (K,C outer)", [Dim::K, Dim::C, Dim::Y, Dim::X, Dim::R, Dim::S]),
-        ("output-stationary (Y,X outer)", [Dim::Y, Dim::X, Dim::K, Dim::C, Dim::R, Dim::S]),
-        ("psum-thrashing (C innermost)", [Dim::Y, Dim::X, Dim::R, Dim::S, Dim::K, Dim::C]),
+        (
+            "weights-stationary (K,C outer)",
+            [Dim::K, Dim::C, Dim::Y, Dim::X, Dim::R, Dim::S],
+        ),
+        (
+            "output-stationary (Y,X outer)",
+            [Dim::Y, Dim::X, Dim::K, Dim::C, Dim::R, Dim::S],
+        ),
+        (
+            "psum-thrashing (C innermost)",
+            [Dim::Y, Dim::X, Dim::R, Dim::S, Dim::K, Dim::C],
+        ),
     ];
 
     println!(
@@ -45,13 +54,7 @@ fn main() {
         "mapping", "cycles", "energy nJ", "DRAM MB", "EDP"
     );
     for (name, order) in orders {
-        let mapping = Mapping::new(
-            vec![
-                LevelSpec { order, trips },
-                LevelSpec::unit(),
-            ],
-            DIMS,
-        );
+        let mapping = Mapping::new(vec![LevelSpec { order, trips }, LevelSpec::unit()], DIMS);
         match model.evaluate(&layer, &accel, &mapping) {
             Ok(cost) => println!(
                 "{:<34} {:>12} {:>12.1} {:>12.2} {:>12.3e}",

@@ -58,7 +58,10 @@ fn main() {
     };
     match search_joint(&model, &envelope, &accuracy_model, &cfg) {
         Some(result) => {
-            println!("matched tuple found after {} subnet evaluations:", result.evaluations);
+            println!(
+                "matched tuple found after {} subnet evaluations:",
+                result.evaluations
+            );
             println!("{}", result.accelerator.design_card());
             let s = result.subnet;
             println!(
@@ -79,8 +82,8 @@ fn main() {
                 base_cost.edp() / result.edp
             );
         }
-        None => println!(
-            "no subnet meets the {floor:.1}% floor inside this budget — try a lower floor"
-        ),
+        None => {
+            println!("no subnet meets the {floor:.1}% floor inside this budget — try a lower floor")
+        }
     }
 }

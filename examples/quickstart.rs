@@ -17,8 +17,8 @@ fn main() {
     // --- 1. One layer, one design, one mapping ------------------------
     let model = CostModel::new();
     let eyeriss = baselines::eyeriss();
-    let layer = ConvSpec::conv2d("demo", 64, 128, (56, 56), (3, 3), 1, 1)
-        .expect("static shapes are valid");
+    let layer =
+        ConvSpec::conv2d("demo", 64, 128, (56, 56), (3, 3), 1, 1).expect("static shapes are valid");
 
     let heuristic = Mapping::balanced(&layer, &eyeriss);
     let cost = model
@@ -41,8 +41,8 @@ fn main() {
         seed: 7,
         ..MappingSearchConfig::default()
     };
-    let searched = search_layer_mapping(&model, &layer, &eyeriss, &map_cfg)
-        .expect("a valid mapping exists");
+    let searched =
+        search_layer_mapping(&model, &layer, &eyeriss, &map_cfg).expect("a valid mapping exists");
     println!("\n== mapping search on the same layer ==");
     println!("  heuristic EDP {:.3e}", cost.edp());
     println!(

@@ -38,9 +38,8 @@ fn mapping_search_beats_heuristic_everywhere() {
         let net = models::squeezenet(224);
         let heuristic =
             heuristic_network_cost(&model, &net, &accel).expect("heuristic maps squeezenet");
-        let searched =
-            naas::mapping_search::network_mapping_search(&model, &net, &accel, &cfg)
-                .expect("search maps squeezenet");
+        let searched = naas::mapping_search::network_mapping_search(&model, &net, &accel, &cfg)
+            .expect("search maps squeezenet");
         assert!(
             searched.edp() <= heuristic.edp() * 1.0001,
             "search must not lose to its own seed on {}",

@@ -12,11 +12,11 @@ use proptest::prelude::*;
 /// Random-but-valid conv layers: channels, spatial size, kernel, stride.
 fn arb_layer() -> impl Strategy<Value = ConvSpec> {
     (
-        1u64..=256,         // in channels
-        1u64..=256,         // out channels
-        8u64..=64,          // input spatial
+        1u64..=256, // in channels
+        1u64..=256, // out channels
+        8u64..=64,  // input spatial
         prop_oneof![Just(1u64), Just(3), Just(5), Just(7)],
-        1u64..=2,           // stride
+        1u64..=2, // stride
     )
         .prop_filter_map("kernel must fit padded input", |(c, k, hw, ks, s)| {
             let pad = ks / 2;

@@ -1,0 +1,240 @@
+//! In-repo stand-in for the `rand` crate (offline build).
+//!
+//! Provides exactly the surface this workspace uses:
+//!
+//! * [`rngs::SmallRng`] — xoshiro256++ with SplitMix64 seed expansion,
+//!   matching the real `SmallRng`'s algorithm family on 64-bit targets.
+//!   Deterministic, portable, `Clone`, and serde-serializable so search
+//!   checkpoints can freeze and restore generator state bit-exactly.
+//! * [`SeedableRng::seed_from_u64`].
+//! * [`RngExt::random_range`] over integer and float ranges (the rand-0.9
+//!   spelling of `gen_range`).
+//!
+//! Statistical quality matches xoshiro256++ (passes BigCrush); modulo
+//! reduction for integer ranges introduces bias below 2⁻³² for every
+//! range in this repository, which is irrelevant for search sampling.
+
+use serde::{Deserialize, Serialize};
+
+/// Low-level generator interface: a source of 64 random bits.
+pub trait RngCore {
+    /// Produces the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding interface; only the convenience `u64` entry point is needed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed via SplitMix64 expansion.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling extension; blanket-implemented for every [`RngCore`].
+pub trait RngExt: RngCore {
+    /// Samples uniformly from a range (`lo..hi` or `lo..=hi`).
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+}
+
+impl<T: RngCore + ?Sized> RngExt for T {}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as u128 - self.start as u128) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as u128 - lo as u128) + 1;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % span as u64) as $t
+            }
+        }
+    )*};
+}
+impl_int_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + (rng.next_u64() % span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + (rng.next_u64() % span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_signed_range!(i8, i16, i32, i64, isize);
+
+/// 53-bit uniform in `[0, 1)`.
+fn unit_open(rng: &mut (impl RngCore + ?Sized)) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// 53-bit uniform in `[0, 1]`.
+fn unit_closed(rng: &mut (impl RngCore + ?Sized)) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64)
+}
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let (lo, hi) = (self.start as f64, self.end as f64);
+                let v = lo + unit_open(rng) * (hi - lo);
+                // Guard against round-up to the excluded endpoint.
+                if v >= hi { lo as $t } else { v as $t }
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start() as f64, *self.end() as f64);
+                assert!(lo <= hi, "empty range");
+                (lo + unit_closed(rng) * (hi - lo)) as $t
+            }
+        }
+    )*};
+}
+impl_float_range!(f32, f64);
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::*;
+
+    /// xoshiro256++ — the small, fast, high-quality generator family the
+    /// real `SmallRng` uses on 64-bit platforms.
+    #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+    pub struct SmallRng {
+        state: [u64; 4],
+    }
+
+    impl SmallRng {
+        /// The raw 256-bit state (exposed for diagnostics).
+        pub fn state(&self) -> [u64; 4] {
+            self.state
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the canonical way to seed xoshiro.
+            let mut s = seed;
+            let mut next = || {
+                s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = s;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                state: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.state;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let mut c = SmallRng::seed_from_u64(8);
+        let (xa, xb, xc) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(xa, xb);
+        assert_ne!(xa, xc);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.random_range(3u64..17);
+            assert!((3..17).contains(&x));
+            let y = rng.random_range(0.0f64..1.0);
+            assert!((0.0..1.0).contains(&y));
+            let z = rng.random_range(0.0f64..=1.0);
+            assert!((0.0..=1.0).contains(&z));
+            let w = rng.random_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn closed_unit_range_reaches_both_ends_region() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut lo = 1.0f64;
+        let mut hi = 0.0f64;
+        for _ in 0..20_000 {
+            let v = rng.random_range(0.0f64..=1.0);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        assert!(lo < 0.001 && hi > 0.999);
+    }
+
+    #[test]
+    fn state_roundtrips_through_serde() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        rng.next_u64();
+        let v = serde::Serialize::serialize(&rng);
+        let mut back: SmallRng = serde::Deserialize::deserialize(&v).unwrap();
+        assert_eq!(back, rng);
+        assert_eq!(back.next_u64(), rng.next_u64());
+    }
+
+    #[test]
+    fn works_through_unsized_refs() {
+        fn sample(rng: &mut (impl RngExt + ?Sized)) -> f64 {
+            rng.random_range(f64::MIN_POSITIVE..1.0)
+        }
+        let mut rng = SmallRng::seed_from_u64(3);
+        let v = sample(&mut rng);
+        assert!(v > 0.0 && v < 1.0);
+    }
+}

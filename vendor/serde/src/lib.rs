@@ -1,0 +1,522 @@
+//! In-repo stand-in for [serde](https://serde.rs) (offline build).
+//!
+//! The real serde abstracts over data formats with `Serializer` /
+//! `Deserializer` visitors; this workspace only ever round-trips through
+//! JSON, so the shim collapses the whole pipeline to one self-describing
+//! [`Value`] tree:
+//!
+//! * [`Serialize`] — convert `&self` into a [`Value`];
+//! * [`Deserialize`] — reconstruct `Self` from a [`Value`];
+//! * `#[derive(Serialize, Deserialize)]` — provided by the sibling
+//!   `serde_derive` proc-macro crate and re-exported here, covering named
+//!   structs, tuple structs (including generics) and fieldless enums —
+//!   the only shapes this repository uses.
+//!
+//! The `serde_json` shim layers JSON text encoding/decoding on top.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// A JSON-shaped document tree: the single interchange format of the shim.
+///
+/// Unsigned and signed integers are kept apart from floats so `u64`
+/// round-trips bit-exactly (checkpoint files must restore RNG state and
+/// cycle counts losslessly).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON `true` / `false`.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object; insertion order is preserved for readable output.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks a key up in an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload widened to `f64` (accepts any number variant).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::U64(n) => Some(n as f64),
+            Value::I64(n) => Some(n as f64),
+            Value::F64(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Unsigned payload, if representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(n) => Some(n),
+            Value::I64(n) => u64::try_from(n).ok(),
+            Value::F64(n) if n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64 => Some(n as u64),
+            _ => None,
+        }
+    }
+
+    /// Signed payload, if representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::U64(n) => i64::try_from(n).ok(),
+            Value::I64(n) => Some(n),
+            Value::F64(n)
+                if n.fract() == 0.0 && (i64::MIN as f64..=i64::MAX as f64).contains(&n) =>
+            {
+                Some(n as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Boolean payload.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Array payload.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// A short label for error messages.
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serialization/deserialization error: a plain message, like
+/// `serde_json::Error` in spirit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Builds an error from anything displayable.
+    pub fn msg(m: impl fmt::Display) -> Self {
+        Error(m.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types convertible into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a document tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a document tree.
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+fn type_error<T>(expected: &str, got: &Value) -> Result<T, Error> {
+    Err(Error(format!("expected {expected}, found {}", got.kind())))
+}
+
+// --- primitive impls ---------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let n = v.as_u64().ok_or_else(|| Error(format!(
+                    "expected unsigned integer, found {}", v.kind()
+                )))?;
+                <$t>::try_from(n).map_err(|_| Error(format!(
+                    "integer {n} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let n = v.as_i64().ok_or_else(|| Error(format!(
+                    "expected integer, found {}", v.kind()
+                )))?;
+                <$t>::try_from(n).map_err(|_| Error(format!(
+                    "integer {n} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let x = *self as f64;
+                if x.is_finite() {
+                    Value::F64(x)
+                } else if x.is_nan() {
+                    Value::Str("NaN".to_string())
+                } else if x > 0.0 {
+                    Value::Str("inf".to_string())
+                } else {
+                    Value::Str("-inf".to_string())
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Str(s) => match s.as_str() {
+                        "NaN" => Ok(<$t>::NAN),
+                        "inf" => Ok(<$t>::INFINITY),
+                        "-inf" => Ok(<$t>::NEG_INFINITY),
+                        _ => Err(Error(format!("expected number, found string {s:?}"))),
+                    },
+                    _ => v
+                        .as_f64()
+                        .map(|x| x as $t)
+                        .ok_or_else(|| Error(format!("expected number, found {}", v.kind()))),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_bool()
+            .ok_or_else(|| Error(format!("expected bool, found {}", v.kind())))
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => type_error("string", v),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| Error("expected single-char string".into()))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error(format!("expected single-char string, found {s:?}"))),
+        }
+    }
+}
+
+// --- container impls ---------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        T::deserialize(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(x) => x.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            _ => type_error("array", v),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::deserialize(v)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error(format!("expected array of length {N}, found {len}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident : $idx:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let items = v.as_array().ok_or_else(|| Error(format!(
+                    "expected tuple array, found {}", v.kind()
+                )))?;
+                let expect = [$(stringify!($idx)),+].len();
+                if items.len() != expect {
+                    return Err(Error(format!(
+                        "expected tuple of {expect} elements, found {}", items.len()
+                    )));
+                }
+                Ok(($($t::deserialize(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![k.serialize(), v.serialize()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let pairs: Vec<(K, V)> = Vec::deserialize(v)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![k.serialize(), v.serialize()]))
+                .collect(),
+        )
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+/// Support code for the derive macros — not public API.
+#[doc(hidden)]
+pub mod __private {
+    use super::{Deserialize, Error, Value};
+
+    /// Extracts and deserializes one named field of an object. A missing
+    /// key deserializes from `null`, which lets `Option` fields default to
+    /// `None` while any other type reports the absence.
+    pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
+        match v {
+            Value::Object(_) => {
+                let slot = v.get(name).unwrap_or(&Value::Null);
+                T::deserialize(slot).map_err(|e| Error(format!("field `{name}`: {}", e.0)))
+            }
+            other => Err(Error(format!("expected object, found {}", other.kind()))),
+        }
+    }
+
+    /// Checks that `v` is an array of exactly `n` elements (tuple structs).
+    pub fn seq(v: &Value, n: usize) -> Result<&[Value], Error> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| Error(format!("expected array, found {}", v.kind())))?;
+        if items.len() != n {
+            return Err(Error(format!(
+                "expected {n} elements, found {}",
+                items.len()
+            )));
+        }
+        Ok(items)
+    }
+
+    /// Extracts the variant name of a fieldless enum encoding.
+    pub fn variant(v: &Value) -> Result<&str, Error> {
+        v.as_str()
+            .ok_or_else(|| Error(format!("expected variant string, found {}", v.kind())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_none_from_null() {
+        assert_eq!(<Option<u32>>::deserialize(&Value::Null).unwrap(), None);
+        assert_eq!(<Option<u32>>::deserialize(&Value::U64(7)).unwrap(), Some(7));
+    }
+
+    #[test]
+    fn u64_roundtrips_exactly() {
+        let x = u64::MAX - 3;
+        assert_eq!(u64::deserialize(&x.serialize()).unwrap(), x);
+    }
+
+    #[test]
+    fn nonfinite_floats_roundtrip() {
+        assert_eq!(
+            f64::deserialize(&f64::INFINITY.serialize()).unwrap(),
+            f64::INFINITY
+        );
+        assert_eq!(
+            f64::deserialize(&f64::NEG_INFINITY.serialize()).unwrap(),
+            f64::NEG_INFINITY
+        );
+        assert!(f64::deserialize(&f64::NAN.serialize()).unwrap().is_nan());
+    }
+
+    #[test]
+    fn arrays_check_length() {
+        let v = vec![1u8, 2, 3].serialize();
+        assert!(<[u8; 3]>::deserialize(&v).is_ok());
+        assert!(<[u8; 4]>::deserialize(&v).is_err());
+    }
+
+    #[test]
+    fn missing_nonoption_field_errors() {
+        let obj = Value::Object(vec![]);
+        assert!(__private::field::<u32>(&obj, "x").is_err());
+        assert_eq!(__private::field::<Option<u32>>(&obj, "x").unwrap(), None);
+    }
+}

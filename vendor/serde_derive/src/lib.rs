@@ -1,0 +1,423 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the in-repo
+//! serde shim.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the offline build
+//! has no `syn`/`quote`). Supported item shapes — the ones this workspace
+//! actually derives on:
+//!
+//! * structs with named fields;
+//! * tuple structs, including simple type generics (`struct W<T>([T; 6])`);
+//! * fieldless enums (unit variants, optionally with discriminants and
+//!   attributes such as `#[default]`).
+//!
+//! Anything else produces a `compile_error!` naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the shim's `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Serialize)
+}
+
+/// Derives the shim's `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    /// Struct with named fields.
+    Named(Vec<String>),
+    /// Tuple struct with `n` fields.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    /// Enum whose variants are unit or newtype (one unnamed field).
+    Enum(Vec<(String, VariantKind)>),
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+}
+
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    shape: Shape,
+}
+
+fn expand(input: TokenStream, dir: Direction) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return format!("compile_error!({msg:?});").parse().unwrap(),
+    };
+    let code = match dir {
+        Direction::Serialize => gen_serialize(&item),
+        Direction::Deserialize => gen_deserialize(&item),
+    };
+    code.parse().unwrap()
+}
+
+// --- parsing -----------------------------------------------------------
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Advances past a run of `#[...]` attributes starting at `i`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() && is_punct(&tokens[i], '#') {
+        i += 2; // '#' + bracket group
+    }
+    i
+}
+
+/// Advances past an optional `pub` / `pub(...)` visibility at `i`.
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if i < tokens.len() && is_ident(&tokens[i], "pub") {
+        i += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_visibility(&tokens, i);
+
+    let is_enum = if is_ident(&tokens[i], "struct") {
+        false
+    } else if is_ident(&tokens[i], "enum") {
+        true
+    } else {
+        return Err(format!(
+            "serde shim derive: expected struct or enum, found `{}`",
+            tokens[i]
+        ));
+    };
+    i += 1;
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => {
+            return Err(format!(
+                "serde shim derive: expected item name, found `{other}`"
+            ))
+        }
+    };
+    i += 1;
+
+    // Generic parameter list: collect type-parameter idents, drop bounds.
+    let mut generics = Vec::new();
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        let mut depth = 1usize;
+        let mut expecting_param = true;
+        let mut in_lifetime = false;
+        let mut in_bounds = false;
+        i += 1;
+        while i < tokens.len() && depth > 0 {
+            match &tokens[i] {
+                t if is_punct(t, '<') => depth += 1,
+                t if is_punct(t, '>') => depth -= 1,
+                t if is_punct(t, ',') && depth == 1 => {
+                    expecting_param = true;
+                    in_bounds = false;
+                }
+                t if is_punct(t, ':') && depth == 1 => in_bounds = true,
+                t if is_punct(t, '\'') => in_lifetime = true,
+                TokenTree::Ident(id) if depth == 1 && expecting_param && !in_bounds => {
+                    if in_lifetime {
+                        in_lifetime = false;
+                    } else if id.to_string() == "const" {
+                        return Err("serde shim derive: const generics unsupported".to_string());
+                    } else {
+                        generics.push(id.to_string());
+                        expecting_param = false;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+
+    if i < tokens.len() && is_ident(&tokens[i], "where") {
+        return Err("serde shim derive: where clauses unsupported".to_string());
+    }
+
+    let shape = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            if is_enum {
+                Shape::Enum(parse_variants(&body)?)
+            } else {
+                Shape::Named(parse_named_fields(&body)?)
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            if is_enum {
+                return Err("serde shim derive: unexpected enum body".to_string());
+            }
+            Shape::Tuple(count_tuple_fields(
+                &g.stream().into_iter().collect::<Vec<_>>(),
+            ))
+        }
+        Some(t) if is_punct(t, ';') => Shape::Unit,
+        other => {
+            return Err(format!(
+                "serde shim derive: unexpected item body `{other:?}`"
+            ));
+        }
+    };
+
+    Ok(Item {
+        name,
+        generics,
+        shape,
+    })
+}
+
+fn parse_named_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attrs(body, i);
+        if i >= body.len() {
+            break;
+        }
+        i = skip_visibility(body, i);
+        let name = match &body[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => {
+                return Err(format!(
+                    "serde shim derive: expected field name, found `{other}`"
+                ))
+            }
+        };
+        i += 1;
+        if !is_punct(&body[i], ':') {
+            return Err(format!(
+                "serde shim derive: expected `:` after field `{name}`"
+            ));
+        }
+        i += 1;
+        // Skip the type: consume until a top-level (angle-bracket depth 0) comma.
+        let mut depth = 0usize;
+        while i < body.len() {
+            let t = &body[i];
+            if is_punct(t, '<') {
+                depth += 1;
+            } else if is_punct(t, '>') {
+                depth = depth.saturating_sub(1);
+            } else if is_punct(t, ',') && depth == 0 {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: &[TokenTree]) -> Result<Vec<(String, VariantKind)>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attrs(body, i);
+        if i >= body.len() {
+            break;
+        }
+        let name = match &body[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => {
+                return Err(format!(
+                    "serde shim derive: expected variant name, found `{other}`"
+                ))
+            }
+        };
+        i += 1;
+        let kind = match body.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let fields = count_tuple_fields(&g.stream().into_iter().collect::<Vec<_>>());
+                if fields != 1 {
+                    return Err(format!(
+                        "serde shim derive: variant `{name}` has {fields} fields; only unit and newtype variants are supported"
+                    ));
+                }
+                i += 1;
+                VariantKind::Newtype
+            }
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "serde shim derive: variant `{name}` has named fields; only unit and newtype variants are supported"
+                ));
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional `= discriminant` and advance past the comma.
+        while i < body.len() && !is_punct(&body[i], ',') {
+            i += 1;
+        }
+        i += 1;
+        variants.push((name, kind));
+    }
+    Ok(variants)
+}
+
+fn count_tuple_fields(body: &[TokenTree]) -> usize {
+    if body.is_empty() {
+        return 0;
+    }
+    let mut depth = 0usize;
+    let mut fields = 1;
+    let mut trailing_comma = false;
+    for t in body {
+        if is_punct(t, '<') {
+            depth += 1;
+        } else if is_punct(t, '>') {
+            depth = depth.saturating_sub(1);
+        } else if is_punct(t, ',') && depth == 0 {
+            fields += 1;
+            trailing_comma = true;
+            continue;
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        fields -= 1;
+    }
+    fields
+}
+
+// --- code generation ---------------------------------------------------
+
+fn impl_header(item: &Item, trait_name: &str) -> String {
+    if item.generics.is_empty() {
+        format!("impl serde::{trait_name} for {}", item.name)
+    } else {
+        let bounded: Vec<String> = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: serde::{trait_name}"))
+            .collect();
+        let args = item.generics.join(", ");
+        format!(
+            "impl<{}> serde::{trait_name} for {}<{args}>",
+            bounded.join(", "),
+            item.name
+        )
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "fields.push((String::from({f:?}), serde::Serialize::serialize(&self.{f})));"
+                ));
+            }
+            format!(
+                "let mut fields: Vec<(String, serde::Value)> = Vec::new(); {pushes} serde::Value::Object(fields)"
+            )
+        }
+        Shape::Tuple(1) => "serde::Serialize::serialize(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Unit => "serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, kind)| match kind {
+                    VariantKind::Unit => format!(
+                        "{}::{v} => serde::Value::Str(String::from({v:?}))",
+                        item.name
+                    ),
+                    VariantKind::Newtype => format!(
+                        "{}::{v}(inner) => serde::Value::Object(vec![(String::from({v:?}), serde::Serialize::serialize(inner))])",
+                        item.name
+                    ),
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "{} {{ fn serialize(&self) -> serde::Value {{ {body} }} }}",
+        impl_header(item, "Serialize")
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: serde::__private::field(value, {f:?})?"))
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Shape::Tuple(1) => format!("Ok({name}(serde::Deserialize::deserialize(value)?))"),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::deserialize(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = serde::__private::seq(value, {n})?; Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::Unit => format!("Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, kind)| matches!(kind, VariantKind::Unit))
+                .map(|(v, _)| format!("{v:?} => return Ok({name}::{v}),"))
+                .collect();
+            let newtype_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, kind)| matches!(kind, VariantKind::Newtype))
+                .map(|(v, _)| {
+                    format!(
+                        "{v:?} => return Ok({name}::{v}(serde::Deserialize::deserialize(inner)?)),"
+                    )
+                })
+                .collect();
+            format!(
+                "if let Some(tag) = value.as_str() {{ match tag {{ {} _ => {{}} }} }} \
+                 if let serde::Value::Object(fields) = value {{ if fields.len() == 1 {{ \
+                 let (tag, inner) = &fields[0]; match tag.as_str() {{ {} _ => {{}} }} }} }} \
+                 Err(serde::Error(format!(\"unrecognized variant encoding of {name}: {{value:?}}\")))",
+                unit_arms.join(" "),
+                newtype_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "{} {{ fn deserialize(value: &serde::Value) -> Result<Self, serde::Error> {{ {body} }} }}",
+        impl_header(item, "Deserialize")
+    )
+}
