@@ -1,0 +1,111 @@
+//! Throughput of the inner-loop hot path: cold-cache layer-mapping
+//! search (evolution over the mapping encoding) and raw population
+//! evaluation through the cost model.
+//!
+//! This is the loop that bounds the whole co-search — every outer-loop
+//! candidate costs `layers × population × iterations` of these calls —
+//! so this bench is the canary for regressions in the opt → mapping →
+//! cost pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use naas::MappingSearchConfig;
+use naas_cost::CostModel;
+use naas_mapping::Mapping;
+use naas_opt::{CemEs, EncodingScheme, EsConfig, MappingEncoder, Optimizer, RandomSearch};
+
+fn bench(c: &mut Criterion) {
+    let model = CostModel::new();
+    let layer = naas_ir::ConvSpec::conv2d("c", 64, 128, (28, 28), (3, 3), 1, 1).unwrap();
+    let mut group = c.benchmark_group("mapping_throughput");
+
+    // Full cold-cache per-layer search at the default budget (the unit of
+    // work the outer loop pays per (design, layer-shape) cache miss).
+    for accel in [
+        naas_accel::baselines::eyeriss(),
+        naas_accel::baselines::nvdla(256),
+    ] {
+        let cfg = MappingSearchConfig {
+            seed: 7,
+            ..MappingSearchConfig::default()
+        };
+        group.bench_function(format!("layer_search/{}", accel.name()), |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    naas::search_layer_mapping(&model, &layer, &accel, &cfg).expect("maps"),
+                )
+            });
+        });
+    }
+
+    // Raw population scoring: decode + evaluate 64 sampled mappings,
+    // scalar API (one allocation set per call).
+    let accel = naas_accel::baselines::eyeriss();
+    let encoder = MappingEncoder::new(accel.connectivity().ndim(), EncodingScheme::Importance);
+    let mut sampler = RandomSearch::new(encoder.dim(), 3);
+    let thetas: Vec<Vec<f64>> = (0..64).map(|_| sampler.ask()).collect();
+    group.bench_function("population_eval/scalar", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for theta in &thetas {
+                let mapping = encoder.decode(theta, &layer, accel.connectivity());
+                if let Ok(cost) = model.evaluate(&layer, &accel, &mapping) {
+                    acc += cost.edp();
+                }
+            }
+            std::hint::black_box(acc)
+        });
+    });
+
+    // The same 64 candidates through the batched pipeline: recycled
+    // mapping slots, one shared scratch, one evaluate_batch call.
+    let mut mappings = vec![naas_mapping::Mapping::new(Vec::new(), naas_ir::DIMS); thetas.len()];
+    let mut scratch = naas_cost::EvalScratch::new();
+    let mut results = Vec::new();
+    group.bench_function("population_eval/batched", |b| {
+        b.iter(|| {
+            for (theta, slot) in thetas.iter().zip(&mut mappings) {
+                encoder.decode_into(theta, &layer, accel.connectivity(), slot);
+            }
+            model.evaluate_batch(&layer, &accel, &mappings, &mut scratch, &mut results);
+            let acc: f64 = results
+                .iter()
+                .filter_map(|r| r.as_ref().ok().map(|c| c.edp()))
+                .sum();
+            std::hint::black_box(acc)
+        });
+    });
+
+    // Component breakdown of one draw: propose, decode, evaluate.
+    let mut es = CemEs::new(encoder.dim(), EsConfig::default(), 5);
+    let mut theta_buf = Vec::new();
+    group.bench_function("components/ask_into", |b| {
+        b.iter(|| {
+            es.ask_into(&mut theta_buf);
+            std::hint::black_box(theta_buf.len())
+        });
+    });
+    let theta = es.ask();
+    let mut mapping_buf = naas_mapping::Mapping::new(Vec::new(), naas_ir::DIMS);
+    group.bench_function("components/decode_into", |b| {
+        b.iter(|| {
+            encoder.decode_into(&theta, &layer, accel.connectivity(), &mut mapping_buf);
+            std::hint::black_box(mapping_buf.levels().len())
+        });
+    });
+    let valid = Mapping::balanced(&layer, &accel);
+    let mut scratch = naas_cost::EvalScratch::new();
+    group.bench_function("components/evaluate_with", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                model
+                    .evaluate_with(&mut scratch, &layer, &accel, &valid)
+                    .ok(),
+            )
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -152,10 +152,10 @@ impl SearchOptimizer {
 }
 
 impl Optimizer for SearchOptimizer {
-    fn ask(&mut self) -> Vec<f64> {
+    fn ask_into(&mut self, out: &mut Vec<f64>) {
         match self {
-            SearchOptimizer::Evolution(es) => es.ask(),
-            SearchOptimizer::Random(rs) => rs.ask(),
+            SearchOptimizer::Evolution(es) => es.ask_into(out),
+            SearchOptimizer::Random(rs) => rs.ask_into(out),
         }
     }
 

@@ -4,8 +4,9 @@
 //! naas-search list
 //! naas-search run <scenario> [--preset smoke|quick|paper] [--seed N]
 //!                            [--threads N] [--checkpoint FILE] [--every K]
+//!                            [--cache-file FILE]
 //! naas-search run --file scenario.json [...]
-//! naas-search resume <checkpoint-file> [--threads N]
+//! naas-search resume <checkpoint-file> [--threads N] [--cache-file FILE]
 //! naas-search show <checkpoint-file>
 //! ```
 //!
@@ -14,6 +15,13 @@
 //! `resume` continues an interrupted run to completion — deterministically
 //! reproducing what the uninterrupted search would have returned; `show`
 //! summarizes a checkpoint without running anything.
+//!
+//! `--cache-file` persists the engine's mapping memo cache: entries are
+//! warm-loaded before the search starts (if the file exists) and the
+//! cache is saved back on every checkpoint write and at completion.
+//! Because cached results are content-addressed, warming never changes
+//! results — it only skips recomputing `(design, layer-shape)` pairs a
+//! previous run already solved, which is most of a resumed search's work.
 
 use naas::prelude::*;
 use naas::{accel_search_init, AccelSearchState};
@@ -32,8 +40,10 @@ struct SearchCheckpoint {
 fn usage() -> ! {
     eprintln!(
         "usage:\n  naas-search list\n  naas-search run <scenario|--file scenario.json> \
-         [--preset smoke|quick|paper] [--seed N] [--threads N] [--checkpoint FILE] [--every K]\n  \
-         naas-search resume <checkpoint-file> [--threads N]\n  naas-search show <checkpoint-file>"
+         [--preset smoke|quick|paper] [--seed N] [--threads N] [--checkpoint FILE] [--every K] \
+         [--cache-file FILE]\n  \
+         naas-search resume <checkpoint-file> [--threads N] [--every K] [--cache-file FILE]\n  \
+         naas-search show <checkpoint-file>"
     );
     exit(2);
 }
@@ -162,6 +172,7 @@ fn cmd_run(args: &Args) {
     );
 
     let engine = CoSearchEngine::new(cfg.threads);
+    let cache_file = warm_load_cache(&engine, args);
     let model = CostModel::new();
     let seeds: Vec<_> = if job.scenario.warm_start {
         vec![job.baseline.clone()]
@@ -170,7 +181,24 @@ fn cmd_run(args: &Args) {
     };
 
     let state = accel_search_init(&job.constraint, &cfg, &seeds);
-    drive(&engine, &model, &job, state, policy.as_ref());
+    drive(&engine, &model, &job, state, policy.as_ref(), cache_file);
+}
+
+/// Resolves `--cache-file` and warm-loads it into the engine's memo
+/// cache when the file already exists. Returns the path so the driver
+/// can persist the cache as the search progresses.
+fn warm_load_cache<'a>(engine: &CoSearchEngine, args: &'a Args) -> Option<&'a std::path::Path> {
+    let path = args.get("cache-file").map(std::path::Path::new)?;
+    if path.exists() {
+        match engine.cache().load_from(path) {
+            Ok(entries) => println!(
+                "warm-loaded {entries} cache entries from {}",
+                path.display()
+            ),
+            Err(e) => fail(format!("cannot load cache file {}: {e}", path.display())),
+        }
+    }
+    Some(path)
 }
 
 fn cmd_resume(args: &Args) {
@@ -198,18 +226,30 @@ fn cmd_resume(args: &Args) {
         job.scenario.name, snapshot.state.iteration, snapshot.state.config.iterations
     );
     let engine = CoSearchEngine::new(threads);
+    let cache_file = warm_load_cache(&engine, args);
     let model = CostModel::new();
-    drive(&engine, &model, &job, snapshot.state, Some(&policy));
+    drive(
+        &engine,
+        &model,
+        &job,
+        snapshot.state,
+        Some(&policy),
+        cache_file,
+    );
 }
 
 /// Steps a search to completion with progress lines and (optionally)
 /// per-generation `SearchCheckpoint` snapshots; prints the final report.
+/// With a cache file, the memo cache is persisted alongside every
+/// checkpoint write and once more at completion, so an interrupted run
+/// resumes with its mapping results already warm.
 fn drive(
     engine: &CoSearchEngine,
     model: &CostModel,
     job: &naas_engine::EvalJob,
     mut state: AccelSearchState,
     policy: Option<&CheckpointPolicy>,
+    cache_file: Option<&std::path::Path>,
 ) {
     let iterations = state.config.iterations;
     let started = std::time::Instant::now();
@@ -224,14 +264,23 @@ fn drive(
             last.valid,
             state.cache_stats.hit_rate() * 100.0
         );
-        if let Some(policy) = policy {
-            if policy.due_after(state.iteration - 1) || state.is_done() {
+        let due = policy
+            .map(|p| p.due_after(state.iteration - 1))
+            .unwrap_or(false);
+        if due || state.is_done() {
+            if let Some(policy) = policy {
                 let snapshot = SearchCheckpoint {
                     scenario: job.scenario.clone(),
                     state: state.clone(),
                 };
                 checkpoint::save(&policy.path, &snapshot)
                     .unwrap_or_else(|e| fail(format!("cannot write checkpoint: {e}")));
+            }
+            if let Some(path) = cache_file {
+                engine
+                    .cache()
+                    .save_to(path)
+                    .unwrap_or_else(|e| fail(format!("cannot write cache file: {e}")));
             }
         }
     }

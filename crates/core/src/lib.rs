@@ -43,6 +43,7 @@ pub mod engine;
 pub mod joint;
 pub mod layer_cache;
 pub mod mapping_search;
+pub mod pipeline;
 pub mod reward;
 
 pub use accel_search::{
@@ -55,8 +56,10 @@ pub use joint::{
     pareto_sweep, search_joint, search_joint_with, JointConfig, JointResult, ParetoEntry,
 };
 pub use mapping_search::{
-    network_mapping_search_cached, search_layer_mapping, MappingSearchConfig, MappingSearchResult,
+    network_mapping_search_cached, search_layer_mapping, search_layer_mapping_with,
+    MappingSearchConfig, MappingSearchResult,
 };
+pub use pipeline::{with_thread_pipeline, EvalPipeline};
 pub use reward::{geomean, RewardKind};
 
 /// Convenience re-exports for downstream code and examples.

@@ -8,6 +8,7 @@
 
 use crate::engine::MappingMemo;
 use crate::layer_cache::LayerCache;
+use crate::pipeline::EvalPipeline;
 use naas_accel::Accelerator;
 use naas_cost::{CostModel, LayerCost, NetworkCost};
 use naas_engine::LayerKey;
@@ -90,7 +91,30 @@ pub struct MappingSearchResult {
 /// itself capacity-valid). Returns `None` only when *no* valid mapping was
 /// found within the budget — the signal the outer loop uses to discard an
 /// accelerator candidate.
+///
+/// Runs on this worker thread's recycled [`EvalPipeline`] (engine pool
+/// jobs each get their own); callers that manage their own buffers use
+/// [`search_layer_mapping_with`].
 pub fn search_layer_mapping(
+    model: &CostModel,
+    layer: &ConvSpec,
+    accel: &Accelerator,
+    cfg: &MappingSearchConfig,
+) -> Option<MappingSearchResult> {
+    crate::pipeline::with_thread_pipeline(|pipeline| {
+        search_layer_mapping_with(pipeline, model, layer, accel, cfg)
+    })
+}
+
+/// [`search_layer_mapping`] on a caller-owned [`EvalPipeline`].
+///
+/// Each generation is one batched propose → decode → evaluate → tell
+/// cycle over the pipeline's recycled buffers; the resample-on-capacity-
+/// failure semantics of §II-A0c and the optimizer's RNG consumption are
+/// identical to the historical scalar loop (see `pipeline` module docs),
+/// so results are bit-identical to it.
+pub fn search_layer_mapping_with(
+    pipeline: &mut EvalPipeline,
     model: &CostModel,
     layer: &ConvSpec,
     accel: &Accelerator,
@@ -109,7 +133,7 @@ pub fn search_layer_mapping(
     // Seed with the capacity-aware heuristic (unless ablated away).
     if cfg.seed_with_heuristic {
         let seed_mapping = Mapping::balanced(layer, accel);
-        if let Ok(cost) = model.evaluate(layer, accel, &seed_mapping) {
+        if let Ok(cost) = model.evaluate_with(pipeline.scratch_mut(), layer, accel, &seed_mapping) {
             evaluations += 1;
             best = Some((seed_mapping, cost));
         }
@@ -117,40 +141,18 @@ pub fn search_layer_mapping(
 
     let mut history = Vec::with_capacity(cfg.iterations);
     for _ in 0..cfg.iterations {
-        let mut scored: Vec<(Vec<f64>, f64)> = Vec::with_capacity(cfg.population);
-        for _ in 0..cfg.population {
-            // Resample until a capacity-valid candidate appears (§II-A0c),
-            // falling back to an infeasible score so the ES still learns.
-            let mut slot: Option<(Vec<f64>, Mapping, LayerCost)> = None;
-            let mut last_theta = None;
-            for _ in 0..cfg.resample_limit {
-                let theta = es.ask();
-                let mapping = encoder.decode(&theta, layer, accel.connectivity());
-                match model.evaluate(layer, accel, &mapping) {
-                    Ok(cost) => {
-                        slot = Some((theta, mapping, cost));
-                        break;
-                    }
-                    Err(_) => last_theta = Some(theta),
-                }
-            }
-            match slot {
-                Some((theta, mapping, cost)) => {
-                    evaluations += 1;
-                    let edp = cost.edp();
-                    if best.as_ref().is_none_or(|(_, b)| edp < b.edp()) {
-                        best = Some((mapping, cost));
-                    }
-                    scored.push((theta, edp));
-                }
-                None => {
-                    if let Some(theta) = last_theta {
-                        scored.push((theta, f64::INFINITY));
-                    }
-                }
-            }
-        }
-        es.tell(&scored);
+        let outcome = pipeline.run_generation(
+            es.as_mut(),
+            &encoder,
+            model,
+            layer,
+            accel,
+            cfg.population,
+            cfg.resample_limit,
+            &mut best,
+        );
+        evaluations += outcome.valid;
+        es.tell(pipeline.scored(outcome.scored));
         history.push(best.as_ref().map_or(f64::INFINITY, |(_, c)| c.edp()));
     }
 

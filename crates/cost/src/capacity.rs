@@ -54,9 +54,26 @@ pub fn check(
     mapping: &Mapping,
     widths: &DataWidths,
 ) -> Result<(), CapacityViolation> {
-    let conn = accel.connectivity();
-    let pe_tile = mapping.pe_tile(layer, conn);
-    let l1_need = tile_bytes(layer, &pe_tile, widths);
+    let pe_tile = mapping.pe_tile(layer, accel.connectivity());
+    let l2_tile = mapping.l2_tile(layer);
+    check_tiles(layer, accel, &pe_tile, &l2_tile, widths)
+}
+
+/// The capacity check against precomputed tiles — the batched pipeline
+/// computes `pe_tile`/`l2_tile` once per candidate and shares them with
+/// the traffic analysis.
+///
+/// # Errors
+///
+/// Same conditions and order as [`check`] (L1 before L2).
+pub fn check_tiles(
+    layer: &ConvSpec,
+    accel: &Accelerator,
+    pe_tile: &DimVec<u64>,
+    l2_tile: &DimVec<u64>,
+    widths: &DataWidths,
+) -> Result<(), CapacityViolation> {
+    let l1_need = tile_bytes(layer, pe_tile, widths);
     if l1_need > accel.sizing().l1_bytes() {
         return Err(CapacityViolation {
             buffer: "L1",
@@ -64,8 +81,7 @@ pub fn check(
             available: accel.sizing().l1_bytes(),
         });
     }
-    let l2_tile = mapping.tiles_per_level(layer, conn)[0];
-    let l2_need = tile_bytes(layer, &l2_tile, widths);
+    let l2_need = tile_bytes(layer, l2_tile, widths);
     if l2_need > accel.sizing().l2_bytes() {
         return Err(CapacityViolation {
             buffer: "L2",

@@ -41,6 +41,7 @@ pub mod energy;
 pub mod model;
 pub mod report;
 pub mod reuse;
+pub mod scratch;
 pub mod sweep;
 pub mod tensor;
 pub mod traffic;
@@ -48,6 +49,7 @@ pub mod widths;
 
 pub use energy::EnergyTable;
 pub use model::{CostError, CostModel, EnergyBreakdown, LayerCost, NetworkCost};
+pub use scratch::EvalScratch;
 pub use tensor::Tensor;
 pub use traffic::TrafficBreakdown;
 pub use widths::DataWidths;

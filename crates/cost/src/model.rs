@@ -2,6 +2,7 @@
 
 use crate::capacity::{self, CapacityViolation};
 use crate::energy::EnergyTable;
+use crate::scratch::EvalScratch;
 use crate::traffic::{self, TrafficBreakdown};
 use crate::widths::DataWidths;
 use naas_accel::Accelerator;
@@ -17,6 +18,13 @@ pub enum CostError {
     Mapping(MappingError),
     /// A working set does not fit its scratch pad.
     Capacity(CapacityViolation),
+    /// A network evaluation was given the wrong number of mappings.
+    LayerCountMismatch {
+        /// Layers in the network.
+        expected: usize,
+        /// Mappings supplied.
+        got: usize,
+    },
 }
 
 impl fmt::Display for CostError {
@@ -24,6 +32,12 @@ impl fmt::Display for CostError {
         match self {
             CostError::Mapping(e) => write!(f, "invalid mapping: {e}"),
             CostError::Capacity(v) => write!(f, "capacity exceeded: {v}"),
+            CostError::LayerCountMismatch { expected, got } => {
+                write!(
+                    f,
+                    "network has {expected} layers but {got} mappings were supplied"
+                )
+            }
         }
     }
 }
@@ -175,6 +189,11 @@ impl CostModel {
 
     /// Evaluates one layer under one mapping.
     ///
+    /// This is a thin wrapper over the scratch-backed path
+    /// ([`CostModel::evaluate_with`]) with a stack-local scratch, so the
+    /// scalar and batched entry points share one implementation and give
+    /// bit-identical results.
+    ///
     /// # Errors
     ///
     /// [`CostError::Mapping`] if the mapping does not structurally match
@@ -186,16 +205,45 @@ impl CostModel {
         accel: &Accelerator,
         mapping: &Mapping,
     ) -> Result<LayerCost, CostError> {
-        mapping.validate(accel)?;
-        capacity::check(layer, accel, mapping, &self.widths)?;
+        self.evaluate_with(&mut EvalScratch::new(), layer, accel, mapping)
+    }
 
+    /// [`CostModel::evaluate`] backed by caller-owned scratch buffers —
+    /// the hot-loop entry point. One [`EvalScratch`] amortizes the
+    /// intermediate allocations over every evaluation that shares it.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CostModel::evaluate`].
+    pub fn evaluate_with(
+        &self,
+        scratch: &mut EvalScratch,
+        layer: &ConvSpec,
+        accel: &Accelerator,
+        mapping: &Mapping,
+    ) -> Result<LayerCost, CostError> {
+        mapping.validate(accel)?;
         let conn = accel.connectivity();
-        let traffic = traffic::analyze(layer, conn, mapping, &self.widths);
+        // One tile computation shared by the capacity check, the traffic
+        // analysis and the compute roofline (the scalar path used to walk
+        // the hierarchy three times per call).
+        let pe_tile = mapping.pe_tile(layer, conn);
+        let l2_tile = mapping.l2_tile(layer);
+        capacity::check_tiles(layer, accel, &pe_tile, &l2_tile, &self.widths)?;
+
+        let traffic = traffic::analyze_tiles(
+            scratch,
+            layer,
+            conn,
+            mapping,
+            &l2_tile,
+            &pe_tile,
+            &self.widths,
+        );
 
         // Compute roofline: every PE serially issues its tile, for every
         // temporal iteration of every level (ceil losses included).
         let trips_total: u64 = mapping.levels().iter().map(|l| l.trips.product()).product();
-        let pe_tile = mapping.pe_tile(layer, conn);
         let compute_cycles = layer.batch() * trips_total * pe_tile.product();
 
         let sizing = accel.sizing();
@@ -235,26 +283,43 @@ impl CostModel {
         })
     }
 
+    /// Scores a whole candidate population of mappings for one layer in
+    /// one call — the batch-evaluate step of the search pipeline. Results
+    /// land in `out` (cleared first) in population order, one
+    /// `Result` per mapping, each bit-identical to what the scalar
+    /// [`CostModel::evaluate`] returns for that mapping.
+    pub fn evaluate_batch(
+        &self,
+        layer: &ConvSpec,
+        accel: &Accelerator,
+        mappings: &[Mapping],
+        scratch: &mut EvalScratch,
+        out: &mut Vec<Result<LayerCost, CostError>>,
+    ) {
+        out.clear();
+        for mapping in mappings {
+            out.push(self.evaluate_with(scratch, layer, accel, mapping));
+        }
+    }
+
     /// Evaluates a whole network with one mapping per layer.
     ///
     /// # Errors
     ///
-    /// Propagates the first per-layer error.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `mappings.len() != network.len()`.
+    /// [`CostError::LayerCountMismatch`] if `mappings.len() !=
+    /// network.len()`; otherwise propagates the first per-layer error.
     pub fn evaluate_network(
         &self,
         network: &Network,
         accel: &Accelerator,
         mappings: &[Mapping],
     ) -> Result<NetworkCost, CostError> {
-        assert_eq!(
-            mappings.len(),
-            network.len(),
-            "one mapping required per layer"
-        );
+        if mappings.len() != network.len() {
+            return Err(CostError::LayerCountMismatch {
+                expected: network.len(),
+                got: mappings.len(),
+            });
+        }
         let layers = network
             .iter()
             .zip(mappings)

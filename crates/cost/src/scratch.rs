@@ -1,0 +1,36 @@
+//! Reusable working memory for the evaluation hot path.
+//!
+//! One `CostModel::evaluate` call needs three short-lived buffers: the
+//! per-level tile extents and the flattened outer/inner loop nests of the
+//! traffic analysis. At NAAS scale — millions of evaluations per search —
+//! allocating them per call dominates the model's own arithmetic, so the
+//! batched pipeline threads one [`EvalScratch`] through every evaluation
+//! on a thread and the buffers settle at their high-water size after the
+//! first few candidates.
+
+use crate::reuse::Loop;
+use naas_ir::DimVec;
+
+/// Scratch buffers reused across [`crate::CostModel`] evaluations.
+///
+/// Construction is free (no heap allocation until first use), so the
+/// scalar entry points simply build one on the stack per call — identical
+/// behaviour to the pre-scratch code — while batch drivers keep one per
+/// worker thread and amortize the allocations away.
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    /// Flattened temporal loops of array level 0 (DRAM boundary).
+    pub(crate) outer_loops: Vec<Loop>,
+    /// Flattened temporal loops of array levels 1..k (L2 boundary).
+    pub(crate) inner_loops: Vec<Loop>,
+    /// Per-level tile extents from `Mapping::tiles_per_level_into`.
+    pub(crate) tiles: Vec<DimVec<u64>>,
+}
+
+impl EvalScratch {
+    /// Creates an empty scratch; buffers grow on first use and are then
+    /// recycled by every subsequent evaluation that shares it.
+    pub fn new() -> Self {
+        EvalScratch::default()
+    }
+}

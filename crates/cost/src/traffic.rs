@@ -15,7 +15,8 @@
 //! * **L1 ↔ MAC** — register-level reuse governed by the PE loop order
 //!   (the innermost spinning loop pins one operand in a register).
 
-use crate::reuse::{distinct_tiles, fetch_multiplier, level_loops, Loop};
+use crate::reuse::{distinct_tiles, fetch_multiplier, level_loops_into};
+use crate::scratch::EvalScratch;
 use crate::tensor::{Tensor, TENSORS};
 use crate::widths::DataWidths;
 use naas_accel::Connectivity;
@@ -87,18 +88,58 @@ pub fn analyze(
     mapping: &Mapping,
     widths: &DataWidths,
 ) -> TrafficBreakdown {
-    let batch = layer.batch() as f64;
-    let tiles = mapping.tiles_per_level(layer, conn);
-    let l2_tile = tiles[0];
+    analyze_with(&mut EvalScratch::new(), layer, conn, mapping, widths)
+}
+
+/// [`analyze`] backed by caller-owned scratch buffers: the tile walk and
+/// the flattened loop nests land in [`EvalScratch`] instead of fresh
+/// allocations, so a population of candidates reuses one set of buffers.
+/// Results are identical to [`analyze`] — the scratch only changes where
+/// the intermediates live.
+pub fn analyze_with(
+    scratch: &mut EvalScratch,
+    layer: &ConvSpec,
+    conn: &Connectivity,
+    mapping: &Mapping,
+    widths: &DataWidths,
+) -> TrafficBreakdown {
+    mapping.tiles_per_level_into(layer, conn, &mut scratch.tiles);
+    let l2_tile = scratch.tiles[0];
     let pe_tile = mapping.pe_tile(layer, conn);
+    analyze_tiles(scratch, layer, conn, mapping, &l2_tile, &pe_tile, widths)
+}
+
+/// The traffic analysis against precomputed tiles; loop nests still land
+/// in the scratch buffers. The evaluation hot path computes
+/// `l2_tile`/`pe_tile` once per candidate and shares them between the
+/// capacity check, this analysis and the compute roofline.
+pub fn analyze_tiles(
+    scratch: &mut EvalScratch,
+    layer: &ConvSpec,
+    conn: &Connectivity,
+    mapping: &Mapping,
+    l2_tile: &DimVec<u64>,
+    pe_tile: &DimVec<u64>,
+    widths: &DataWidths,
+) -> TrafficBreakdown {
+    let batch = layer.batch() as f64;
+    let l2_tile = *l2_tile;
+    let pe_tile = *pe_tile;
 
     // Outer (DRAM-level) loops: array level 0.
-    let outer_loops = level_loops(&mapping.levels()[0].order, &mapping.levels()[0].trips);
+    scratch.outer_loops.clear();
+    level_loops_into(
+        &mapping.levels()[0].order,
+        &mapping.levels()[0].trips,
+        &mut scratch.outer_loops,
+    );
     // Inner (L2-level) loops: array levels 1..k concatenated outer→inner.
-    let mut inner_loops: Vec<Loop> = Vec::new();
+    scratch.inner_loops.clear();
     for spec in &mapping.levels()[1..] {
-        inner_loops.extend(level_loops(&spec.order, &spec.trips));
+        level_loops_into(&spec.order, &spec.trips, &mut scratch.inner_loops);
     }
+    let outer_loops = &scratch.outer_loops;
+    let inner_loops = &scratch.inner_loops;
     let n_l2_tiles: f64 = outer_loops.iter().map(|l| l.trips as f64).product();
 
     let mut out = TrafficBreakdown::default();
@@ -108,9 +149,9 @@ pub fn analyze(
 
         // ---- DRAM <-> L2 ----
         let l2_tile_elems = tensor.tile_elems(layer, &l2_tile) as f64;
-        let fetches = l2_tile_elems * fetch_multiplier(&outer_loops, rel) as f64;
+        let fetches = l2_tile_elems * fetch_multiplier(outer_loops, rel) as f64;
         let dram_bytes = if tensor == Tensor::Outputs {
-            let distinct = l2_tile_elems * distinct_tiles(&outer_loops, rel) as f64;
+            let distinct = l2_tile_elems * distinct_tiles(outer_loops, rel) as f64;
             // Every fetch event is a write; revisits additionally re-read.
             (fetches + (fetches - distinct)) * bytes
         } else {
@@ -119,7 +160,7 @@ pub fn analyze(
 
         // ---- L2 <-> L1 over the NoC ----
         let pe_tile_elems = tensor.tile_elems(layer, &pe_tile) as f64;
-        let per_pe_fetches = pe_tile_elems * fetch_multiplier(&inner_loops, rel) as f64;
+        let per_pe_fetches = pe_tile_elems * fetch_multiplier(inner_loops, rel) as f64;
         let mut unique_mult = 1.0;
         let mut delivery_mult = 1.0;
         for (l, &p) in conn.parallel_dims().iter().enumerate() {
@@ -135,10 +176,10 @@ pub fn analyze(
             // crosses both the L2 port and the NoC (L2 → PE), on top of
             // the write (PE → L2).
             let distinct_unique =
-                pe_tile_elems * distinct_tiles(&inner_loops, rel) as f64 * unique_mult;
+                pe_tile_elems * distinct_tiles(inner_loops, rel) as f64 * unique_mult;
             let rmw_unique = unique_per_l2_tile - distinct_unique;
             let distinct_deliveries =
-                pe_tile_elems * distinct_tiles(&inner_loops, rel) as f64 * delivery_mult;
+                pe_tile_elems * distinct_tiles(inner_loops, rel) as f64 * delivery_mult;
             let rmw_deliveries = per_pe_fetches * delivery_mult - distinct_deliveries;
             (
                 (unique_per_l2_tile + rmw_unique) * n_l2_tiles * bytes,

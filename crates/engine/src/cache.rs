@@ -22,10 +22,12 @@
 //! ([`crate::fingerprint::derive_seed`]) — never from slot or
 //! generation indices.
 
+use crate::checkpoint::{self, CheckpointError};
 use crate::fingerprint::fnv1a;
 use naas_ir::ConvSpec;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -218,6 +220,84 @@ impl<V: Clone> MemoCache<V> {
             .get(&(design_fp, *key))
             .and_then(|cell| cell.get().cloned())
     }
+
+    /// Freezes every initialized entry into a serializable snapshot.
+    /// Entries are sorted by content fingerprint, so the same cache state
+    /// always produces the same file (friendly to diffing and hashing).
+    pub fn snapshot(&self) -> CacheSnapshot<V> {
+        let mut entries = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard poisoned");
+            for ((fp, key), cell) in shard.iter() {
+                if let Some(value) = cell.get() {
+                    entries.push((*fp, *key, value.clone()));
+                }
+            }
+        }
+        entries.sort_by_key(|(fp, key, _)| (*fp, key.fingerprint()));
+        CacheSnapshot { entries }
+    }
+
+    /// Warm-loads a snapshot: entries not yet present are inserted as
+    /// already-initialized cells. Existing entries win (they are
+    /// content-addressed, so a disagreement can only come from a stale or
+    /// foreign file — the live value is the trustworthy one). Returns how
+    /// many entries were absorbed. Counters are untouched: warm entries
+    /// count as hits only when a search actually reuses them.
+    pub fn absorb(&self, snapshot: CacheSnapshot<V>) -> usize {
+        let mut absorbed = 0;
+        for (fp, key, value) in snapshot.entries {
+            let mut shard = self.shard(fp, &key).lock().expect("cache shard poisoned");
+            let cell = shard
+                .entry((fp, key))
+                .or_insert_with(|| Arc::new(OnceLock::new()));
+            if cell.get().is_none() {
+                // A concurrent computation may win the race; both values
+                // are the same pure function of the key, so either is fine.
+                let _ = cell.set(value);
+                absorbed += 1;
+            }
+        }
+        absorbed
+    }
+}
+
+impl<V: Clone + Serialize> MemoCache<V> {
+    /// Persists the cache to `path` as JSON (atomic write via the
+    /// checkpoint machinery).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] if the file cannot be written.
+    pub fn save_to(&self, path: &Path) -> Result<(), CheckpointError> {
+        checkpoint::save(path, &self.snapshot())
+    }
+}
+
+impl<V: Clone + Deserialize> MemoCache<V> {
+    /// Warm-loads entries previously saved with [`MemoCache::save_to`].
+    /// Returns how many entries were absorbed.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] if the file cannot be read,
+    /// [`CheckpointError::Format`] if it does not decode as a snapshot.
+    pub fn load_from(&self, path: &Path) -> Result<usize, CheckpointError> {
+        let snapshot: CacheSnapshot<V> = checkpoint::load(path)?;
+        Ok(self.absorb(snapshot))
+    }
+}
+
+/// A serializable image of a [`MemoCache`]'s initialized entries: the
+/// warm-start file format of `--cache-file`. Soundness carries over from
+/// the cache itself — entries are pure functions of `(design fingerprint,
+/// layer key)`, so absorbing a snapshot produced by any run with the same
+/// fingerprinting scheme gives exactly the results a cold computation
+/// would have.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheSnapshot<V> {
+    /// `(design fingerprint, layer shape, cached value)` triples.
+    pub entries: Vec<(u64, LayerKey, V)>,
 }
 
 #[cfg(test)]
@@ -300,5 +380,65 @@ mod tests {
     fn same_shape_same_key_distinct_fingerprints() {
         assert_eq!(key(4, 4), key(4, 4));
         assert_ne!(key(4, 4).fingerprint(), key(4, 5).fingerprint());
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_absorb() {
+        let cache: MemoCache<u64> = MemoCache::new();
+        for i in 0..20u64 {
+            cache.get_or_compute(i % 3, key(i, i), || i * 7);
+        }
+        let snap = cache.snapshot();
+        assert_eq!(snap.entries.len(), 20);
+
+        let warm: MemoCache<u64> = MemoCache::new();
+        assert_eq!(warm.absorb(snap), 20);
+        assert_eq!(warm.len(), 20);
+        for i in 0..20u64 {
+            // Warm entries are served without running the computation.
+            let v = warm.get_or_compute(i % 3, key(i, i), || panic!("must hit"));
+            assert_eq!(v, i * 7);
+        }
+        assert_eq!(warm.stats().hits, 20);
+    }
+
+    #[test]
+    fn absorb_never_overwrites_live_entries() {
+        let cache: MemoCache<u64> = MemoCache::new();
+        cache.get_or_compute(1, key(2, 2), || 10);
+        let stale = CacheSnapshot {
+            entries: vec![(1, key(2, 2), 99), (1, key(3, 3), 30)],
+        };
+        assert_eq!(cache.absorb(stale), 1);
+        assert_eq!(cache.peek(1, &key(2, 2)), Some(10));
+        assert_eq!(cache.peek(1, &key(3, 3)), Some(30));
+    }
+
+    #[test]
+    fn snapshot_is_deterministically_ordered() {
+        let a: MemoCache<u64> = MemoCache::new();
+        let b: MemoCache<u64> = MemoCache::new();
+        for i in 0..32u64 {
+            a.get_or_compute(i, key(i, 1), || i);
+        }
+        for i in (0..32u64).rev() {
+            b.get_or_compute(i, key(i, 1), || i);
+        }
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn save_and_load_roundtrip_on_disk() {
+        let cache: MemoCache<u64> = MemoCache::new();
+        cache.get_or_compute(5, key(8, 16), || 123);
+        cache.get_or_compute(6, key(4, 4), || 456);
+        let path =
+            std::env::temp_dir().join(format!("naas-engine-cache-{}.json", std::process::id()));
+        cache.save_to(&path).unwrap();
+        let warm: MemoCache<u64> = MemoCache::new();
+        assert_eq!(warm.load_from(&path).unwrap(), 2);
+        assert_eq!(warm.peek(5, &key(8, 16)), Some(123));
+        assert_eq!(warm.peek(6, &key(4, 4)), Some(456));
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -48,7 +48,7 @@ pub mod fingerprint;
 pub mod pool;
 pub mod scenario;
 
-pub use cache::{CacheStats, LayerKey, MemoCache};
+pub use cache::{CacheSnapshot, CacheStats, LayerKey, MemoCache};
 pub use checkpoint::{CheckpointError, CheckpointPolicy};
 pub use fingerprint::{derive_seed, fingerprint};
 pub use pool::{parallel_map, resolve_threads};
@@ -56,7 +56,7 @@ pub use scenario::{EvalJob, NetworkSpec, Scenario, ScenarioError};
 
 /// Convenience re-exports for engine users.
 pub mod prelude {
-    pub use crate::cache::{CacheStats, LayerKey, MemoCache};
+    pub use crate::cache::{CacheSnapshot, CacheStats, LayerKey, MemoCache};
     pub use crate::checkpoint::CheckpointPolicy;
     pub use crate::fingerprint::{derive_seed, fingerprint};
     pub use crate::pool::{parallel_map, resolve_threads};

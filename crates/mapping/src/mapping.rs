@@ -109,6 +109,24 @@ impl Mapping {
         &self.pe_order
     }
 
+    /// Clears the array levels in place, keeping their allocation — the
+    /// first step of rebuilding this mapping for a new candidate
+    /// (`LevelSpec` is plain data, so a cleared+refilled level vector
+    /// never reallocates once it has reached its high-water length).
+    pub fn clear_levels(&mut self) {
+        self.levels.clear();
+    }
+
+    /// Appends one array level (outermost first).
+    pub fn push_level(&mut self, level: LevelSpec) {
+        self.levels.push(level);
+    }
+
+    /// Replaces the PE-level loop order.
+    pub fn set_pe_order(&mut self, order: [Dim; 6]) {
+        self.pe_order = order;
+    }
+
     /// Structural validation against an accelerator design.
     ///
     /// # Errors
@@ -151,6 +169,20 @@ impl Mapping {
     /// count.
     pub fn tiles_per_level(&self, layer: &ConvSpec, conn: &Connectivity) -> Vec<DimVec<u64>> {
         let mut out = Vec::with_capacity(self.levels.len());
+        self.tiles_per_level_into(layer, conn, &mut out);
+        out
+    }
+
+    /// [`Mapping::tiles_per_level`] into a caller-owned buffer (cleared
+    /// first) — the batched evaluation pipeline reuses one buffer across
+    /// a whole population instead of allocating per candidate.
+    pub fn tiles_per_level_into(
+        &self,
+        layer: &ConvSpec,
+        conn: &Connectivity,
+        out: &mut Vec<DimVec<u64>>,
+    ) {
+        out.clear();
         let mut rem = layer.extents();
         for (level, spec) in self.levels.iter().enumerate() {
             rem = child_extents(&rem, &spec.trips);
@@ -161,7 +193,18 @@ impl Mapping {
                 rem[p] = ceil_div(rem[p], s);
             }
         }
-        out
+    }
+
+    /// The L2-resident tile extents — `tiles_per_level()[0]`, computed
+    /// directly from the level-0 trips without walking (or allocating)
+    /// the whole hierarchy. The evaluation hot path uses this plus
+    /// [`Mapping::pe_tile`] instead of the full per-level walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mapping has no levels (callers validate first).
+    pub fn l2_tile(&self, layer: &ConvSpec) -> DimVec<u64> {
+        child_extents(&layer.extents(), &self.levels[0].trips)
     }
 
     /// The per-PE (L1-resident) tile extents after all temporal tilings
@@ -197,7 +240,7 @@ impl Mapping {
 
         // Grow level-0 trips until the L2-resident tile fits.
         let l2_budget = (accel.sizing().l2_bytes() / 4).max(1);
-        Self::grow_until(&mut mapping, 0, layer, conn, l2_budget);
+        Self::grow_until(&mut mapping, layer, l2_budget);
         // Grow innermost-level trips until the PE tile fits L1.
         let l1_budget = (accel.sizing().l1_bytes() / 4).max(1);
         Self::grow_until_pe(&mut mapping, layer, conn, l1_budget);
@@ -233,20 +276,15 @@ impl Mapping {
         (tile[kernel] > 1).then_some(kernel)
     }
 
-    fn grow_until(
-        mapping: &mut Mapping,
-        level: usize,
-        layer: &ConvSpec,
-        conn: &Connectivity,
-        budget_elems: u64,
-    ) {
+    /// Grows level-0 trips until the L2-resident tile fits the budget.
+    fn grow_until(mapping: &mut Mapping, layer: &ConvSpec, budget_elems: u64) {
         for _ in 0..64 {
-            let tile = mapping.tiles_per_level(layer, conn)[level];
+            let tile = mapping.l2_tile(layer);
             if Self::tile_footprint_elems(layer, &tile) <= budget_elems {
                 return;
             }
             match Self::grow_candidate(&tile) {
-                Some(grow) => mapping.levels[level].trips[grow] *= 2,
+                Some(grow) => mapping.levels[0].trips[grow] *= 2,
                 None => return, // nothing left to split
             }
         }

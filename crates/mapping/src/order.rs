@@ -20,13 +20,12 @@ use naas_ir::{Dim, DIMS};
 /// assert_eq!(order[5], Dim::S);
 /// ```
 pub fn order_from_importance(importance: &[f64; 6]) -> [Dim; 6] {
-    let mut indexed: Vec<(usize, f64)> = importance
-        .iter()
-        .copied()
-        .enumerate()
-        .map(|(i, v)| (i, if v.is_nan() { f64::NEG_INFINITY } else { v }))
-        .collect();
-    // Stable sort keeps canonical order among ties.
+    let mut indexed = [(0usize, 0.0f64); 6];
+    for (i, v) in importance.iter().copied().enumerate() {
+        indexed[i] = (i, if v.is_nan() { f64::NEG_INFINITY } else { v });
+    }
+    // Stable sort keeps canonical order among ties (allocation-free at
+    // this length: slices this short insertion-sort in place).
     indexed.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("nan already mapped out"));
     let mut out = DIMS;
     for (slot, (dim_idx, _)) in indexed.into_iter().enumerate() {

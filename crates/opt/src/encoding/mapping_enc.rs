@@ -73,11 +73,30 @@ impl MappingEncoder {
     /// Panics if `theta.len() != self.dim()` or if `conn.ndim()` differs
     /// from the encoder's rank.
     pub fn decode(&self, theta: &[f64], layer: &ConvSpec, conn: &Connectivity) -> Mapping {
+        let mut out = Mapping::new(Vec::with_capacity(self.ndim), DIMS);
+        self.decode_into(theta, layer, conn, &mut out);
+        out
+    }
+
+    /// [`MappingEncoder::decode`] into a caller-owned mapping, reusing its
+    /// level allocation — the batched pipeline decodes a whole population
+    /// into recycled `Mapping` slots without touching the allocator.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`MappingEncoder::decode`].
+    pub fn decode_into(
+        &self,
+        theta: &[f64],
+        layer: &ConvSpec,
+        conn: &Connectivity,
+        out: &mut Mapping,
+    ) {
         assert_eq!(theta.len(), self.dim(), "wrong mapping vector length");
         assert_eq!(conn.ndim(), self.ndim, "connectivity rank mismatch");
 
         let mut rem: DimVec<u64> = layer.extents();
-        let mut levels = Vec::with_capacity(self.ndim);
+        out.clear_levels();
         for level in 0..self.ndim {
             let (order, ratios) = match self.scheme {
                 EncodingScheme::Importance => {
@@ -100,7 +119,7 @@ impl MappingEncoder {
             rem = DimVec::from_fn(|d| ceil_div(rem[d], trips[d]));
             let p = conn.parallel_dims()[level];
             rem[p] = ceil_div(rem[p], conn.sizes()[level]);
-            levels.push(LevelSpec { order, trips });
+            out.push_level(LevelSpec { order, trips });
         }
 
         let pe_order: [Dim; 6] = match self.scheme {
@@ -113,8 +132,7 @@ impl MappingEncoder {
                 perm_from_lehmer(unit_to_index(theta[7 * self.ndim], NUM_ORDERS))
             }
         };
-        let _ = DIMS; // canonical order referenced by decoders above
-        Mapping::new(levels, pe_order)
+        out.set_pe_order(pe_order);
     }
 }
 

@@ -8,7 +8,7 @@
 //! refit of a multivariate normal, the practical core of CMA-ES
 //! [Hansen 2006] without step-size paths.
 
-use crate::gaussian::standard_normal_vec;
+use crate::gaussian::{standard_normal, standard_normal_vec};
 use crate::Optimizer;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -106,35 +106,40 @@ impl CemEs {
         self.generation
     }
 
-    fn sample(&mut self) -> Vec<f64> {
-        let z = standard_normal_vec(&mut self.rng, self.dim);
-        let mut x = vec![0.0; self.dim];
+    /// Samples into a caller-owned buffer. The diagonal path (the
+    /// default) draws normals straight into the output — no allocation at
+    /// all; the full-covariance path needs the whole `z` vector before
+    /// mixing and allocates it locally. Both consume the RNG in the exact
+    /// order the original allocating sampler did (`z₀ … z_{d−1}`).
+    fn sample_into(&mut self, x: &mut Vec<f64>) {
+        x.clear();
         match &self.chol {
             Some(l) if self.cfg.full_covariance => {
+                let z = standard_normal_vec(&mut self.rng, self.dim);
                 for i in 0..self.dim {
                     let mut acc = self.mean[i];
                     for (j, zj) in z.iter().enumerate().take(i + 1) {
                         acc += l[i * self.dim + j] * zj;
                     }
-                    x[i] = acc;
+                    x.push(acc);
                 }
             }
             _ => {
                 for i in 0..self.dim {
-                    x[i] = self.mean[i] + self.var[i].sqrt() * z[i];
+                    let z = standard_normal(&mut self.rng);
+                    x.push(self.mean[i] + self.var[i].sqrt() * z);
                 }
             }
         }
-        for v in &mut x {
+        for v in x.iter_mut() {
             *v = v.clamp(0.0, 1.0);
         }
-        x
     }
 }
 
 impl Optimizer for CemEs {
-    fn ask(&mut self) -> Vec<f64> {
-        self.sample()
+    fn ask_into(&mut self, out: &mut Vec<f64>) {
+        self.sample_into(out)
     }
 
     fn tell(&mut self, scored: &[(Vec<f64>, f64)]) {
@@ -351,6 +356,44 @@ mod tests {
                 let expect = if i == j { 1.0 } else { 0.0 };
                 assert!((l[i * n + j] - expect).abs() < 1e-12);
             }
+        }
+    }
+
+    #[test]
+    fn ask_into_consumes_rng_exactly_like_ask() {
+        // Both sampling paths (diagonal and full-covariance) must draw
+        // the same RNG sequence whichever entry point is used — the
+        // batched pipeline's bit-identity depends on it.
+        for full_covariance in [false, true] {
+            let cfg = EsConfig {
+                full_covariance,
+                ..EsConfig::default()
+            };
+            let mut a = CemEs::new(5, cfg, 42);
+            let mut b = CemEs::new(5, cfg, 42);
+            // A tell so the full-covariance path has a Cholesky factor.
+            let generation: Vec<(Vec<f64>, f64)> = (0..8).map(|i| (a.ask(), i as f64)).collect();
+            for _ in 0..8 {
+                b.ask();
+            }
+            a.tell(&generation);
+            b.tell(&generation);
+            let mut buf = Vec::new();
+            for _ in 0..6 {
+                b.ask_into(&mut buf);
+                assert_eq!(a.ask(), buf, "full_covariance={full_covariance}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_ask_matches_sequential_asks() {
+        let mut a = CemEs::new(4, EsConfig::default(), 9);
+        let mut b = CemEs::new(4, EsConfig::default(), 9);
+        let mut slots = vec![Vec::new(); 7];
+        a.ask_batch_into(&mut slots);
+        for slot in &slots {
+            assert_eq!(&b.ask(), slot);
         }
     }
 

@@ -51,9 +51,33 @@ pub use random::RandomSearch;
 ///
 /// Scores are minimized (NAAS uses EDP). `tell` receives the whole scored
 /// generation; implementations may ignore it (random search).
+///
+/// The primitive sampling operation is [`Optimizer::ask_into`], which
+/// fills a caller-owned buffer: batched search loops recycle their theta
+/// buffers across millions of samples instead of allocating per ask.
+/// Implementations must consume the RNG identically whichever entry point
+/// is used, so scalar and batched drivers stay bit-identical.
 pub trait Optimizer {
+    /// Samples one candidate vector in `[0, 1]^dim` into a caller-owned
+    /// buffer (cleared first; its allocation is reused).
+    fn ask_into(&mut self, out: &mut Vec<f64>);
+
     /// Samples one candidate vector in `[0, 1]^dim`.
-    fn ask(&mut self) -> Vec<f64>;
+    fn ask(&mut self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.dim());
+        self.ask_into(&mut out);
+        out
+    }
+
+    /// Samples one candidate per slot, in slot order — the batch-propose
+    /// step of a batched generation. Equivalent to calling
+    /// [`Optimizer::ask_into`] on each slot in sequence (and therefore
+    /// consumes the RNG identically).
+    fn ask_batch_into(&mut self, out: &mut [Vec<f64>]) {
+        for slot in out {
+            self.ask_into(slot);
+        }
+    }
 
     /// Updates the sampling distribution from a scored generation
     /// (vector, score), lower scores better.

@@ -31,10 +31,11 @@ impl RandomSearch {
 }
 
 impl Optimizer for RandomSearch {
-    fn ask(&mut self) -> Vec<f64> {
-        (0..self.dim)
-            .map(|_| self.rng.random_range(0.0..=1.0))
-            .collect()
+    fn ask_into(&mut self, out: &mut Vec<f64>) {
+        out.clear();
+        for _ in 0..self.dim {
+            out.push(self.rng.random_range(0.0..=1.0));
+        }
     }
 
     fn tell(&mut self, _scored: &[(Vec<f64>, f64)]) {}

@@ -1,0 +1,227 @@
+//! The batched evaluation pipeline's contract: batched and scalar
+//! evaluation agree bit-for-bit, and the batched rewrite of
+//! `search_layer_mapping` reproduces the pre-refactor scalar loop
+//! exactly (fixtures recorded from the historical implementation).
+
+use naas::prelude::*;
+use naas::{EvalPipeline, MappingSearchConfig};
+use naas_cost::{CostError, CostModel, EvalScratch, LayerCost};
+use naas_ir::DIMS;
+use naas_opt::{MappingEncoder, Optimizer, RandomSearch};
+use proptest::prelude::*;
+
+fn std_layer() -> ConvSpec {
+    ConvSpec::conv2d("c", 64, 128, (28, 28), (3, 3), 1, 1).unwrap()
+}
+
+fn dw_layer() -> ConvSpec {
+    ConvSpec::depthwise("dw", 96, (56, 56), (3, 3), 1, 1).unwrap()
+}
+
+// ---- batched == scalar -------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For any population of encoding vectors, `evaluate_batch` over one
+    /// shared scratch returns exactly what per-candidate scalar
+    /// `evaluate` calls return — same `LayerCost` values (bitwise: the
+    /// two paths share one implementation), same errors.
+    #[test]
+    fn batched_population_matches_scalar(
+        thetas in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..=1.0, 30),
+            8,
+        ),
+        dw in proptest::bool::ANY,
+    ) {
+        let model = CostModel::new();
+        let accel = baselines::nvdla(256);
+        let layer = if dw { dw_layer() } else { std_layer() };
+        let encoder =
+            MappingEncoder::new(accel.connectivity().ndim(), EncodingScheme::Importance);
+
+        // Batched: decode into recycled mappings, evaluate in one call.
+        let mut mappings = vec![Mapping::new(Vec::new(), DIMS); thetas.len()];
+        for (theta, slot) in thetas.iter().zip(&mut mappings) {
+            encoder.decode_into(theta, &layer, accel.connectivity(), slot);
+        }
+        let mut scratch = EvalScratch::new();
+        let mut batched: Vec<Result<LayerCost, CostError>> = Vec::new();
+        model.evaluate_batch(&layer, &accel, &mappings, &mut scratch, &mut batched);
+
+        prop_assert_eq!(batched.len(), thetas.len());
+        for (theta, got) in thetas.iter().zip(&batched) {
+            // Fresh scalar decode must agree with the recycled decode...
+            let fresh = encoder.decode(theta, &layer, accel.connectivity());
+            // ...and the scalar evaluation with the batched one, exactly.
+            let expect = model.evaluate(&layer, &accel, &fresh);
+            prop_assert_eq!(got, &expect);
+        }
+    }
+
+    /// `decode_into` over one recycled `Mapping` produces the same
+    /// mapping as a fresh `decode`, no matter what was decoded before.
+    #[test]
+    fn recycled_decode_matches_fresh(
+        a in proptest::collection::vec(0.0f64..=1.0, 30),
+        b in proptest::collection::vec(0.0f64..=1.0, 30),
+    ) {
+        let accel = baselines::eyeriss();
+        let encoder =
+            MappingEncoder::new(accel.connectivity().ndim(), EncodingScheme::Importance);
+        let layer = std_layer();
+        let mut recycled = Mapping::new(Vec::new(), DIMS);
+        encoder.decode_into(&a, &layer, accel.connectivity(), &mut recycled);
+        encoder.decode_into(&b, &layer, accel.connectivity(), &mut recycled);
+        prop_assert_eq!(recycled, encoder.decode(&b, &layer, accel.connectivity()));
+    }
+
+    /// `ask_into` / `ask_batch_into` consume the RNG exactly like `ask`.
+    #[test]
+    fn batch_ask_matches_scalar_ask(seed in 0u64..1000) {
+        let mut scalar = RandomSearch::new(7, seed);
+        let mut batched = RandomSearch::new(7, seed);
+        let mut slots = vec![Vec::new(); 5];
+        batched.ask_batch_into(&mut slots);
+        for slot in &slots {
+            prop_assert_eq!(&scalar.ask(), slot);
+        }
+    }
+}
+
+// ---- pre-refactor fixtures --------------------------------------------
+
+/// Values recorded from the scalar (pre-pipeline) implementation of
+/// `search_layer_mapping` at these exact configurations. The batched
+/// pipeline must reproduce every one of them bit-for-bit — cycles,
+/// energy (as raw f64 bits), EDP bits, evaluation count and the full
+/// mapping content (content-fingerprinted).
+#[test]
+fn search_results_match_prerefactor_fixtures() {
+    struct Fixture {
+        accel: Accelerator,
+        layer: ConvSpec,
+        seed: u64,
+        scheme: EncodingScheme,
+        cycles: u64,
+        energy_bits: u64,
+        edp_bits: u64,
+        evals: usize,
+        mapping_hash: u64,
+    }
+    #[rustfmt::skip]
+    let fixtures = [
+        Fixture { accel: baselines::eyeriss(), layer: std_layer(), seed: 42, scheme: EncodingScheme::Importance,
+                  cycles: 2_904_122, energy_bits: 0x41b9519333333333, edp_bits: 0x4271f38748d59b3c, evals: 25, mapping_hash: 0x8d873ace95bf3016 },
+        Fixture { accel: baselines::eyeriss(), layer: std_layer(), seed: 42, scheme: EncodingScheme::Index,
+                  cycles: 2_904_122, energy_bits: 0x41b9519333333333, edp_bits: 0x4271f38748d59b3c, evals: 25, mapping_hash: 0x8d873ace95bf3016 },
+        Fixture { accel: baselines::eyeriss(), layer: dw_layer(), seed: 42, scheme: EncodingScheme::Importance,
+                  cycles: 304_930, energy_bits: 0x41916c20e0000000, edp_bits: 0x4214c09af55fae14, evals: 25, mapping_hash: 0x5c35a854358c2bb5 },
+        Fixture { accel: baselines::nvdla(256), layer: std_layer(), seed: 7, scheme: EncodingScheme::Importance,
+                  cycles: 3_440_704, energy_bits: 0x41bc19b65999999a, edp_bits: 0x42779ad4ab39b3d1, evals: 25, mapping_hash: 0x610b352a90c314d3 },
+        Fixture { accel: baselines::nvdla(256), layer: dw_layer(), seed: 7, scheme: EncodingScheme::Importance,
+                  cycles: 6_357_056, energy_bits: 0x41bd6c19d3333334, edp_bits: 0x4286d4f818adc91e, evals: 25, mapping_hash: 0x1cf48743100515d7 },
+        Fixture { accel: baselines::nvdla(256), layer: dw_layer(), seed: 7, scheme: EncodingScheme::Index,
+                  cycles: 3_006_784, energy_bits: 0x41c524159c000000, edp_bits: 0x427f09c91a18ac08, evals: 25, mapping_hash: 0x6237dc381dbc34f9 },
+        Fixture { accel: baselines::shidiannao(), layer: std_layer(), seed: 123, scheme: EncodingScheme::Importance,
+                  cycles: 10_518_576, energy_bits: 0x41c0b54193333333, edp_bits: 0x429574059f477731, evals: 25, mapping_hash: 0x9574ebb61eef0dbb },
+        Fixture { accel: baselines::shidiannao(), layer: dw_layer(), seed: 123, scheme: EncodingScheme::Importance,
+                  cycles: 530_480, energy_bits: 0x4193821a80000000, edp_bits: 0x4224365c043851ec, evals: 25, mapping_hash: 0x38d5c5902c6f13f5 },
+        Fixture { accel: baselines::edge_tpu(), layer: std_layer(), seed: 9, scheme: EncodingScheme::Importance,
+                  cycles: 18_592, energy_bits: 0x41a1a9e7e6666666, edp_bits: 0x41e48674613a92a3, evals: 25, mapping_hash: 0xffca4aa9cbf7ecf2 },
+        Fixture { accel: baselines::edge_tpu(), layer: dw_layer(), seed: 9, scheme: EncodingScheme::Index,
+                  cycles: 1_196_768, energy_bits: 0x41bb58dce6333334, edp_bits: 0x425ff60a2b47703c, evals: 25, mapping_hash: 0x6f4a2cbb4454c794 },
+    ];
+
+    let model = CostModel::new();
+    for f in fixtures {
+        let cfg = MappingSearchConfig {
+            scheme: f.scheme,
+            ..MappingSearchConfig::quick(f.seed)
+        };
+        let r = naas::search_layer_mapping(&model, &f.layer, &f.accel, &cfg)
+            .expect("fixture config finds a mapping");
+        let label = format!("{} {} {:?}", f.accel.name(), f.layer.name(), f.scheme);
+        assert_eq!(r.cost.cycles, f.cycles, "cycles drifted: {label}");
+        assert_eq!(
+            r.cost.energy_pj.to_bits(),
+            f.energy_bits,
+            "energy bits drifted: {label}"
+        );
+        assert_eq!(
+            r.cost.edp().to_bits(),
+            f.edp_bits,
+            "EDP bits drifted: {label}"
+        );
+        assert_eq!(r.evaluations, f.evals, "evaluation count drifted: {label}");
+        assert_eq!(
+            naas_engine::fingerprint(&r.mapping),
+            f.mapping_hash,
+            "mapping content drifted: {label}"
+        );
+    }
+}
+
+/// A caller-owned pipeline reused across many searches gives the same
+/// results as the thread-local entry point — buffer reuse carries no
+/// state between searches.
+#[test]
+fn reused_pipeline_matches_thread_local() {
+    let model = CostModel::new();
+    let mut pipeline = EvalPipeline::new();
+    for (accel, seed) in [
+        (baselines::eyeriss(), 1u64),
+        (baselines::nvdla(256), 2),
+        (baselines::eyeriss(), 3),
+        (baselines::edge_tpu(), 4),
+    ] {
+        let cfg = MappingSearchConfig::quick(seed);
+        let layer = std_layer();
+        let owned =
+            naas::search_layer_mapping_with(&mut pipeline, &model, &layer, &accel, &cfg).unwrap();
+        let fresh = naas::search_layer_mapping(&model, &layer, &accel, &cfg).unwrap();
+        assert_eq!(owned.mapping, fresh.mapping);
+        assert_eq!(owned.cost, fresh.cost);
+        assert_eq!(owned.evaluations, fresh.evaluations);
+        assert_eq!(owned.history, fresh.history);
+    }
+}
+
+/// The random-search strategy also survives the batched rewrite.
+#[test]
+fn random_strategy_matches_across_pipelines() {
+    let model = CostModel::new();
+    let accel = baselines::eyeriss();
+    let cfg = MappingSearchConfig {
+        random: true,
+        ..MappingSearchConfig::quick(17)
+    };
+    let layer = std_layer();
+    let a = naas::search_layer_mapping(&model, &layer, &accel, &cfg).unwrap();
+    let b = naas::search_layer_mapping_with(&mut EvalPipeline::new(), &model, &layer, &accel, &cfg)
+        .unwrap();
+    assert_eq!(a.mapping, b.mapping);
+    assert_eq!(a.cost, b.cost);
+}
+
+// ---- evaluate_network error contract ----------------------------------
+
+#[test]
+fn mismatched_mapping_count_is_an_error_not_a_panic() {
+    let model = CostModel::new();
+    let accel = baselines::nvdla(1024);
+    let net = models::cifar_resnet20();
+    let one_mapping = vec![Mapping::balanced(&net.layers()[0], &accel)];
+    let err = model
+        .evaluate_network(&net, &accel, &one_mapping)
+        .unwrap_err();
+    assert_eq!(
+        err,
+        CostError::LayerCountMismatch {
+            expected: net.len(),
+            got: 1,
+        }
+    );
+    assert!(err.to_string().contains("mappings"));
+}

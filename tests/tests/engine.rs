@@ -190,3 +190,32 @@ fn registered_scenario_runs_end_to_end() {
     assert!(result.best.reward.is_finite());
     assert!(engine.cache_stats().entries > 0);
 }
+
+/// Cache persistence: a search on an engine warm-loaded from a previous
+/// run's cache file recomputes nothing and returns identical results.
+#[test]
+fn persisted_cache_warm_loads_with_identical_results() {
+    let model = CostModel::new();
+    let envelope = ResourceConstraint::from_design(&naas_accel::baselines::nvdla(256));
+    let net = models::cifar_resnet20();
+    let nets = std::slice::from_ref(&net);
+    let cfg = quick_cfg(88, 2);
+    let path =
+        std::env::temp_dir().join(format!("naas-engine-cachefile-{}.json", std::process::id()));
+
+    let cold_engine = CoSearchEngine::new(cfg.threads);
+    let cold = search_accelerator_with(&cold_engine, &model, nets, &envelope, &cfg, &[], None);
+    cold_engine.cache().save_to(&path).expect("cache saves");
+
+    let warm_engine = CoSearchEngine::new(cfg.threads);
+    let absorbed = warm_engine.cache().load_from(&path).expect("cache loads");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(absorbed as u64, cold_engine.cache_stats().entries);
+
+    let warm = search_accelerator_with(&warm_engine, &model, nets, &envelope, &cfg, &[], None);
+    assert_eq!(warm.best.accelerator, cold.best.accelerator);
+    assert_eq!(warm.best.reward, cold.best.reward);
+    assert_eq!(warm.history, cold.history);
+    // Every lookup of the warm run was answered from the loaded file.
+    assert_eq!(warm_engine.cache_stats().misses, 0);
+}
