@@ -87,7 +87,7 @@ mod tests {
     #[test]
     fn area_monotone_in_pes_and_sram() {
         let m = AreaModel::default();
-        assert!(m.area_mm2(&baselines::nvdla(1024)) > m.area_mm2(&baselines::nvdla(256)));
+        assert!(m.area_mm2(&baselines::nvdla_1024()) > m.area_mm2(&baselines::nvdla_256()));
     }
 
     #[test]

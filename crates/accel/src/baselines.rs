@@ -37,21 +37,22 @@ pub fn eyeriss() -> Accelerator {
 /// 1024): a `√n`×`√n` array computing input-channel × output-channel
 /// blocks (weight-stationary `C`,`K` parallelism).
 ///
-/// # Panics
-///
-/// Panics unless `pes` is one of 256 or 1024 (the two configurations the
-/// paper evaluates).
-pub fn nvdla(pes: u64) -> Accelerator {
+/// Returns `None` for any PE count other than 256 or 1024 — the two
+/// published configurations the paper evaluates. PE counts reach this
+/// constructor from library users and scenario/envelope inputs, so an
+/// unknown configuration is an answerable question, not a programming
+/// error.
+pub fn nvdla(pes: u64) -> Option<Accelerator> {
     let (side, l2, noc) = match pes {
         256 => (16, 256 * 1024, 32.0),
         1024 => (32, 512 * 1024, 64.0),
-        _ => panic!("the paper evaluates NVDLA with 256 or 1024 PEs"),
+        _ => return None,
     };
-    Accelerator::new(
+    Some(Accelerator::new(
         format!("NVDLA-{pes}"),
         ArchitecturalSizing::new(64, l2, noc, noc / 4.0),
         Connectivity::grid(side, side, Dim::C, Dim::K).expect("static baseline is valid"),
-    )
+    ))
 }
 
 /// EdgeTPU-class design: a 64×64 systolic matrix unit with a multi-MiB
@@ -75,9 +76,26 @@ pub fn shidiannao() -> Accelerator {
     )
 }
 
+/// The two NVDLA configurations the paper evaluates, as infallible
+/// constructors for call sites with a statically-known PE count.
+pub fn nvdla_256() -> Accelerator {
+    nvdla(256).expect("256 is a published configuration")
+}
+
+/// See [`nvdla_256`].
+pub fn nvdla_1024() -> Accelerator {
+    nvdla(1024).expect("1024 is a published configuration")
+}
+
 /// All five baseline designs in the paper's order.
 pub fn all() -> Vec<Accelerator> {
-    vec![edge_tpu(), nvdla(1024), nvdla(256), eyeriss(), shidiannao()]
+    vec![
+        edge_tpu(),
+        nvdla_1024(),
+        nvdla_256(),
+        eyeriss(),
+        shidiannao(),
+    ]
 }
 
 /// The five deployment scenarios of §III-A0b: a resource envelope plus the
@@ -85,8 +103,8 @@ pub fn all() -> Vec<Accelerator> {
 pub fn deployment_scenarios() -> Vec<(ResourceConstraint, bool)> {
     vec![
         (ResourceConstraint::from_design(&edge_tpu()), true),
-        (ResourceConstraint::from_design(&nvdla(1024)), true),
-        (ResourceConstraint::from_design(&nvdla(256)), false),
+        (ResourceConstraint::from_design(&nvdla_1024()), true),
+        (ResourceConstraint::from_design(&nvdla_256()), false),
         (ResourceConstraint::from_design(&eyeriss()), false),
         (ResourceConstraint::from_design(&shidiannao()), false),
     ]
@@ -99,8 +117,8 @@ mod tests {
     #[test]
     fn pe_counts_match_published_designs() {
         assert_eq!(eyeriss().pe_count(), 168);
-        assert_eq!(nvdla(256).pe_count(), 256);
-        assert_eq!(nvdla(1024).pe_count(), 1024);
+        assert_eq!(nvdla_256().pe_count(), 256);
+        assert_eq!(nvdla_1024().pe_count(), 1024);
         assert_eq!(edge_tpu().pe_count(), 4096);
         assert_eq!(shidiannao().pe_count(), 64);
     }
@@ -108,7 +126,7 @@ mod tests {
     #[test]
     fn dataflows_match_published_designs() {
         assert_eq!(eyeriss().connectivity().dataflow_label(), "R-Y' Parallel");
-        assert_eq!(nvdla(256).connectivity().dataflow_label(), "C-K Parallel");
+        assert_eq!(nvdla_256().connectivity().dataflow_label(), "C-K Parallel");
         assert_eq!(
             shidiannao().connectivity().dataflow_label(),
             "Y'-X' Parallel"
@@ -133,9 +151,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "256 or 1024")]
-    fn nvdla_rejects_unknown_config() {
-        let _ = nvdla(512);
+    fn nvdla_rejects_unknown_config_without_panicking() {
+        assert!(nvdla(512).is_none());
+        assert!(nvdla(0).is_none());
+        assert_eq!(nvdla(256).unwrap().pe_count(), 256);
+        assert_eq!(nvdla(1024).unwrap().pe_count(), 1024);
     }
 
     #[test]

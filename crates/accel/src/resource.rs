@@ -13,7 +13,7 @@ use std::fmt;
 ///
 /// ```
 /// use naas_accel::{baselines, ResourceConstraint};
-/// let c = ResourceConstraint::from_design(&baselines::nvdla(256));
+/// let c = ResourceConstraint::from_design(&baselines::nvdla_256());
 /// assert_eq!(c.max_pes(), 256);
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -150,7 +150,7 @@ mod tests {
     fn too_many_pes_rejected() {
         let small = baselines::shidiannao();
         let envelope = ResourceConstraint::from_design(&small);
-        let big = baselines::nvdla(1024);
+        let big = baselines::nvdla_1024();
         let err = envelope.admits(&big).unwrap_err();
         assert!(err.to_string().contains("PEs"));
     }

@@ -22,7 +22,7 @@ fn bench(c: &mut Criterion) {
     // work the outer loop pays per (design, layer-shape) cache miss).
     for accel in [
         naas_accel::baselines::eyeriss(),
-        naas_accel::baselines::nvdla(256),
+        naas_accel::baselines::nvdla_256(),
     ] {
         let cfg = MappingSearchConfig {
             seed: 7,

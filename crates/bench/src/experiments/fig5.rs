@@ -112,7 +112,7 @@ pub fn run(budget: &Budget, seed: u64) -> Fig5 {
     let mobile = models::mobile_benchmarks();
 
     let mut scenarios = Vec::new();
-    for (i, baseline) in [baselines::edge_tpu(), baselines::nvdla(1024)]
+    for (i, baseline) in [baselines::edge_tpu(), baselines::nvdla_1024()]
         .into_iter()
         .enumerate()
     {
@@ -126,7 +126,7 @@ pub fn run(budget: &Budget, seed: u64) -> Fig5 {
     }
     for (i, baseline) in [
         baselines::eyeriss(),
-        baselines::nvdla(256),
+        baselines::nvdla_256(),
         baselines::shidiannao(),
     ]
     .into_iter()

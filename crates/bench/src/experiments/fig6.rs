@@ -23,7 +23,7 @@ pub fn run(budget: &Budget, seed: u64) -> Fig6 {
     let mut cells = Vec::new();
     let mut salt = 0u64;
 
-    let large_envelopes = [baselines::edge_tpu(), baselines::nvdla(1024)];
+    let large_envelopes = [baselines::edge_tpu(), baselines::nvdla_1024()];
     for net in models::large_benchmarks() {
         for baseline in &large_envelopes {
             salt += 1;
@@ -38,7 +38,7 @@ pub fn run(budget: &Budget, seed: u64) -> Fig6 {
     }
     let mobile_envelopes = [
         baselines::eyeriss(),
-        baselines::nvdla(256),
+        baselines::nvdla_256(),
         baselines::shidiannao(),
     ];
     for net in models::mobile_benchmarks() {

@@ -35,7 +35,7 @@ pub fn run(budget: &Budget, seed: u64) -> Fig8 {
     let model = CostModel::new();
     let mut bars = Vec::new();
     let mut salt = 0u64;
-    for baseline in [baselines::edge_tpu(), baselines::nvdla(1024)] {
+    for baseline in [baselines::edge_tpu(), baselines::nvdla_1024()] {
         let envelope = ResourceConstraint::from_design(&baseline);
         for net in [models::vgg16(224), models::mobilenet_v2(224)] {
             salt += 1;
@@ -131,7 +131,7 @@ mod tests {
         // Cheapest pair: MobileNetV2 under NVDLA-1024.
         let model = CostModel::new();
         let budget = Budget::new(Preset::Smoke);
-        let baseline = baselines::nvdla(1024);
+        let baseline = baselines::nvdla_1024();
         let envelope = ResourceConstraint::from_design(&baseline);
         let net = models::mobilenet_v2(224);
         let sizing = search_sizing_only(

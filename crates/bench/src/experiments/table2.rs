@@ -114,7 +114,7 @@ fn derive(design: &Accelerator) -> Vec<CorrelationRow> {
 
 /// Derives Table II for NVDLA-256 and Eyeriss.
 pub fn run(_budget: &Budget, _seed: u64) -> Table2 {
-    let mut rows = derive(&baselines::nvdla(256));
+    let mut rows = derive(&baselines::nvdla_256());
     rows.extend(derive(&baselines::eyeriss()));
     Table2 { rows }
 }

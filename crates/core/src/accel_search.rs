@@ -130,6 +130,25 @@ pub struct AccelSearchResult {
     pub cache_stats: CacheStats,
 }
 
+/// A search exhausted its entire budget without finding one valid
+/// design — an envelope too small for the benchmark suite. This is a
+/// reachable outcome of user inputs (CLI scenarios, service requests),
+/// not a programming error, so it surfaces as a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoValidDesign;
+
+impl std::fmt::Display for NoValidDesign {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "no valid accelerator found in the entire search budget \
+             (the resource envelope is too small for the benchmark suite)"
+        )
+    }
+}
+
+impl std::error::Error for NoValidDesign {}
+
 /// The outer optimizer in serializable form (checkpoints need concrete
 /// types, not `Box<dyn Optimizer>`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -220,19 +239,20 @@ impl AccelSearchState {
 
     /// Consumes the state into a final result.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no valid design was found over the whole budget (an
-    /// envelope too small for the benchmark suite).
-    pub fn into_result(self) -> AccelSearchResult {
-        AccelSearchResult {
-            best: self
-                .best
-                .expect("no valid accelerator found in the entire search budget"),
+    /// [`NoValidDesign`] if no valid design was found over the whole
+    /// budget (an envelope too small for the benchmark suite). Callers
+    /// that treat this as fatal (`search_accelerator` and friends, per
+    /// their documented contract) unwrap it; the CLI and the service map
+    /// it to a clean diagnostic / error response instead of a panic.
+    pub fn into_result(self) -> Result<AccelSearchResult, NoValidDesign> {
+        Ok(AccelSearchResult {
+            best: self.best.ok_or(NoValidDesign)?,
             history: self.history,
             evaluations: self.evaluations,
             cache_stats: self.cache_stats,
-        }
+        })
     }
 }
 
@@ -460,7 +480,7 @@ pub fn search_accelerator_with(
     assert!(!networks.is_empty(), "need at least one benchmark network");
     let mut state = accel_search_init(constraint, cfg, seeds);
     run_to_completion(engine, model, networks, &mut state, checkpoint);
-    state.into_result()
+    state.into_result().unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Continues a checkpointed search to completion. The caller must supply
@@ -479,7 +499,7 @@ pub fn resume_accel_search(
     checkpoint: Option<&CheckpointPolicy>,
 ) -> AccelSearchResult {
     run_to_completion(engine, model, networks, &mut state, checkpoint);
-    state.into_result()
+    state.into_result().unwrap_or_else(|e| panic!("{e}"))
 }
 
 fn run_to_completion(
@@ -539,7 +559,7 @@ mod tests {
     #[test]
     fn best_edp_is_monotone_in_history() {
         let model = CostModel::new();
-        let envelope = ResourceConstraint::from_design(&baselines::nvdla(256));
+        let envelope = ResourceConstraint::from_design(&baselines::nvdla_256());
         let result = search_accelerator(
             &model,
             &[tiny_net()],
@@ -554,7 +574,7 @@ mod tests {
     #[test]
     fn multi_network_reward_is_geomean() {
         let model = CostModel::new();
-        let envelope = ResourceConstraint::from_design(&baselines::nvdla(256));
+        let envelope = ResourceConstraint::from_design(&baselines::nvdla_256());
         let nets = [tiny_net(), models::nasaic_cifar_net()];
         let result = search_accelerator(&model, &nets, &envelope, &AccelSearchConfig::quick(2));
         let edps: Vec<f64> = result.best.per_network.iter().map(|c| c.edp()).collect();
@@ -621,6 +641,24 @@ mod tests {
     }
 
     #[test]
+    fn exhausted_budget_without_design_is_an_error_not_a_panic() {
+        // Regression: `naas-search run` used to abort with a panic when a
+        // search found no valid design. An envelope too small to hold any
+        // decodable candidate must surface `NoValidDesign` instead.
+        let model = CostModel::new();
+        let envelope = ResourceConstraint::new("hopeless", 1, 1, 1e-3, 1e-3);
+        let cfg = AccelSearchConfig {
+            resample_limit: 3,
+            ..AccelSearchConfig::quick(9)
+        };
+        let engine = CoSearchEngine::single_threaded();
+        let mut state = accel_search_init(&envelope, &cfg, &[]);
+        while accel_search_step(&engine, &model, &[tiny_net()], &mut state) {}
+        assert!(state.best().is_none());
+        assert_eq!(state.into_result().unwrap_err(), NoValidDesign);
+    }
+
+    #[test]
     fn shared_engine_reuses_cache_across_searches() {
         let model = CostModel::new();
         let envelope = ResourceConstraint::from_design(&baselines::eyeriss());
@@ -657,7 +695,7 @@ mod tests {
     #[test]
     fn stepwise_and_oneshot_agree() {
         let model = CostModel::new();
-        let envelope = ResourceConstraint::from_design(&baselines::nvdla(256));
+        let envelope = ResourceConstraint::from_design(&baselines::nvdla_256());
         let net = tiny_net();
         let cfg = AccelSearchConfig::quick(31);
 
@@ -670,7 +708,7 @@ mod tests {
             steps += 1;
         }
         assert_eq!(steps, cfg.iterations);
-        let stepped = state.into_result();
+        let stepped = state.into_result().expect("search found a design");
         assert_eq!(stepped.best.accelerator, oneshot.best.accelerator);
         assert_eq!(stepped.history, oneshot.history);
         assert_eq!(stepped.evaluations, oneshot.evaluations);

@@ -151,7 +151,7 @@ mod tests {
     #[test]
     fn sizing_only_stays_in_connectivity_class() {
         let model = CostModel::new();
-        let base = designs::nvdla(256);
+        let base = designs::nvdla_256();
         let envelope = ResourceConstraint::from_design(&base);
         let out = search_sizing_only(
             &model,

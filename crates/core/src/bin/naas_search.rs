@@ -8,6 +8,9 @@
 //! naas-search run --file scenario.json [...]
 //! naas-search resume <checkpoint-file> [--threads N] [--cache-file FILE]
 //! naas-search show <checkpoint-file>
+//! naas-search serve [--port N] [--preset smoke|quick|paper] [--threads N]
+//!                   [--cache-file FILE]
+//! naas-search client <host:port>
 //! ```
 //!
 //! `run` executes an accelerator search for a registered scenario (or one
@@ -15,6 +18,13 @@
 //! `resume` continues an interrupted run to completion — deterministically
 //! reproducing what the uninterrupted search would have returned; `show`
 //! summarizes a checkpoint without running anything.
+//!
+//! `serve` starts the batch-evaluation service: one warm engine (shared
+//! mapping cache, work-stealing pool) answering JSONL requests on
+//! stdin/stdout and — with `--port` — on a TCP socket, coalescing
+//! concurrent in-flight requests into batched pipeline calls. See
+//! `naas::service` for the protocol. `client` connects to a serving
+//! process and bridges stdin/stdout to it.
 //!
 //! `--cache-file` persists the engine's mapping memo cache: entries are
 //! warm-loaded before the search starts (if the file exists) and the
@@ -43,7 +53,10 @@ fn usage() -> ! {
          [--preset smoke|quick|paper] [--seed N] [--threads N] [--checkpoint FILE] [--every K] \
          [--cache-file FILE]\n  \
          naas-search resume <checkpoint-file> [--threads N] [--every K] [--cache-file FILE]\n  \
-         naas-search show <checkpoint-file>"
+         naas-search show <checkpoint-file>\n  \
+         naas-search serve [--port N] [--preset smoke|quick|paper] [--threads N] \
+         [--cache-file FILE]\n  \
+         naas-search client <host:port>"
     );
     exit(2);
 }
@@ -100,6 +113,8 @@ fn main() {
         Some("run") => cmd_run(&args),
         Some("resume") => cmd_resume(&args),
         Some("show") => cmd_show(&args),
+        Some("serve") => cmd_serve(&args),
+        Some("client") => cmd_client(&args),
         _ => usage(),
     }
 }
@@ -315,9 +330,146 @@ fn cmd_show(args: &Args) {
     }
 }
 
+/// `serve`: the batch-evaluation service. One warm engine answers JSONL
+/// requests on stdin/stdout; `--port` additionally accepts TCP
+/// connections on 127.0.0.1. A `shutdown` command (from any stream)
+/// persists the cache and exits cleanly; without `--port`, stdin EOF
+/// does the same.
+fn cmd_serve(args: &Args) {
+    let threads = args.get_num("threads").unwrap_or(0);
+    let seed = args.get_num("seed").unwrap_or(2021);
+    let mapping = search_config(args, seed, threads).mapping;
+    let service = naas::BatchEvalService::new(naas::ServiceConfig {
+        threads,
+        mapping,
+        cache_file: args.get("cache-file").map(std::path::PathBuf::from),
+    })
+    .unwrap_or_else(|e| fail(format!("cannot start service: {e}")));
+    let warm = service.engine().cache_stats().entries;
+    eprintln!(
+        "naas-search serve: {} worker thread(s), mapping budget {}x{}, {} warm cache entries",
+        service.threads(),
+        mapping.population,
+        mapping.iterations,
+        warm
+    );
+    let service = std::sync::Arc::new(service);
+    let server = naas::ServiceServer::start(std::sync::Arc::clone(&service));
+
+    let port: Option<u16> = args.get_num("port");
+    match port {
+        None => {
+            let stdin = std::io::BufReader::new(std::io::stdin());
+            let stdout = std::io::stdout().lock();
+            server
+                .serve_stream(stdin, stdout)
+                .unwrap_or_else(|e| fail(format!("stdio stream failed: {e}")));
+            server
+                .stop()
+                .unwrap_or_else(|e| fail(format!("cannot persist cache: {e}")));
+        }
+        Some(port) => {
+            let listener = std::net::TcpListener::bind(("127.0.0.1", port))
+                .unwrap_or_else(|e| fail(format!("cannot bind 127.0.0.1:{port}: {e}")));
+            eprintln!("listening on 127.0.0.1:{port}");
+            let server = &server;
+            std::thread::scope(|scope| {
+                scope.spawn(move || {
+                    // One thread per connection; requests from every
+                    // connection coalesce in the shared batcher.
+                    std::thread::scope(|conns| {
+                        for stream in listener.incoming() {
+                            let Ok(stream) = stream else { break };
+                            conns.spawn(move || {
+                                let reader = match stream.try_clone() {
+                                    Ok(clone) => std::io::BufReader::new(clone),
+                                    Err(_) => return,
+                                };
+                                if let Ok(true) = server.serve_stream(reader, &stream) {
+                                    finish_and_exit(server);
+                                }
+                            });
+                        }
+                    });
+                });
+                let stdin = std::io::BufReader::new(std::io::stdin());
+                let stdout = std::io::stdout().lock();
+                if let Ok(true) = server.serve_stream(stdin, stdout) {
+                    finish_and_exit(server);
+                }
+                // stdin EOF without shutdown: keep serving TCP (the
+                // accept-loop thread holds the scope open).
+            });
+        }
+    }
+}
+
+/// The shutdown path shared by every stream of a `--port` server: drain
+/// the batcher (every queued request across all connections gets its
+/// response computed and handed to its stream), persist the cache, then
+/// exit 0 (the blocked accept loop cannot be joined, so shutdown is
+/// process exit by design). The stream that requested shutdown is fully
+/// flushed before this runs; sibling connections get a grace period to
+/// flush their final responses — best-effort, since a sibling stalled on
+/// TCP backpressure cannot be waited out forever.
+fn finish_and_exit(server: &naas::ServiceServer) -> ! {
+    server.drain();
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    server
+        .service()
+        .persist_cache()
+        .unwrap_or_else(|e| fail(format!("cannot persist cache: {e}")));
+    exit(0);
+}
+
+/// `client`: bridges stdin/stdout to a serving process over TCP.
+fn cmd_client(args: &Args) {
+    use std::io::{BufRead, Write};
+    let addr = args
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or_else(|| usage());
+    let stream = std::net::TcpStream::connect(addr)
+        .unwrap_or_else(|e| fail(format!("cannot connect to {addr}: {e}")));
+    let mut write_half = stream
+        .try_clone()
+        .unwrap_or_else(|e| fail(format!("cannot clone socket: {e}")));
+    let forward = std::thread::spawn(move || -> std::io::Result<()> {
+        let stdin = std::io::stdin().lock();
+        for line in stdin.lines() {
+            writeln!(write_half, "{}", line?)?;
+            write_half.flush()?;
+        }
+        // Signal request EOF so the server finishes the stream; responses
+        // still drain on the read half.
+        write_half.shutdown(std::net::Shutdown::Write)?;
+        Ok(())
+    });
+    let reader = std::io::BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line.unwrap_or_else(|e| fail(format!("connection lost: {e}")));
+        println!("{line}");
+    }
+    // If the server closed the connection while our stdin is still open
+    // (another client sent `shutdown`), the forwarder is parked in a
+    // blocking stdin read — joining it would hang until the user types.
+    // All responses are printed; exit cleanly instead.
+    if !forward.is_finished() {
+        exit(0);
+    }
+    match forward.join() {
+        Ok(result) => result.unwrap_or_else(|e| fail(format!("cannot send request: {e}"))),
+        Err(_) => fail("stdin forwarder panicked"),
+    }
+}
+
 fn report(state: AccelSearchState, elapsed: std::time::Duration) {
     let stats = state.cache_stats;
-    let result = state.into_result();
+    // A search can legitimately end with no valid design (envelope too
+    // small for the suite): exit with a diagnostic and nonzero status,
+    // not a panic.
+    let result = state.into_result().unwrap_or_else(|e| fail(e));
     println!("\nbest design:\n{}", result.best.accelerator.design_card());
     println!(
         "reward (geomean EDP) {:.3e} after {} evaluations [{:.1}s]",

@@ -45,11 +45,12 @@ pub mod layer_cache;
 pub mod mapping_search;
 pub mod pipeline;
 pub mod reward;
+pub mod service;
 
 pub use accel_search::{
     accel_search_init, accel_search_step, resume_accel_search, search_accelerator,
     search_accelerator_seeded, search_accelerator_with, AccelCandidate, AccelSearchConfig,
-    AccelSearchResult, AccelSearchState, IterationStats, SearchStrategy,
+    AccelSearchResult, AccelSearchState, IterationStats, NoValidDesign, SearchStrategy,
 };
 pub use engine::CoSearchEngine;
 pub use joint::{
@@ -61,6 +62,7 @@ pub use mapping_search::{
 };
 pub use pipeline::{with_thread_pipeline, EvalPipeline};
 pub use reward::{geomean, RewardKind};
+pub use service::{BatchEvalService, ServiceConfig, ServiceError, ServiceServer};
 
 /// Convenience re-exports for downstream code and examples.
 pub mod prelude {

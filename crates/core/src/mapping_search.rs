@@ -281,7 +281,7 @@ mod tests {
     #[test]
     fn more_budget_does_not_hurt() {
         let model = CostModel::new();
-        let accel = baselines::nvdla(256);
+        let accel = baselines::nvdla_256();
         let l = layer();
         let small = search_layer_mapping(&model, &l, &accel, &MappingSearchConfig::quick(7))
             .unwrap()
@@ -328,7 +328,7 @@ mod tests {
     #[test]
     fn network_search_covers_all_layers() {
         let model = CostModel::new();
-        let accel = baselines::nvdla(1024);
+        let accel = baselines::nvdla_1024();
         let net = models::cifar_resnet20();
         let cost = network_mapping_search(&model, &net, &accel, &MappingSearchConfig::quick(3))
             .expect("all layers mappable");
@@ -351,7 +351,7 @@ mod tests {
     #[test]
     fn index_scheme_works_end_to_end() {
         let model = CostModel::new();
-        let accel = baselines::nvdla(256);
+        let accel = baselines::nvdla_256();
         let cfg = MappingSearchConfig {
             scheme: EncodingScheme::Index,
             ..MappingSearchConfig::quick(11)

@@ -1,0 +1,732 @@
+//! The batch-evaluation service: a warm [`CoSearchEngine`] serving
+//! JSON-line requests (`naas-search serve`).
+//!
+//! The NAAS cost oracle amortizes: the same `(design, layer-shape)`
+//! mapping results recur across candidates, generations and sweeps, so a
+//! *long-running* process with a shared content-addressed cache answers
+//! most traffic without recomputing anything. [`BatchEvalService`] keeps
+//! exactly one engine resident — the shared [`MemoCache`] and the
+//! work-stealing pool; evaluation runs through thread-local
+//! `EvalPipeline`s, recycled across every request of a coalesced batch
+//! (a persistent cross-batch worker pool is future work) — and exposes
+//! the library's evaluation entry points as service commands:
+//!
+//! | command          | answers                                             |
+//! |------------------|-----------------------------------------------------|
+//! | `list_scenarios` | the scenario registry                               |
+//! | `score_design`   | one design × one scenario's benchmark suite         |
+//! | `search_layer`   | best mapping for one layer on one design            |
+//! | `evaluate_batch` | a population of mappings via `CostModel::evaluate_batch` |
+//! | `cache_stats`    | the shared cache's counters                         |
+//! | `shutdown`       | acknowledges, then the server drains and persists   |
+//!
+//! Concurrent in-flight requests are coalesced by the engine's
+//! [`Batcher`] and fanned out over the pool in one `parallel_map` call
+//! per batch ([`ServiceServer`]), so service throughput rides the same
+//! batched pipeline as an in-process population evaluation. Because
+//! every answer is a pure function of the request (content-addressed
+//! cache, content-derived seeds), a served response is **bit-identical**
+//! to the equivalent direct library call, at any concurrency, cold or
+//! warm.
+//!
+//! A panicking request handler is contained by `catch_unwind` and
+//! reported as an error response — one bad request must not abort a
+//! process other clients are sharing.
+//!
+//! [`MemoCache`]: naas_engine::MemoCache
+
+use crate::engine::CoSearchEngine;
+use crate::mapping_search::{self, MappingSearchConfig};
+use crate::reward::RewardKind;
+use naas_accel::Accelerator;
+use naas_cost::{CostModel, LayerCost};
+use naas_engine::service::{error_line, ok_line, Batcher, ParseFailure, Request};
+use naas_engine::{parallel_map, scenario, CheckpointError};
+use naas_ir::{ConvKind, ConvSpec};
+use naas_mapping::Mapping;
+use serde::{Deserialize, Serialize, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{BufRead, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::{mpsc, Arc};
+
+/// Why a request could not be answered. Every variant maps to an error
+/// *response* on the wire — never a panic, never a dropped connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The command name is not part of the protocol.
+    UnknownCommand(String),
+    /// A parameter is missing or has the wrong shape.
+    BadRequest(String),
+    /// A named entity (scenario, design, model) is not registered.
+    NotFound(String),
+    /// The evaluation itself failed (un-mappable design, no valid
+    /// mapping within budget, ...).
+    Failed(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownCommand(c) => write!(f, "unknown command `{c}`"),
+            ServiceError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServiceError::NotFound(m) => write!(f, "not found: {m}"),
+            ServiceError::Failed(m) => write!(f, "evaluation failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Configuration of a [`BatchEvalService`].
+#[derive(Debug, Clone, Default)]
+pub struct ServiceConfig {
+    /// Worker threads for batch fan-out (`0` = all cores).
+    pub threads: usize,
+    /// The inner mapping-search budget every request is answered with.
+    /// Part of the cache key: all requests sharing a config share cache
+    /// entries.
+    pub mapping: MappingSearchConfig,
+    /// Persist the shared cache here on shutdown (and warm-load it on
+    /// startup when the file exists).
+    pub cache_file: Option<PathBuf>,
+}
+
+/// A resident evaluation service over one warm [`CoSearchEngine`]. See
+/// the module docs for the protocol.
+pub struct BatchEvalService {
+    engine: CoSearchEngine,
+    model: CostModel,
+    config: ServiceConfig,
+}
+
+/// The layer parameter of `search_layer` / `evaluate_batch`: the numeric
+/// shape of a convolution. Matches the serde shape of [`ConvSpec`]
+/// itself, so serialized library specs are valid request payloads; the
+/// decoded fields are re-validated through [`ConvSpec::new`] before any
+/// evaluation sees them.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct LayerParams {
+    name: Option<String>,
+    kind: Option<ConvKind>,
+    batch: Option<u64>,
+    in_channels: u64,
+    out_channels: u64,
+    in_y: u64,
+    in_x: u64,
+    kernel_r: u64,
+    kernel_s: u64,
+    stride: u64,
+    padding: u64,
+    groups: Option<u64>,
+}
+
+impl LayerParams {
+    fn build(&self) -> Result<ConvSpec, ServiceError> {
+        let kind = self.kind.unwrap_or({
+            if (self.kernel_r, self.kernel_s) == (1, 1) {
+                ConvKind::Pointwise
+            } else {
+                ConvKind::Standard
+            }
+        });
+        ConvSpec::new(
+            self.name.clone().unwrap_or_else(|| "layer".to_string()),
+            kind,
+            self.batch.unwrap_or(1),
+            self.in_channels,
+            self.out_channels,
+            (self.in_y, self.in_x),
+            (self.kernel_r, self.kernel_s),
+            self.stride,
+            self.padding,
+            self.groups.unwrap_or(1),
+        )
+        .map_err(|e| ServiceError::BadRequest(format!("invalid layer: {e}")))
+    }
+}
+
+fn layer_cost_value(cost: &LayerCost) -> Value {
+    Value::Object(vec![
+        ("edp".to_string(), Value::F64(cost.edp())),
+        ("cycles".to_string(), Value::U64(cost.cycles)),
+        ("energy_pj".to_string(), Value::F64(cost.energy_pj)),
+        ("utilization".to_string(), Value::F64(cost.utilization)),
+    ])
+}
+
+impl BatchEvalService {
+    /// Creates the service; when `config.cache_file` names an existing
+    /// file, its entries are warm-loaded into the shared cache
+    /// (content-addressed, so warming never changes any answer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates a cache file that exists but cannot be read/decoded —
+    /// starting with silently dropped warm state would be worse.
+    pub fn new(config: ServiceConfig) -> Result<Self, CheckpointError> {
+        let service = BatchEvalService {
+            engine: CoSearchEngine::new(config.threads),
+            model: CostModel::new(),
+            config,
+        };
+        if let Some(path) = &service.config.cache_file {
+            if path.exists() {
+                service.engine.cache().load_from(path)?;
+            }
+        }
+        Ok(service)
+    }
+
+    /// The resident engine (shared cache, resolved worker count).
+    pub fn engine(&self) -> &CoSearchEngine {
+        &self.engine
+    }
+
+    /// Worker threads used for batch fan-out.
+    pub fn threads(&self) -> usize {
+        self.engine.threads()
+    }
+
+    /// Persists the shared cache to the configured `cache_file`, if any.
+    /// Called by the server on graceful shutdown; safe to call at any
+    /// cadence (atomic, durable writes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying checkpoint write failure.
+    pub fn persist_cache(&self) -> Result<(), CheckpointError> {
+        match &self.config.cache_file {
+            Some(path) => self.engine.cache().save_to(path),
+            None => Ok(()),
+        }
+    }
+
+    /// Answers one raw request line with one response line. Panics
+    /// inside handlers are contained and reported as error responses.
+    pub fn respond(&self, line: &str) -> String {
+        self.answer(&Request::parse(line))
+    }
+
+    /// [`BatchEvalService::respond`] on an already-parsed request — the
+    /// server path, which frames each line once in the stream reader and
+    /// carries the parse through the batcher (a batched `evaluate_batch`
+    /// request is mostly parse cost; parsing twice would double it).
+    pub fn answer(&self, parsed: &Result<Request, ParseFailure>) -> String {
+        let request = match parsed {
+            Ok(request) => request,
+            // Echo whatever id could be recovered from the malformed
+            // line, so a pipelining client can still correlate the error.
+            Err(failure) => return error_line(&failure.id, &failure.message),
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.handle(request)));
+        match outcome {
+            Ok(Ok(result)) => ok_line(&request.id, result),
+            Ok(Err(e)) => error_line(&request.id, &e.to_string()),
+            Err(payload) => {
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .copied()
+                    .map(str::to_string)
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque panic payload".to_string());
+                error_line(&request.id, &format!("internal panic: {message}"))
+            }
+        }
+    }
+
+    /// Dispatches one parsed request.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServiceError`]; the caller renders it as an error response.
+    pub fn handle(&self, request: &Request) -> Result<Value, ServiceError> {
+        match request.cmd.as_str() {
+            "list_scenarios" => Ok(self.list_scenarios()),
+            "score_design" => self.score_design(request),
+            "search_layer" => self.search_layer(request),
+            "evaluate_batch" => self.evaluate_batch(request),
+            "cache_stats" => Ok(serde_json::to_value(&self.engine.cache_stats())),
+            "shutdown" => Ok(Value::Str("shutting down".to_string())),
+            // Deliberate test hook: proves a panicking handler becomes an
+            // error response, not a process abort (see tests/service.rs).
+            "__panic" => panic!("injected panic (service test hook)"),
+            other => Err(ServiceError::UnknownCommand(other.to_string())),
+        }
+    }
+
+    fn list_scenarios(&self) -> Value {
+        Value::Object(vec![(
+            "scenarios".to_string(),
+            serde_json::to_value(&scenario::registry()),
+        )])
+    }
+
+    /// Resolves the `scenario` parameter into a registered scenario's
+    /// networks + envelope.
+    fn resolve_scenario(&self, request: &Request) -> Result<naas_engine::EvalJob, ServiceError> {
+        let name = request
+            .param("scenario")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ServiceError::BadRequest("`scenario` (string) is required".into()))?;
+        let scenario = scenario::find(name)
+            .ok_or_else(|| ServiceError::NotFound(format!("scenario `{name}`")))?;
+        scenario
+            .resolve()
+            .map_err(|e| ServiceError::Failed(e.to_string()))
+    }
+
+    /// The `design` parameter: a baseline name (string) or a full
+    /// serialized [`Accelerator`] (object). `None` falls back to the
+    /// scenario's envelope baseline when one is in scope.
+    fn resolve_design(
+        &self,
+        request: &Request,
+        fallback: Option<&Accelerator>,
+    ) -> Result<Accelerator, ServiceError> {
+        match request.param("design") {
+            None => fallback.cloned().ok_or_else(|| {
+                ServiceError::BadRequest("`design` (name or design object) is required".into())
+            }),
+            Some(Value::Str(name)) => scenario::baseline_by_name(name)
+                .ok_or_else(|| ServiceError::NotFound(format!("design `{name}`"))),
+            Some(value) => serde_json::from_value::<Accelerator>(value)
+                .map_err(|e| ServiceError::BadRequest(format!("invalid design object: {e}"))),
+        }
+    }
+
+    /// The inner-search config this request evaluates under: the
+    /// service-wide budget, with an optional per-request `seed`.
+    fn mapping_config(&self, request: &Request) -> Result<MappingSearchConfig, ServiceError> {
+        let mut cfg = self.config.mapping;
+        if let Some(seed) = request.param("seed") {
+            cfg.seed = seed
+                .as_u64()
+                .ok_or_else(|| ServiceError::BadRequest("`seed` must be a u64".into()))?;
+        }
+        Ok(cfg)
+    }
+
+    fn layer_param(&self, request: &Request) -> Result<ConvSpec, ServiceError> {
+        let value = request
+            .param("layer")
+            .ok_or_else(|| ServiceError::BadRequest("`layer` (object) is required".into()))?;
+        let params: LayerParams = serde_json::from_value(value)
+            .map_err(|e| ServiceError::BadRequest(format!("invalid layer object: {e}")))?;
+        params.build()
+    }
+
+    /// `score_design`: one design against one scenario's benchmark
+    /// suite, through the shared cache — the same call path (and
+    /// therefore bit-identical results) as
+    /// [`mapping_search::network_mapping_search_cached`].
+    fn score_design(&self, request: &Request) -> Result<Value, ServiceError> {
+        let job = self.resolve_scenario(request)?;
+        let design = self.resolve_design(request, Some(&job.baseline))?;
+        let cfg = self.mapping_config(request)?;
+        let design_fp = mapping_search::design_fingerprint(&design, &cfg);
+
+        let mut per_network = Vec::with_capacity(job.networks.len());
+        let mut edps = Vec::with_capacity(job.networks.len());
+        for (spec, network) in job.scenario.networks.iter().zip(&job.networks) {
+            let cost = mapping_search::network_mapping_search_memo(
+                &self.model,
+                network,
+                &design,
+                &cfg,
+                self.engine.cache(),
+                design_fp,
+            )
+            .ok_or_else(|| {
+                ServiceError::Failed(format!(
+                    "design `{}` cannot map network `{}`",
+                    design.name(),
+                    spec.model
+                ))
+            })?;
+            edps.push(cost.edp());
+            per_network.push(Value::Object(vec![
+                ("model".to_string(), Value::Str(spec.model.clone())),
+                ("edp".to_string(), Value::F64(cost.edp())),
+                ("cycles".to_string(), Value::U64(cost.cycles())),
+                ("energy_pj".to_string(), Value::F64(cost.energy_pj())),
+            ]));
+        }
+        let reward = RewardKind::Geomean.aggregate(&edps);
+        Ok(Value::Object(vec![
+            ("design".to_string(), Value::Str(design.name().to_string())),
+            (
+                "scenario".to_string(),
+                Value::Str(job.scenario.name.clone()),
+            ),
+            ("reward".to_string(), Value::F64(reward)),
+            (
+                "within_envelope".to_string(),
+                Value::Bool(job.constraint.admits(&design).is_ok()),
+            ),
+            ("per_network".to_string(), Value::Array(per_network)),
+        ]))
+    }
+
+    /// `search_layer`: the inner mapping search for one layer on one
+    /// design, on this worker's recycled `EvalPipeline`.
+    fn search_layer(&self, request: &Request) -> Result<Value, ServiceError> {
+        let layer = self.layer_param(request)?;
+        let design = self.resolve_design(request, None)?;
+        let cfg = self.mapping_config(request)?;
+        let result = mapping_search::search_layer_mapping(&self.model, &layer, &design, &cfg)
+            .ok_or_else(|| {
+                ServiceError::Failed(format!(
+                    "no valid mapping for layer `{}` on design `{}` within budget",
+                    layer.name(),
+                    design.name()
+                ))
+            })?;
+        Ok(Value::Object(vec![
+            ("cost".to_string(), layer_cost_value(&result.cost)),
+            (
+                "evaluations".to_string(),
+                Value::U64(result.evaluations as u64),
+            ),
+            ("history".to_string(), serde_json::to_value(&result.history)),
+            ("mapping".to_string(), serde_json::to_value(&result.mapping)),
+        ]))
+    }
+
+    /// `evaluate_batch`: a whole population of mappings for one layer on
+    /// one design through [`CostModel::evaluate_batch`] — the
+    /// allocation-free batched path, using this worker's pipeline
+    /// scratch. Per-mapping failures are per-entry results, not request
+    /// failures.
+    fn evaluate_batch(&self, request: &Request) -> Result<Value, ServiceError> {
+        let layer = self.layer_param(request)?;
+        let design = self.resolve_design(request, None)?;
+        let mappings_value = request
+            .param("mappings")
+            .ok_or_else(|| ServiceError::BadRequest("`mappings` (array) is required".into()))?;
+        let mappings: Vec<Mapping> = serde_json::from_value(mappings_value)
+            .map_err(|e| ServiceError::BadRequest(format!("invalid mappings array: {e}")))?;
+
+        let mut results = Vec::with_capacity(mappings.len());
+        crate::pipeline::with_thread_pipeline(|pipeline| {
+            self.model.evaluate_batch(
+                &layer,
+                &design,
+                &mappings,
+                pipeline.scratch_mut(),
+                &mut results,
+            );
+        });
+        let entries: Vec<Value> = results
+            .iter()
+            .map(|r| match r {
+                Ok(cost) => Value::Object(vec![
+                    ("ok".to_string(), Value::Bool(true)),
+                    ("cost".to_string(), layer_cost_value(cost)),
+                ]),
+                Err(e) => Value::Object(vec![
+                    ("ok".to_string(), Value::Bool(false)),
+                    ("error".to_string(), Value::Str(e.to_string())),
+                ]),
+            })
+            .collect();
+        Ok(Value::Object(vec![
+            ("count".to_string(), Value::U64(entries.len() as u64)),
+            ("results".to_string(), Value::Array(entries)),
+        ]))
+    }
+}
+
+/// One queued request: the framed request (parsed once, in the stream
+/// reader), its position in its stream, and the channel its response
+/// goes back on.
+pub struct InFlight {
+    /// The parsed request, or the parse failure to report.
+    pub request: Result<Request, ParseFailure>,
+    /// Stream-local sequence number, used to restore request order on
+    /// the way out.
+    pub seq: u64,
+    /// Response channel back to the owning stream.
+    pub reply: mpsc::Sender<(u64, String)>,
+}
+
+/// The coalescing scheduler: one thread draining the shared [`Batcher`],
+/// fanning every drained batch over the service's worker pool.
+///
+/// Request streams ([`ServiceServer::serve_stream`]) push lines as fast
+/// as they arrive; whatever is in flight when the scheduler comes
+/// around — across *all* connections — is answered in one
+/// `parallel_map` call.
+pub struct ServiceServer {
+    service: Arc<BatchEvalService>,
+    batcher: Arc<Batcher<InFlight>>,
+    scheduler: Option<std::thread::JoinHandle<()>>,
+    drained: Arc<(std::sync::Mutex<bool>, std::sync::Condvar)>,
+}
+
+impl ServiceServer {
+    /// Starts the scheduler thread over `service`.
+    pub fn start(service: Arc<BatchEvalService>) -> Self {
+        let batcher: Arc<Batcher<InFlight>> = Arc::new(Batcher::new());
+        let drained = Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
+        let scheduler = {
+            let service = Arc::clone(&service);
+            let batcher = Arc::clone(&batcher);
+            let drained = Arc::clone(&drained);
+            std::thread::spawn(move || {
+                while let Some(batch) = batcher.next_batch() {
+                    // `answer` contains panics internally, so this fan-out
+                    // cannot bring the scheduler down.
+                    let responses = parallel_map(service.threads(), &batch, |_, job: &InFlight| {
+                        service.answer(&job.request)
+                    });
+                    for (job, response) in batch.into_iter().zip(responses) {
+                        // A client that hung up mid-request is not an error.
+                        let _ = job.reply.send((job.seq, response));
+                    }
+                }
+                let (flag, signal) = &*drained;
+                *flag.lock().unwrap_or_else(|p| p.into_inner()) = true;
+                signal.notify_all();
+            })
+        };
+        ServiceServer {
+            service,
+            batcher,
+            scheduler: Some(scheduler),
+            drained,
+        }
+    }
+
+    /// The underlying service.
+    pub fn service(&self) -> &BatchEvalService {
+        &self.service
+    }
+
+    /// Enqueues one raw request line; the response arrives on `reply`
+    /// tagged with `seq`. Returns `false` if the server is shutting
+    /// down.
+    pub fn submit(&self, line: String, seq: u64, reply: mpsc::Sender<(u64, String)>) -> bool {
+        self.batcher.push(InFlight {
+            request: Request::parse(&line),
+            seq,
+            reply,
+        })
+    }
+
+    /// Refuses new work and blocks until every queued request has been
+    /// answered (responses handed to their streams' channels). Used by
+    /// the `--port` server before process exit, where the blocked accept
+    /// loop prevents a consuming [`ServiceServer::stop`].
+    pub fn drain(&self) {
+        self.batcher.close();
+        let (flag, signal) = &*self.drained;
+        let mut done = flag.lock().unwrap_or_else(|p| p.into_inner());
+        while !*done {
+            done = signal.wait(done).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Serves one request stream (stdin/stdout, a TCP connection):
+    /// reads JSONL requests until EOF or a `shutdown` command, writes
+    /// every response in request order. Reading and writing overlap, so
+    /// a pipelining client keeps many requests in flight and they
+    /// coalesce into shared batches with every other stream.
+    ///
+    /// Returns `true` when the stream requested shutdown.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures on the stream itself.
+    pub fn serve_stream<R, W>(&self, reader: R, mut writer: W) -> std::io::Result<bool>
+    where
+        R: BufRead + Send,
+        W: Write,
+    {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let (tx, rx) = mpsc::channel::<(u64, String)>();
+        let shutdown = AtomicBool::new(false);
+        let shutdown_flag = &shutdown;
+        // Set by the writer side on an I/O failure, so the reader stops
+        // feeding a stream whose responses can no longer be delivered
+        // (it notices at its next line boundary).
+        let stream_dead = AtomicBool::new(false);
+        let stream_dead_flag = &stream_dead;
+        let result: std::io::Result<()> = std::thread::scope(|scope| {
+            let reader_tx = tx;
+            let reader_handle = scope.spawn(move || {
+                let mut seq = 0u64;
+                for line in reader.lines() {
+                    let line = match line {
+                        Ok(line) => line,
+                        Err(e) => return Err(e),
+                    };
+                    if stream_dead_flag.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    // Frame once here; the parse travels with the job.
+                    let request = Request::parse(&line);
+                    let wants_shutdown =
+                        matches!(&request, Ok(request) if request.cmd == "shutdown");
+                    let id = match &request {
+                        Ok(request) => request.id.clone(),
+                        Err(failure) => failure.id.clone(),
+                    };
+                    let accepted = self.batcher.push(InFlight {
+                        request,
+                        seq,
+                        reply: reader_tx.clone(),
+                    });
+                    if !accepted {
+                        // Server closing: the line was consumed, so it
+                        // still gets a response (every consumed line
+                        // must be answered, or a pipelining client
+                        // deadlocks), then stop reading.
+                        let _ = reader_tx.send((seq, error_line(&id, "server is shutting down")));
+                        break;
+                    }
+                    seq += 1;
+                    if wants_shutdown {
+                        shutdown_flag.store(true, Ordering::SeqCst);
+                        break;
+                    }
+                }
+                Ok(())
+            });
+            // The reader's `tx` clones die with it and with each answered
+            // request, so this loop ends exactly when every submitted
+            // request has been answered and the reader is done.
+            let mut next_seq = 0u64;
+            let mut pending: BTreeMap<u64, String> = BTreeMap::new();
+            let mut write_error: Option<std::io::Error> = None;
+            for (seq, response) in rx {
+                if write_error.is_some() {
+                    continue; // keep draining so the channel empties
+                }
+                pending.insert(seq, response);
+                while let Some(response) = pending.remove(&next_seq) {
+                    if let Err(e) = writeln!(writer, "{response}").and_then(|_| writer.flush()) {
+                        stream_dead_flag.store(true, Ordering::SeqCst);
+                        write_error = Some(e);
+                        break;
+                    }
+                    next_seq += 1;
+                }
+            }
+            reader_handle.join().expect("stream reader panicked")?;
+            match write_error {
+                Some(e) => Err(e),
+                None => Ok(()),
+            }
+        });
+        result?;
+        Ok(shutdown.load(std::sync::atomic::Ordering::SeqCst))
+    }
+
+    /// Stops accepting work, drains the queue, joins the scheduler and
+    /// persists the service cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a cache-file write failure.
+    pub fn stop(mut self) -> Result<(), CheckpointError> {
+        self.batcher.close();
+        if let Some(handle) = self.scheduler.take() {
+            handle.join().expect("service scheduler panicked");
+        }
+        self.service.persist_cache()
+    }
+}
+
+impl Drop for ServiceServer {
+    fn drop(&mut self) {
+        self.batcher.close();
+        if let Some(handle) = self.scheduler.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn service() -> BatchEvalService {
+        BatchEvalService::new(ServiceConfig {
+            threads: 2,
+            mapping: MappingSearchConfig::quick(7),
+            cache_file: None,
+        })
+        .expect("no cache file to load")
+    }
+
+    fn parse(line: &str) -> Value {
+        serde_json::from_str(line).expect("responses are valid JSON")
+    }
+
+    #[test]
+    fn list_scenarios_answers_registry() {
+        let s = service();
+        let resp = parse(&s.respond(r#"{"id": 1, "cmd": "list_scenarios"}"#));
+        assert_eq!(resp.get("ok"), Some(&Value::Bool(true)));
+        let scenarios = resp
+            .get("result")
+            .and_then(|r| r.get("scenarios"))
+            .and_then(Value::as_array)
+            .expect("scenario array");
+        assert_eq!(scenarios.len(), scenario::registry().len());
+    }
+
+    #[test]
+    fn unknown_command_and_garbage_get_error_responses() {
+        let s = service();
+        let resp = parse(&s.respond(r#"{"id": 2, "cmd": "frobnicate"}"#));
+        assert_eq!(resp.get("ok"), Some(&Value::Bool(false)));
+        assert!(resp
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap()
+            .contains("frobnicate"));
+        let resp = parse(&s.respond("{torn line"));
+        assert_eq!(resp.get("ok"), Some(&Value::Bool(false)));
+    }
+
+    #[test]
+    fn panicking_handler_becomes_error_response() {
+        let s = service();
+        let resp = parse(&s.respond(r#"{"id": 3, "cmd": "__panic"}"#));
+        assert_eq!(resp.get("ok"), Some(&Value::Bool(false)));
+        assert!(resp
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap()
+            .contains("internal panic"));
+        // The service is still alive and answering.
+        let resp = parse(&s.respond(r#"{"id": 4, "cmd": "cache_stats"}"#));
+        assert_eq!(resp.get("ok"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn score_design_requires_known_names() {
+        let s = service();
+        let resp = parse(&s.respond(r#"{"id": 5, "cmd": "score_design", "scenario": "nope"}"#));
+        assert!(resp
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap()
+            .contains("scenario `nope`"));
+        let resp = parse(&s.respond(
+            r#"{"id": 6, "cmd": "score_design", "scenario": "cifar-eyeriss", "design": "TPUv9"}"#,
+        ));
+        assert!(resp
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap()
+            .contains("design `TPUv9`"));
+    }
+}

@@ -352,7 +352,7 @@ mod tests {
 
     #[test]
     fn latency_at_least_compute_bound() {
-        let accel = baselines::nvdla(256);
+        let accel = baselines::nvdla_256();
         let l = layer();
         let c = eval(&accel, &l);
         let ideal = l.macs() / accel.pe_count();
@@ -362,7 +362,7 @@ mod tests {
 
     #[test]
     fn energy_at_least_mac_energy() {
-        let accel = baselines::nvdla(256);
+        let accel = baselines::nvdla_256();
         let l = layer();
         let c = eval(&accel, &l);
         let mac_floor = l.macs() as f64 * CostModel::new().energy().mac_pj;
@@ -397,8 +397,8 @@ mod tests {
     #[test]
     fn more_pes_do_not_hurt_compute_roofline() {
         let l = layer();
-        let small = eval(&baselines::nvdla(256), &l);
-        let big = eval(&baselines::nvdla(1024), &l);
+        let small = eval(&baselines::nvdla_256(), &l);
+        let big = eval(&baselines::nvdla_1024(), &l);
         assert!(big.compute_cycles <= small.compute_cycles);
     }
 
@@ -430,7 +430,7 @@ mod tests {
 
     #[test]
     fn network_cost_sums_layers() {
-        let accel = baselines::nvdla(1024);
+        let accel = baselines::nvdla_1024();
         let net = models::cifar_resnet20();
         let mappings: Vec<Mapping> = net.iter().map(|l| Mapping::balanced(l, &accel)).collect();
         let cost = CostModel::new()

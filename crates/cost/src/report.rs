@@ -162,7 +162,7 @@ mod tests {
     #[test]
     fn network_report_lists_every_layer() {
         let model = CostModel::new();
-        let accel = baselines::nvdla(1024);
+        let accel = baselines::nvdla_1024();
         let net = models::cifar_resnet20();
         let mappings: Vec<Mapping> = net.iter().map(|l| Mapping::balanced(l, &accel)).collect();
         let cost = model.evaluate_network(&net, &accel, &mappings).unwrap();
@@ -194,7 +194,7 @@ mod tests {
         // Bytes get touched more often the closer they sit to the MACs,
         // so MACs-per-byte must be highest at DRAM and lowest at L1.
         let model = CostModel::new();
-        let accel = baselines::nvdla(1024);
+        let accel = baselines::nvdla_1024();
         let layer = naas_ir::ConvSpec::conv2d("c", 64, 128, (28, 28), (3, 3), 1, 1).unwrap();
         let cost = model
             .evaluate(&layer, &accel, &Mapping::balanced(&layer, &accel))

@@ -261,7 +261,7 @@ mod tests {
     #[test]
     fn dram_traffic_at_least_tensor_size() {
         let l = layer();
-        let accel = baselines::nvdla(256);
+        let accel = baselines::nvdla_256();
         let m = Mapping::balanced(&l, &accel);
         let t = analyze(&l, accel.connectivity(), &m, &DataWidths::INT8);
         assert!(t.tensor(Tensor::Weights).dram_bytes >= l.weight_elems() as f64);
@@ -272,7 +272,7 @@ mod tests {
     #[test]
     fn untiled_mapping_reads_each_tensor_once() {
         let l = layer();
-        let accel = baselines::nvdla(256);
+        let accel = baselines::nvdla_256();
         let m = unit_mapping(2);
         let t = analyze(&l, accel.connectivity(), &m, &DataWidths::INT8);
         // No temporal loops at level 0 → single fetch of each tile.
@@ -292,7 +292,7 @@ mod tests {
         let l = layer();
         // NVDLA: C,K parallel. Weights relevant to both → unique × 256.
         // Inputs irrelevant to K → K axis multicasts: unique ×16 only.
-        let accel = baselines::nvdla(256);
+        let accel = baselines::nvdla_256();
         let m = unit_mapping(2);
         let t = analyze(&l, accel.connectivity(), &m, &DataWidths::INT8);
         let w = t.tensor(Tensor::Weights);
@@ -304,7 +304,7 @@ mod tests {
     #[test]
     fn reduction_axis_collapses_output_writes() {
         let l = layer();
-        let accel = baselines::nvdla(256); // C axis reduces psums
+        let accel = baselines::nvdla_256(); // C axis reduces psums
         let m = unit_mapping(2);
         let t = analyze(&l, accel.connectivity(), &m, &DataWidths::INT8);
         let o = t.tensor(Tensor::Outputs);
@@ -315,7 +315,7 @@ mod tests {
     #[test]
     fn loop_order_changes_dram_traffic() {
         let l = layer();
-        let accel = baselines::nvdla(256);
+        let accel = baselines::nvdla_256();
         // Tile K and Y at level 0; weight traffic depends on whether the
         // (weight-irrelevant) Y loop is outside or inside the K loop.
         let mut weights_hot = LevelSpec::unit();
@@ -348,7 +348,7 @@ mod tests {
     #[test]
     fn pe_register_reuse_follows_innermost_loop() {
         let l = layer();
-        let accel = baselines::nvdla(256);
+        let accel = baselines::nvdla_256();
         // PE order ending in C (reduction, extent > 1 after the split):
         // psums accumulate in a register.
         let mut m = unit_mapping(2);
@@ -368,7 +368,7 @@ mod tests {
     fn depthwise_k_axis_does_not_multicast_inputs() {
         let dw = ConvSpec::depthwise("dw", 64, (28, 28), (3, 3), 1, 1).unwrap();
         let std = layer();
-        let accel = baselines::nvdla(256);
+        let accel = baselines::nvdla_256();
         let m = unit_mapping(2);
         let t_dw = analyze(&dw, accel.connectivity(), &m, &DataWidths::INT8);
         let t_std = analyze(&std, accel.connectivity(), &m, &DataWidths::INT8);

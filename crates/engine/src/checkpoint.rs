@@ -43,8 +43,14 @@ impl From<serde::Error> for CheckpointError {
     }
 }
 
-/// Saves `state` as pretty-printed JSON at `path`, atomically.
+/// Saves `state` as pretty-printed JSON at `path`, atomically and
+/// durably: the staging file is flushed to stable storage (`sync_all`)
+/// *before* the rename, so a crash at any point leaves either the old
+/// checkpoint or the complete new one — never a truncated file renamed
+/// into place. After the rename the parent directory is synced
+/// best-effort so the rename itself survives a power loss.
 pub fn save<T: Serialize>(path: &Path, state: &T) -> Result<(), CheckpointError> {
+    use std::io::Write;
     let json = serde_json::to_string_pretty(state)?;
     // Temp name embeds the full target file name and the pid:
     // checkpoints sharing a stem (`ckpt.1`, `ckpt.2`) or written by
@@ -62,8 +68,20 @@ pub fn save<T: Serialize>(path: &Path, state: &T) -> Result<(), CheckpointError>
             std::fs::create_dir_all(parent)?;
         }
     }
-    std::fs::write(&tmp, json)?;
+    let mut file = std::fs::File::create(&tmp)?;
+    file.write_all(json.as_bytes())?;
+    file.sync_all()?;
+    drop(file);
     std::fs::rename(&tmp, path)?;
+    // Durability of the rename is best-effort: directory fsync is not
+    // supported everywhere, and the data itself is already safe.
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    if let Ok(dir) = std::fs::File::open(parent) {
+        let _ = dir.sync_all();
+    }
     Ok(())
 }
 
@@ -142,6 +160,53 @@ mod tests {
         std::fs::write(&path, "{not json").unwrap();
         let err = load::<State>(&path).unwrap_err();
         assert!(matches!(err, CheckpointError::Format(_)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_checkpoint_is_a_clean_format_error() {
+        // Simulates the aftermath of a crash with a non-atomic writer: a
+        // prefix of valid JSON. Loading must fail cleanly (so the caller
+        // can fall back / restart), never decode garbage.
+        let state = State {
+            iteration: 3,
+            rng_state: [9, 9, 9, 9],
+            best: Some(2.5),
+            history: vec![1.0, 0.5],
+        };
+        let path = tmp_path("truncated");
+        save(&path, &state).unwrap();
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        let err = load::<State>(&path).unwrap_err();
+        assert!(matches!(err, CheckpointError::Format(_)));
+        // Recovery: a subsequent save fully replaces the damaged file.
+        save(&path, &state).unwrap();
+        assert_eq!(load::<State>(&path).unwrap(), state);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stale_staging_file_does_not_break_save() {
+        // A crash can leave a previous process's `.tmp` behind; saving
+        // again must succeed and the target must hold the new state.
+        let state = State {
+            iteration: 1,
+            rng_state: [1, 2, 3, 4],
+            best: None,
+            history: vec![],
+        };
+        let path = tmp_path("stale-tmp");
+        let stale = path.with_file_name(format!(
+            "{}.{}.tmp",
+            path.file_name().unwrap().to_str().unwrap(),
+            std::process::id()
+        ));
+        std::fs::write(&stale, "{partial garbage").unwrap();
+        save(&path, &state).unwrap();
+        assert_eq!(load::<State>(&path).unwrap(), state);
+        // The staging file was consumed by the rename.
+        assert!(!stale.exists());
         std::fs::remove_file(&path).ok();
     }
 

@@ -17,7 +17,10 @@
 //! * [`checkpoint`] — atomic JSON save/load of serializable search
 //!   state, restoring searches bit-exactly after interruption;
 //! * [`scenario`] — declaratively registered evaluation workloads
-//!   resolved into networks + resource envelopes.
+//!   resolved into networks + resource envelopes;
+//! * [`service`] — the JSON-lines wire protocol and the coalescing
+//!   request [`Batcher`] under the batch-evaluation service mode
+//!   (`naas-search serve`).
 //!
 //! The engine deliberately knows nothing about *what* is being searched:
 //! it moves job indices, hashes serialized content, and stores opaque
@@ -47,12 +50,14 @@ pub mod checkpoint;
 pub mod fingerprint;
 pub mod pool;
 pub mod scenario;
+pub mod service;
 
 pub use cache::{CacheSnapshot, CacheStats, LayerKey, MemoCache};
 pub use checkpoint::{CheckpointError, CheckpointPolicy};
 pub use fingerprint::{derive_seed, fingerprint};
 pub use pool::{parallel_map, resolve_threads};
 pub use scenario::{EvalJob, NetworkSpec, Scenario, ScenarioError};
+pub use service::{Batcher, ParseFailure, Request};
 
 /// Convenience re-exports for engine users.
 pub mod prelude {

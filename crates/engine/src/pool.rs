@@ -16,7 +16,21 @@
 //! of scheduling.
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, MutexGuard};
+
+/// Locks a deque, tolerating poison: the protected value is a plain
+/// queue of job indices, which is structurally valid even if some thread
+/// died mid-operation — treating poison as fatal here would kill sibling
+/// workers and mask the root-cause panic behind a generic
+/// `PoisonError` message.
+fn lock_deque<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// What one worker produced for one job: the result, or the panic
+/// payload its `f` escaped with.
+type JobOutcome<R> = (usize, Result<R, Box<dyn std::any::Any + Send>>);
 
 /// Resolves a requested worker count: `0` means "all cores", anything
 /// else is taken literally.
@@ -36,6 +50,20 @@ pub fn resolve_threads(requested: usize) -> usize {
 /// most one job) the map runs inline with no thread overhead. `f`
 /// receives the job index alongside the job so callers can derive
 /// per-slot state (seeds, labels) without captures.
+///
+/// # Panics
+///
+/// With multiple workers, if `f` panics for one or more jobs the
+/// remaining jobs still run to completion on their workers (no sibling
+/// dies on a poisoned deque), and the payload of the panic with the
+/// **lowest job index** is re-raised on the calling thread —
+/// deterministic, and never masked by a secondary `PoisonError`. On the
+/// single-worker inline path the panic propagates immediately (scalar
+/// loop semantics), so later jobs do not run; callers must not rely on
+/// sibling jobs' side effects surviving a panic. Callers that must not
+/// abort at all (the batch-evaluation service) wrap `f` in
+/// `std::panic::catch_unwind` themselves and turn payloads into error
+/// values.
 pub fn parallel_map<J, R, F>(threads: usize, jobs: &[J], f: F) -> Vec<R>
 where
     J: Sync,
@@ -55,25 +83,29 @@ where
     let deques: Vec<Mutex<VecDeque<usize>>> = deques.into_iter().map(Mutex::new).collect();
 
     let mut slots: Vec<Option<R>> = (0..jobs.len()).map(|_| None).collect();
+    // The first panic payload by job index, re-raised after the scope.
+    let mut first_panic: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for me in 0..workers {
             let deques = &deques;
             let f = &f;
             handles.push(scope.spawn(move || {
-                let mut produced: Vec<(usize, R)> = Vec::new();
+                let mut produced: Vec<JobOutcome<R>> = Vec::new();
                 loop {
                     let idx = pop_own(&deques[me]).or_else(|| steal(deques, me));
                     match idx {
-                        Some(idx) => produced.push((idx, f(idx, &jobs[idx]))),
+                        // Contain a panicking job to its slot: siblings
+                        // keep draining the queue and the payload is
+                        // re-raised (or converted by service callers)
+                        // once every job has run.
+                        Some(idx) => produced
+                            .push((idx, catch_unwind(AssertUnwindSafe(|| f(idx, &jobs[idx]))))),
                         // A failed steal can race a victim that drained
                         // between the length scan and the split; retire
                         // only once every deque is actually empty, so no
                         // worker quits while queued work remains.
-                        None if deques
-                            .iter()
-                            .all(|d| d.lock().map(|d| d.is_empty()).unwrap_or(true)) =>
-                        {
+                        None if deques.iter().all(|d| lock_deque(d).is_empty()) => {
                             break;
                         }
                         None => std::thread::yield_now(),
@@ -84,10 +116,20 @@ where
         }
         for handle in handles {
             for (idx, result) in handle.join().expect("engine worker panicked") {
-                slots[idx] = Some(result);
+                match result {
+                    Ok(value) => slots[idx] = Some(value),
+                    Err(payload) => {
+                        if first_panic.as_ref().is_none_or(|(first, _)| idx < *first) {
+                            first_panic = Some((idx, payload));
+                        }
+                    }
+                }
             }
         }
     });
+    if let Some((_, payload)) = first_panic {
+        resume_unwind(payload);
+    }
     slots
         .into_iter()
         .map(|r| r.expect("every job produced a result"))
@@ -95,7 +137,7 @@ where
 }
 
 fn pop_own(deque: &Mutex<VecDeque<usize>>) -> Option<usize> {
-    deque.lock().expect("worker deque poisoned").pop_front()
+    lock_deque(deque).pop_front()
 }
 
 /// Steals the back half of the fullest sibling deque into `deques[me]`
@@ -105,16 +147,16 @@ fn steal(deques: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
         .iter()
         .enumerate()
         .filter(|&(i, _)| i != me)
-        .max_by_key(|(_, d)| d.lock().map(|d| d.len()).unwrap_or(0))?
+        .max_by_key(|(_, d)| lock_deque(d).len())?
         .0;
     let mut loot: VecDeque<usize> = {
-        let mut victim_deque = deques[victim].lock().expect("worker deque poisoned");
+        let mut victim_deque = lock_deque(&deques[victim]);
         let keep = victim_deque.len().div_ceil(2);
         victim_deque.split_off(keep)
     };
     let first = loot.pop_front()?;
     if !loot.is_empty() {
-        let mut own = deques[me].lock().expect("worker deque poisoned");
+        let mut own = lock_deque(&deques[me]);
         own.extend(loot);
     }
     Some(first)
@@ -175,5 +217,70 @@ mod tests {
         let empty: Vec<u32> = vec![];
         assert!(parallel_map(4, &empty, |_, &j| j).is_empty());
         assert_eq!(parallel_map(4, &[5u32], |_, &j| j + 1), vec![6]);
+    }
+
+    #[test]
+    fn panicking_job_reraises_original_payload() {
+        // Regression: a panicking job used to poison the worker deques,
+        // killing siblings on `expect("worker deque poisoned")` and
+        // masking the root cause. The original payload must surface.
+        let jobs: Vec<u64> = (0..64).collect();
+        let ran = AtomicUsize::new(0);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            parallel_map(4, &jobs, |_, &j| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                if j == 13 {
+                    panic!("job 13 exploded");
+                }
+                j
+            })
+        }))
+        .expect_err("panic must propagate");
+        let msg = caught
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_string)
+            .or_else(|| caught.downcast_ref::<String>().cloned())
+            .expect("payload is the original message");
+        assert_eq!(msg, "job 13 exploded");
+        // Siblings kept draining the queue: every job ran.
+        assert_eq!(ran.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn first_panic_by_job_index_wins() {
+        // With several panicking jobs, the re-raised payload is the one
+        // with the lowest job index — deterministic at any thread count.
+        for threads in [2, 4, 8] {
+            let jobs: Vec<u64> = (0..40).collect();
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                parallel_map(threads, &jobs, |_, &j| {
+                    if j % 7 == 3 {
+                        panic!("boom at {j}");
+                    }
+                    j
+                })
+            }))
+            .expect_err("panic must propagate");
+            let msg = caught
+                .downcast_ref::<String>()
+                .cloned()
+                .expect("formatted payload");
+            assert_eq!(msg, "boom at 3", "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn single_worker_inline_path_propagates_panics_too() {
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map(1, &[1u32, 2, 3], |_, &j| {
+                if j == 2 {
+                    panic!("inline boom");
+                }
+                j
+            })
+        })
+        .expect_err("panic must propagate");
+        assert_eq!(*caught.downcast_ref::<&str>().unwrap(), "inline boom");
     }
 }

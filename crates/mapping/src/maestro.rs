@@ -20,7 +20,7 @@ use std::fmt::Write as _;
 /// use naas_ir::ConvSpec;
 /// use naas_mapping::{maestro, Mapping};
 ///
-/// let accel = baselines::nvdla(256);
+/// let accel = baselines::nvdla_256();
 /// let layer = ConvSpec::conv2d("c", 64, 128, (56, 56), (3, 3), 1, 1)?;
 /// let mapping = Mapping::balanced(&layer, &accel);
 /// let text = maestro::render(&layer, accel.connectivity(), &mapping);
@@ -70,7 +70,7 @@ mod tests {
 
     #[test]
     fn render_contains_one_cluster_per_array_level() {
-        let accel = baselines::nvdla(256);
+        let accel = baselines::nvdla_256();
         let layer = ConvSpec::conv2d("c", 64, 128, (56, 56), (3, 3), 1, 1).unwrap();
         let mapping = Mapping::balanced(&layer, &accel);
         let text = render(&layer, accel.connectivity(), &mapping);

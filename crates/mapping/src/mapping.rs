@@ -352,7 +352,7 @@ mod tests {
 
     #[test]
     fn unit_mapping_pe_tile_divides_by_array() {
-        let accel = baselines::nvdla(256); // 16x16 C,K parallel
+        let accel = baselines::nvdla_256(); // 16x16 C,K parallel
         let m = Mapping::new(vec![LevelSpec::unit(), LevelSpec::unit()], DIMS);
         let tile = m.pe_tile(&layer(), accel.connectivity());
         assert_eq!(tile[Dim::C], 4); // 64 / 16
@@ -362,7 +362,7 @@ mod tests {
 
     #[test]
     fn temporal_trips_shrink_tiles() {
-        let accel = baselines::nvdla(256);
+        let accel = baselines::nvdla_256();
         let mut l0 = LevelSpec::unit();
         l0.trips[Dim::Y] = 8;
         let m = Mapping::new(vec![l0, LevelSpec::unit()], DIMS);
@@ -374,7 +374,7 @@ mod tests {
 
     #[test]
     fn validate_rejects_wrong_level_count() {
-        let accel = baselines::nvdla(256);
+        let accel = baselines::nvdla_256();
         let m = Mapping::new(vec![LevelSpec::unit()], DIMS);
         assert!(matches!(
             m.validate(&accel),
@@ -387,7 +387,7 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_order_and_zero_trips() {
-        let accel = baselines::nvdla(256);
+        let accel = baselines::nvdla_256();
         let mut bad_order = LevelSpec::unit();
         bad_order.order[0] = bad_order.order[1];
         let m = Mapping::new(vec![bad_order, LevelSpec::unit()], DIMS);

@@ -81,7 +81,7 @@ proptest! {
     /// mentions every dimension.
     #[test]
     fn maestro_render_is_complete(layer in arb_layer()) {
-        let accel = baselines::nvdla(256);
+        let accel = baselines::nvdla_256();
         let m = Mapping::balanced(&layer, &accel);
         let text = maestro::render(&layer, accel.connectivity(), &m);
         prop_assert_eq!(text.matches("Cluster(").count(), accel.connectivity().ndim());

@@ -326,7 +326,7 @@ mod tests {
     #[test]
     fn pe_knob_scales_array() {
         let enc = HardwareEncoder::new(
-            ResourceConstraint::from_design(&baselines::nvdla(1024)),
+            ResourceConstraint::from_design(&baselines::nvdla_1024()),
             EncodingScheme::Importance,
         );
         let mut lo = vec![0.5; enc.dim()];

@@ -27,7 +27,7 @@ use naas_mapping::{order_from_importance, LevelSpec, Mapping};
 /// use naas_ir::ConvSpec;
 /// use naas_opt::{EncodingScheme, MappingEncoder};
 ///
-/// let accel = baselines::nvdla(256);
+/// let accel = baselines::nvdla_256();
 /// let enc = MappingEncoder::new(accel.connectivity().ndim(), EncodingScheme::Importance);
 /// let layer = ConvSpec::conv2d("c", 64, 128, (28, 28), (3, 3), 1, 1)?;
 /// let mapping = enc.decode(&vec![0.5; enc.dim()], &layer, accel.connectivity());
@@ -166,7 +166,7 @@ mod tests {
 
     #[test]
     fn zero_ratio_means_no_tiling() {
-        let accel = baselines::nvdla(256);
+        let accel = baselines::nvdla_256();
         let enc = MappingEncoder::new(2, EncodingScheme::Importance);
         let mut theta = vec![0.5; enc.dim()];
         for level in 0..2 {
@@ -182,7 +182,7 @@ mod tests {
 
     #[test]
     fn full_ratio_tiles_to_single_elements() {
-        let accel = baselines::nvdla(256);
+        let accel = baselines::nvdla_256();
         let enc = MappingEncoder::new(2, EncodingScheme::Importance);
         let mut theta = vec![0.5; enc.dim()];
         for i in 0..6 {
@@ -197,7 +197,7 @@ mod tests {
 
     #[test]
     fn importance_controls_order() {
-        let accel = baselines::nvdla(256);
+        let accel = baselines::nvdla_256();
         let enc = MappingEncoder::new(2, EncodingScheme::Importance);
         let mut theta = vec![0.5; enc.dim()];
         theta[0..6].copy_from_slice(&[0.1, 0.9, 0.2, 0.3, 0.4, 0.5]); // C first
@@ -208,7 +208,7 @@ mod tests {
 
     #[test]
     fn index_scheme_round_trips_orders() {
-        let accel = baselines::nvdla(256);
+        let accel = baselines::nvdla_256();
         let enc = MappingEncoder::new(2, EncodingScheme::Index);
         let mut theta = vec![0.0; enc.dim()];
         theta[0] = 0.0; // Lehmer 0 = canonical order
@@ -221,7 +221,7 @@ mod tests {
         // The same vector decodes sensibly for a tiny layer: trips never
         // exceed extents.
         let tiny = ConvSpec::conv2d("t", 3, 8, (8, 8), (3, 3), 1, 1).unwrap();
-        let accel = baselines::nvdla(256);
+        let accel = baselines::nvdla_256();
         let enc = MappingEncoder::new(2, EncodingScheme::Importance);
         let theta = vec![0.9; enc.dim()];
         let m = enc.decode(&theta, &tiny, accel.connectivity());

@@ -110,7 +110,7 @@ mod tests {
 
     #[test]
     fn connectivity_class_is_preserved() {
-        let base = baselines::nvdla(256);
+        let base = baselines::nvdla_256();
         let enc = SizingOnlyEncoder::new(base.clone(), ResourceConstraint::from_design(&base));
         let mut rng = SmallRng::seed_from_u64(3);
         for _ in 0..100 {
@@ -145,10 +145,10 @@ mod tests {
 
     #[test]
     fn pe_scale_moves_array_size() {
-        let base = baselines::nvdla(1024);
+        let base = baselines::nvdla_1024();
         let enc = SizingOnlyEncoder::new(
             base,
-            ResourceConstraint::from_design(&baselines::nvdla(1024)),
+            ResourceConstraint::from_design(&baselines::nvdla_1024()),
         );
         let small = enc.decode(&[0.0, 0.5, 0.5, 0.5]).unwrap();
         let big = enc.decode(&[1.0, 0.5, 0.5, 0.5]).unwrap();

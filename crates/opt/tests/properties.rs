@@ -75,7 +75,7 @@ proptest! {
         hw in 6u64..=64,
     ) {
         let layer = ConvSpec::conv2d("prop", c, k, (hw, hw), (3, 3), 1, 1).unwrap();
-        for accel in [baselines::nvdla(256), baselines::shidiannao()] {
+        for accel in [baselines::nvdla_256(), baselines::shidiannao()] {
             let enc = MappingEncoder::new(accel.connectivity().ndim(), EncodingScheme::Importance);
             let m = enc.decode(&theta[..enc.dim()], &layer, accel.connectivity());
             prop_assert!(m.validate(&accel).is_ok());

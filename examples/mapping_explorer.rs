@@ -18,7 +18,7 @@ use naas_mapping::{maestro, LevelSpec};
 
 fn main() {
     let model = CostModel::new();
-    let accel = baselines::nvdla(256);
+    let accel = baselines::nvdla_256();
     let layer = ConvSpec::conv2d("conv3_1", 128, 256, (28, 28), (3, 3), 1, 1)
         .expect("static shapes are valid");
     println!("layer : {layer}");

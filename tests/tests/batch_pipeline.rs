@@ -36,7 +36,7 @@ proptest! {
         dw in proptest::bool::ANY,
     ) {
         let model = CostModel::new();
-        let accel = baselines::nvdla(256);
+        let accel = baselines::nvdla_256();
         let layer = if dw { dw_layer() } else { std_layer() };
         let encoder =
             MappingEncoder::new(accel.connectivity().ndim(), EncodingScheme::Importance);
@@ -118,11 +118,11 @@ fn search_results_match_prerefactor_fixtures() {
                   cycles: 2_904_122, energy_bits: 0x41b9519333333333, edp_bits: 0x4271f38748d59b3c, evals: 25, mapping_hash: 0x8d873ace95bf3016 },
         Fixture { accel: baselines::eyeriss(), layer: dw_layer(), seed: 42, scheme: EncodingScheme::Importance,
                   cycles: 304_930, energy_bits: 0x41916c20e0000000, edp_bits: 0x4214c09af55fae14, evals: 25, mapping_hash: 0x5c35a854358c2bb5 },
-        Fixture { accel: baselines::nvdla(256), layer: std_layer(), seed: 7, scheme: EncodingScheme::Importance,
+        Fixture { accel: baselines::nvdla_256(), layer: std_layer(), seed: 7, scheme: EncodingScheme::Importance,
                   cycles: 3_440_704, energy_bits: 0x41bc19b65999999a, edp_bits: 0x42779ad4ab39b3d1, evals: 25, mapping_hash: 0x610b352a90c314d3 },
-        Fixture { accel: baselines::nvdla(256), layer: dw_layer(), seed: 7, scheme: EncodingScheme::Importance,
+        Fixture { accel: baselines::nvdla_256(), layer: dw_layer(), seed: 7, scheme: EncodingScheme::Importance,
                   cycles: 6_357_056, energy_bits: 0x41bd6c19d3333334, edp_bits: 0x4286d4f818adc91e, evals: 25, mapping_hash: 0x1cf48743100515d7 },
-        Fixture { accel: baselines::nvdla(256), layer: dw_layer(), seed: 7, scheme: EncodingScheme::Index,
+        Fixture { accel: baselines::nvdla_256(), layer: dw_layer(), seed: 7, scheme: EncodingScheme::Index,
                   cycles: 3_006_784, energy_bits: 0x41c524159c000000, edp_bits: 0x427f09c91a18ac08, evals: 25, mapping_hash: 0x6237dc381dbc34f9 },
         Fixture { accel: baselines::shidiannao(), layer: std_layer(), seed: 123, scheme: EncodingScheme::Importance,
                   cycles: 10_518_576, energy_bits: 0x41c0b54193333333, edp_bits: 0x429574059f477731, evals: 25, mapping_hash: 0x9574ebb61eef0dbb },
@@ -172,7 +172,7 @@ fn reused_pipeline_matches_thread_local() {
     let mut pipeline = EvalPipeline::new();
     for (accel, seed) in [
         (baselines::eyeriss(), 1u64),
-        (baselines::nvdla(256), 2),
+        (baselines::nvdla_256(), 2),
         (baselines::eyeriss(), 3),
         (baselines::edge_tpu(), 4),
     ] {
@@ -210,7 +210,7 @@ fn random_strategy_matches_across_pipelines() {
 #[test]
 fn mismatched_mapping_count_is_an_error_not_a_panic() {
     let model = CostModel::new();
-    let accel = baselines::nvdla(1024);
+    let accel = baselines::nvdla_1024();
     let net = models::cifar_resnet20();
     let one_mapping = vec![Mapping::balanced(&net.layers()[0], &accel)];
     let err = model

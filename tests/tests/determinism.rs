@@ -44,7 +44,7 @@ fn accel_search_is_deterministic_across_thread_counts() {
 #[test]
 fn mapping_search_reproduces() {
     let model = CostModel::new();
-    let accel = baselines::nvdla(256);
+    let accel = baselines::nvdla_256();
     let layer = models::vgg16(224).layers()[3].clone();
     let cfg = MappingSearchConfig::quick(99);
     let a = naas::search_layer_mapping(&model, &layer, &accel, &cfg).expect("maps");

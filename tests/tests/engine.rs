@@ -72,7 +72,7 @@ fn determinism_across_threads_and_cache_warmth() {
 #[test]
 fn cached_and_cold_evaluations_agree() {
     let model = CostModel::new();
-    let accel = naas_accel::baselines::nvdla(256);
+    let accel = naas_accel::baselines::nvdla_256();
     let net = models::squeezenet(224);
     let cfg = MappingSearchConfig::quick(7);
 
@@ -162,7 +162,10 @@ fn policy_checkpoints_are_resumable() {
     let final_state: AccelSearchState = checkpoint::load(&path).expect("checkpoint exists");
     std::fs::remove_file(&path).ok();
     assert!(final_state.is_done());
-    assert_eq!(final_state.into_result().best, full.best);
+    assert_eq!(
+        final_state.into_result().expect("found a design").best,
+        full.best
+    );
 }
 
 /// Scenario → search: the declarative registry resolves into runnable
@@ -196,7 +199,7 @@ fn registered_scenario_runs_end_to_end() {
 #[test]
 fn persisted_cache_warm_loads_with_identical_results() {
     let model = CostModel::new();
-    let envelope = ResourceConstraint::from_design(&naas_accel::baselines::nvdla(256));
+    let envelope = ResourceConstraint::from_design(&naas_accel::baselines::nvdla_256());
     let net = models::cifar_resnet20();
     let nets = std::slice::from_ref(&net);
     let cfg = quick_cfg(88, 2);

@@ -78,7 +78,7 @@ fn accel_search_respects_every_envelope() {
 #[test]
 fn warm_start_floors_the_search() {
     let model = CostModel::new();
-    for baseline in [baselines::eyeriss(), baselines::nvdla(256)] {
+    for baseline in [baselines::eyeriss(), baselines::nvdla_256()] {
         let envelope = ResourceConstraint::from_design(&baseline);
         let net = models::mnasnet(224);
         let cfg = AccelSearchConfig::quick(31);
@@ -112,7 +112,7 @@ fn warm_start_floors_the_search() {
 #[test]
 fn edp_is_consistent_across_aggregation_levels() {
     let model = CostModel::new();
-    let accel = baselines::nvdla(1024);
+    let accel = baselines::nvdla_1024();
     let net = models::cifar_resnet20();
     let cost = heuristic_network_cost(&model, &net, &accel).expect("maps");
     let manual: f64 = cost.cycles() as f64 * cost.energy_nj();

@@ -27,8 +27,8 @@ fn arb_layer() -> impl Strategy<Value = ConvSpec> {
 fn arb_baseline() -> impl Strategy<Value = Accelerator> {
     prop_oneof![
         Just(baselines::eyeriss()),
-        Just(baselines::nvdla(256)),
-        Just(baselines::nvdla(1024)),
+        Just(baselines::nvdla_256()),
+        Just(baselines::nvdla_1024()),
         Just(baselines::edge_tpu()),
         Just(baselines::shidiannao()),
     ]

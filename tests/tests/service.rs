@@ -1,0 +1,331 @@
+//! The batch-evaluation service: wire round-trips, coalesced
+//! concurrency, and the contract that a served answer is bit-identical
+//! to the equivalent direct library call.
+
+use naas::service::{BatchEvalService, ServiceConfig, ServiceServer};
+use naas::{mapping_search, CoSearchEngine, MappingSearchConfig};
+use naas_accel::baselines;
+use naas_cost::CostModel;
+use naas_engine::scenario;
+use naas_ir::ConvSpec;
+use naas_mapping::Mapping;
+use serde_json::Value;
+use std::sync::Arc;
+
+fn service(threads: usize) -> BatchEvalService {
+    BatchEvalService::new(ServiceConfig {
+        threads,
+        mapping: MappingSearchConfig::quick(7),
+        cache_file: None,
+    })
+    .expect("no cache file to load")
+}
+
+fn parse(line: &str) -> Value {
+    serde_json::from_str(line).expect("response is valid JSON")
+}
+
+fn result_of(line: &str) -> Value {
+    let v = parse(line);
+    assert_eq!(
+        v.get("ok"),
+        Some(&Value::Bool(true)),
+        "expected success: {line}"
+    );
+    v.get("result").cloned().expect("ok response has a result")
+}
+
+fn test_layer() -> ConvSpec {
+    ConvSpec::conv2d("c", 16, 32, (16, 16), (3, 3), 1, 1).unwrap()
+}
+
+fn layer_json() -> &'static str {
+    r#"{"in_channels":16,"out_channels":32,"in_y":16,"in_x":16,"kernel_r":3,"kernel_s":3,"stride":1,"padding":1}"#
+}
+
+/// `score_design` answers exactly what the direct library call computes:
+/// same mapping-search config, same content-addressed cache semantics,
+/// bit-identical reward.
+#[test]
+fn served_score_design_is_bit_identical_to_direct_call() {
+    let s = service(2);
+    let line =
+        s.respond(r#"{"id":1,"cmd":"score_design","scenario":"cifar-eyeriss","design":"Eyeriss"}"#);
+    let served = result_of(&line);
+
+    let cfg = MappingSearchConfig::quick(7);
+    let model = CostModel::new();
+    let job = scenario::find("cifar-eyeriss").unwrap().resolve().unwrap();
+    let engine = CoSearchEngine::single_threaded();
+    let direct = mapping_search::network_mapping_search_cached(
+        &model,
+        &job.networks[0],
+        &baselines::eyeriss(),
+        &cfg,
+        engine.cache(),
+    )
+    .expect("eyeriss maps the net");
+
+    // The reward is the geomean over the suite — exactly what the
+    // library computes for the same per-network EDPs.
+    assert_eq!(
+        served.get("reward").unwrap().as_f64(),
+        Some(naas::geomean(&[direct.edp()]))
+    );
+    assert_eq!(
+        served.get("per_network").unwrap().as_array().unwrap()[0]
+            .get("edp")
+            .unwrap()
+            .as_f64(),
+        Some(direct.edp())
+    );
+    let per_network = served.get("per_network").unwrap().as_array().unwrap();
+    assert_eq!(per_network.len(), 1);
+    assert_eq!(
+        per_network[0].get("cycles").unwrap().as_u64(),
+        Some(direct.cycles())
+    );
+    assert_eq!(
+        per_network[0].get("energy_pj").unwrap().as_f64(),
+        Some(direct.energy_pj())
+    );
+}
+
+/// `search_layer` rides the same thread-pipeline entry point as the
+/// library's inner loop.
+#[test]
+fn served_search_layer_matches_direct_search() {
+    let s = service(1);
+    let line = s.respond(&format!(
+        r#"{{"id":2,"cmd":"search_layer","layer":{},"design":"NVDLA-256"}}"#,
+        layer_json()
+    ));
+    let served = result_of(&line);
+
+    let direct = naas::search_layer_mapping(
+        &CostModel::new(),
+        &test_layer(),
+        &baselines::nvdla_256(),
+        &MappingSearchConfig::quick(7),
+    )
+    .expect("mappable");
+    let cost = served.get("cost").unwrap();
+    assert_eq!(cost.get("edp").unwrap().as_f64(), Some(direct.cost.edp()));
+    assert_eq!(
+        cost.get("cycles").unwrap().as_u64(),
+        Some(direct.cost.cycles)
+    );
+    assert_eq!(
+        served.get("evaluations").unwrap().as_u64(),
+        Some(direct.evaluations as u64)
+    );
+    // The best mapping itself round-trips through the response.
+    let mapping: Mapping =
+        serde_json::from_value(served.get("mapping").unwrap()).expect("mapping decodes");
+    assert_eq!(mapping, direct.mapping);
+}
+
+/// `evaluate_batch` scores a population exactly like scalar
+/// `CostModel::evaluate` (which `evaluate_batch` is defined against).
+#[test]
+fn served_evaluate_batch_matches_scalar_evaluates() {
+    let layer = test_layer();
+    let accel = baselines::eyeriss();
+    let model = CostModel::new();
+    // A valid mapping plus a deliberately capacity-busting variant.
+    let good = Mapping::balanced(&layer, &accel);
+    let mappings = vec![good.clone(), good.clone(), good];
+    let request = format!(
+        r#"{{"id":3,"cmd":"evaluate_batch","layer":{},"design":"Eyeriss","mappings":{}}}"#,
+        layer_json(),
+        serde_json::to_string(&mappings).unwrap()
+    );
+    let s = service(1);
+    let served = result_of(&s.respond(&request));
+    assert_eq!(served.get("count").unwrap().as_u64(), Some(3));
+    let results = served.get("results").unwrap().as_array().unwrap();
+    for entry in results {
+        assert_eq!(entry.get("ok"), Some(&Value::Bool(true)));
+        let direct = model
+            .evaluate(&layer, &accel, &mappings[0])
+            .expect("balanced mapping valid");
+        let cost = entry.get("cost").unwrap();
+        assert_eq!(cost.get("edp").unwrap().as_f64(), Some(direct.edp()));
+        assert_eq!(cost.get("cycles").unwrap().as_u64(), Some(direct.cycles));
+    }
+}
+
+/// Concurrent clients hammering one warm service get (a) every request
+/// answered, (b) identical answers for identical requests regardless of
+/// interleaving — the cache-soundness claim under real concurrency.
+#[test]
+fn concurrent_streams_coalesce_and_stay_deterministic() {
+    let server = ServiceServer::start(Arc::new(service(2)));
+    let request =
+        r#"{"id":9,"cmd":"score_design","scenario":"cifar-eyeriss","design":"ShiDianNao"}"#;
+    let mut responses: Vec<String> = std::thread::scope(|scope| {
+        let server = &server;
+        let handles: Vec<_> = (0..6)
+            .map(|client| {
+                scope.spawn(move || {
+                    let (tx, rx) = std::sync::mpsc::channel();
+                    assert!(server.submit(request.to_string(), client, tx));
+                    let (seq, response) = rx.recv().expect("response arrives");
+                    assert_eq!(seq, client);
+                    response
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    responses.dedup();
+    assert_eq!(
+        responses.len(),
+        1,
+        "all clients must see the identical byte-for-byte response"
+    );
+    // And that shared answer matches a cold single-threaded service.
+    let cold = service(1).respond(request);
+    assert_eq!(responses[0], cold);
+}
+
+/// A panicking request among concurrent in-flight requests becomes an
+/// error *response*; siblings in the same coalesced batch are answered
+/// normally and the service keeps running (regression for the pool's
+/// deque-poisoning abort).
+#[test]
+fn panicking_request_does_not_abort_batch_or_service() {
+    let server = ServiceServer::start(Arc::new(service(2)));
+    let (tx, rx) = std::sync::mpsc::channel();
+    for seq in 0..8u64 {
+        let line = if seq == 3 {
+            r#"{"id":3,"cmd":"__panic"}"#.to_string()
+        } else {
+            format!(r#"{{"id":{seq},"cmd":"cache_stats"}}"#)
+        };
+        assert!(server.submit(line, seq, tx.clone()));
+    }
+    drop(tx);
+    let mut ok = 0;
+    let mut failed = 0;
+    for (seq, response) in rx {
+        let v = parse(&response);
+        if seq == 3 {
+            assert_eq!(v.get("ok"), Some(&Value::Bool(false)));
+            assert!(v
+                .get("error")
+                .and_then(Value::as_str)
+                .unwrap()
+                .contains("internal panic"));
+            failed += 1;
+        } else {
+            assert_eq!(v.get("ok"), Some(&Value::Bool(true)), "seq {seq}");
+            ok += 1;
+        }
+    }
+    assert_eq!((ok, failed), (7, 1));
+    // Still alive afterwards.
+    let (tx, rx) = std::sync::mpsc::channel();
+    assert!(server.submit(r#"{"id":99,"cmd":"cache_stats"}"#.to_string(), 0, tx));
+    assert_eq!(
+        parse(&rx.recv().unwrap().1).get("ok"),
+        Some(&Value::Bool(true))
+    );
+    server.stop().expect("clean stop");
+}
+
+/// Full stream round-trip: pipelined requests over one stream come back
+/// in request order, `shutdown` ends the stream, and malformed lines
+/// still get (error) responses.
+#[test]
+fn serve_stream_round_trip_in_order() {
+    let server = ServiceServer::start(Arc::new(service(2)));
+    let input = format!(
+        "{}\n{}\nnot json at all\n{}\n{}\n",
+        r#"{"id":"a","cmd":"list_scenarios"}"#,
+        r#"{"id":"b","cmd":"cache_stats"}"#,
+        r#"{"id":"c","cmd":"nope"}"#,
+        r#"{"id":"d","cmd":"shutdown"}"#
+    );
+    let mut out: Vec<u8> = Vec::new();
+    let wants_shutdown = server
+        .serve_stream(input.as_bytes(), &mut out)
+        .expect("stream I/O");
+    assert!(wants_shutdown);
+    let lines: Vec<String> = String::from_utf8(out)
+        .unwrap()
+        .lines()
+        .map(String::from)
+        .collect();
+    assert_eq!(lines.len(), 5, "every consumed line gets a response");
+    assert_eq!(parse(&lines[0]).get("id"), Some(&Value::Str("a".into())));
+    assert_eq!(parse(&lines[1]).get("id"), Some(&Value::Str("b".into())));
+    // Malformed line: error response with null id.
+    assert_eq!(parse(&lines[2]).get("ok"), Some(&Value::Bool(false)));
+    assert_eq!(parse(&lines[3]).get("ok"), Some(&Value::Bool(false)));
+    assert_eq!(parse(&lines[4]).get("id"), Some(&Value::Str("d".into())));
+    server.stop().expect("clean stop");
+}
+
+/// Cache persistence round-trip: a service that scored work persists its
+/// cache on stop; a fresh service warm-loads it, answers identically,
+/// and serves the repeat traffic without recomputing.
+#[test]
+fn persisted_cache_warms_next_service_with_identical_answers() {
+    let path = std::env::temp_dir().join(format!("naas-service-cache-{}.json", std::process::id()));
+    std::fs::remove_file(&path).ok();
+    let request =
+        r#"{"id":1,"cmd":"score_design","scenario":"cifar-eyeriss","design":"NVDLA-256"}"#;
+
+    let cold = BatchEvalService::new(ServiceConfig {
+        threads: 1,
+        mapping: MappingSearchConfig::quick(7),
+        cache_file: Some(path.clone()),
+    })
+    .unwrap();
+    let cold_answer = cold.respond(request);
+    let cold_misses = cold.engine().cache_stats().misses;
+    assert!(cold_misses > 0);
+    cold.persist_cache().unwrap();
+
+    let warm = BatchEvalService::new(ServiceConfig {
+        threads: 1,
+        mapping: MappingSearchConfig::quick(7),
+        cache_file: Some(path.clone()),
+    })
+    .unwrap();
+    let warm_answer = warm.respond(request);
+    assert_eq!(warm_answer, cold_answer, "warming never changes answers");
+    assert_eq!(
+        warm.engine().cache_stats().misses,
+        0,
+        "repeat traffic is answered entirely from the warmed cache"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+/// The no-valid-design condition surfaces as an error response (the
+/// service face of the `NoValidDesign` bugfix): a design that cannot map
+/// the suite is an answer, not a panic.
+#[test]
+fn unmappable_design_is_an_error_response() {
+    // A single-PE design with one-byte buffers cannot hold even one
+    // operand tile of CIFAR ResNet-20.
+    let crippled = serde_json::to_string(&naas_accel::Accelerator::new(
+        "crippled",
+        naas_accel::ArchitecturalSizing::new(1, 1, 1.0, 1.0),
+        naas_accel::Connectivity::grid(1, 1, naas_ir::Dim::C, naas_ir::Dim::K).unwrap(),
+    ))
+    .unwrap();
+    let s = service(1);
+    let line = s.respond(&format!(
+        r#"{{"id":1,"cmd":"score_design","scenario":"cifar-eyeriss","design":{crippled}}}"#
+    ));
+    let v = parse(&line);
+    assert_eq!(v.get("ok"), Some(&Value::Bool(false)));
+    assert!(v
+        .get("error")
+        .and_then(Value::as_str)
+        .unwrap()
+        .contains("cannot map"));
+}

@@ -33,8 +33,14 @@ pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error>
     Ok(out)
 }
 
-/// Parses JSON text into a typed value.
-pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+/// Parses JSON text directly into its [`Value`] tree.
+///
+/// This is the allocation-minimal entry point: [`from_str`] goes through
+/// `T::deserialize`, which for `T = Value` would deep-clone the freshly
+/// parsed tree — a real cost on service-sized documents (a batched
+/// request carrying a whole population). Callers that want the tree
+/// itself use this and skip the copy.
+pub fn parse_str(text: &str) -> Result<Value, Error> {
     let mut parser = Parser {
         bytes: text.as_bytes(),
         pos: 0,
@@ -45,7 +51,12 @@ pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
     if parser.pos != parser.bytes.len() {
         return Err(Error(format!("trailing characters at byte {}", parser.pos)));
     }
-    T::deserialize(&value)
+    Ok(value)
+}
+
+/// Parses JSON text into a typed value.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    T::deserialize(&parse_str(text)?)
 }
 
 // --- writer ------------------------------------------------------------
@@ -293,12 +304,32 @@ impl Parser<'_> {
                         }
                     }
                 }
+                // ASCII fast path — and the guarantee that per-character
+                // work is O(1): validating UTF-8 from here to the end of
+                // the document (as a naive `from_utf8(rest)` would) made
+                // string parsing quadratic in document size, which is
+                // what a batched service request is.
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
                 Some(_) => {
-                    // Consume one UTF-8 character.
+                    // Consume one multi-byte UTF-8 character: validate at
+                    // most the 4-byte window that can contain it.
                     let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest)
-                        .map_err(|_| Error("invalid UTF-8 in string".into()))?;
-                    let c = s.chars().next().unwrap();
+                    let window = &rest[..rest.len().min(4)];
+                    let valid = match std::str::from_utf8(window) {
+                        Ok(s) => s,
+                        // The window may cut a *following* character in
+                        // half; everything up to the cut is valid and
+                        // contains our character.
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&window[..e.valid_up_to()])
+                                .expect("prefix validated by valid_up_to")
+                        }
+                        Err(_) => return Err(Error("invalid UTF-8 in string".into())),
+                    };
+                    let c = valid.chars().next().expect("non-empty valid prefix");
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -391,5 +422,26 @@ mod tests {
     fn unicode_escapes() {
         let v: Value = from_str(r#""é😀""#).unwrap();
         assert_eq!(v, Value::Str("é😀".into()));
+    }
+
+    #[test]
+    fn multibyte_sequences_survive_windowed_decoding() {
+        // Adjacent multi-byte characters whose 4-byte decode window cuts
+        // the *next* character in half (é = 2 bytes, € = 3 bytes), plus
+        // a 4-byte character flush against the closing quote.
+        for s in ["é€", "€é", "éé繁😀", "😀"] {
+            let text = format!("\"{s}\"");
+            let v: Value = from_str(&text).unwrap();
+            assert_eq!(v, Value::Str(s.into()), "for {s:?}");
+        }
+    }
+
+    #[test]
+    fn parse_str_equals_from_str_value() {
+        let text = r#"{"a": [1, 2.5, "é"], "b": null}"#;
+        let direct = parse_str(text).unwrap();
+        let via_deserialize: Value = from_str(text).unwrap();
+        assert_eq!(direct, via_deserialize);
+        assert!(parse_str("{oops").is_err());
     }
 }
