@@ -328,6 +328,35 @@ pub fn accel_search_step(
     state: &mut AccelSearchState,
 ) -> bool {
     assert!(!networks.is_empty(), "need at least one benchmark network");
+    let cfg = state.config;
+    let advanced = accel_search_step_with(state, |slots| {
+        parallel_map(engine.threads(), slots, |_idx, (_, accel)| {
+            evaluate_candidate(engine, model, accel, networks, &cfg.mapping, cfg.reward)
+        })
+    });
+    if advanced {
+        state.cache_stats = engine.cache_stats();
+    }
+    advanced
+}
+
+/// [`accel_search_step`] with a caller-supplied population evaluator —
+/// the seam the distributed coordinator (`crate::distributed`) plugs
+/// into. The sampling, scoring and optimizer-update logic here is the
+/// *entire* search semantics; `evaluate` only decides *where* the
+/// candidates are costed (local pool, remote shards, ...).
+///
+/// `evaluate` receives the generation's decoded candidates in slot order
+/// and must return one result per candidate **in the same order**.
+/// Because each candidate's evaluation is a pure function of its content
+/// (content-derived inner seeds, content-addressed caching), any
+/// order-preserving evaluator produces a bit-identical search
+/// trajectory. The caller owns `state.cache_stats` bookkeeping (a remote
+/// evaluator has no local cache to read).
+pub fn accel_search_step_with<F>(state: &mut AccelSearchState, evaluate: F) -> bool
+where
+    F: FnOnce(&[(Vec<f64>, Accelerator)]) -> Vec<Option<(Vec<NetworkCost>, f64)>>,
+{
     if state.is_done() {
         return false;
     }
@@ -363,13 +392,15 @@ pub fn accel_search_step(
         }
     }
 
-    // Evaluate the population on the work-stealing pool. Inner seeds are
-    // content-derived inside `network_mapping_search_cached`, so results
-    // are independent of slot order, thread count and cache warmth.
-    let results: Vec<Option<(Vec<NetworkCost>, f64)>> =
-        parallel_map(engine.threads(), &slots, |_idx, (_, accel)| {
-            evaluate_candidate(engine, model, accel, networks, &cfg.mapping, cfg.reward)
-        });
+    // Evaluate the population. Inner seeds are content-derived inside
+    // `network_mapping_search_memo`, so results are independent of slot
+    // order, thread count, cache warmth — and of which process ran them.
+    let results = evaluate(&slots);
+    assert_eq!(
+        results.len(),
+        slots.len(),
+        "evaluator must return one result per candidate"
+    );
 
     // Collect scores in slot order; infeasible candidates score +inf,
     // rejected decodes are also reported to the optimizer as infeasible.
@@ -417,7 +448,6 @@ pub fn accel_search_step(
         valid: edps.len(),
     });
     state.iteration += 1;
-    state.cache_stats = engine.cache_stats();
     true
 }
 

@@ -4,12 +4,15 @@
 //! naas-search list
 //! naas-search run <scenario> [--preset smoke|quick|paper] [--seed N]
 //!                            [--threads N] [--checkpoint FILE] [--every K]
-//!                            [--cache-file FILE]
+//!                            [--cache-file FILE] [--workers host:port,...]
 //! naas-search run --file scenario.json [...]
 //! naas-search resume <checkpoint-file> [--threads N] [--cache-file FILE]
+//!                                      [--workers host:port,...|local]
 //! naas-search show <checkpoint-file>
-//! naas-search serve [--port N] [--preset smoke|quick|paper] [--threads N]
-//!                   [--cache-file FILE]
+//! naas-search serve [--port N] [--bind ADDR] [--preset smoke|quick|paper]
+//!                   [--threads N] [--cache-file FILE]
+//! naas-search worker --port N [--bind ADDR] [--preset smoke|quick|paper]
+//!                    [--threads N] [--cache-file FILE]
 //! naas-search client <host:port>
 //! ```
 //!
@@ -23,8 +26,20 @@
 //! mapping cache, work-stealing pool) answering JSONL requests on
 //! stdin/stdout and — with `--port` — on a TCP socket, coalescing
 //! concurrent in-flight requests into batched pipeline calls. See
-//! `naas::service` for the protocol. `client` connects to a serving
-//! process and bridges stdin/stdout to it.
+//! `naas::service` for the protocol and `docs/PROTOCOL.md` for the wire
+//! spec. `client` connects to a serving process and bridges stdin/stdout
+//! to it.
+//!
+//! `worker` is the TCP-only face of `serve`, meant to stand behind a
+//! distributed run: `run --workers host:port,...` shards each
+//! generation's population over the listed workers (`evaluate_shard`
+//! requests), merges replies in candidate order, relays mapping-cache
+//! deltas between workers, re-issues the shard of any worker that dies
+//! mid-generation, and produces **bit-identical** results (best design +
+//! history) to the same run without `--workers`. The shard plan is
+//! recorded in checkpoints, so `resume` re-dials the same fleet by
+//! default (`--workers` overrides; `--workers local` forces
+//! single-process).
 //!
 //! `--cache-file` persists the engine's mapping memo cache: entries are
 //! warm-loaded before the search starts (if the file exists) and the
@@ -40,22 +55,28 @@ use serde::{Deserialize, Serialize};
 use std::process::exit;
 
 /// What `naas-search` writes to disk: the search state plus the scenario
-/// it belongs to, so `resume` can rebuild the benchmark suite.
+/// it belongs to (so `resume` can rebuild the benchmark suite) and the
+/// shard plan of a distributed run (so `resume` re-dials the fleet).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct SearchCheckpoint {
     scenario: Scenario,
     state: AccelSearchState,
+    /// `None` for single-process runs and checkpoints from older builds.
+    shards: Option<naas::ShardPlan>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  naas-search list\n  naas-search run <scenario|--file scenario.json> \
          [--preset smoke|quick|paper] [--seed N] [--threads N] [--checkpoint FILE] [--every K] \
-         [--cache-file FILE]\n  \
-         naas-search resume <checkpoint-file> [--threads N] [--every K] [--cache-file FILE]\n  \
+         [--cache-file FILE] [--workers host:port,...]\n  \
+         naas-search resume <checkpoint-file> [--threads N] [--every K] [--cache-file FILE] \
+         [--workers host:port,...|local]\n  \
          naas-search show <checkpoint-file>\n  \
-         naas-search serve [--port N] [--preset smoke|quick|paper] [--threads N] \
-         [--cache-file FILE]\n  \
+         naas-search serve [--port N] [--bind ADDR] [--preset smoke|quick|paper] \
+         [--threads N] [--cache-file FILE]\n  \
+         naas-search worker --port N [--bind ADDR] [--preset smoke|quick|paper] \
+         [--threads N] [--cache-file FILE]\n  \
          naas-search client <host:port>"
     );
     exit(2);
@@ -114,6 +135,7 @@ fn main() {
         Some("resume") => cmd_resume(&args),
         Some("show") => cmd_show(&args),
         Some("serve") => cmd_serve(&args),
+        Some("worker") => cmd_worker(&args),
         Some("client") => cmd_client(&args),
         _ => usage(),
     }
@@ -196,7 +218,75 @@ fn cmd_run(args: &Args) {
     };
 
     let state = accel_search_init(&job.constraint, &cfg, &seeds);
-    drive(&engine, &model, &job, state, policy.as_ref(), cache_file);
+    let mut driver = make_driver(args.get("workers"), &job.scenario);
+    drive(
+        &engine,
+        &model,
+        &job,
+        state,
+        policy.as_ref(),
+        cache_file,
+        &mut driver,
+    );
+}
+
+/// Where generations are evaluated: in-process, or sharded over a fleet
+/// of `naas-search worker` processes.
+enum Driver {
+    Local,
+    Distributed(naas::DistributedCoordinator),
+}
+
+impl Driver {
+    fn step(
+        &mut self,
+        engine: &CoSearchEngine,
+        model: &CostModel,
+        networks: &[Network],
+        state: &mut AccelSearchState,
+    ) -> bool {
+        match self {
+            Driver::Local => naas::accel_search_step(engine, model, networks, state),
+            Driver::Distributed(coordinator) => coordinator.step(engine, model, networks, state),
+        }
+    }
+
+    fn plan(&self) -> Option<naas::ShardPlan> {
+        match self {
+            Driver::Local => None,
+            Driver::Distributed(coordinator) => Some(coordinator.plan()),
+        }
+    }
+}
+
+/// Builds the generation driver from a `--workers` value: a
+/// comma-separated `host:port` list shards over that fleet; absent or
+/// `local` runs in-process. Either way the search results are
+/// bit-identical — workers only relocate candidate evaluations.
+fn make_driver(workers: Option<&str>, scenario: &Scenario) -> Driver {
+    let Some(list) = workers else {
+        return Driver::Local;
+    };
+    if list == "local" {
+        return Driver::Local;
+    }
+    let addrs: Vec<String> = list
+        .split(',')
+        .map(str::trim)
+        .filter(|a| !a.is_empty())
+        .map(String::from)
+        .collect();
+    if addrs.is_empty() {
+        fail("--workers expects a comma-separated host:port list (or `local`)");
+    }
+    let coordinator = naas::DistributedCoordinator::connect(&addrs, scenario)
+        .unwrap_or_else(|e| fail(format!("cannot connect worker fleet: {e}")));
+    println!(
+        "sharding over {} worker(s): {}",
+        addrs.len(),
+        addrs.join(", ")
+    );
+    Driver::Distributed(coordinator)
 }
 
 /// Resolves `--cache-file` and warm-loads it into the engine's memo
@@ -243,6 +333,28 @@ fn cmd_resume(args: &Args) {
     let engine = CoSearchEngine::new(threads);
     let cache_file = warm_load_cache(&engine, args);
     let model = CostModel::new();
+    // `--workers` overrides the recorded shard plan; without it, re-dial
+    // the plan the interrupted run was sharded over. Either way the
+    // resumed trajectory is identical — sharding never changes results.
+    let mut driver = match (args.get("workers"), &snapshot.shards) {
+        (Some(flag), _) => make_driver(Some(flag), &job.scenario),
+        (None, Some(plan)) => {
+            match naas::DistributedCoordinator::connect(&plan.workers, &job.scenario) {
+                Ok(coordinator) => {
+                    println!("re-dialed recorded shard plan: {}", plan.workers.join(", "));
+                    Driver::Distributed(coordinator)
+                }
+                Err(e) => {
+                    eprintln!(
+                        "recorded shard plan unreachable ({e}); resuming single-process \
+                         (results are identical either way)"
+                    );
+                    Driver::Local
+                }
+            }
+        }
+        (None, None) => Driver::Local,
+    };
     drive(
         &engine,
         &model,
@@ -250,6 +362,7 @@ fn cmd_resume(args: &Args) {
         snapshot.state,
         Some(&policy),
         cache_file,
+        &mut driver,
     );
 }
 
@@ -258,6 +371,7 @@ fn cmd_resume(args: &Args) {
 /// With a cache file, the memo cache is persisted alongside every
 /// checkpoint write and once more at completion, so an interrupted run
 /// resumes with its mapping results already warm.
+#[allow(clippy::too_many_arguments)]
 fn drive(
     engine: &CoSearchEngine,
     model: &CostModel,
@@ -265,10 +379,11 @@ fn drive(
     mut state: AccelSearchState,
     policy: Option<&CheckpointPolicy>,
     cache_file: Option<&std::path::Path>,
+    driver: &mut Driver,
 ) {
     let iterations = state.config.iterations;
     let started = std::time::Instant::now();
-    while naas::accel_search_step(engine, model, &job.networks, &mut state) {
+    while driver.step(engine, model, &job.networks, &mut state) {
         let last = state.history().last().expect("step appends history");
         println!(
             "  gen {:>2}/{}: best EDP {:.3e}, population mean {:.3e}, {} valid, cache {:.0}% hit",
@@ -287,6 +402,7 @@ fn drive(
                 let snapshot = SearchCheckpoint {
                     scenario: job.scenario.clone(),
                     state: state.clone(),
+                    shards: driver.plan(),
                 };
                 checkpoint::save(&policy.path, &snapshot)
                     .unwrap_or_else(|e| fail(format!("cannot write checkpoint: {e}")));
@@ -330,12 +446,15 @@ fn cmd_show(args: &Args) {
     }
 }
 
-/// `serve`: the batch-evaluation service. One warm engine answers JSONL
-/// requests on stdin/stdout; `--port` additionally accepts TCP
-/// connections on 127.0.0.1. A `shutdown` command (from any stream)
-/// persists the cache and exits cleanly; without `--port`, stdin EOF
-/// does the same.
-fn cmd_serve(args: &Args) {
+/// Resolves the `--bind` address (default: loopback only; pass
+/// `--bind 0.0.0.0` to serve a multi-machine fleet).
+fn bind_addr(args: &Args) -> &str {
+    args.get("bind").unwrap_or("127.0.0.1")
+}
+
+/// The service-construction preamble shared by `serve` and `worker`:
+/// flag parsing, warm cache load, startup banner.
+fn build_service(args: &Args, banner: &str) -> naas::BatchEvalService {
     let threads = args.get_num("threads").unwrap_or(0);
     let seed = args.get_num("seed").unwrap_or(2021);
     let mapping = search_config(args, seed, threads).mapping;
@@ -344,16 +463,24 @@ fn cmd_serve(args: &Args) {
         mapping,
         cache_file: args.get("cache-file").map(std::path::PathBuf::from),
     })
-    .unwrap_or_else(|e| fail(format!("cannot start service: {e}")));
-    let warm = service.engine().cache_stats().entries;
+    .unwrap_or_else(|e| fail(format!("cannot start {banner}: {e}")));
     eprintln!(
-        "naas-search serve: {} worker thread(s), mapping budget {}x{}, {} warm cache entries",
+        "naas-search {banner}: {} worker thread(s), mapping budget {}x{}, {} warm cache entries",
         service.threads(),
         mapping.population,
         mapping.iterations,
-        warm
+        service.engine().cache_stats().entries
     );
-    let service = std::sync::Arc::new(service);
+    service
+}
+
+/// `serve`: the batch-evaluation service. One warm engine answers JSONL
+/// requests on stdin/stdout; `--port` additionally accepts TCP
+/// connections (on `--bind`, default loopback). A `shutdown` command
+/// (from any stream) persists the cache and exits cleanly; without
+/// `--port`, stdin EOF does the same.
+fn cmd_serve(args: &Args) {
+    let service = std::sync::Arc::new(build_service(args, "serve"));
     let server = naas::ServiceServer::start(std::sync::Arc::clone(&service));
 
     let port: Option<u16> = args.get_num("port");
@@ -369,49 +496,68 @@ fn cmd_serve(args: &Args) {
                 .unwrap_or_else(|e| fail(format!("cannot persist cache: {e}")));
         }
         Some(port) => {
-            let listener = std::net::TcpListener::bind(("127.0.0.1", port))
-                .unwrap_or_else(|e| fail(format!("cannot bind 127.0.0.1:{port}: {e}")));
-            eprintln!("listening on 127.0.0.1:{port}");
-            let server = &server;
-            std::thread::scope(|scope| {
-                scope.spawn(move || {
-                    // One thread per connection; requests from every
-                    // connection coalesce in the shared batcher.
-                    std::thread::scope(|conns| {
-                        for stream in listener.incoming() {
-                            let Ok(stream) = stream else { break };
-                            conns.spawn(move || {
-                                let reader = match stream.try_clone() {
-                                    Ok(clone) => std::io::BufReader::new(clone),
-                                    Err(_) => return,
-                                };
-                                if let Ok(true) = server.serve_stream(reader, &stream) {
-                                    finish_and_exit(server);
-                                }
-                            });
-                        }
-                    });
-                });
-                let stdin = std::io::BufReader::new(std::io::stdin());
-                let stdout = std::io::stdout().lock();
-                if let Ok(true) = server.serve_stream(stdin, stdout) {
-                    finish_and_exit(server);
-                }
-                // stdin EOF without shutdown: keep serving TCP (the
-                // accept-loop thread holds the scope open).
-            });
+            let listener = bind_listener(args, port);
+            let server = std::sync::Arc::new(server);
+            let tcp = {
+                // One thread per connection inside `serve_listener`;
+                // requests from every connection coalesce in the shared
+                // batcher.
+                let server = std::sync::Arc::clone(&server);
+                std::thread::spawn(move || match server.serve_listener(listener) {
+                    Ok(_) => finish_and_exit(&server),
+                    Err(e) => fail(format!("TCP listener failed: {e}")),
+                })
+            };
+            let stdin = std::io::BufReader::new(std::io::stdin());
+            let stdout = std::io::stdout().lock();
+            if let Ok(true) = server.serve_stream(stdin, stdout) {
+                finish_and_exit(&server);
+            }
+            // stdin EOF without shutdown: keep serving TCP. The listener
+            // thread never returns normally (shutdown exits the process,
+            // a listener failure fails it), so this join parks forever.
+            let _ = tcp.join();
+            unreachable!("TCP listener thread exits the process");
         }
     }
 }
 
-/// The shutdown path shared by every stream of a `--port` server: drain
-/// the batcher (every queued request across all connections gets its
+/// Binds the TCP listener for `serve --port` / `worker`.
+fn bind_listener(args: &Args, port: u16) -> std::net::TcpListener {
+    let bind = bind_addr(args);
+    let listener = std::net::TcpListener::bind((bind, port))
+        .unwrap_or_else(|e| fail(format!("cannot bind {bind}:{port}: {e}")));
+    eprintln!("listening on {bind}:{port}");
+    listener
+}
+
+/// `worker`: the TCP-only face of `serve`, for standing behind a
+/// distributed `run --workers` coordinator. Accepts connections (on
+/// `--bind`, default loopback — use `--bind 0.0.0.0` for a
+/// multi-machine fleet) until a `shutdown` command arrives on any of
+/// them, then drains every queued request, persists the cache and
+/// exits. Stdin is untouched, so workers background cleanly
+/// (`naas-search worker --port 4801 &`).
+fn cmd_worker(args: &Args) {
+    let port: u16 = args
+        .get_num("port")
+        .unwrap_or_else(|| fail("worker mode requires --port"));
+    let service = std::sync::Arc::new(build_service(args, "worker"));
+    let listener = bind_listener(args, port);
+    let server = std::sync::Arc::new(naas::ServiceServer::start(service));
+    match server.serve_listener(listener) {
+        Ok(_) => finish_and_exit(&server),
+        Err(e) => fail(format!("worker listener failed: {e}")),
+    }
+}
+
+/// The shutdown path shared by `serve --port` and `worker`: drain the
+/// batcher (every queued request across all connections gets its
 /// response computed and handed to its stream), persist the cache, then
-/// exit 0 (the blocked accept loop cannot be joined, so shutdown is
-/// process exit by design). The stream that requested shutdown is fully
-/// flushed before this runs; sibling connections get a grace period to
-/// flush their final responses — best-effort, since a sibling stalled on
-/// TCP backpressure cannot be waited out forever.
+/// exit 0. The stream that requested shutdown is fully flushed before
+/// this runs; sibling connections get a grace period to flush their
+/// final responses — best-effort, since a sibling stalled on TCP
+/// backpressure cannot be waited out forever.
 fn finish_and_exit(server: &naas::ServiceServer) -> ! {
     server.drain();
     std::thread::sleep(std::time::Duration::from_millis(200));

@@ -1,0 +1,509 @@
+//! Distributed population sharding: the outer accelerator search fanned
+//! over remote worker processes.
+//!
+//! The paper's evolutionary co-search evaluates a sampled population per
+//! generation, and every candidate's evaluation is a pure function of
+//! its content (content-derived inner seeds, content-addressed mapping
+//! cache). That purity is what makes distribution *trivial to get right*:
+//! a [`DistributedCoordinator`] runs the ordinary sampling/optimizer
+//! logic of [`accel_search_step_with`] and only relocates the candidate
+//! evaluations — each generation's population is split into contiguous
+//! shards in candidate order, one `evaluate_shard` request per live
+//! worker (`naas-search worker` processes speaking the JSONL protocol of
+//! `docs/PROTOCOL.md`), and the replies are merged back in candidate
+//! order. The search trajectory — best design, history, evaluation
+//! counts — is **bit-identical** to the single-process run at any worker
+//! count, enforced by `tests/tests/distributed.rs`.
+//!
+//! ## Failure model
+//!
+//! A worker that dies mid-generation (connection drop, protocol
+//! violation) is marked dead and its shard is re-issued to a surviving
+//! worker; when none survive, the coordinator evaluates the shard on
+//! its own engine. An orderly error *response* is different: the worker
+//! is healthy, the request failed (e.g. a contained handler panic), so
+//! the shard goes to the local fallback — where a deterministic failure
+//! surfaces exactly as a single-process run would surface it — and the
+//! fleet stays alive. Dead workers stay dead for the rest of the run —
+//! the shard *plan* (the worker address list) is recorded in
+//! checkpoints, so a resumed run can re-dial the full fleet.
+//!
+//! ## Cache gossip
+//!
+//! Shard replies piggyback a `cache_delta`: the mapping results the
+//! worker computed since its last report. The coordinator absorbs every
+//! delta into its own engine cache (so local fallback and `--cache-file`
+//! persistence see fleet-wide results) and relays it to the other
+//! workers on their next shard request — a `(design, layer-shape)` pair
+//! solved anywhere is solved everywhere, without workers knowing about
+//! each other. Relaying is sound for the same reason sharing the
+//! in-process cache is: entries are pure functions of their keys.
+
+use crate::accel_search::{
+    accel_search_step_with, evaluate_candidate, AccelSearchConfig, AccelSearchState,
+};
+use crate::engine::CoSearchEngine;
+use crate::mapping_search::MappingSearchResult;
+use naas_accel::Accelerator;
+use naas_cost::{CostModel, NetworkCost};
+use naas_engine::remote::{RemoteError, RemoteWorker};
+use naas_engine::{parallel_map, CacheSnapshot, LayerKey, Scenario};
+use naas_ir::Network;
+use serde::{Deserialize, Serialize, Value};
+use std::collections::HashSet;
+use std::ops::Range;
+
+/// The delta-log source marker for entries the coordinator computed
+/// itself (local fallback); never matches a worker index, so such
+/// entries are relayed to every worker.
+const SELF_SOURCE: usize = usize::MAX;
+
+/// The serializable record of how a run is sharded — written into
+/// checkpoints so `naas-search resume` can re-dial the same fleet
+/// without re-stating `--workers`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardPlan {
+    /// Worker addresses (`host:port`), in shard order.
+    pub workers: Vec<String>,
+}
+
+/// One candidate's evaluation outcome, as moved over the wire: per-network
+/// costs plus the aggregated reward, or `None` for an infeasible design.
+pub type CandidateOutcome = Option<(Vec<NetworkCost>, f64)>;
+
+/// A worker's shard assignment for one generation: the candidate range
+/// plus the prebuilt request parameters.
+type ShardAssignment = (Range<usize>, Vec<(String, Value)>);
+
+struct WorkerSlot {
+    remote: RemoteWorker,
+    alive: bool,
+    /// Prefix of `delta_log` already shipped to this worker.
+    synced: usize,
+}
+
+/// Coordinates an accelerator search whose population evaluations are
+/// sharded over remote `naas-search worker` processes. See the module
+/// docs for the protocol, failure and cache-gossip semantics.
+pub struct DistributedCoordinator {
+    workers: Vec<WorkerSlot>,
+    scenario_value: Value,
+    /// Every cache key learned so far (worker deltas + local fallback),
+    /// with the worker index it came from. Values are *not* duplicated
+    /// here — they live in the coordinator's engine cache, and relay
+    /// snapshots fetch them by key when a shard request is built.
+    delta_log: Vec<(usize, u64, LayerKey)>,
+    seen: HashSet<(u64, LayerKey)>,
+}
+
+impl DistributedCoordinator {
+    /// Dials every worker address up front — a mistyped address should
+    /// fail the run at startup, not strand a shard mid-search. The
+    /// `scenario` travels with every shard request (as a full object, so
+    /// `--file` scenarios outside the worker's registry work too).
+    ///
+    /// # Errors
+    ///
+    /// The first [`RemoteError`] of a worker that cannot be reached.
+    pub fn connect(addrs: &[String], scenario: &Scenario) -> Result<Self, RemoteError> {
+        assert!(!addrs.is_empty(), "need at least one worker address");
+        let mut workers = Vec::with_capacity(addrs.len());
+        for addr in addrs {
+            let mut remote = RemoteWorker::new(addr.clone());
+            remote.connect()?;
+            workers.push(WorkerSlot {
+                remote,
+                alive: true,
+                synced: 0,
+            });
+        }
+        Ok(DistributedCoordinator {
+            workers,
+            scenario_value: serde_json::to_value(scenario),
+            delta_log: Vec::new(),
+            seen: HashSet::new(),
+        })
+    }
+
+    /// The shard plan (worker addresses) this coordinator was built on.
+    pub fn plan(&self) -> ShardPlan {
+        ShardPlan {
+            workers: self
+                .workers
+                .iter()
+                .map(|w| w.remote.addr().to_string())
+                .collect(),
+        }
+    }
+
+    /// Workers still considered alive.
+    pub fn live_workers(&self) -> usize {
+        self.workers.iter().filter(|w| w.alive).count()
+    }
+
+    /// Advances the search by one generation, with candidate evaluations
+    /// sharded over the workers — the distributed counterpart of
+    /// [`crate::accel_search::accel_search_step`], producing the
+    /// bit-identical state trajectory. `engine` is the coordinator's own
+    /// engine: it absorbs the fleet's cache deltas and evaluates
+    /// fallback shards when every worker is dead.
+    pub fn step(
+        &mut self,
+        engine: &CoSearchEngine,
+        model: &CostModel,
+        networks: &[Network],
+        state: &mut AccelSearchState,
+    ) -> bool {
+        assert!(!networks.is_empty(), "need at least one benchmark network");
+        let cfg = state.config;
+        let advanced = accel_search_step_with(state, |slots| {
+            self.evaluate_generation(engine, model, networks, &cfg, slots)
+        });
+        if advanced {
+            state.cache_stats = engine.cache_stats();
+        }
+        advanced
+    }
+
+    /// Evaluates one generation's candidates: fan out, merge in candidate
+    /// order, re-issue dead workers' shards.
+    fn evaluate_generation(
+        &mut self,
+        engine: &CoSearchEngine,
+        model: &CostModel,
+        networks: &[Network],
+        cfg: &AccelSearchConfig,
+        slots: &[(Vec<f64>, Accelerator)],
+    ) -> Vec<CandidateOutcome> {
+        let mut merged: Vec<Option<CandidateOutcome>> = vec![None; slots.len()];
+        let mut failed: Vec<Range<usize>> = Vec::new();
+
+        // Assign contiguous shards (in candidate order) to live workers
+        // and build each request up front: the request body snapshots
+        // this worker's pending cache delta, and `synced` advances
+        // whether or not the call later succeeds (a failed worker is
+        // dead; a re-issued shard re-syncs through its new worker).
+        let live: Vec<usize> = (0..self.workers.len())
+            .filter(|&w| self.workers[w].alive)
+            .collect();
+        let mut per_worker: Vec<Option<ShardAssignment>> =
+            (0..self.workers.len()).map(|_| None).collect();
+        if live.is_empty() {
+            // The whole fleet died in an earlier generation: everything
+            // goes straight to the fallback path.
+            failed.push(0..slots.len());
+        }
+        for (shard, range) in shard_ranges(slots.len(), live.len())
+            .into_iter()
+            .enumerate()
+        {
+            let widx = live[shard];
+            let params = self.shard_params(engine, widx, &slots[range.clone()], cfg);
+            self.workers[widx].synced = self.delta_log.len();
+            per_worker[widx] = Some((range, params));
+        }
+
+        // Parallel fan-out: one blocking call per assigned worker.
+        let mut outcomes: Vec<(usize, Range<usize>, Result<Value, RemoteError>)> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (widx, slot) in self.workers.iter_mut().enumerate() {
+                if let Some((range, params)) = per_worker[widx].take() {
+                    let handle = scope.spawn(move || slot.remote.call("evaluate_shard", params));
+                    handles.push((widx, range, handle));
+                }
+            }
+            for (widx, range, handle) in handles {
+                outcomes.push((widx, range, handle.join().expect("shard caller panicked")));
+            }
+        });
+
+        for (widx, range, outcome) in outcomes {
+            match self.fold_shard_outcome(engine, widx, range.len(), outcome) {
+                Ok(results) => {
+                    for (slot, result) in range.clone().zip(results) {
+                        merged[slot] = Some(result);
+                    }
+                }
+                Err(()) => failed.push(range),
+            }
+        }
+
+        // Re-issue failed shards to survivors; fall back to the local
+        // engine when the whole fleet is gone. Purity makes *where* a
+        // shard lands irrelevant to the result.
+        for range in failed {
+            let results = self.reissue_shard(engine, model, networks, cfg, &slots[range.clone()]);
+            for (slot, result) in range.zip(results) {
+                merged[slot] = Some(result);
+            }
+        }
+        merged
+            .into_iter()
+            .map(|r| r.expect("every candidate slot is covered by exactly one shard"))
+            .collect()
+    }
+
+    /// Folds one worker's shard call outcome: merged results on success,
+    /// `Err(())` ("re-issue this shard") on worker death. An orderly
+    /// error *response* ([`RemoteError::Remote`]) does **not** kill the
+    /// worker — the connection and process are fine, the *request*
+    /// failed, and re-issuing it elsewhere would just fail (or panic)
+    /// every healthy worker in turn. It is reported as a re-issue so the
+    /// shard lands on the coordinator's local fallback path, where a
+    /// deterministic evaluation failure surfaces exactly as it would in
+    /// a single-process run.
+    fn fold_shard_outcome(
+        &mut self,
+        engine: &CoSearchEngine,
+        widx: usize,
+        expected: usize,
+        outcome: Result<Value, RemoteError>,
+    ) -> Result<Vec<CandidateOutcome>, ()> {
+        let addr = self.workers[widx].remote.addr().to_string();
+        let reply = match outcome {
+            Ok(reply) => reply,
+            Err(e @ RemoteError::Remote(_)) => {
+                eprintln!("worker {addr} rejected its shard ({e}); evaluating it locally");
+                return Err(());
+            }
+            Err(e) => {
+                eprintln!("worker {addr} died mid-generation ({e}); re-issuing its shard");
+                self.workers[widx].alive = false;
+                return Err(());
+            }
+        };
+        match parse_shard_reply(&reply, expected) {
+            Ok((results, delta)) => {
+                self.record_delta(engine, widx, delta);
+                Ok(results)
+            }
+            Err(message) => {
+                eprintln!(
+                    "worker {addr} violated the shard protocol ({message}); re-issuing its shard"
+                );
+                self.workers[widx].alive = false;
+                Err(())
+            }
+        }
+    }
+
+    /// Sends one shard to the first surviving worker (marking further
+    /// casualties dead as it goes); evaluates locally once none remain
+    /// or a worker returns an orderly error response (see
+    /// [`Self::fold_shard_outcome`]).
+    fn reissue_shard(
+        &mut self,
+        engine: &CoSearchEngine,
+        model: &CostModel,
+        networks: &[Network],
+        cfg: &AccelSearchConfig,
+        shard: &[(Vec<f64>, Accelerator)],
+    ) -> Vec<CandidateOutcome> {
+        while let Some(widx) = (0..self.workers.len()).find(|&w| self.workers[w].alive) {
+            let params = self.shard_params(engine, widx, shard, cfg);
+            self.workers[widx].synced = self.delta_log.len();
+            let outcome = self.workers[widx].remote.call("evaluate_shard", params);
+            let was_remote_rejection = matches!(outcome, Err(RemoteError::Remote(_)));
+            match self.fold_shard_outcome(engine, widx, shard.len(), outcome) {
+                Ok(results) => return results,
+                Err(()) if was_remote_rejection => break, // worker is fine; go local
+                Err(()) => continue,                      // worker died; try the next one
+            }
+        }
+        eprintln!("evaluating shard on the coordinator");
+        engine.cache().enable_journal();
+        let results = parallel_map(engine.threads(), shard, |_idx, (_, accel)| {
+            evaluate_candidate(engine, model, accel, networks, &cfg.mapping, cfg.reward)
+        });
+        let delta = engine.cache().take_new_entries();
+        self.log_keys(
+            SELF_SOURCE,
+            delta.entries.iter().map(|(fp, key, _)| (*fp, *key)),
+        );
+        results
+    }
+
+    /// The `evaluate_shard` request body for `widx`: candidates, search
+    /// config, scenario, plus every logged cache entry this worker has
+    /// not seen and did not itself report (values fetched from the
+    /// coordinator's engine cache at build time).
+    fn shard_params(
+        &self,
+        engine: &CoSearchEngine,
+        widx: usize,
+        shard: &[(Vec<f64>, Accelerator)],
+        cfg: &AccelSearchConfig,
+    ) -> Vec<(String, Value)> {
+        let candidates: Vec<Accelerator> = shard.iter().map(|(_, a)| a.clone()).collect();
+        let mut params = vec![
+            ("scenario".to_string(), self.scenario_value.clone()),
+            ("candidates".to_string(), serde_json::to_value(&candidates)),
+            ("mapping".to_string(), serde_json::to_value(&cfg.mapping)),
+            ("reward".to_string(), serde_json::to_value(&cfg.reward)),
+        ];
+        let pending: Vec<(u64, LayerKey, Option<MappingSearchResult>)> = self.delta_log
+            [self.workers[widx].synced..]
+            .iter()
+            .filter(|(source, ..)| *source != widx)
+            .filter_map(|(_, fp, key)| engine.cache().peek(*fp, key).map(|v| (*fp, *key, v)))
+            .collect();
+        if !pending.is_empty() {
+            params.push((
+                "cache".to_string(),
+                serde_json::to_value(&CacheSnapshot { entries: pending }),
+            ));
+        }
+        params
+    }
+
+    /// Folds a worker's reply delta into the coordinator: absorb the
+    /// values into the local engine cache and append the keys to the
+    /// relay log.
+    fn record_delta(
+        &mut self,
+        engine: &CoSearchEngine,
+        source: usize,
+        delta: CacheSnapshot<Option<MappingSearchResult>>,
+    ) {
+        if delta.entries.is_empty() {
+            return;
+        }
+        let keys: Vec<(u64, LayerKey)> = delta
+            .entries
+            .iter()
+            .map(|(fp, key, _)| (*fp, *key))
+            .collect();
+        engine.cache().absorb(delta);
+        self.log_keys(source, keys);
+    }
+
+    fn log_keys(&mut self, source: usize, keys: impl IntoIterator<Item = (u64, LayerKey)>) {
+        for (fp, key) in keys {
+            if self.seen.insert((fp, key)) {
+                self.delta_log.push((source, fp, key));
+            }
+        }
+    }
+}
+
+/// Splits `n` candidates into `k` contiguous, near-equal ranges in
+/// candidate order (fewer when `n < k`; empty when `k == 0`).
+fn shard_ranges(n: usize, k: usize) -> Vec<Range<usize>> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let k = k.min(n.max(1));
+    let base = n / k;
+    let extra = n % k;
+    let mut ranges = Vec::with_capacity(k);
+    let mut start = 0;
+    for shard in 0..k {
+        let len = base + usize::from(shard < extra);
+        if len == 0 {
+            break;
+        }
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+/// Decodes one `evaluate_shard` reply into per-candidate outcomes and
+/// the piggybacked cache delta.
+fn parse_shard_reply(
+    reply: &Value,
+    expected: usize,
+) -> Result<
+    (
+        Vec<CandidateOutcome>,
+        CacheSnapshot<Option<MappingSearchResult>>,
+    ),
+    String,
+> {
+    let results = reply
+        .get("results")
+        .and_then(Value::as_array)
+        .ok_or_else(|| "shard reply has no `results` array".to_string())?;
+    if results.len() != expected {
+        return Err(format!(
+            "shard size mismatch: sent {expected} candidates, got {} results",
+            results.len()
+        ));
+    }
+    let mut outcomes = Vec::with_capacity(expected);
+    for entry in results {
+        outcomes.push(match entry {
+            Value::Null => None,
+            value => {
+                let reward = value
+                    .get("reward")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| "candidate result has no `reward`".to_string())?;
+                let per_network: Vec<NetworkCost> = serde_json::from_value(
+                    value
+                        .get("per_network")
+                        .ok_or_else(|| "candidate result has no `per_network`".to_string())?,
+                )
+                .map_err(|e| format!("invalid `per_network`: {e}"))?;
+                Some((per_network, reward))
+            }
+        });
+    }
+    let delta = match reply.get("cache_delta") {
+        None | Some(Value::Null) => CacheSnapshot {
+            entries: Vec::new(),
+        },
+        Some(value) => {
+            serde_json::from_value(value).map_err(|e| format!("invalid `cache_delta`: {e}"))?
+        }
+    };
+    Ok((outcomes, delta))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ranges_cover_everything_in_order() {
+        for (n, k) in [(20, 4), (7, 3), (3, 5), (1, 2), (0, 3), (16, 1)] {
+            let ranges = shard_ranges(n, k);
+            let mut covered = 0;
+            for r in &ranges {
+                assert_eq!(r.start, covered, "contiguous in candidate order");
+                covered = r.end;
+            }
+            assert_eq!(covered, n, "n={n} k={k}");
+            assert!(ranges.len() <= k.max(1));
+            if n >= k && k > 0 {
+                assert_eq!(ranges.len(), k);
+                let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "near-equal shards: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_reply_parsing_rejects_malformed_replies() {
+        let good: Value = serde_json::parse_str(
+            r#"{"results": [null, {"reward": 2.5, "per_network": [{"layers": []}]}]}"#,
+        )
+        .unwrap();
+        let (outcomes, delta) = parse_shard_reply(&good, 2).unwrap();
+        assert_eq!(outcomes.len(), 2);
+        assert!(outcomes[0].is_none());
+        assert_eq!(outcomes[1].as_ref().unwrap().1, 2.5);
+        assert!(delta.entries.is_empty());
+
+        // Wrong cardinality: a truncated reply must not silently merge.
+        assert!(parse_shard_reply(&good, 3)
+            .unwrap_err()
+            .contains("mismatch"));
+        let no_results: Value = serde_json::parse_str(r#"{"ok": true}"#).unwrap();
+        assert!(parse_shard_reply(&no_results, 1)
+            .unwrap_err()
+            .contains("results"));
+    }
+}

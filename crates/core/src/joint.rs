@@ -15,12 +15,19 @@
 //! cache, so a subnet layer shape evaluated once on a design is never
 //! evaluated on it again — across subnets, candidates, generations, and
 //! every sweep sharing the engine.
+//!
+//! Like the accelerator search, the joint loop is expressed as a
+//! serializable [`JointSearchState`] advanced one outer generation at a
+//! time ([`joint_search_step`]), so long joint runs checkpoint and
+//! resume on the same `naas_engine::checkpoint` machinery — an
+//! interrupted run continues the exact trajectory of an uninterrupted
+//! one ([`resume_joint_search`]).
 
 use crate::accel_search::AccelSearchConfig;
 use crate::engine::CoSearchEngine;
 use naas_accel::{Accelerator, ResourceConstraint};
 use naas_cost::CostModel;
-use naas_engine::parallel_map;
+use naas_engine::{parallel_map, CheckpointPolicy};
 use naas_nas::search::search_subnet;
 use naas_nas::{AccuracyModel, NasConfig, Subnet};
 use naas_opt::{CemEs, HardwareEncoder, Optimizer};
@@ -68,6 +75,168 @@ pub struct JointResult {
     pub evaluations: usize,
 }
 
+/// The complete, serializable state of a joint search between outer
+/// generations — the joint-loop counterpart of
+/// [`crate::accel_search::AccelSearchState`], on the same checkpoint
+/// machinery: snapshot it with `naas_engine::checkpoint::save`, restore
+/// it, and the search continues the exact trajectory of an uninterrupted
+/// run (the ES serializes its raw RNG state). The accuracy surrogate and
+/// cost model are *not* embedded; the resuming caller supplies the same
+/// ones.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JointSearchState {
+    /// The search configuration (outer + NAS budgets, seeds).
+    pub config: JointConfig,
+    /// The resource envelope being searched.
+    pub constraint: ResourceConstraint,
+    /// Outer generations completed so far.
+    pub iteration: usize,
+    es: CemEs,
+    best: Option<JointResult>,
+    total_evals: usize,
+}
+
+impl JointSearchState {
+    /// `true` once every configured outer generation has run.
+    pub fn is_done(&self) -> bool {
+        self.iteration >= self.config.accel.iterations
+    }
+
+    /// The best matched tuple found so far, if any.
+    pub fn best(&self) -> Option<&JointResult> {
+        self.best.as_ref()
+    }
+
+    /// Subnet evaluations across all candidates so far.
+    pub fn evaluations(&self) -> usize {
+        self.total_evals
+    }
+
+    /// Consumes the state into the final result: the best matched tuple
+    /// with the search-wide evaluation count, or `None` when no
+    /// (design, subnet) pair satisfied the accuracy floor in the budget.
+    pub fn into_result(self) -> Option<JointResult> {
+        let total_evals = self.total_evals;
+        self.best.map(|mut b| {
+            b.evaluations = total_evals;
+            b
+        })
+    }
+}
+
+/// Initializes a joint search over `constraint`.
+pub fn joint_search_init(constraint: &ResourceConstraint, cfg: &JointConfig) -> JointSearchState {
+    let encoder = HardwareEncoder::new(constraint.clone(), cfg.accel.scheme);
+    JointSearchState {
+        config: *cfg,
+        constraint: constraint.clone(),
+        iteration: 0,
+        es: CemEs::new(encoder.dim(), cfg.accel.es, cfg.accel.seed),
+        best: None,
+        total_evals: 0,
+    }
+}
+
+/// Advances the joint search by one outer generation: sample accelerator
+/// candidates, run each candidate's whole NAS evolution as one parallel
+/// job on the engine's pool, update the ES. Returns `false` (without
+/// doing work) once the budget is exhausted.
+pub fn joint_search_step(
+    engine: &CoSearchEngine,
+    model: &CostModel,
+    accuracy_model: &AccuracyModel,
+    state: &mut JointSearchState,
+) -> bool {
+    if state.is_done() {
+        return false;
+    }
+    let cfg = state.config;
+    let iteration = state.iteration;
+    let encoder = HardwareEncoder::new(state.constraint.clone(), cfg.accel.scheme);
+
+    // Sample the generation sequentially (the ES is stateful).
+    let mut slots: Vec<(usize, Vec<f64>, Accelerator)> = Vec::with_capacity(cfg.accel.population);
+    let mut infeasible: Vec<Vec<f64>> = Vec::new();
+    for slot in 0..cfg.accel.population {
+        let mut decoded = None;
+        let mut theta_last = None;
+        for _ in 0..cfg.accel.resample_limit {
+            let theta = state.es.ask();
+            match encoder.decode(&theta) {
+                Some(d) => {
+                    decoded = Some((theta, d));
+                    break;
+                }
+                None => theta_last = Some(theta),
+            }
+        }
+        match decoded {
+            Some((theta, accel)) => slots.push((slot, theta, accel)),
+            None => {
+                if let Some(t) = theta_last {
+                    infeasible.push(t);
+                }
+            }
+        }
+    }
+
+    // Each candidate's whole NAS evolution is one parallel job. The
+    // NAS seed is slot-derived (deterministic sampling schedule); the
+    // mapping searches inside use the engine cache with
+    // content-derived seeds, so cross-candidate reuse is sound.
+    let outcomes = parallel_map(engine.threads(), &slots, |_idx, (slot, _, accel)| {
+        let nas_cfg = NasConfig {
+            seed: cfg
+                .nas
+                .seed
+                .wrapping_mul(9_176_131)
+                .wrapping_add((iteration * cfg.accel.population + slot) as u64),
+            ..cfg.nas
+        };
+        // One fingerprint per candidate: every subnet the NAS
+        // proposes shares it.
+        let design_fp = crate::mapping_search::design_fingerprint(accel, &cfg.accel.mapping);
+        search_subnet(&nas_cfg, accuracy_model, |net| {
+            crate::mapping_search::network_mapping_search_memo(
+                model,
+                net,
+                accel,
+                &cfg.accel.mapping,
+                engine.cache(),
+                design_fp,
+            )
+            .map(|cost| cost.edp())
+        })
+    });
+
+    // Fold results in slot order (deterministic tie-breaks).
+    let mut scored: Vec<(Vec<f64>, f64)> = Vec::with_capacity(slots.len() + infeasible.len());
+    for ((_, theta, accel), outcome) in slots.into_iter().zip(outcomes) {
+        match outcome {
+            Some(out) => {
+                state.total_evals += out.evaluations;
+                if state.best.as_ref().is_none_or(|b| out.reward < b.edp) {
+                    state.best = Some(JointResult {
+                        accelerator: accel,
+                        subnet: out.subnet,
+                        accuracy: out.accuracy,
+                        edp: out.reward,
+                        evaluations: state.total_evals,
+                    });
+                }
+                scored.push((theta, out.reward));
+            }
+            None => scored.push((theta, f64::INFINITY)),
+        }
+    }
+    for theta in infeasible {
+        scored.push((theta, f64::INFINITY));
+    }
+    state.es.tell(&scored);
+    state.iteration += 1;
+    true
+}
+
 /// Runs the joint neural-accelerator-compiler co-search on a private
 /// engine sized by `cfg.accel.threads`.
 ///
@@ -93,98 +262,47 @@ pub fn search_joint_with(
     accuracy_model: &AccuracyModel,
     cfg: &JointConfig,
 ) -> Option<JointResult> {
-    let encoder = HardwareEncoder::new(constraint.clone(), cfg.accel.scheme);
-    let mut es = CemEs::new(encoder.dim(), cfg.accel.es, cfg.accel.seed);
-    let mut best: Option<JointResult> = None;
-    let mut total_evals = 0usize;
+    let mut state = joint_search_init(constraint, cfg);
+    run_joint_to_completion(engine, model, accuracy_model, &mut state, None);
+    state.into_result()
+}
 
-    for iteration in 0..cfg.accel.iterations {
-        // Sample the generation sequentially (the ES is stateful).
-        let mut slots: Vec<(usize, Vec<f64>, Accelerator)> =
-            Vec::with_capacity(cfg.accel.population);
-        let mut infeasible: Vec<Vec<f64>> = Vec::new();
-        for slot in 0..cfg.accel.population {
-            let mut decoded = None;
-            let mut theta_last = None;
-            for _ in 0..cfg.accel.resample_limit {
-                let theta = es.ask();
-                match encoder.decode(&theta) {
-                    Some(d) => {
-                        decoded = Some((theta, d));
-                        break;
-                    }
-                    None => theta_last = Some(theta),
-                }
-            }
-            match decoded {
-                Some((theta, accel)) => slots.push((slot, theta, accel)),
-                None => {
-                    if let Some(t) = theta_last {
-                        infeasible.push(t);
-                    }
-                }
-            }
-        }
+/// Continues a checkpointed joint search to completion, optionally
+/// keeping up the checkpoint cadence. The caller must supply the same
+/// cost and accuracy models the original run used (the state embeds
+/// everything else). Resuming produces the identical final result an
+/// uninterrupted run would have.
+///
+/// # Panics
+///
+/// Panics if a due checkpoint cannot be written (a search that silently
+/// stops being resumable would be worse).
+pub fn resume_joint_search(
+    engine: &CoSearchEngine,
+    model: &CostModel,
+    accuracy_model: &AccuracyModel,
+    mut state: JointSearchState,
+    checkpoint: Option<&CheckpointPolicy>,
+) -> Option<JointResult> {
+    run_joint_to_completion(engine, model, accuracy_model, &mut state, checkpoint);
+    state.into_result()
+}
 
-        // Each candidate's whole NAS evolution is one parallel job. The
-        // NAS seed is slot-derived (deterministic sampling schedule); the
-        // mapping searches inside use the engine cache with
-        // content-derived seeds, so cross-candidate reuse is sound.
-        let outcomes = parallel_map(engine.threads(), &slots, |_idx, (slot, _, accel)| {
-            let nas_cfg = NasConfig {
-                seed: cfg
-                    .nas
-                    .seed
-                    .wrapping_mul(9_176_131)
-                    .wrapping_add((iteration * cfg.accel.population + slot) as u64),
-                ..cfg.nas
-            };
-            // One fingerprint per candidate: every subnet the NAS
-            // proposes shares it.
-            let design_fp = crate::mapping_search::design_fingerprint(accel, &cfg.accel.mapping);
-            search_subnet(&nas_cfg, accuracy_model, |net| {
-                crate::mapping_search::network_mapping_search_memo(
-                    model,
-                    net,
-                    accel,
-                    &cfg.accel.mapping,
-                    engine.cache(),
-                    design_fp,
-                )
-                .map(|cost| cost.edp())
-            })
-        });
-
-        // Fold results in slot order (deterministic tie-breaks).
-        let mut scored: Vec<(Vec<f64>, f64)> = Vec::with_capacity(slots.len() + infeasible.len());
-        for ((_, theta, accel), outcome) in slots.into_iter().zip(outcomes) {
-            match outcome {
-                Some(out) => {
-                    total_evals += out.evaluations;
-                    if best.as_ref().is_none_or(|b| out.reward < b.edp) {
-                        best = Some(JointResult {
-                            accelerator: accel,
-                            subnet: out.subnet,
-                            accuracy: out.accuracy,
-                            edp: out.reward,
-                            evaluations: total_evals,
-                        });
-                    }
-                    scored.push((theta, out.reward));
-                }
-                None => scored.push((theta, f64::INFINITY)),
+fn run_joint_to_completion(
+    engine: &CoSearchEngine,
+    model: &CostModel,
+    accuracy_model: &AccuracyModel,
+    state: &mut JointSearchState,
+    checkpoint: Option<&CheckpointPolicy>,
+) {
+    while joint_search_step(engine, model, accuracy_model, state) {
+        if let Some(policy) = checkpoint {
+            if policy.due_after(state.iteration - 1) || state.is_done() {
+                naas_engine::checkpoint::save(&policy.path, state)
+                    .unwrap_or_else(|e| panic!("cannot write checkpoint: {e}"));
             }
         }
-        for theta in infeasible {
-            scored.push((theta, f64::INFINITY));
-        }
-        es.tell(&scored);
     }
-
-    best.map(|mut b| {
-        b.evaluations = total_evals;
-        b
-    })
 }
 
 /// One point of an accuracy-vs-EDP Pareto sweep.
@@ -264,6 +382,50 @@ mod tests {
         assert_eq!(single.subnet, multi.subnet);
         assert_eq!(single.accelerator, multi.accelerator);
         assert_eq!(single.edp, multi.edp);
+    }
+
+    #[test]
+    fn stepwise_and_oneshot_agree() {
+        let model = CostModel::new();
+        let envelope = ResourceConstraint::from_design(&baselines::eyeriss());
+        let cfg = JointConfig::quick(17);
+        let accuracy = AccuracyModel::default();
+        let oneshot = search_joint(&model, &envelope, &accuracy, &cfg).unwrap();
+
+        let engine = CoSearchEngine::new(cfg.accel.threads);
+        let mut state = joint_search_init(&envelope, &cfg);
+        let mut steps = 0;
+        while joint_search_step(&engine, &model, &accuracy, &mut state) {
+            steps += 1;
+        }
+        assert_eq!(steps, cfg.accel.iterations);
+        let stepped = state.into_result().unwrap();
+        assert_eq!(stepped, oneshot);
+    }
+
+    #[test]
+    fn checkpointed_joint_search_resumes_to_identical_result() {
+        let model = CostModel::new();
+        let envelope = ResourceConstraint::from_design(&baselines::eyeriss());
+        let cfg = JointConfig::quick(23);
+        let accuracy = AccuracyModel::default();
+        let uninterrupted = search_joint(&model, &envelope, &accuracy, &cfg).unwrap();
+
+        // Run one generation, freeze, thaw, resume on a *fresh* engine
+        // (cold cache — content-derived seeds make that immaterial).
+        let engine = CoSearchEngine::new(2);
+        let mut state = joint_search_init(&envelope, &cfg);
+        assert!(joint_search_step(&engine, &model, &accuracy, &mut state));
+        let path =
+            std::env::temp_dir().join(format!("naas-joint-ckpt-{}.json", std::process::id()));
+        naas_engine::checkpoint::save(&path, &state).unwrap();
+        let thawed: JointSearchState = naas_engine::checkpoint::load(&path).unwrap();
+        assert_eq!(thawed, state);
+
+        let fresh = CoSearchEngine::new(2);
+        let resumed = resume_joint_search(&fresh, &model, &accuracy, thawed, None).unwrap();
+        assert_eq!(resumed, uninterrupted);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -39,6 +39,7 @@
 pub mod accel_search;
 pub mod baselines;
 pub mod cost_accounting;
+pub mod distributed;
 pub mod engine;
 pub mod joint;
 pub mod layer_cache;
@@ -48,13 +49,16 @@ pub mod reward;
 pub mod service;
 
 pub use accel_search::{
-    accel_search_init, accel_search_step, resume_accel_search, search_accelerator,
-    search_accelerator_seeded, search_accelerator_with, AccelCandidate, AccelSearchConfig,
-    AccelSearchResult, AccelSearchState, IterationStats, NoValidDesign, SearchStrategy,
+    accel_search_init, accel_search_step, accel_search_step_with, resume_accel_search,
+    search_accelerator, search_accelerator_seeded, search_accelerator_with, AccelCandidate,
+    AccelSearchConfig, AccelSearchResult, AccelSearchState, IterationStats, NoValidDesign,
+    SearchStrategy,
 };
+pub use distributed::{DistributedCoordinator, ShardPlan};
 pub use engine::CoSearchEngine;
 pub use joint::{
-    pareto_sweep, search_joint, search_joint_with, JointConfig, JointResult, ParetoEntry,
+    joint_search_init, joint_search_step, pareto_sweep, resume_joint_search, search_joint,
+    search_joint_with, JointConfig, JointResult, JointSearchState, ParetoEntry,
 };
 pub use mapping_search::{
     network_mapping_search_cached, search_layer_mapping, search_layer_mapping_with,

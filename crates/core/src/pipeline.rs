@@ -43,6 +43,34 @@ pub struct GenerationOutcome {
 }
 
 /// Reusable working memory for batched layer-mapping generations.
+///
+/// # Examples
+///
+/// A caller-owned pipeline drives a whole layer search through
+/// [`crate::mapping_search::search_layer_mapping_with`]; reusing it
+/// across searches reuses every internal buffer (which is exactly what
+/// [`with_thread_pipeline`] does per worker thread):
+///
+/// ```
+/// use naas::{EvalPipeline, MappingSearchConfig};
+/// use naas::mapping_search::search_layer_mapping_with;
+/// use naas::prelude::*;
+///
+/// let model = CostModel::new();
+/// let accel = baselines::eyeriss();
+/// let layer = ConvSpec::conv2d("c", 16, 32, (16, 16), (3, 3), 1, 1).unwrap();
+///
+/// let mut pipeline = EvalPipeline::new();
+/// let cfg = MappingSearchConfig::quick(7);
+/// let first = search_layer_mapping_with(&mut pipeline, &model, &layer, &accel, &cfg)
+///     .expect("layer is mappable");
+/// // Same pipeline, same search ⇒ bit-identical result (batching is
+/// // RNG-transparent and buffers carry no state between searches).
+/// let again = search_layer_mapping_with(&mut pipeline, &model, &layer, &accel, &cfg)
+///     .expect("layer is mappable");
+/// assert_eq!(first.mapping, again.mapping);
+/// assert_eq!(first.cost.edp(), again.cost.edp());
+/// ```
 #[derive(Default)]
 pub struct EvalPipeline {
     /// One proposal buffer per pending slot (batch-ask targets).

@@ -17,8 +17,16 @@
 //! | `score_design`   | one design × one scenario's benchmark suite         |
 //! | `search_layer`   | best mapping for one layer on one design            |
 //! | `evaluate_batch` | a population of mappings via `CostModel::evaluate_batch` |
+//! | `evaluate_shard` | a shard of outer-search candidates × a scenario's suite (the distributed fan-out primitive) |
+//! | `search_step`    | one generation of a serialized `AccelSearchState`   |
 //! | `cache_stats`    | the shared cache's counters                         |
 //! | `shutdown`       | acknowledges, then the server drains and persists   |
+//!
+//! `evaluate_shard` and `search_step` carry optional `cache` payloads in
+//! and `cache_delta` payloads out: incremental [`MemoCache`] snapshots
+//! that let a coordinator relay mapping results between workers, so a
+//! `(design, layer-shape)` pair solved anywhere in the fleet is solved
+//! everywhere. The full wire spec is `docs/PROTOCOL.md`.
 //!
 //! Concurrent in-flight requests are coalesced by the engine's
 //! [`Batcher`] and fanned out over the pool in one `parallel_map` call
@@ -35,8 +43,9 @@
 //!
 //! [`MemoCache`]: naas_engine::MemoCache
 
+use crate::accel_search::{self, AccelSearchState};
 use crate::engine::CoSearchEngine;
-use crate::mapping_search::{self, MappingSearchConfig};
+use crate::mapping_search::{self, MappingSearchConfig, MappingSearchResult};
 use crate::reward::RewardKind;
 use naas_accel::Accelerator;
 use naas_cost::{CostModel, LayerCost};
@@ -96,10 +105,40 @@ pub struct ServiceConfig {
 
 /// A resident evaluation service over one warm [`CoSearchEngine`]. See
 /// the module docs for the protocol.
+///
+/// # Examples
+///
+/// One request line in, one response line out —
+/// [`BatchEvalService::respond`] is the whole protocol in miniature
+/// (servers wrap it with stream plumbing, see [`ServiceServer`]):
+///
+/// ```
+/// use naas::{BatchEvalService, ServiceConfig};
+/// use serde_json::Value;
+///
+/// let service = BatchEvalService::new(ServiceConfig::default())?;
+/// let line = service.respond(r#"{"id": 1, "cmd": "cache_stats"}"#);
+/// let response: Value = serde_json::from_str(&line).unwrap();
+/// assert_eq!(response.get("ok"), Some(&Value::Bool(true)));
+/// assert_eq!(response.get("id"), Some(&Value::U64(1)));
+///
+/// // Malformed lines still get correlatable error responses.
+/// let line = service.respond(r#"{"id": 2, "cmd": 42}"#);
+/// let response: Value = serde_json::from_str(&line).unwrap();
+/// assert_eq!(response.get("ok"), Some(&Value::Bool(false)));
+/// assert_eq!(response.get("id"), Some(&Value::U64(2)));
+/// # Ok::<(), naas_engine::CheckpointError>(())
+/// ```
 pub struct BatchEvalService {
     engine: CoSearchEngine,
     model: CostModel,
     config: ServiceConfig,
+    /// Resolved scenarios, memoized by content fingerprint: a
+    /// coordinator ships the same scenario with every shard request of
+    /// every generation, and rebuilding the benchmark suite each time
+    /// would be pure repeated work on the generation barrier. Bounded
+    /// by the number of *distinct* scenarios a service ever sees.
+    resolved_scenarios: std::sync::Mutex<BTreeMap<u64, Arc<naas_engine::EvalJob>>>,
 }
 
 /// The layer parameter of `search_layer` / `evaluate_batch`: the numeric
@@ -171,6 +210,7 @@ impl BatchEvalService {
             engine: CoSearchEngine::new(config.threads),
             model: CostModel::new(),
             config,
+            resolved_scenarios: std::sync::Mutex::new(BTreeMap::new()),
         };
         if let Some(path) = &service.config.cache_file {
             if path.exists() {
@@ -248,6 +288,8 @@ impl BatchEvalService {
             "score_design" => self.score_design(request),
             "search_layer" => self.search_layer(request),
             "evaluate_batch" => self.evaluate_batch(request),
+            "evaluate_shard" => self.evaluate_shard(request),
+            "search_step" => self.search_step(request),
             "cache_stats" => Ok(serde_json::to_value(&self.engine.cache_stats())),
             "shutdown" => Ok(Value::Str("shutting down".to_string())),
             // Deliberate test hook: proves a panicking handler becomes an
@@ -264,18 +306,51 @@ impl BatchEvalService {
         )])
     }
 
-    /// Resolves the `scenario` parameter into a registered scenario's
-    /// networks + envelope.
-    fn resolve_scenario(&self, request: &Request) -> Result<naas_engine::EvalJob, ServiceError> {
-        let name = request
-            .param("scenario")
-            .and_then(Value::as_str)
-            .ok_or_else(|| ServiceError::BadRequest("`scenario` (string) is required".into()))?;
-        let scenario = scenario::find(name)
-            .ok_or_else(|| ServiceError::NotFound(format!("scenario `{name}`")))?;
-        scenario
-            .resolve()
-            .map_err(|e| ServiceError::Failed(e.to_string()))
+    /// Resolves the `scenario` parameter — a registered scenario's name
+    /// (string) or a full serialized [`Scenario`] object (so coordinators
+    /// can ship `--file` scenarios the worker's registry has never heard
+    /// of) — into networks + envelope. Resolution is memoized by content
+    /// fingerprint, so repeat traffic (every shard request of a
+    /// distributed run names the same scenario) reuses the built suite.
+    ///
+    /// [`Scenario`]: naas_engine::Scenario
+    fn resolve_scenario(
+        &self,
+        request: &Request,
+    ) -> Result<Arc<naas_engine::EvalJob>, ServiceError> {
+        let scenario = match request.param("scenario") {
+            Some(Value::Str(name)) => scenario::find(name)
+                .ok_or_else(|| ServiceError::NotFound(format!("scenario `{name}`")))?,
+            Some(value @ Value::Object(_)) => {
+                serde_json::from_value::<naas_engine::Scenario>(value).map_err(|e| {
+                    ServiceError::BadRequest(format!("invalid scenario object: {e}"))
+                })?
+            }
+            _ => {
+                return Err(ServiceError::BadRequest(
+                    "`scenario` (name or scenario object) is required".into(),
+                ))
+            }
+        };
+        let fp = naas_engine::fingerprint(&scenario);
+        if let Some(job) = self
+            .resolved_scenarios
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(&fp)
+        {
+            return Ok(Arc::clone(job));
+        }
+        let job = Arc::new(
+            scenario
+                .resolve()
+                .map_err(|e| ServiceError::Failed(e.to_string()))?,
+        );
+        self.resolved_scenarios
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(fp, Arc::clone(&job));
+        Ok(job)
     }
 
     /// The `design` parameter: a baseline name (string) or a full
@@ -298,13 +373,45 @@ impl BatchEvalService {
     }
 
     /// The inner-search config this request evaluates under: the
-    /// service-wide budget, with an optional per-request `seed`.
+    /// service-wide budget, with an optional per-request `seed` and an
+    /// optional `mapping_budget` override
+    /// (`{"population": N, "iterations": N}`, either field alone is
+    /// fine).
+    ///
+    /// Overrides never pollute the shared cache: the whole
+    /// [`MappingSearchConfig`] is part of the design fingerprint
+    /// (`mapping_search::design_fingerprint`), so requests with different
+    /// budgets read and write disjoint cache keys.
     fn mapping_config(&self, request: &Request) -> Result<MappingSearchConfig, ServiceError> {
         let mut cfg = self.config.mapping;
         if let Some(seed) = request.param("seed") {
             cfg.seed = seed
                 .as_u64()
                 .ok_or_else(|| ServiceError::BadRequest("`seed` must be a u64".into()))?;
+        }
+        if let Some(budget) = request.param("mapping_budget") {
+            if !matches!(budget, Value::Object(_)) {
+                return Err(ServiceError::BadRequest(
+                    "`mapping_budget` must be an object with `population` and/or `iterations`"
+                        .into(),
+                ));
+            }
+            for (field, slot) in [
+                ("population", &mut cfg.population),
+                ("iterations", &mut cfg.iterations),
+            ] {
+                match budget.get(field) {
+                    None | Some(Value::Null) => {}
+                    Some(value) => {
+                        let n = value.as_u64().filter(|&n| n > 0).ok_or_else(|| {
+                            ServiceError::BadRequest(format!(
+                                "`mapping_budget.{field}` must be a positive integer"
+                            ))
+                        })?;
+                        *slot = n as usize;
+                    }
+                }
+            }
         }
         Ok(cfg)
     }
@@ -435,6 +542,123 @@ impl BatchEvalService {
         Ok(Value::Object(vec![
             ("count".to_string(), Value::U64(entries.len() as u64)),
             ("results".to_string(), Value::Array(entries)),
+        ]))
+    }
+
+    /// Absorbs an optional `cache` parameter (an incremental
+    /// [`naas_engine::CacheSnapshot`]) into the shared cache. Absorbing
+    /// is always sound — entries are content-addressed and live entries
+    /// win — so a coordinator can forward deltas from any worker to any
+    /// other.
+    fn absorb_cache_param(&self, request: &Request) -> Result<usize, ServiceError> {
+        match request.param("cache") {
+            None => Ok(0),
+            Some(value) => {
+                let snapshot: naas_engine::CacheSnapshot<Option<MappingSearchResult>> =
+                    serde_json::from_value(value).map_err(|e| {
+                        ServiceError::BadRequest(format!("invalid cache snapshot: {e}"))
+                    })?;
+                Ok(self.engine.cache().absorb(snapshot))
+            }
+        }
+    }
+
+    /// `evaluate_shard`: one shard of an outer-search generation — a
+    /// list of candidate designs costed against a scenario's benchmark
+    /// suite on this worker's pool. This is the distributed
+    /// coordinator's fan-out primitive (`naas::distributed`): each
+    /// candidate runs through [`accel_search::evaluate_candidate`], the
+    /// exact evaluation a single-process `accel_search_step` performs,
+    /// so shard results merged in candidate order reproduce the local
+    /// search bit-for-bit. Infeasible candidates answer `null` (a
+    /// result, not a request failure). The reply piggybacks a
+    /// `cache_delta` of every mapping result this worker computed since
+    /// its last report, for the coordinator to relay to its siblings.
+    fn evaluate_shard(&self, request: &Request) -> Result<Value, ServiceError> {
+        let job = self.resolve_scenario(request)?;
+        if job.networks.is_empty() {
+            return Err(ServiceError::BadRequest(
+                "scenario has no benchmark networks".into(),
+            ));
+        }
+        let candidates_value = request.param("candidates").ok_or_else(|| {
+            ServiceError::BadRequest("`candidates` (array of design objects) is required".into())
+        })?;
+        let candidates: Vec<Accelerator> = serde_json::from_value(candidates_value)
+            .map_err(|e| ServiceError::BadRequest(format!("invalid candidates array: {e}")))?;
+        let mapping: MappingSearchConfig = match request.param("mapping") {
+            Some(value) => serde_json::from_value(value)
+                .map_err(|e| ServiceError::BadRequest(format!("invalid mapping config: {e}")))?,
+            None => self.mapping_config(request)?,
+        };
+        let reward: RewardKind = match request.param("reward") {
+            Some(value) => serde_json::from_value(value)
+                .map_err(|e| ServiceError::BadRequest(format!("invalid reward kind: {e}")))?,
+            None => RewardKind::Geomean,
+        };
+        self.absorb_cache_param(request)?;
+        self.engine.cache().enable_journal();
+
+        let results = parallel_map(self.threads(), &candidates, |_idx, accel| {
+            accel_search::evaluate_candidate(
+                &self.engine,
+                &self.model,
+                accel,
+                &job.networks,
+                &mapping,
+                reward,
+            )
+        });
+        let entries: Vec<Value> = results
+            .iter()
+            .map(|outcome| match outcome {
+                None => Value::Null,
+                Some((per_network, reward)) => Value::Object(vec![
+                    ("reward".to_string(), Value::F64(*reward)),
+                    ("per_network".to_string(), serde_json::to_value(per_network)),
+                ]),
+            })
+            .collect();
+        Ok(Value::Object(vec![
+            ("count".to_string(), Value::U64(entries.len() as u64)),
+            ("results".to_string(), Value::Array(entries)),
+            (
+                "cache_delta".to_string(),
+                serde_json::to_value(&self.engine.cache().take_new_entries()),
+            ),
+        ]))
+    }
+
+    /// `search_step`: advances a serialized [`AccelSearchState`] by one
+    /// generation on this worker and returns the updated state — a whole
+    /// remote-driven search for thin clients (state out ≡ state a local
+    /// [`accel_search::accel_search_step`] call would produce, since the
+    /// state embeds every bit of search trajectory). `advanced` is
+    /// `false` when the state's budget was already exhausted.
+    fn search_step(&self, request: &Request) -> Result<Value, ServiceError> {
+        let job = self.resolve_scenario(request)?;
+        if job.networks.is_empty() {
+            return Err(ServiceError::BadRequest(
+                "scenario has no benchmark networks".into(),
+            ));
+        }
+        let state_value = request.param("state").ok_or_else(|| {
+            ServiceError::BadRequest("`state` (search-state object) is required".into())
+        })?;
+        let mut state: AccelSearchState = serde_json::from_value(state_value)
+            .map_err(|e| ServiceError::BadRequest(format!("invalid search state: {e}")))?;
+        self.absorb_cache_param(request)?;
+        self.engine.cache().enable_journal();
+        let advanced =
+            accel_search::accel_search_step(&self.engine, &self.model, &job.networks, &mut state);
+        Ok(Value::Object(vec![
+            ("advanced".to_string(), Value::Bool(advanced)),
+            ("done".to_string(), Value::Bool(state.is_done())),
+            ("state".to_string(), serde_json::to_value(&state)),
+            (
+                "cache_delta".to_string(),
+                serde_json::to_value(&self.engine.cache().take_new_entries()),
+            ),
         ]))
     }
 }
@@ -626,6 +850,76 @@ impl ServiceServer {
         });
         result?;
         Ok(shutdown.load(std::sync::atomic::Ordering::SeqCst))
+    }
+
+    /// Accepts TCP connections on `listener` and serves each on its own
+    /// thread ([`ServiceServer::serve_stream`]) until some stream issues
+    /// a `shutdown` command. This is the whole of `naas-search worker`:
+    /// a coordinator (or several) connects, fans `evaluate_shard` /
+    /// `search_step` requests in, and requests from every connection
+    /// coalesce in the shared batcher like any other service traffic.
+    ///
+    /// Returns `Ok(true)` after a shutdown request (the requesting
+    /// stream's responses are already flushed; the caller should
+    /// [`ServiceServer::drain`] and persist). Connection threads are
+    /// detached: a lingering sibling connection cannot block shutdown,
+    /// and per-connection I/O errors end that connection only. The
+    /// accept loop polls a shutdown flag (non-blocking accept, short
+    /// sleep when idle), so noticing shutdown never depends on another
+    /// connection arriving.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `accept` failures on the listener itself.
+    pub fn serve_listener(
+        self: &Arc<Self>,
+        listener: std::net::TcpListener,
+    ) -> std::io::Result<bool> {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let stop = Arc::new(AtomicBool::new(false));
+        listener.set_nonblocking(true)?;
+        loop {
+            if stop.load(Ordering::SeqCst) {
+                return Ok(true);
+            }
+            let stream = match listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(std::time::Duration::from_millis(25));
+                    continue;
+                }
+                // A connection that died before accept() completed (port
+                // scan, health probe, reset handshake) is that client's
+                // problem, not the listener's — keep serving.
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::ConnectionAborted
+                            | std::io::ErrorKind::ConnectionReset
+                            | std::io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            // The listener is non-blocking; the per-connection streams
+            // must not be (portably, accepted sockets may inherit it).
+            if stream.set_nonblocking(false).is_err() {
+                continue;
+            }
+            let server = Arc::clone(self);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let reader = match stream.try_clone() {
+                    Ok(clone) => std::io::BufReader::new(clone),
+                    Err(_) => return,
+                };
+                if let Ok(true) = server.serve_stream(reader, &stream) {
+                    stop.store(true, Ordering::SeqCst);
+                }
+            });
+        }
     }
 
     /// Stops accepting work, drains the queue, joins the scheduler and

@@ -114,6 +114,10 @@ impl CacheStats {
 
 const SHARDS: usize = 16;
 
+/// Upper bound on undrained journal keys (~10 MB of keys). See
+/// [`MemoCache::enable_journal`].
+pub const JOURNAL_CAP: usize = 100_000;
+
 type Shard<V> = Mutex<HashMap<(u64, LayerKey), Arc<OnceLock<V>>>>;
 
 /// A sharded concurrent memo table from `(design fingerprint, layer
@@ -122,10 +126,41 @@ type Shard<V> = Mutex<HashMap<(u64, LayerKey), Arc<OnceLock<V>>>>;
 /// Concurrent callers of the same key race once: the first runs the
 /// computation, later ones block on the entry's `OnceLock` and reuse the
 /// value — no duplicated work inside a population evaluation.
+///
+/// # Examples
+///
+/// Persistence round-trip: a cache saved with [`MemoCache::save_to`]
+/// warm-loads into a fresh process with [`MemoCache::load_from`], and
+/// warmed entries are served without recomputation (content-addressed,
+/// so warming never changes any answer):
+///
+/// ```
+/// use naas_engine::{LayerKey, MemoCache};
+///
+/// let layer = naas_ir::ConvSpec::conv2d("l", 8, 8, (8, 8), (3, 3), 1, 1).unwrap();
+/// let key = LayerKey::of(&layer);
+///
+/// let cache: MemoCache<u64> = MemoCache::new();
+/// assert_eq!(cache.get_or_compute(7, key, || 42), 42);
+///
+/// let path = std::env::temp_dir().join(format!("memo-doc-{}.json", std::process::id()));
+/// cache.save_to(&path)?;
+///
+/// let warm: MemoCache<u64> = MemoCache::new();
+/// assert_eq!(warm.load_from(&path)?, 1); // one entry absorbed
+/// assert_eq!(warm.get_or_compute(7, key, || unreachable!("served warm")), 42);
+/// # std::fs::remove_file(&path).ok();
+/// # Ok::<(), naas_engine::CheckpointError>(())
+/// ```
 pub struct MemoCache<V> {
     shards: [Shard<V>; SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Keys computed locally since the last [`MemoCache::take_new_entries`]
+    /// drain — `None` until journaling is enabled. Only *computed* entries
+    /// are journaled; absorbed ones came from elsewhere and would be
+    /// echoed back to their source.
+    journal: Mutex<Option<Vec<(u64, LayerKey)>>>,
 }
 
 impl<V> Default for MemoCache<V> {
@@ -141,6 +176,38 @@ impl<V> MemoCache<V> {
             shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            journal: Mutex::new(None),
+        }
+    }
+
+    /// Starts journaling locally computed entries, so
+    /// [`MemoCache::take_new_entries`] can export them as incremental
+    /// deltas (the distributed workers' cache-gossip path). Idempotent;
+    /// entries computed before the first call are not journaled. Off by
+    /// default — a long single-process search has no consumer for the
+    /// journal and should not grow one. Once enabled, the journal stays
+    /// bounded even if its consumer disappears: an undrained backlog is
+    /// dropped past [`JOURNAL_CAP`] keys (gossip is best-effort; the
+    /// cache itself keeps every value).
+    pub fn enable_journal(&self) {
+        let mut journal = self.journal.lock().unwrap_or_else(|p| p.into_inner());
+        if journal.is_none() {
+            *journal = Some(Vec::new());
+        }
+    }
+
+    fn record_journal(&self, design_fp: u64, key: LayerKey) {
+        let mut journal = self.journal.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(entries) = journal.as_mut() {
+            // A backlog this deep means nothing has drained for ~CAP
+            // computations — the consumer that enabled journaling is
+            // gone (e.g. a serve process whose coordinator left). Drop
+            // it rather than grow forever; deltas are an optimization,
+            // the cache still holds every value.
+            if entries.len() >= JOURNAL_CAP {
+                entries.clear();
+            }
+            entries.push((design_fp, key));
         }
     }
 
@@ -203,10 +270,43 @@ impl<V: Clone> MemoCache<V> {
         });
         if computed {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            self.record_journal(design_fp, key);
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
         value.clone()
+    }
+
+    /// Drains the journal (see [`MemoCache::enable_journal`]) into a
+    /// [`CacheSnapshot`] of everything this process computed since the
+    /// last drain — the incremental delta a distributed worker piggybacks
+    /// on its shard replies. Entries are ordered like
+    /// [`MemoCache::snapshot`] (content fingerprint), so the same new
+    /// work always produces the same delta. Returns an empty snapshot
+    /// when journaling is off or nothing new was computed.
+    ///
+    /// The drain is atomic but process-global: when two requests drain
+    /// concurrently, each journaled entry lands in exactly one of the
+    /// two deltas. Every entry still reaches *a* consumer (and stays in
+    /// this cache regardless), so gossip through concurrent coordinators
+    /// degrades to best-effort rather than breaking — a recipient may
+    /// just learn some entries a round later, or recompute them.
+    pub fn take_new_entries(&self) -> CacheSnapshot<V> {
+        let drained: Vec<(u64, LayerKey)> = {
+            let mut journal = self.journal.lock().unwrap_or_else(|p| p.into_inner());
+            match journal.as_mut() {
+                Some(entries) => std::mem::take(entries),
+                None => Vec::new(),
+            }
+        };
+        let mut entries = Vec::with_capacity(drained.len());
+        for (fp, key) in drained {
+            if let Some(value) = self.peek(fp, &key) {
+                entries.push((fp, key, value));
+            }
+        }
+        entries.sort_by_key(|(fp, key, _)| (*fp, key.fingerprint()));
+        CacheSnapshot { entries }
     }
 
     /// Returns the cached value without computing, if present and
@@ -425,6 +525,48 @@ mod tests {
             b.get_or_compute(i, key(i, 1), || i);
         }
         assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn journal_exports_only_entries_computed_after_enabling() {
+        let cache: MemoCache<u64> = MemoCache::new();
+        cache.get_or_compute(1, key(1, 1), || 10); // pre-journal: not exported
+        cache.enable_journal();
+        cache.enable_journal(); // idempotent
+        cache.get_or_compute(1, key(2, 2), || 20);
+        cache.get_or_compute(1, key(2, 2), || panic!("hit, not journaled twice"));
+        cache.get_or_compute(2, key(3, 3), || 30);
+        let delta = cache.take_new_entries();
+        assert_eq!(delta.entries.len(), 2);
+        assert!(delta
+            .entries
+            .iter()
+            .any(|(fp, k, v)| (*fp, *k, *v) == (1, key(2, 2), 20)));
+        assert!(delta
+            .entries
+            .iter()
+            .any(|(fp, k, v)| (*fp, *k, *v) == (2, key(3, 3), 30)));
+        // Drained: the next delta is empty until new work is computed.
+        assert!(cache.take_new_entries().entries.is_empty());
+        cache.get_or_compute(3, key(4, 4), || 40);
+        assert_eq!(cache.take_new_entries().entries.len(), 1);
+    }
+
+    #[test]
+    fn absorbed_entries_are_not_journaled() {
+        let cache: MemoCache<u64> = MemoCache::new();
+        cache.enable_journal();
+        cache.absorb(CacheSnapshot {
+            entries: vec![(7, key(5, 5), 50)],
+        });
+        assert!(
+            cache.take_new_entries().entries.is_empty(),
+            "absorbed entries came from elsewhere and must not be re-exported"
+        );
+        // But a journal-off cache exports nothing either.
+        let off: MemoCache<u64> = MemoCache::new();
+        off.get_or_compute(1, key(1, 1), || 1);
+        assert!(off.take_new_entries().entries.is_empty());
     }
 
     #[test]

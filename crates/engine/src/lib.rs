@@ -11,7 +11,7 @@
 //!   design fingerprint × [`cache::LayerKey`] → inner-search result,
 //!   shared across a population, across generations, and across whole
 //!   searches;
-//! * [`fingerprint`] — stable content hashes and the content-derived
+//! * [`mod@fingerprint`] — stable content hashes and the content-derived
 //!   seeding rule that makes the cache sound (a cached result is a pure
 //!   function of its key);
 //! * [`checkpoint`] — atomic JSON save/load of serializable search
@@ -20,7 +20,10 @@
 //!   resolved into networks + resource envelopes;
 //! * [`service`] — the JSON-lines wire protocol and the coalescing
 //!   request [`Batcher`] under the batch-evaluation service mode
-//!   (`naas-search serve`).
+//!   (`naas-search serve`);
+//! * [`remote`] — the client side of the same wire protocol: a blocking
+//!   JSONL RPC handle on a remote worker process, under the distributed
+//!   search coordinator (`naas-search run --workers`).
 //!
 //! The engine deliberately knows nothing about *what* is being searched:
 //! it moves job indices, hashes serialized content, and stores opaque
@@ -49,6 +52,7 @@ pub mod cache;
 pub mod checkpoint;
 pub mod fingerprint;
 pub mod pool;
+pub mod remote;
 pub mod scenario;
 pub mod service;
 
@@ -56,6 +60,7 @@ pub use cache::{CacheSnapshot, CacheStats, LayerKey, MemoCache};
 pub use checkpoint::{CheckpointError, CheckpointPolicy};
 pub use fingerprint::{derive_seed, fingerprint};
 pub use pool::{parallel_map, resolve_threads};
+pub use remote::{RemoteError, RemoteWorker};
 pub use scenario::{EvalJob, NetworkSpec, Scenario, ScenarioError};
 pub use service::{Batcher, ParseFailure, Request};
 

@@ -1,0 +1,260 @@
+//! A JSONL RPC client for remote service workers.
+//!
+//! The wire-protocol counterpart of [`crate::service`]: where that module
+//! frames requests *into* a serving process, [`RemoteWorker`] frames them
+//! *out of* a coordinating one — it connects to a `naas-search worker`
+//! (or `serve --port`) process over TCP, writes one request line, and
+//! blocks for the matching response line. Like everything else in the
+//! engine it is semantics-free: commands and parameters are opaque
+//! [`Value`]s; what they mean is the caller's business (the distributed
+//! search coordinator in `naas::distributed`).
+//!
+//! Failure model: any I/O or framing error drops the connection and
+//! surfaces as a [`RemoteError`]. The next call transparently
+//! reconnects, so a caller that re-issues failed work (the coordinator's
+//! shard re-issue path) needs no connection bookkeeping of its own. The
+//! full wire specification lives in `docs/PROTOCOL.md`.
+
+use serde::Value;
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// Why a remote call failed.
+#[derive(Debug)]
+pub enum RemoteError {
+    /// The connection could not be established, or died mid-call.
+    Io(std::io::Error),
+    /// The worker answered, but not with a well-formed response line
+    /// (invalid JSON, wrong `id` echo, missing fields).
+    Protocol(String),
+    /// The worker answered with an error response (`"ok": false`); the
+    /// payload is its `error` message. The connection stays usable.
+    Remote(String),
+}
+
+impl fmt::Display for RemoteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RemoteError::Io(e) => write!(f, "worker connection error: {e}"),
+            RemoteError::Protocol(m) => write!(f, "worker protocol violation: {m}"),
+            RemoteError::Remote(m) => write!(f, "worker error response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RemoteError {}
+
+impl From<std::io::Error> for RemoteError {
+    fn from(e: std::io::Error) -> Self {
+        RemoteError::Io(e)
+    }
+}
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// One remote serving process, addressed as `host:port`.
+///
+/// Calls are synchronous and sequential per worker (the service answers
+/// a stream's responses in request order, so pipelining within one
+/// coordinator↔worker conversation buys nothing); fan-out across
+/// workers is the caller's concern — hand each worker to its own thread.
+pub struct RemoteWorker {
+    addr: String,
+    conn: Option<Conn>,
+    next_id: u64,
+}
+
+impl RemoteWorker {
+    /// Creates a handle on `addr` (`host:port`) without connecting yet;
+    /// the first call (or an explicit [`RemoteWorker::connect`]) dials.
+    pub fn new(addr: impl Into<String>) -> Self {
+        RemoteWorker {
+            addr: addr.into(),
+            conn: None,
+            next_id: 1,
+        }
+    }
+
+    /// The worker's address, as given to [`RemoteWorker::new`].
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// `true` while a connection is open (it may still be found dead by
+    /// the next call — TCP only reports failure on use).
+    pub fn is_connected(&self) -> bool {
+        self.conn.is_some()
+    }
+
+    /// Establishes the connection if there is none.
+    ///
+    /// # Errors
+    ///
+    /// [`RemoteError::Io`] when the worker cannot be reached.
+    pub fn connect(&mut self) -> Result<(), RemoteError> {
+        if self.conn.is_none() {
+            let writer = TcpStream::connect(&self.addr)?;
+            let reader = BufReader::new(writer.try_clone()?);
+            self.conn = Some(Conn { reader, writer });
+        }
+        Ok(())
+    }
+
+    /// Drops the connection; the next call reconnects.
+    pub fn disconnect(&mut self) {
+        self.conn = None;
+    }
+
+    /// Sends one request (`cmd` plus `params`, with a fresh numeric `id`)
+    /// and blocks for the matching response line. Returns the response's
+    /// `result` payload.
+    ///
+    /// # Errors
+    ///
+    /// [`RemoteError::Io`] / [`RemoteError::Protocol`] drop the
+    /// connection (the conversation's request↔response pairing can no
+    /// longer be trusted); [`RemoteError::Remote`] is an orderly error
+    /// response and keeps it open.
+    pub fn call(&mut self, cmd: &str, params: Vec<(String, Value)>) -> Result<Value, RemoteError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut fields = Vec::with_capacity(params.len() + 2);
+        fields.push(("id".to_string(), Value::U64(id)));
+        fields.push(("cmd".to_string(), Value::Str(cmd.to_string())));
+        fields.extend(params);
+        let line = serde_json::to_string(&Value::Object(fields))
+            .expect("value serialization is infallible");
+
+        match self.exchange(&line, id) {
+            Ok(result) => Ok(result),
+            Err(e) => {
+                if !matches!(e, RemoteError::Remote(_)) {
+                    self.disconnect();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn exchange(&mut self, line: &str, id: u64) -> Result<Value, RemoteError> {
+        self.connect()?;
+        let conn = self.conn.as_mut().expect("connected above");
+        conn.writer.write_all(line.as_bytes())?;
+        conn.writer.write_all(b"\n")?;
+        conn.writer.flush()?;
+
+        let mut response = String::new();
+        let n = conn.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(RemoteError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "worker closed the connection mid-call",
+            )));
+        }
+        let value: Value = serde_json::parse_str(response.trim_end())
+            .map_err(|e| RemoteError::Protocol(format!("invalid response JSON: {e}")))?;
+        if value.get("id") != Some(&Value::U64(id)) {
+            return Err(RemoteError::Protocol(format!(
+                "response id mismatch (sent {id}, got {:?})",
+                value.get("id")
+            )));
+        }
+        match value.get("ok") {
+            Some(&Value::Bool(true)) => Ok(value.get("result").cloned().unwrap_or(Value::Null)),
+            Some(&Value::Bool(false)) => Err(RemoteError::Remote(
+                value
+                    .get("error")
+                    .and_then(Value::as_str)
+                    .unwrap_or("unspecified error")
+                    .to_string(),
+            )),
+            _ => Err(RemoteError::Protocol(
+                "response has no boolean `ok` field".to_string(),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// A scripted one-connection server: answers each received line with
+    /// the next canned response (or closes early when the script runs
+    /// out).
+    fn scripted_server(responses: Vec<Option<String>>) -> String {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = stream;
+            for response in responses {
+                let mut line = String::new();
+                if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                    return;
+                }
+                match response {
+                    Some(r) => {
+                        writeln!(writer, "{r}").unwrap();
+                        writer.flush().unwrap();
+                    }
+                    None => return, // scripted death: close mid-call
+                }
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn call_round_trips_result() {
+        let addr = scripted_server(vec![
+            Some(r#"{"id":1,"ok":true,"result":{"answer":42}}"#.into()),
+            Some(r#"{"id":2,"ok":false,"error":"nope"}"#.into()),
+        ]);
+        let mut worker = RemoteWorker::new(&addr);
+        assert_eq!(worker.addr(), addr);
+        let result = worker.call("ping", vec![]).unwrap();
+        assert_eq!(result.get("answer"), Some(&Value::U64(42)));
+        // An orderly error response keeps the connection open.
+        let err = worker.call("ping", vec![]).unwrap_err();
+        assert!(matches!(err, RemoteError::Remote(ref m) if m == "nope"));
+        assert!(worker.is_connected());
+    }
+
+    #[test]
+    fn mid_call_death_is_io_error_and_disconnects() {
+        let addr = scripted_server(vec![None]);
+        let mut worker = RemoteWorker::new(&addr);
+        let err = worker.call("ping", vec![]).unwrap_err();
+        assert!(matches!(err, RemoteError::Io(_)), "got {err}");
+        assert!(!worker.is_connected());
+    }
+
+    #[test]
+    fn id_mismatch_is_a_protocol_error() {
+        let addr = scripted_server(vec![Some(r#"{"id":99,"ok":true,"result":null}"#.into())]);
+        let mut worker = RemoteWorker::new(&addr);
+        let err = worker.call("ping", vec![]).unwrap_err();
+        assert!(matches!(err, RemoteError::Protocol(_)), "got {err}");
+        assert!(!worker.is_connected());
+    }
+
+    #[test]
+    fn unreachable_worker_is_io_error() {
+        // A port nothing listens on: connect must fail cleanly.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        drop(listener);
+        let mut worker = RemoteWorker::new(addr);
+        assert!(matches!(
+            worker.call("ping", vec![]),
+            Err(RemoteError::Io(_))
+        ));
+    }
+}

@@ -142,6 +142,25 @@ struct BatcherState<T> {
 /// A blocking multi-producer queue with drain-all consumption — the
 /// coalescing scheduler's inbox. See the module docs for the role it
 /// plays in the service.
+///
+/// # Examples
+///
+/// ```
+/// use naas_engine::Batcher;
+///
+/// let batcher: Batcher<u32> = Batcher::new();
+/// batcher.push(1);
+/// batcher.push(2);
+/// // The consumer coalesces: everything pending arrives as one batch.
+/// assert_eq!(batcher.next_batch(), Some(vec![1, 2]));
+///
+/// // Closing refuses producers and drains the rest.
+/// batcher.push(3);
+/// batcher.close();
+/// assert!(!batcher.push(4));
+/// assert_eq!(batcher.next_batch(), Some(vec![3]));
+/// assert_eq!(batcher.next_batch(), None);
+/// ```
 pub struct Batcher<T> {
     state: Mutex<BatcherState<T>>,
     ready: Condvar,

@@ -1,0 +1,350 @@
+//! Distributed sharded search: a coordinator fanning generations over
+//! remote TCP workers must reproduce the single-process search
+//! bit-for-bit — with a healthy fleet, with a worker dying
+//! mid-generation, and with the whole fleet gone (local fallback).
+
+use naas::service::{BatchEvalService, ServiceConfig, ServiceServer};
+use naas::{
+    accel_search_init, AccelSearchConfig, CoSearchEngine, DistributedCoordinator,
+    MappingSearchConfig,
+};
+use naas_cost::CostModel;
+use naas_engine::scenario;
+use naas_ir::Network;
+use serde_json::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::Arc;
+
+/// Spawns an in-process TCP worker — the exact serving stack behind
+/// `naas-search worker` — and returns its address. The worker thread is
+/// detached; it dies with the test process.
+fn spawn_worker(threads: usize) -> SocketAddr {
+    let service = BatchEvalService::new(ServiceConfig {
+        threads,
+        mapping: MappingSearchConfig::quick(7),
+        cache_file: None,
+    })
+    .expect("no cache file to load");
+    let server = Arc::new(ServiceServer::start(Arc::new(service)));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        let _ = server.serve_listener(listener);
+    });
+    addr
+}
+
+/// A worker that answers `fail_after` requests normally, then drops every
+/// connection mid-call — the deterministic stand-in for a machine dying
+/// mid-generation.
+fn spawn_flaky_worker(fail_after: usize) -> SocketAddr {
+    let service = BatchEvalService::new(ServiceConfig {
+        threads: 1,
+        mapping: MappingSearchConfig::quick(7),
+        cache_file: None,
+    })
+    .expect("no cache file to load");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        let mut answered = 0usize;
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { break };
+            let mut reader = BufReader::new(match stream.try_clone() {
+                Ok(clone) => clone,
+                Err(_) => break,
+            });
+            let mut writer = stream;
+            loop {
+                let mut line = String::new();
+                match reader.read_line(&mut line) {
+                    Ok(0) | Err(_) => break, // connection closed by peer
+                    Ok(_) => {}
+                }
+                if answered >= fail_after {
+                    return; // dies: connection drops mid-call, listener too
+                }
+                answered += 1;
+                let response = service.respond(line.trim_end());
+                if writeln!(writer, "{response}")
+                    .and_then(|_| writer.flush())
+                    .is_err()
+                {
+                    break;
+                }
+            }
+        }
+    });
+    addr
+}
+
+/// A worker whose process is healthy but whose every shard request is
+/// answered with an orderly error response — the contained-panic /
+/// rejected-request shape.
+fn spawn_rejecting_worker() -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { break };
+            let mut reader = BufReader::new(match stream.try_clone() {
+                Ok(clone) => clone,
+                Err(_) => break,
+            });
+            let mut writer = stream;
+            loop {
+                let mut line = String::new();
+                match reader.read_line(&mut line) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {}
+                }
+                let id = serde_json::from_str::<Value>(line.trim_end())
+                    .ok()
+                    .and_then(|v| v.get("id").cloned())
+                    .unwrap_or(Value::Null);
+                let response = naas_engine::service::error_line(&id, "injected rejection");
+                if writeln!(writer, "{response}")
+                    .and_then(|_| writer.flush())
+                    .is_err()
+                {
+                    break;
+                }
+            }
+        }
+    });
+    addr
+}
+
+fn scenario_fixture() -> (naas_engine::Scenario, Vec<Network>) {
+    let scenario = scenario::find("cifar-eyeriss").expect("registered scenario");
+    let job = scenario.resolve().expect("scenario resolves");
+    (scenario, job.networks)
+}
+
+fn search_cfg(seed: u64) -> AccelSearchConfig {
+    let mut cfg = AccelSearchConfig::quick(seed);
+    cfg.mapping = MappingSearchConfig::quick(7);
+    cfg.threads = 1;
+    cfg
+}
+
+fn run_local(cfg: &AccelSearchConfig, networks: &[Network]) -> naas::AccelSearchResult {
+    let scenario = scenario::find("cifar-eyeriss").unwrap();
+    let job = scenario.resolve().unwrap();
+    let engine = CoSearchEngine::new(cfg.threads);
+    let model = CostModel::new();
+    let mut state = accel_search_init(&job.constraint, cfg, &[]);
+    while naas::accel_search_step(&engine, &model, networks, &mut state) {}
+    state.into_result().expect("search finds a design")
+}
+
+fn run_distributed(
+    cfg: &AccelSearchConfig,
+    networks: &[Network],
+    coordinator: &mut DistributedCoordinator,
+) -> naas::AccelSearchResult {
+    let scenario = scenario::find("cifar-eyeriss").unwrap();
+    let job = scenario.resolve().unwrap();
+    let engine = CoSearchEngine::new(cfg.threads);
+    let model = CostModel::new();
+    let mut state = accel_search_init(&job.constraint, cfg, &[]);
+    while coordinator.step(&engine, &model, networks, &mut state) {}
+    state.into_result().expect("search finds a design")
+}
+
+/// Best design, history and evaluation counts must agree exactly —
+/// sharding only relocates pure-function evaluations. (`cache_stats` is
+/// intentionally excluded: a coordinator never runs local lookups.)
+fn assert_bit_identical(
+    distributed: &naas::AccelSearchResult,
+    local: &naas::AccelSearchResult,
+    context: &str,
+) {
+    assert_eq!(
+        distributed.best.accelerator, local.best.accelerator,
+        "{context}: best design differs"
+    );
+    assert_eq!(
+        distributed.best.reward, local.best.reward,
+        "{context}: best reward differs"
+    );
+    assert_eq!(
+        distributed.best.per_network, local.best.per_network,
+        "{context}: per-network costs differ"
+    );
+    assert_eq!(
+        distributed.history, local.history,
+        "{context}: history differs"
+    );
+    assert_eq!(
+        distributed.evaluations, local.evaluations,
+        "{context}: evaluation counts differ"
+    );
+}
+
+/// The acceptance criterion: a two-worker sharded run is bit-identical
+/// to the single-process run on the same scenario.
+#[test]
+fn two_worker_search_is_bit_identical_to_single_process() {
+    let (scenario, networks) = scenario_fixture();
+    let cfg = search_cfg(41);
+    let local = run_local(&cfg, &networks);
+
+    let addrs = vec![spawn_worker(1).to_string(), spawn_worker(1).to_string()];
+    let mut coordinator =
+        DistributedCoordinator::connect(&addrs, &scenario).expect("fleet reachable");
+    assert_eq!(coordinator.live_workers(), 2);
+    assert_eq!(coordinator.plan().workers, addrs);
+    let distributed = run_distributed(&cfg, &networks, &mut coordinator);
+
+    assert_bit_identical(&distributed, &local, "two healthy workers");
+    assert_eq!(coordinator.live_workers(), 2, "no worker was lost");
+}
+
+/// A worker that dies mid-run: its shard is re-issued to the survivor
+/// and the final result still matches the no-failure run exactly.
+#[test]
+fn dead_worker_shard_is_reissued_with_identical_results() {
+    let (scenario, networks) = scenario_fixture();
+    let cfg = search_cfg(43);
+    let local = run_local(&cfg, &networks);
+
+    // The flaky worker answers one shard (generation 0), then drops the
+    // connection mid-generation-1; the healthy worker absorbs its shard.
+    let addrs = vec![
+        spawn_flaky_worker(1).to_string(),
+        spawn_worker(1).to_string(),
+    ];
+    let mut coordinator =
+        DistributedCoordinator::connect(&addrs, &scenario).expect("fleet reachable");
+    let distributed = run_distributed(&cfg, &networks, &mut coordinator);
+
+    assert_bit_identical(&distributed, &local, "worker died mid-run");
+    assert_eq!(
+        coordinator.live_workers(),
+        1,
+        "the flaky worker must be marked dead"
+    );
+}
+
+/// An orderly error *response* is a request failure, not a worker
+/// death: the shard lands on the local fallback, the result is still
+/// bit-identical, and — crucially — the rejecting worker stays alive
+/// (one poisoned request must not destroy the fleet).
+#[test]
+fn rejected_shard_goes_local_without_killing_the_worker() {
+    let (scenario, networks) = scenario_fixture();
+    let cfg = search_cfg(61);
+    let local = run_local(&cfg, &networks);
+
+    let addrs = vec![
+        spawn_rejecting_worker().to_string(),
+        spawn_worker(1).to_string(),
+    ];
+    let mut coordinator =
+        DistributedCoordinator::connect(&addrs, &scenario).expect("fleet reachable");
+    let distributed = run_distributed(&cfg, &networks, &mut coordinator);
+
+    assert_bit_identical(&distributed, &local, "worker rejecting every shard");
+    assert_eq!(
+        coordinator.live_workers(),
+        2,
+        "an orderly error response must not mark the worker dead"
+    );
+}
+
+/// The whole fleet dying mid-run falls back to coordinator-local
+/// evaluation — the search still converges to the identical result.
+#[test]
+fn total_fleet_loss_falls_back_to_local_evaluation() {
+    let (scenario, networks) = scenario_fixture();
+    let cfg = search_cfg(47);
+    let local = run_local(&cfg, &networks);
+
+    let addrs = vec![spawn_flaky_worker(1).to_string()];
+    let mut coordinator =
+        DistributedCoordinator::connect(&addrs, &scenario).expect("fleet reachable");
+    let distributed = run_distributed(&cfg, &networks, &mut coordinator);
+
+    assert_bit_identical(&distributed, &local, "entire fleet lost");
+    assert_eq!(coordinator.live_workers(), 0);
+}
+
+/// `search_step` over the wire: a thin client can drive a whole search
+/// remotely by round-tripping the serialized state, and the trajectory
+/// matches the in-process one exactly.
+#[test]
+fn remote_search_step_reproduces_local_trajectory() {
+    let (scenario, networks) = scenario_fixture();
+    let cfg = search_cfg(53);
+    let local = run_local(&cfg, &networks);
+
+    let job = scenario.resolve().unwrap();
+    let mut state = accel_search_init(&job.constraint, &cfg, &[]);
+    let mut worker = naas_engine::RemoteWorker::new(spawn_worker(1).to_string());
+    let scenario_value = serde_json::to_value(&scenario);
+    loop {
+        let reply = worker
+            .call(
+                "search_step",
+                vec![
+                    ("scenario".to_string(), scenario_value.clone()),
+                    ("state".to_string(), serde_json::to_value(&state)),
+                ],
+            )
+            .expect("remote step succeeds");
+        let advanced = reply.get("advanced") == Some(&Value::Bool(true));
+        state = serde_json::from_value(reply.get("state").expect("reply carries state"))
+            .expect("state round-trips");
+        if !advanced {
+            panic!("remote step refused before the budget was exhausted");
+        }
+        if reply.get("done") == Some(&Value::Bool(true)) {
+            break;
+        }
+    }
+    let remote = state.into_result().expect("search finds a design");
+    assert_eq!(remote.best.accelerator, local.best.accelerator);
+    assert_eq!(remote.best.reward, local.best.reward);
+    assert_eq!(remote.history, local.history);
+    assert_eq!(remote.evaluations, local.evaluations);
+}
+
+/// Cache gossip: after a sharded run, the coordinator's engine holds the
+/// fleet's mapping results (absorbed deltas), so a follow-up local run
+/// of the same scenario is answered entirely from cache.
+#[test]
+fn coordinator_absorbs_fleet_cache_deltas() {
+    let (scenario, networks) = scenario_fixture();
+    let cfg = search_cfg(59);
+
+    let addrs = vec![spawn_worker(1).to_string(), spawn_worker(1).to_string()];
+    let mut coordinator =
+        DistributedCoordinator::connect(&addrs, &scenario).expect("fleet reachable");
+
+    let job = scenario.resolve().unwrap();
+    let engine = CoSearchEngine::new(1);
+    let model = CostModel::new();
+    let mut state = accel_search_init(&job.constraint, &cfg, &[]);
+    while coordinator.step(&engine, &model, &networks, &mut state) {}
+    let distributed = state.into_result().expect("search finds a design");
+    assert!(
+        engine.cache_stats().entries > 0,
+        "worker deltas must land in the coordinator cache"
+    );
+
+    // Re-run the same search locally on the coordinator's engine: every
+    // mapping search was already solved somewhere in the fleet.
+    let misses_before = engine.cache_stats().misses;
+    let mut state = accel_search_init(&job.constraint, &cfg, &[]);
+    while naas::accel_search_step(&engine, &model, &networks, &mut state) {}
+    let replay = state.into_result().expect("search finds a design");
+    assert_eq!(replay.best.accelerator, distributed.best.accelerator);
+    assert_eq!(replay.history, distributed.history);
+    assert_eq!(
+        engine.cache_stats().misses,
+        misses_before,
+        "replay must be answered entirely from absorbed fleet results"
+    );
+}

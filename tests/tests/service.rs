@@ -304,6 +304,80 @@ fn persisted_cache_warms_next_service_with_identical_answers() {
     std::fs::remove_file(&path).ok();
 }
 
+/// Per-request `mapping_budget` overrides evaluate under their own
+/// budget *and* leave the shared cache unpolluted: the whole mapping
+/// config is part of the design fingerprint, so overridden requests
+/// read/write disjoint cache keys and the default-budget answer stays
+/// byte-for-byte what a fresh service would produce.
+#[test]
+fn mapping_budget_override_does_not_pollute_shared_cache_keys() {
+    let baseline_request =
+        r#"{"id":1,"cmd":"score_design","scenario":"cifar-eyeriss","design":"Eyeriss"}"#;
+    let override_request = r#"{"id":2,"cmd":"score_design","scenario":"cifar-eyeriss","design":"Eyeriss","mapping_budget":{"population":4,"iterations":1}}"#;
+
+    // Overridden traffic first, then default traffic, on one service.
+    let s = service(1);
+    let overridden = result_of(&s.respond(override_request));
+    let entries_after_override = s.engine().cache_stats().entries;
+    assert!(entries_after_override > 0);
+    let default_answer = s.respond(baseline_request);
+    assert!(
+        s.engine().cache_stats().entries > entries_after_override,
+        "default-budget traffic must occupy its own cache keys, not reuse the override's"
+    );
+
+    // The default answer is exactly what a never-overridden service
+    // computes; the overridden answer differs (a 4×1 budget finds a
+    // different mapping than 8×3 on this layer set).
+    let fresh_answer = service(1).respond(baseline_request);
+    assert_eq!(default_answer, fresh_answer, "override polluted the cache");
+    assert!(overridden.get("reward").unwrap().as_f64().is_some());
+
+    // The override takes effect: a 4×1 budget runs strictly fewer
+    // evaluations than the default 8×3 on the same layer search.
+    let layer_request = |budget: &str| {
+        format!(
+            r#"{{"id":9,"cmd":"search_layer","design":"Eyeriss","layer":{}{budget}}}"#,
+            layer_json()
+        )
+    };
+    let small = result_of(&s.respond(&layer_request(
+        r#","mapping_budget":{"population":4,"iterations":1}"#,
+    )));
+    let full = result_of(&s.respond(&layer_request("")));
+    assert!(
+        small.get("evaluations").unwrap().as_u64() < full.get("evaluations").unwrap().as_u64(),
+        "the override budget must actually take effect: {small:?} vs {full:?}"
+    );
+
+    // Malformed overrides are orderly errors.
+    let bad = parse(&s.respond(
+        r#"{"id":3,"cmd":"score_design","scenario":"cifar-eyeriss","mapping_budget":{"population":0}}"#,
+    ));
+    assert_eq!(bad.get("ok"), Some(&Value::Bool(false)));
+    assert!(bad
+        .get("error")
+        .and_then(Value::as_str)
+        .unwrap()
+        .contains("mapping_budget"));
+}
+
+/// `scenario` accepts a full scenario object (the distributed
+/// coordinator's way of shipping `--file` scenarios no worker registry
+/// knows), answering exactly like the equivalent registered name.
+#[test]
+fn scenario_objects_are_accepted_inline() {
+    let s = service(1);
+    let by_name =
+        s.respond(r#"{"id":1,"cmd":"score_design","scenario":"cifar-eyeriss","design":"Eyeriss"}"#);
+    let scenario = scenario::find("cifar-eyeriss").unwrap();
+    let by_object = s.respond(&format!(
+        r#"{{"id":1,"cmd":"score_design","scenario":{},"design":"Eyeriss"}}"#,
+        serde_json::to_string(&scenario).unwrap()
+    ));
+    assert_eq!(by_object, by_name);
+}
+
 /// The no-valid-design condition surfaces as an error response (the
 /// service face of the `NoValidDesign` bugfix): a design that cannot map
 /// the suite is an answer, not a panic.
