@@ -48,6 +48,7 @@ fn bench(c: &mut Criterion) {
         threads: 1,
         mapping: MappingSearchConfig::quick(7),
         cache_file: None,
+        cache_cap: 0,
     })
     .expect("no cache file");
 

@@ -4,15 +4,17 @@
 //! naas-search list
 //! naas-search run <scenario> [--preset smoke|quick|paper] [--seed N]
 //!                            [--threads N] [--checkpoint FILE] [--every K]
-//!                            [--cache-file FILE] [--workers host:port,...]
+//!                            [--cache-file FILE] [--cache-cap N]
+//!                            [--workers host:port,...]
 //! naas-search run --file scenario.json [...]
 //! naas-search resume <checkpoint-file> [--threads N] [--cache-file FILE]
+//!                                      [--cache-cap N]
 //!                                      [--workers host:port,...|local]
 //! naas-search show <checkpoint-file>
 //! naas-search serve [--port N] [--bind ADDR] [--preset smoke|quick|paper]
-//!                   [--threads N] [--cache-file FILE]
+//!                   [--threads N] [--cache-file FILE] [--cache-cap N]
 //! naas-search worker --port N [--bind ADDR] [--preset smoke|quick|paper]
-//!                    [--threads N] [--cache-file FILE]
+//!                    [--threads N] [--cache-file FILE] [--cache-cap N]
 //! naas-search client <host:port>
 //! ```
 //!
@@ -47,6 +49,10 @@
 //! Because cached results are content-addressed, warming never changes
 //! results — it only skips recomputing `(design, layer-shape)` pairs a
 //! previous run already solved, which is most of a resumed search's work.
+//! `--cache-cap N` bounds the cache to N resident entries (CLOCK
+//! eviction; unbounded by default) — set it on week-long runs and on
+//! long-lived `serve`/`worker` processes so memory holds steady.
+//! Eviction costs recomputation, never correctness.
 
 use naas::prelude::*;
 use naas::{accel_search_init, AccelSearchState};
@@ -69,14 +75,14 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  naas-search list\n  naas-search run <scenario|--file scenario.json> \
          [--preset smoke|quick|paper] [--seed N] [--threads N] [--checkpoint FILE] [--every K] \
-         [--cache-file FILE] [--workers host:port,...]\n  \
+         [--cache-file FILE] [--cache-cap N] [--workers host:port,...]\n  \
          naas-search resume <checkpoint-file> [--threads N] [--every K] [--cache-file FILE] \
-         [--workers host:port,...|local]\n  \
+         [--cache-cap N] [--workers host:port,...|local]\n  \
          naas-search show <checkpoint-file>\n  \
          naas-search serve [--port N] [--bind ADDR] [--preset smoke|quick|paper] \
-         [--threads N] [--cache-file FILE]\n  \
+         [--threads N] [--cache-file FILE] [--cache-cap N]\n  \
          naas-search worker --port N [--bind ADDR] [--preset smoke|quick|paper] \
-         [--threads N] [--cache-file FILE]\n  \
+         [--threads N] [--cache-file FILE] [--cache-cap N]\n  \
          naas-search client <host:port>"
     );
     exit(2);
@@ -289,10 +295,15 @@ fn make_driver(workers: Option<&str>, scenario: &Scenario) -> Driver {
     Driver::Distributed(coordinator)
 }
 
-/// Resolves `--cache-file` and warm-loads it into the engine's memo
-/// cache when the file already exists. Returns the path so the driver
-/// can persist the cache as the search progresses.
+/// Resolves `--cache-cap` (0 = unbounded) and `--cache-file`,
+/// warm-loading the latter into the engine's memo cache when the file
+/// already exists (the cap is applied first, so an oversized file is
+/// trimmed on absorption). Returns the path so the driver can persist
+/// the cache as the search progresses.
 fn warm_load_cache<'a>(engine: &CoSearchEngine, args: &'a Args) -> Option<&'a std::path::Path> {
+    if let Some(cap) = args.get_num("cache-cap") {
+        engine.cache().set_entry_cap(cap);
+    }
     let path = args.get("cache-file").map(std::path::Path::new)?;
     if path.exists() {
         match engine.cache().load_from(path) {
@@ -462,6 +473,7 @@ fn build_service(args: &Args, banner: &str) -> naas::BatchEvalService {
         threads,
         mapping,
         cache_file: args.get("cache-file").map(std::path::PathBuf::from),
+        cache_cap: args.get_num("cache-cap").unwrap_or(0),
     })
     .unwrap_or_else(|e| fail(format!("cannot start {banner}: {e}")));
     eprintln!(

@@ -1,21 +1,34 @@
-//! Distributed population sharding: the outer accelerator search fanned
-//! over remote worker processes.
+//! Distributed population sharding: the outer accelerator **and joint**
+//! searches fanned over remote worker processes, with a fleet lifecycle
+//! built for week-long runs.
 //!
 //! The paper's evolutionary co-search evaluates a sampled population per
 //! generation, and every candidate's evaluation is a pure function of
 //! its content (content-derived inner seeds, content-addressed mapping
 //! cache). That purity is what makes distribution *trivial to get right*:
 //! a [`DistributedCoordinator`] runs the ordinary sampling/optimizer
-//! logic of [`accel_search_step_with`] and only relocates the candidate
-//! evaluations — each generation's population is split into contiguous
-//! shards in candidate order, one `evaluate_shard` request per live
-//! worker (`naas-search worker` processes speaking the JSONL protocol of
-//! `docs/PROTOCOL.md`), and the replies are merged back in candidate
-//! order. The search trajectory — best design, history, evaluation
-//! counts — is **bit-identical** to the single-process run at any worker
-//! count, enforced by `tests/tests/distributed.rs`.
+//! logic of [`accel_search_step_with`] (or [`joint_search_step_with`] for
+//! the joint loop) and only relocates the candidate evaluations — each
+//! generation's population is split into contiguous shards in candidate
+//! order, one `evaluate_shard` request per live worker (`naas-search
+//! worker` processes speaking the JSONL protocol of `docs/PROTOCOL.md`),
+//! and the replies are merged back in candidate order. The search
+//! trajectory — best design, history, evaluation counts — is
+//! **bit-identical** to the single-process run at any worker count,
+//! enforced by `tests/tests/distributed.rs`.
 //!
-//! ## Failure model
+//! ## Version handshake
+//!
+//! Every worker connection (first dial *and* every rejoin re-dial) opens
+//! with the `hello` handshake
+//! ([`naas_engine::remote::RemoteWorker::enable_handshake`]): protocol
+//! versions must match exactly, and the worker advertises capability
+//! strings the coordinator gates optional behaviour on (`"joint"` for
+//! joint-search shards). A mismatched build — including one swapped in
+//! behind a restarted worker — is refused cleanly at dial time instead
+//! of corrupting serialized state mid-run.
+//!
+//! ## Failure model and auto-rejoin
 //!
 //! A worker that dies mid-generation (connection drop, protocol
 //! violation) is marked dead and its shard is re-issued to a surviving
@@ -24,9 +37,20 @@
 //! is healthy, the request failed (e.g. a contained handler panic), so
 //! the shard goes to the local fallback — where a deterministic failure
 //! surfaces exactly as a single-process run would surface it — and the
-//! fleet stays alive. Dead workers stay dead for the rest of the run —
-//! the shard *plan* (the worker address list) is recorded in
-//! checkpoints, so a resumed run can re-dial the full fleet.
+//! fleet stays alive.
+//!
+//! Dead workers do **not** stay dead: at each generation boundary the
+//! coordinator re-dials every dead worker whose retry is due — the
+//! first re-dial one generation after death, then with exponential
+//! backoff capped at [`REJOIN_BACKOFF_CAP`] generations. A worker that
+//! answers (and passes the handshake again) is re-admitted into the
+//! shard plan for that generation, and its first shard request carries
+//! a **full cache snapshot** instead of an incremental delta — a
+//! restarted worker lost its memo state, and replaying the backlog
+//! makes it warm again immediately. A worker that fails the handshake
+//! on rejoin (it was restarted with a different build) is banned for
+//! the rest of the run. The shard *plan* (the worker address list) is
+//! recorded in checkpoints, so a resumed run re-dials the full fleet.
 //!
 //! ## Cache gossip
 //!
@@ -38,17 +62,40 @@
 //! solved anywhere is solved everywhere, without workers knowing about
 //! each other. Relaying is sound for the same reason sharing the
 //! in-process cache is: entries are pure functions of their keys.
+//!
+//! For week-long fleets the relay bookkeeping is bounded: the delta log
+//! is compacted at every generation boundary (the prefix every live
+//! worker has already received is dropped), and the deduplication set is
+//! cleared past [`SEEN_CAP`] keys (duplicated gossip is absorbed
+//! idempotently, so clearing costs bytes on the wire, never
+//! correctness). Bound the caches themselves with `--cache-cap`
+//! ([`naas_engine::MemoCache::set_entry_cap`]).
+//!
+//! # Examples
+//!
+//! Wiring a coordinator is two calls — everything else is the ordinary
+//! step loop (here against an empty fleet list, which is refused):
+//!
+//! ```should_panic
+//! use naas::distributed::DistributedCoordinator;
+//! let scenario = naas_engine::scenario::registry()[0].clone();
+//! // Panics: a fleet needs at least one worker address.
+//! let _ = DistributedCoordinator::connect(&[], &scenario);
+//! ```
 
-use crate::accel_search::{
-    accel_search_step_with, evaluate_candidate, AccelSearchConfig, AccelSearchState,
-};
+use crate::accel_search::{accel_search_step_with, evaluate_candidate, AccelSearchState};
 use crate::engine::CoSearchEngine;
+use crate::joint::{
+    evaluate_joint_candidate, joint_nas_seed, joint_search_step_with, JointSearchState,
+};
 use crate::mapping_search::MappingSearchResult;
 use naas_accel::Accelerator;
 use naas_cost::{CostModel, NetworkCost};
 use naas_engine::remote::{RemoteError, RemoteWorker};
-use naas_engine::{parallel_map, CacheSnapshot, LayerKey, Scenario};
+use naas_engine::{CacheSnapshot, LayerKey, Scenario};
 use naas_ir::Network;
+use naas_nas::search::NasOutcome;
+use naas_nas::AccuracyModel;
 use serde::{Deserialize, Serialize, Value};
 use std::collections::HashSet;
 use std::ops::Range;
@@ -57,6 +104,30 @@ use std::ops::Range;
 /// itself (local fallback); never matches a worker index, so such
 /// entries are relayed to every worker.
 const SELF_SOURCE: usize = usize::MAX;
+
+/// Upper bound, in generations, on the re-dial backoff of a dead worker:
+/// the first re-dial happens one generation after death, then the gap
+/// doubles per failed attempt until it saturates here. A probe against a
+/// still-down worker is one refused TCP connect — or, when the machine
+/// drops SYNs silently, at most [`CONNECT_TIMEOUT`] — cheap enough to
+/// keep probing a week-long run indefinitely.
+pub const REJOIN_BACKOFF_CAP: usize = 8;
+
+/// Upper bound on the gossip deduplication set; past it the set is
+/// cleared (workers absorb re-relayed entries idempotently, so the cost
+/// is wire bytes, not correctness). Bounds coordinator memory on runs
+/// whose distinct-key universe never stops growing.
+pub const SEEN_CAP: usize = 1 << 20;
+
+/// The capability string a worker must advertise before joint-search
+/// shards are routed to it.
+const JOINT_CAPABILITY: &str = "joint";
+
+/// Bound on every worker dial (first connect, transparent reconnect,
+/// rejoin probe). Rejoin probes run at the generation barrier, so an
+/// unreachable-but-not-refusing worker must cost a bounded beat there,
+/// never an OS-default connect stall of minutes.
+pub const CONNECT_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(5);
 
 /// The serializable record of how a run is sharded — written into
 /// checkpoints so `naas-search resume` can re-dial the same fleet
@@ -71,55 +142,122 @@ pub struct ShardPlan {
 /// costs plus the aggregated reward, or `None` for an infeasible design.
 pub type CandidateOutcome = Option<(Vec<NetworkCost>, f64)>;
 
-/// A worker's shard assignment for one generation: the candidate range
-/// plus the prebuilt request parameters.
-type ShardAssignment = (Range<usize>, Vec<(String, Value)>);
+/// The incremental cache image piggybacked on shard replies.
+type Delta = CacheSnapshot<Option<MappingSearchResult>>;
+
+/// The parameter list of one `evaluate_shard` request.
+type ShardParams = Vec<(String, Value)>;
+
+/// Builds the mode-specific request parameters for one candidate range
+/// (the coordinator appends the cache delta itself).
+type BuildShard<'a> = dyn Fn(Range<usize>) -> ShardParams + 'a;
+
+/// Decodes one shard reply into per-candidate results plus the
+/// piggybacked cache delta.
+type ParseShard<T> = dyn Fn(&Value, usize) -> Result<(Vec<T>, Delta), String>;
+
+/// Evaluates one candidate range on the coordinator's own engine.
+type LocalFallback<'a, T> = dyn FnMut(Range<usize>) -> Vec<T> + 'a;
 
 struct WorkerSlot {
     remote: RemoteWorker,
     alive: bool,
     /// Prefix of `delta_log` already shipped to this worker.
     synced: usize,
+    /// Set on rejoin: the next shard request carries a full cache
+    /// snapshot (the restarted worker lost its memo state) instead of
+    /// an incremental delta.
+    full_resync: bool,
+    /// Failed re-dials since this worker died (drives the backoff).
+    rejoin_attempts: u32,
+    /// Generation index at which the next re-dial is due.
+    next_retry: usize,
+    /// A rejoin handshake found an incompatible build: never re-dial.
+    banned: bool,
 }
 
-/// Coordinates an accelerator search whose population evaluations are
-/// sharded over remote `naas-search worker` processes. See the module
-/// docs for the protocol, failure and cache-gossip semantics.
+impl WorkerSlot {
+    /// Marks the slot dead and schedules its first re-dial for the next
+    /// generation boundary (unless `ban` — version mismatch — in which
+    /// case no re-dial will ever be attempted).
+    fn mark_dead(&mut self, generation: usize, ban: bool) {
+        self.alive = false;
+        self.banned = self.banned || ban;
+        self.rejoin_attempts = 0;
+        self.next_retry = generation + 1;
+    }
+}
+
+/// Coordinates a search whose population evaluations are sharded over
+/// remote `naas-search worker` processes — [`DistributedCoordinator::step`]
+/// for the accelerator search, [`DistributedCoordinator::step_joint`]
+/// for the joint loop. See the module docs for the protocol, handshake,
+/// rejoin and cache-gossip semantics.
 pub struct DistributedCoordinator {
     workers: Vec<WorkerSlot>,
     scenario_value: Value,
+    /// The generation index of the step in progress (drives rejoin
+    /// scheduling and backoff arithmetic).
+    generation: usize,
     /// Every cache key learned so far (worker deltas + local fallback),
     /// with the worker index it came from. Values are *not* duplicated
     /// here — they live in the coordinator's engine cache, and relay
     /// snapshots fetch them by key when a shard request is built.
+    /// Compacted every generation down to the suffix some live worker
+    /// still needs.
     delta_log: Vec<(usize, u64, LayerKey)>,
     seen: HashSet<(u64, LayerKey)>,
 }
 
 impl DistributedCoordinator {
-    /// Dials every worker address up front — a mistyped address should
-    /// fail the run at startup, not strand a shard mid-search. The
-    /// `scenario` travels with every shard request (as a full object, so
-    /// `--file` scenarios outside the worker's registry work too).
+    /// Dials every worker address up front — a mistyped address or a
+    /// mismatched build should fail the run at startup, not strand a
+    /// shard mid-search. Every connection opens with the `hello`
+    /// handshake. The `scenario` travels with every accelerator-search
+    /// shard request (as a full object, so `--file` scenarios outside
+    /// the worker's registry work too).
     ///
     /// # Errors
     ///
-    /// The first [`RemoteError`] of a worker that cannot be reached.
+    /// The first [`RemoteError`] of a worker that cannot be reached or
+    /// fails the handshake ([`RemoteError::Incompatible`]).
     pub fn connect(addrs: &[String], scenario: &Scenario) -> Result<Self, RemoteError> {
+        Self::connect_with(addrs, serde_json::to_value(scenario))
+    }
+
+    /// [`DistributedCoordinator::connect`] for a pure joint-search fleet:
+    /// joint shards carry their workload in the NAS space, so no
+    /// scenario is shipped.
+    pub fn connect_joint(addrs: &[String]) -> Result<Self, RemoteError> {
+        Self::connect_with(addrs, Value::Null)
+    }
+
+    fn connect_with(addrs: &[String], scenario_value: Value) -> Result<Self, RemoteError> {
         assert!(!addrs.is_empty(), "need at least one worker address");
         let mut workers = Vec::with_capacity(addrs.len());
         for addr in addrs {
             let mut remote = RemoteWorker::new(addr.clone());
+            remote.enable_handshake("naas-search coordinator");
+            // Bound every dial — above all the rejoin probes, which run
+            // synchronously at the generation barrier: a powered-off
+            // worker (SYNs silently dropped) must cost this much, not
+            // the OS connect timeout of minutes.
+            remote.set_connect_timeout(CONNECT_TIMEOUT);
             remote.connect()?;
             workers.push(WorkerSlot {
                 remote,
                 alive: true,
                 synced: 0,
+                full_resync: false,
+                rejoin_attempts: 0,
+                next_retry: 0,
+                banned: false,
             });
         }
         Ok(DistributedCoordinator {
             workers,
-            scenario_value: serde_json::to_value(scenario),
+            scenario_value,
+            generation: 0,
             delta_log: Vec::new(),
             seen: HashSet::new(),
         })
@@ -136,17 +274,17 @@ impl DistributedCoordinator {
         }
     }
 
-    /// Workers still considered alive.
+    /// Workers currently considered alive.
     pub fn live_workers(&self) -> usize {
         self.workers.iter().filter(|w| w.alive).count()
     }
 
-    /// Advances the search by one generation, with candidate evaluations
-    /// sharded over the workers — the distributed counterpart of
-    /// [`crate::accel_search::accel_search_step`], producing the
-    /// bit-identical state trajectory. `engine` is the coordinator's own
-    /// engine: it absorbs the fleet's cache deltas and evaluates
-    /// fallback shards when every worker is dead.
+    /// Advances the accelerator search by one generation, with candidate
+    /// evaluations sharded over the workers — the distributed
+    /// counterpart of [`crate::accel_search::accel_search_step`],
+    /// producing the bit-identical state trajectory. `engine` is the
+    /// coordinator's own engine: it absorbs the fleet's cache deltas and
+    /// evaluates fallback shards when every worker is dead.
     pub fn step(
         &mut self,
         engine: &CoSearchEngine,
@@ -156,50 +294,204 @@ impl DistributedCoordinator {
     ) -> bool {
         assert!(!networks.is_empty(), "need at least one benchmark network");
         let cfg = state.config;
+        self.generation = state.iteration;
         let advanced = accel_search_step_with(state, |slots| {
-            self.evaluate_generation(engine, model, networks, &cfg, slots)
+            self.try_rejoin();
+            let scenario_value = self.scenario_value.clone();
+            let build = |range: Range<usize>| -> Vec<(String, Value)> {
+                let candidates: Vec<Accelerator> =
+                    slots[range].iter().map(|(_, a)| a.clone()).collect();
+                vec![
+                    ("scenario".to_string(), scenario_value.clone()),
+                    ("candidates".to_string(), serde_json::to_value(&candidates)),
+                    ("mapping".to_string(), serde_json::to_value(&cfg.mapping)),
+                    ("reward".to_string(), serde_json::to_value(&cfg.reward)),
+                ]
+            };
+            let mut fallback = |range: Range<usize>| {
+                naas_engine::parallel_map(engine.threads(), &slots[range], |_idx, (_, accel)| {
+                    evaluate_candidate(engine, model, accel, networks, &cfg.mapping, cfg.reward)
+                })
+            };
+            self.evaluate_sharded(
+                engine,
+                slots.len(),
+                None,
+                &build,
+                &parse_shard_reply,
+                &mut fallback,
+            )
         });
         if advanced {
             state.cache_stats = engine.cache_stats();
+            self.compact_delta_log();
         }
         advanced
     }
 
-    /// Evaluates one generation's candidates: fan out, merge in candidate
-    /// order, re-issue dead workers' shards.
-    fn evaluate_generation(
+    /// Advances the **joint** search by one outer generation, with each
+    /// candidate's whole NAS evolution sharded over the workers — the
+    /// distributed counterpart of [`crate::joint::joint_search_step`] on
+    /// the [`joint_search_step_with`] seam, bit-identical to the
+    /// single-process joint trajectory (fixture-enforced). Only workers
+    /// advertising the `"joint"` capability receive joint shards; with
+    /// none in the fleet, every generation runs on the local fallback.
+    /// The coordinator's `accuracy` model is shipped with every shard,
+    /// so workers need no out-of-band surrogate configuration.
+    pub fn step_joint(
         &mut self,
         engine: &CoSearchEngine,
         model: &CostModel,
-        networks: &[Network],
-        cfg: &AccelSearchConfig,
-        slots: &[(Vec<f64>, Accelerator)],
-    ) -> Vec<CandidateOutcome> {
-        let mut merged: Vec<Option<CandidateOutcome>> = vec![None; slots.len()];
+        accuracy: &AccuracyModel,
+        state: &mut JointSearchState,
+    ) -> bool {
+        let cfg = state.config;
+        let iteration = state.iteration;
+        self.generation = iteration;
+        let advanced = joint_search_step_with(state, |slots| {
+            self.try_rejoin();
+            let build = |range: Range<usize>| -> Vec<(String, Value)> {
+                let candidates: Vec<Accelerator> = slots[range.clone()]
+                    .iter()
+                    .map(|(_, _, a)| a.clone())
+                    .collect();
+                let seeds: Vec<u64> = slots[range]
+                    .iter()
+                    .map(|(slot, _, _)| joint_nas_seed(&cfg, iteration, *slot))
+                    .collect();
+                vec![
+                    ("candidates".to_string(), serde_json::to_value(&candidates)),
+                    (
+                        "mapping".to_string(),
+                        serde_json::to_value(&cfg.accel.mapping),
+                    ),
+                    (
+                        "joint".to_string(),
+                        Value::Object(vec![
+                            ("nas".to_string(), serde_json::to_value(&cfg.nas)),
+                            ("seeds".to_string(), serde_json::to_value(&seeds)),
+                            ("accuracy".to_string(), serde_json::to_value(accuracy)),
+                        ]),
+                    ),
+                ]
+            };
+            let mut fallback = |range: Range<usize>| {
+                naas_engine::parallel_map(
+                    engine.threads(),
+                    &slots[range],
+                    |_idx, (slot, _, accel)| {
+                        evaluate_joint_candidate(
+                            engine,
+                            model,
+                            accuracy,
+                            accel,
+                            &cfg.accel.mapping,
+                            &cfg.nas,
+                            joint_nas_seed(&cfg, iteration, *slot),
+                        )
+                    },
+                )
+            };
+            self.evaluate_sharded(
+                engine,
+                slots.len(),
+                Some(JOINT_CAPABILITY),
+                &build,
+                &parse_joint_shard_reply,
+                &mut fallback,
+            )
+        });
+        if advanced {
+            self.compact_delta_log();
+        }
+        advanced
+    }
+
+    /// Re-dials every dead, unbanned worker whose retry is due this
+    /// generation. Runs at each generation boundary, before shards are
+    /// assigned, so a rejoined worker takes part in the very generation
+    /// that re-admitted it.
+    fn try_rejoin(&mut self) {
+        let generation = self.generation;
+        let log_len = self.delta_log.len();
+        for slot in &mut self.workers {
+            if slot.alive || slot.banned || generation < slot.next_retry {
+                continue;
+            }
+            let addr = slot.remote.addr().to_string();
+            slot.remote.disconnect();
+            match slot.remote.connect() {
+                Ok(()) => {
+                    slot.alive = true;
+                    slot.full_resync = true;
+                    slot.synced = log_len;
+                    slot.rejoin_attempts = 0;
+                    eprintln!(
+                        "worker {addr} rejoined the fleet at generation {generation}; \
+                         warming it with a full cache snapshot"
+                    );
+                }
+                Err(e @ RemoteError::Incompatible(_)) => {
+                    slot.banned = true;
+                    eprintln!(
+                        "worker {addr} came back with an incompatible build ({e}); \
+                         not re-admitting it"
+                    );
+                }
+                Err(e) => {
+                    slot.rejoin_attempts += 1;
+                    let backoff = (1usize << slot.rejoin_attempts.min(8)).min(REJOIN_BACKOFF_CAP);
+                    slot.next_retry = generation + backoff;
+                    eprintln!(
+                        "worker {addr} still unreachable ({e}); \
+                         next re-dial in {backoff} generation(s)"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The generic fan-out/merge/re-issue engine under both search
+    /// modes: shards `n` candidates over the live workers (optionally
+    /// only those advertising `capability`), sends one `evaluate_shard`
+    /// request per shard (built by `build`, with the worker's pending
+    /// cache delta appended), decodes replies with `parse`, re-issues
+    /// the shards of failed workers, and falls back to `fallback` on
+    /// the coordinator's own engine when no worker can take a shard.
+    /// Results are merged in candidate order — the property that makes
+    /// distribution invisible in the trajectory.
+    fn evaluate_sharded<T>(
+        &mut self,
+        engine: &CoSearchEngine,
+        n: usize,
+        capability: Option<&str>,
+        build: &BuildShard<'_>,
+        parse: &ParseShard<T>,
+        fallback: &mut LocalFallback<'_, T>,
+    ) -> Vec<T> {
+        let mut merged: Vec<Option<T>> = (0..n).map(|_| None).collect();
         let mut failed: Vec<Range<usize>> = Vec::new();
 
-        // Assign contiguous shards (in candidate order) to live workers
-        // and build each request up front: the request body snapshots
-        // this worker's pending cache delta, and `synced` advances
-        // whether or not the call later succeeds (a failed worker is
-        // dead; a re-issued shard re-syncs through its new worker).
+        // Assign contiguous shards (in candidate order) to eligible
+        // workers and build each request up front: the request body
+        // snapshots this worker's pending cache delta, and `synced`
+        // advances whether or not the call later succeeds (a failed
+        // worker is dead; a re-issued shard re-syncs through its new
+        // worker).
         let live: Vec<usize> = (0..self.workers.len())
-            .filter(|&w| self.workers[w].alive)
+            .filter(|&w| self.eligible(w, capability))
             .collect();
-        let mut per_worker: Vec<Option<ShardAssignment>> =
+        let mut per_worker: Vec<Option<(Range<usize>, ShardParams)>> =
             (0..self.workers.len()).map(|_| None).collect();
         if live.is_empty() {
-            // The whole fleet died in an earlier generation: everything
-            // goes straight to the fallback path.
-            failed.push(0..slots.len());
+            // No worker can take this mode's shards (fleet dead, or no
+            // capability match): everything goes to the fallback path.
+            failed.push(0..n);
         }
-        for (shard, range) in shard_ranges(slots.len(), live.len())
-            .into_iter()
-            .enumerate()
-        {
+        for (shard, range) in shard_ranges(n, live.len()).into_iter().enumerate() {
             let widx = live[shard];
-            let params = self.shard_params(engine, widx, &slots[range.clone()], cfg);
-            self.workers[widx].synced = self.delta_log.len();
+            let mut params = build(range.clone());
+            self.append_cache_param(engine, widx, &mut params);
             per_worker[widx] = Some((range, params));
         }
 
@@ -219,7 +511,7 @@ impl DistributedCoordinator {
         });
 
         for (widx, range, outcome) in outcomes {
-            match self.fold_shard_outcome(engine, widx, range.len(), outcome) {
+            match self.fold_shard_outcome(engine, widx, range.len(), outcome, parse) {
                 Ok(results) => {
                     for (slot, result) in range.clone().zip(results) {
                         merged[slot] = Some(result);
@@ -230,10 +522,11 @@ impl DistributedCoordinator {
         }
 
         // Re-issue failed shards to survivors; fall back to the local
-        // engine when the whole fleet is gone. Purity makes *where* a
+        // engine when no worker can take them. Purity makes *where* a
         // shard lands irrelevant to the result.
         for range in failed {
-            let results = self.reissue_shard(engine, model, networks, cfg, &slots[range.clone()]);
+            let results =
+                self.reissue_shard(engine, range.clone(), capability, build, parse, fallback);
             for (slot, result) in range.zip(results) {
                 merged[slot] = Some(result);
             }
@@ -244,6 +537,13 @@ impl DistributedCoordinator {
             .collect()
     }
 
+    /// Whether worker `widx` can take a shard: alive, and advertising
+    /// `capability` when one is required.
+    fn eligible(&self, widx: usize, capability: Option<&str>) -> bool {
+        let slot = &self.workers[widx];
+        slot.alive && capability.is_none_or(|c| slot.remote.has_capability(c))
+    }
+
     /// Folds one worker's shard call outcome: merged results on success,
     /// `Err(())` ("re-issue this shard") on worker death. An orderly
     /// error *response* ([`RemoteError::Remote`]) does **not** kill the
@@ -252,14 +552,19 @@ impl DistributedCoordinator {
     /// every healthy worker in turn. It is reported as a re-issue so the
     /// shard lands on the coordinator's local fallback path, where a
     /// deterministic evaluation failure surfaces exactly as it would in
-    /// a single-process run.
-    fn fold_shard_outcome(
+    /// a single-process run. A handshake failure on a transparent
+    /// reconnect ([`RemoteError::Incompatible`] — the worker was
+    /// restarted with a different build mid-run) bans the worker from
+    /// rejoin on top of marking it dead.
+    fn fold_shard_outcome<T>(
         &mut self,
         engine: &CoSearchEngine,
         widx: usize,
         expected: usize,
         outcome: Result<Value, RemoteError>,
-    ) -> Result<Vec<CandidateOutcome>, ()> {
+        parse: &ParseShard<T>,
+    ) -> Result<Vec<T>, ()> {
+        let generation = self.generation;
         let addr = self.workers[widx].remote.addr().to_string();
         let reply = match outcome {
             Ok(reply) => reply,
@@ -267,13 +572,18 @@ impl DistributedCoordinator {
                 eprintln!("worker {addr} rejected its shard ({e}); evaluating it locally");
                 return Err(());
             }
+            Err(e @ RemoteError::Incompatible(_)) => {
+                eprintln!("worker {addr} reconnected incompatible ({e}); dropping it for good");
+                self.workers[widx].mark_dead(generation, true);
+                return Err(());
+            }
             Err(e) => {
                 eprintln!("worker {addr} died mid-generation ({e}); re-issuing its shard");
-                self.workers[widx].alive = false;
+                self.workers[widx].mark_dead(generation, false);
                 return Err(());
             }
         };
-        match parse_shard_reply(&reply, expected) {
+        match parse(&reply, expected) {
             Ok((results, delta)) => {
                 self.record_delta(engine, widx, delta);
                 Ok(results)
@@ -282,30 +592,32 @@ impl DistributedCoordinator {
                 eprintln!(
                     "worker {addr} violated the shard protocol ({message}); re-issuing its shard"
                 );
-                self.workers[widx].alive = false;
+                self.workers[widx].mark_dead(generation, false);
                 Err(())
             }
         }
     }
 
-    /// Sends one shard to the first surviving worker (marking further
-    /// casualties dead as it goes); evaluates locally once none remain
-    /// or a worker returns an orderly error response (see
-    /// [`Self::fold_shard_outcome`]).
-    fn reissue_shard(
+    /// Sends one shard to the first surviving eligible worker (marking
+    /// further casualties dead as it goes); evaluates locally once none
+    /// remain or a worker returns an orderly error response (see
+    /// [`Self::fold_shard_outcome`]). Local fallback work is journaled
+    /// and gossiped like any worker's.
+    fn reissue_shard<T>(
         &mut self,
         engine: &CoSearchEngine,
-        model: &CostModel,
-        networks: &[Network],
-        cfg: &AccelSearchConfig,
-        shard: &[(Vec<f64>, Accelerator)],
-    ) -> Vec<CandidateOutcome> {
-        while let Some(widx) = (0..self.workers.len()).find(|&w| self.workers[w].alive) {
-            let params = self.shard_params(engine, widx, shard, cfg);
-            self.workers[widx].synced = self.delta_log.len();
+        range: Range<usize>,
+        capability: Option<&str>,
+        build: &BuildShard<'_>,
+        parse: &ParseShard<T>,
+        fallback: &mut LocalFallback<'_, T>,
+    ) -> Vec<T> {
+        while let Some(widx) = (0..self.workers.len()).find(|&w| self.eligible(w, capability)) {
+            let mut params = build(range.clone());
+            self.append_cache_param(engine, widx, &mut params);
             let outcome = self.workers[widx].remote.call("evaluate_shard", params);
             let was_remote_rejection = matches!(outcome, Err(RemoteError::Remote(_)));
-            match self.fold_shard_outcome(engine, widx, shard.len(), outcome) {
+            match self.fold_shard_outcome(engine, widx, range.len(), outcome, parse) {
                 Ok(results) => return results,
                 Err(()) if was_remote_rejection => break, // worker is fine; go local
                 Err(()) => continue,                      // worker died; try the next one
@@ -313,9 +625,7 @@ impl DistributedCoordinator {
         }
         eprintln!("evaluating shard on the coordinator");
         engine.cache().enable_journal();
-        let results = parallel_map(engine.threads(), shard, |_idx, (_, accel)| {
-            evaluate_candidate(engine, model, accel, networks, &cfg.mapping, cfg.reward)
-        });
+        let results = fallback(range);
         let delta = engine.cache().take_new_entries();
         self.log_keys(
             SELF_SOURCE,
@@ -324,48 +634,43 @@ impl DistributedCoordinator {
         results
     }
 
-    /// The `evaluate_shard` request body for `widx`: candidates, search
-    /// config, scenario, plus every logged cache entry this worker has
-    /// not seen and did not itself report (values fetched from the
-    /// coordinator's engine cache at build time).
-    fn shard_params(
-        &self,
+    /// Appends the `cache` parameter for `widx`'s next shard request and
+    /// advances its sync point: an incremental delta of every logged
+    /// entry this worker has not seen and did not itself report — or,
+    /// right after a rejoin, a full snapshot of the coordinator's engine
+    /// cache (the restarted worker lost everything; this is the backlog
+    /// replay that makes it warm again). Values are fetched from the
+    /// engine cache at build time, so evicted entries simply drop out of
+    /// the relay.
+    fn append_cache_param(
+        &mut self,
         engine: &CoSearchEngine,
         widx: usize,
-        shard: &[(Vec<f64>, Accelerator)],
-        cfg: &AccelSearchConfig,
-    ) -> Vec<(String, Value)> {
-        let candidates: Vec<Accelerator> = shard.iter().map(|(_, a)| a.clone()).collect();
-        let mut params = vec![
-            ("scenario".to_string(), self.scenario_value.clone()),
-            ("candidates".to_string(), serde_json::to_value(&candidates)),
-            ("mapping".to_string(), serde_json::to_value(&cfg.mapping)),
-            ("reward".to_string(), serde_json::to_value(&cfg.reward)),
-        ];
-        let pending: Vec<(u64, LayerKey, Option<MappingSearchResult>)> = self.delta_log
-            [self.workers[widx].synced..]
-            .iter()
-            .filter(|(source, ..)| *source != widx)
-            .filter_map(|(_, fp, key)| engine.cache().peek(*fp, key).map(|v| (*fp, *key, v)))
-            .collect();
-        if !pending.is_empty() {
-            params.push((
-                "cache".to_string(),
-                serde_json::to_value(&CacheSnapshot { entries: pending }),
-            ));
+        params: &mut Vec<(String, Value)>,
+    ) {
+        let full_resync = std::mem::take(&mut self.workers[widx].full_resync);
+        let synced = self.workers[widx].synced;
+        let snapshot = if full_resync {
+            engine.cache().snapshot()
+        } else {
+            let entries: Vec<(u64, LayerKey, Option<MappingSearchResult>)> = self.delta_log
+                [synced..]
+                .iter()
+                .filter(|(source, ..)| *source != widx)
+                .filter_map(|(_, fp, key)| engine.cache().peek(*fp, key).map(|v| (*fp, *key, v)))
+                .collect();
+            CacheSnapshot { entries }
+        };
+        if !snapshot.entries.is_empty() {
+            params.push(("cache".to_string(), serde_json::to_value(&snapshot)));
         }
-        params
+        self.workers[widx].synced = self.delta_log.len();
     }
 
     /// Folds a worker's reply delta into the coordinator: absorb the
     /// values into the local engine cache and append the keys to the
     /// relay log.
-    fn record_delta(
-        &mut self,
-        engine: &CoSearchEngine,
-        source: usize,
-        delta: CacheSnapshot<Option<MappingSearchResult>>,
-    ) {
+    fn record_delta(&mut self, engine: &CoSearchEngine, source: usize, delta: Delta) {
         if delta.entries.is_empty() {
             return;
         }
@@ -384,6 +689,36 @@ impl DistributedCoordinator {
                 self.delta_log.push((source, fp, key));
             }
         }
+    }
+
+    /// Drops the delta-log prefix every live worker has already
+    /// received (dead workers are resynced with a full snapshot on
+    /// rejoin, so the log owes them nothing), and clears the dedup set
+    /// past [`SEEN_CAP`]. Called at every generation boundary — this is
+    /// what keeps a week-long coordinator's relay bookkeeping flat.
+    fn compact_delta_log(&mut self) {
+        let min_synced = self
+            .workers
+            .iter()
+            .filter(|w| w.alive)
+            .map(|w| w.synced)
+            .min()
+            .unwrap_or(self.delta_log.len());
+        if min_synced > 0 {
+            self.delta_log.drain(..min_synced);
+            for slot in &mut self.workers {
+                slot.synced = slot.synced.saturating_sub(min_synced);
+            }
+        }
+        if self.seen.len() > SEEN_CAP {
+            self.seen.clear();
+        }
+    }
+
+    /// Test-only visibility into the relay bookkeeping.
+    #[cfg(test)]
+    fn delta_log_len(&self) -> usize {
+        self.delta_log.len()
     }
 }
 
@@ -409,18 +744,9 @@ fn shard_ranges(n: usize, k: usize) -> Vec<Range<usize>> {
     ranges
 }
 
-/// Decodes one `evaluate_shard` reply into per-candidate outcomes and
-/// the piggybacked cache delta.
-fn parse_shard_reply(
-    reply: &Value,
-    expected: usize,
-) -> Result<
-    (
-        Vec<CandidateOutcome>,
-        CacheSnapshot<Option<MappingSearchResult>>,
-    ),
-    String,
-> {
+/// Decodes the framing shared by both shard-reply shapes: the `results`
+/// array (cardinality-checked) and the piggybacked `cache_delta`.
+fn parse_reply_frame(reply: &Value, expected: usize) -> Result<(&[Value], Delta), String> {
     let results = reply
         .get("results")
         .and_then(Value::as_array)
@@ -431,6 +757,24 @@ fn parse_shard_reply(
             results.len()
         ));
     }
+    let delta = match reply.get("cache_delta") {
+        None | Some(Value::Null) => CacheSnapshot {
+            entries: Vec::new(),
+        },
+        Some(value) => {
+            serde_json::from_value(value).map_err(|e| format!("invalid `cache_delta`: {e}"))?
+        }
+    };
+    Ok((results, delta))
+}
+
+/// Decodes one accelerator-search `evaluate_shard` reply into
+/// per-candidate outcomes and the piggybacked cache delta.
+fn parse_shard_reply(
+    reply: &Value,
+    expected: usize,
+) -> Result<(Vec<CandidateOutcome>, Delta), String> {
+    let (results, delta) = parse_reply_frame(reply, expected)?;
     let mut outcomes = Vec::with_capacity(expected);
     for entry in results {
         outcomes.push(match entry {
@@ -450,14 +794,26 @@ fn parse_shard_reply(
             }
         });
     }
-    let delta = match reply.get("cache_delta") {
-        None | Some(Value::Null) => CacheSnapshot {
-            entries: Vec::new(),
-        },
-        Some(value) => {
-            serde_json::from_value(value).map_err(|e| format!("invalid `cache_delta`: {e}"))?
-        }
-    };
+    Ok((outcomes, delta))
+}
+
+/// Decodes one joint-mode `evaluate_shard` reply: per-candidate
+/// [`NasOutcome`]s (`null` = no feasible subnet) and the cache delta.
+fn parse_joint_shard_reply(
+    reply: &Value,
+    expected: usize,
+) -> Result<(Vec<Option<NasOutcome>>, Delta), String> {
+    let (results, delta) = parse_reply_frame(reply, expected)?;
+    let mut outcomes = Vec::with_capacity(expected);
+    for entry in results {
+        outcomes.push(match entry {
+            Value::Null => None,
+            value => Some(
+                serde_json::from_value(value)
+                    .map_err(|e| format!("invalid joint candidate outcome: {e}"))?,
+            ),
+        });
+    }
     Ok((outcomes, delta))
 }
 
@@ -505,5 +861,75 @@ mod tests {
         assert!(parse_shard_reply(&no_results, 1)
             .unwrap_err()
             .contains("results"));
+    }
+
+    fn synthetic_coordinator(worker_count: usize) -> DistributedCoordinator {
+        // Handles are lazy — nothing is dialed, so the relay/compaction
+        // bookkeeping can be exercised without a live fleet.
+        let workers = (0..worker_count)
+            .map(|i| WorkerSlot {
+                remote: RemoteWorker::new(format!("127.0.0.1:{}", 1 + i)),
+                alive: true,
+                synced: 0,
+                full_resync: false,
+                rejoin_attempts: 0,
+                next_retry: 0,
+                banned: false,
+            })
+            .collect();
+        DistributedCoordinator {
+            workers,
+            scenario_value: Value::Null,
+            generation: 0,
+            delta_log: Vec::new(),
+            seen: HashSet::new(),
+        }
+    }
+
+    fn some_key(i: u64) -> LayerKey {
+        LayerKey::of(
+            &naas_ir::ConvSpec::conv2d("k", 8 + i, 8, (8, 8), (3, 3), 1, 1)
+                .expect("valid conv spec"),
+        )
+    }
+
+    #[test]
+    fn delta_log_compacts_to_the_slowest_live_worker() {
+        let mut c = synthetic_coordinator(2);
+        c.log_keys(0, (0..10).map(|i| (i, some_key(i))));
+        assert_eq!(c.delta_log_len(), 10);
+
+        // Worker 0 has received the first 6 entries, worker 1 the first
+        // 4: only the prefix both have seen can go.
+        c.workers[0].synced = 6;
+        c.workers[1].synced = 4;
+        c.compact_delta_log();
+        assert_eq!(c.delta_log_len(), 6);
+        assert_eq!((c.workers[0].synced, c.workers[1].synced), (2, 0));
+
+        // A dead worker owes the log nothing (it is resynced with a
+        // full snapshot on rejoin): compaction follows the live ones.
+        c.workers[1].alive = false;
+        c.workers[0].synced = 6;
+        c.compact_delta_log();
+        assert_eq!(c.delta_log_len(), 0);
+
+        // Re-logging a seen key is deduplicated, so the log only grows
+        // by genuinely new work.
+        c.log_keys(1, [(3, some_key(3)), (99, some_key(99))]);
+        assert_eq!(c.delta_log_len(), 1);
+    }
+
+    #[test]
+    fn joint_reply_parsing_rejects_malformed_outcomes() {
+        let good: Value =
+            serde_json::parse_str(r#"{"results": [null], "cache_delta": {"entries": []}}"#)
+                .unwrap();
+        let (outcomes, _) = parse_joint_shard_reply(&good, 1).unwrap();
+        assert_eq!(outcomes, vec![None]);
+        let bad: Value = serde_json::parse_str(r#"{"results": [{"nonsense": 1}]}"#).unwrap();
+        assert!(parse_joint_shard_reply(&bad, 1)
+            .unwrap_err()
+            .contains("joint candidate outcome"));
     }
 }

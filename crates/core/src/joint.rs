@@ -21,7 +21,11 @@
 //! time ([`joint_search_step`]), so long joint runs checkpoint and
 //! resume on the same `naas_engine::checkpoint` machinery — an
 //! interrupted run continues the exact trajectory of an uninterrupted
-//! one ([`resume_joint_search`]).
+//! one ([`resume_joint_search`]). And like the accelerator search, the
+//! step is split from its evaluator ([`joint_search_step_with`]): the
+//! distributed coordinator reroutes each candidate's NAS evolution to a
+//! remote worker without touching the search semantics, bit-identically
+//! (`tests/tests/distributed.rs`).
 
 use crate::accel_search::AccelSearchConfig;
 use crate::engine::CoSearchEngine;
@@ -137,6 +141,53 @@ pub fn joint_search_init(constraint: &ResourceConstraint, cfg: &JointConfig) -> 
     }
 }
 
+/// The slot-derived seed of one candidate's NAS evolution: a pure
+/// function of the joint config, the outer generation, and the
+/// population slot — so any evaluator (local pool, remote shard) that
+/// knows the slot reproduces the exact sampling schedule.
+pub fn joint_nas_seed(cfg: &JointConfig, iteration: usize, slot: usize) -> u64 {
+    cfg.nas
+        .seed
+        .wrapping_mul(9_176_131)
+        .wrapping_add((iteration * cfg.accel.population + slot) as u64)
+}
+
+/// Runs one accelerator candidate's whole NAS evolution: the inner
+/// workload of a joint-search generation, exactly as a single-process
+/// [`joint_search_step`] performs it. `nas_seed` must come from
+/// [`joint_nas_seed`]; the mapping searches inside go through the
+/// engine's shared cache with content-derived seeds, so where this runs
+/// (and what was cached before) is invisible in the outcome. This is
+/// the unit the distributed coordinator ships to workers.
+pub fn evaluate_joint_candidate(
+    engine: &CoSearchEngine,
+    model: &CostModel,
+    accuracy_model: &AccuracyModel,
+    accel: &Accelerator,
+    mapping_cfg: &crate::mapping_search::MappingSearchConfig,
+    nas_cfg: &NasConfig,
+    nas_seed: u64,
+) -> Option<naas_nas::search::NasOutcome> {
+    let nas_cfg = NasConfig {
+        seed: nas_seed,
+        ..*nas_cfg
+    };
+    // One fingerprint per candidate: every subnet the NAS proposes
+    // shares it.
+    let design_fp = crate::mapping_search::design_fingerprint(accel, mapping_cfg);
+    search_subnet(&nas_cfg, accuracy_model, |net| {
+        crate::mapping_search::network_mapping_search_memo(
+            model,
+            net,
+            accel,
+            mapping_cfg,
+            engine.cache(),
+            design_fp,
+        )
+        .map(|cost| cost.edp())
+    })
+}
+
 /// Advances the joint search by one outer generation: sample accelerator
 /// candidates, run each candidate's whole NAS evolution as one parallel
 /// job on the engine's pool, update the ES. Returns `false` (without
@@ -147,11 +198,50 @@ pub fn joint_search_step(
     accuracy_model: &AccuracyModel,
     state: &mut JointSearchState,
 ) -> bool {
+    let cfg = state.config;
+    let iteration = state.iteration;
+    joint_search_step_with(state, |slots| {
+        // Each candidate's whole NAS evolution is one parallel job. The
+        // NAS seed is slot-derived (deterministic sampling schedule);
+        // the mapping searches inside use the engine cache with
+        // content-derived seeds, so cross-candidate reuse is sound.
+        parallel_map(engine.threads(), slots, |_idx, (slot, _, accel)| {
+            evaluate_joint_candidate(
+                engine,
+                model,
+                accuracy_model,
+                accel,
+                &cfg.accel.mapping,
+                &cfg.nas,
+                joint_nas_seed(&cfg, iteration, *slot),
+            )
+        })
+    })
+}
+
+/// [`joint_search_step`] with a caller-supplied population evaluator —
+/// the seam the distributed coordinator
+/// ([`crate::distributed::DistributedCoordinator::step_joint`]) plugs
+/// into, mirroring [`crate::accel_search::accel_search_step_with`]. The
+/// sampling, scoring and ES-update logic here is the *entire* joint
+/// search semantics; `evaluate` only decides *where* each candidate's
+/// NAS evolution runs.
+///
+/// `evaluate` receives the generation's decoded candidates as
+/// `(slot, theta, accelerator)` triples in slot order — the slot index
+/// is part of the contract, because the candidate's NAS seed is derived
+/// from it ([`joint_nas_seed`]) — and must return one outcome per
+/// candidate **in the same order**. Any order-preserving evaluator
+/// whose per-candidate outcome equals [`evaluate_joint_candidate`]'s
+/// produces a bit-identical search trajectory.
+pub fn joint_search_step_with<F>(state: &mut JointSearchState, evaluate: F) -> bool
+where
+    F: FnOnce(&[(usize, Vec<f64>, Accelerator)]) -> Vec<Option<naas_nas::search::NasOutcome>>,
+{
     if state.is_done() {
         return false;
     }
     let cfg = state.config;
-    let iteration = state.iteration;
     let encoder = HardwareEncoder::new(state.constraint.clone(), cfg.accel.scheme);
 
     // Sample the generation sequentially (the ES is stateful).
@@ -180,34 +270,12 @@ pub fn joint_search_step(
         }
     }
 
-    // Each candidate's whole NAS evolution is one parallel job. The
-    // NAS seed is slot-derived (deterministic sampling schedule); the
-    // mapping searches inside use the engine cache with
-    // content-derived seeds, so cross-candidate reuse is sound.
-    let outcomes = parallel_map(engine.threads(), &slots, |_idx, (slot, _, accel)| {
-        let nas_cfg = NasConfig {
-            seed: cfg
-                .nas
-                .seed
-                .wrapping_mul(9_176_131)
-                .wrapping_add((iteration * cfg.accel.population + slot) as u64),
-            ..cfg.nas
-        };
-        // One fingerprint per candidate: every subnet the NAS
-        // proposes shares it.
-        let design_fp = crate::mapping_search::design_fingerprint(accel, &cfg.accel.mapping);
-        search_subnet(&nas_cfg, accuracy_model, |net| {
-            crate::mapping_search::network_mapping_search_memo(
-                model,
-                net,
-                accel,
-                &cfg.accel.mapping,
-                engine.cache(),
-                design_fp,
-            )
-            .map(|cost| cost.edp())
-        })
-    });
+    let outcomes = evaluate(&slots);
+    assert_eq!(
+        outcomes.len(),
+        slots.len(),
+        "evaluator must return one outcome per candidate"
+    );
 
     // Fold results in slot order (deterministic tie-breaks).
     let mut scored: Vec<(Vec<f64>, f64)> = Vec::with_capacity(slots.len() + infeasible.len());

@@ -57,8 +57,9 @@ pub use accel_search::{
 pub use distributed::{DistributedCoordinator, ShardPlan};
 pub use engine::CoSearchEngine;
 pub use joint::{
-    joint_search_init, joint_search_step, pareto_sweep, resume_joint_search, search_joint,
-    search_joint_with, JointConfig, JointResult, JointSearchState, ParetoEntry,
+    evaluate_joint_candidate, joint_nas_seed, joint_search_init, joint_search_step,
+    joint_search_step_with, pareto_sweep, resume_joint_search, search_joint, search_joint_with,
+    JointConfig, JointResult, JointSearchState, ParetoEntry,
 };
 pub use mapping_search::{
     network_mapping_search_cached, search_layer_mapping, search_layer_mapping_with,

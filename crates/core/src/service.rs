@@ -13,12 +13,13 @@
 //!
 //! | command          | answers                                             |
 //! |------------------|-----------------------------------------------------|
+//! | `hello`          | protocol version + capability list (the handshake)  |
 //! | `list_scenarios` | the scenario registry                               |
 //! | `score_design`   | one design × one scenario's benchmark suite         |
 //! | `search_layer`   | best mapping for one layer on one design            |
 //! | `evaluate_batch` | a population of mappings via `CostModel::evaluate_batch` |
-//! | `evaluate_shard` | a shard of outer-search candidates × a scenario's suite (the distributed fan-out primitive) |
-//! | `search_step`    | one generation of a serialized `AccelSearchState`   |
+//! | `evaluate_shard` | a shard of outer-search candidates (the distributed fan-out primitive; accel or joint mode) |
+//! | `search_step`    | one generation of a serialized accel or joint search state |
 //! | `cache_stats`    | the shared cache's counters                         |
 //! | `shutdown`       | acknowledges, then the server drains and persists   |
 //!
@@ -53,6 +54,7 @@ use naas_engine::service::{error_line, ok_line, Batcher, ParseFailure, Request};
 use naas_engine::{parallel_map, scenario, CheckpointError};
 use naas_ir::{ConvKind, ConvSpec};
 use naas_mapping::Mapping;
+use naas_nas::{AccuracyModel, NasConfig};
 use serde::{Deserialize, Serialize, Value};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -101,7 +103,18 @@ pub struct ServiceConfig {
     /// Persist the shared cache here on shutdown (and warm-load it on
     /// startup when the file exists).
     pub cache_file: Option<PathBuf>,
+    /// Bound the shared memo cache to this many resident entries
+    /// (`0` = unbounded) — `--cache-cap` on the CLI. A long-lived
+    /// worker in a week-long fleet should set this; eviction costs
+    /// recomputation, never correctness.
+    pub cache_cap: usize,
 }
+
+/// Capability strings this build advertises in its `hello` reply.
+/// Clients gate optional behaviour on these instead of sniffing errors:
+/// the distributed coordinator requires `"joint"` before routing joint
+/// generations to a worker.
+pub const CAPABILITIES: &[&str] = &["evaluate_shard", "search_step", "joint", "cache_gossip"];
 
 /// A resident evaluation service over one warm [`CoSearchEngine`]. See
 /// the module docs for the protocol.
@@ -212,6 +225,12 @@ impl BatchEvalService {
             config,
             resolved_scenarios: std::sync::Mutex::new(BTreeMap::new()),
         };
+        // Cap before warm-loading, so an oversized cache file is
+        // trimmed on absorption instead of ballooning at startup.
+        service
+            .engine
+            .cache()
+            .set_entry_cap(service.config.cache_cap);
         if let Some(path) = &service.config.cache_file {
             if path.exists() {
                 service.engine.cache().load_from(path)?;
@@ -284,6 +303,7 @@ impl BatchEvalService {
     /// Any [`ServiceError`]; the caller renders it as an error response.
     pub fn handle(&self, request: &Request) -> Result<Value, ServiceError> {
         match request.cmd.as_str() {
+            "hello" => self.hello(request),
             "list_scenarios" => Ok(self.list_scenarios()),
             "score_design" => self.score_design(request),
             "search_layer" => self.search_layer(request),
@@ -297,6 +317,45 @@ impl BatchEvalService {
             "__panic" => panic!("injected panic (service test hook)"),
             other => Err(ServiceError::UnknownCommand(other.to_string())),
         }
+    }
+
+    /// `hello`: the protocol version handshake. Answers this build's
+    /// [`PROTOCOL_VERSION`] and [`CAPABILITIES`]; when the client states
+    /// its own `protocol`, a mismatch is answered as an orderly error —
+    /// so *either* side of a mixed-version fleet fails the connection
+    /// cleanly at dial time instead of corrupting serialized state
+    /// mid-run.
+    ///
+    /// [`PROTOCOL_VERSION`]: naas_engine::PROTOCOL_VERSION
+    fn hello(&self, request: &Request) -> Result<Value, ServiceError> {
+        use naas_engine::PROTOCOL_VERSION;
+        if let Some(theirs) = request.param("protocol") {
+            let theirs = theirs
+                .as_u64()
+                .ok_or_else(|| ServiceError::BadRequest("`protocol` must be a u64".into()))?;
+            if theirs != PROTOCOL_VERSION {
+                return Err(ServiceError::BadRequest(format!(
+                    "protocol mismatch: this server speaks {PROTOCOL_VERSION}, \
+                     the client speaks {theirs}"
+                )));
+            }
+        }
+        Ok(Value::Object(vec![
+            ("protocol".to_string(), Value::U64(PROTOCOL_VERSION)),
+            (
+                "capabilities".to_string(),
+                Value::Array(
+                    CAPABILITIES
+                        .iter()
+                        .map(|c| Value::Str(c.to_string()))
+                        .collect(),
+                ),
+            ),
+            (
+                "server".to_string(),
+                Value::Str(format!("naas-search ({} threads)", self.threads())),
+            ),
+        ]))
     }
 
     fn list_scenarios(&self) -> Value {
@@ -564,23 +623,26 @@ impl BatchEvalService {
     }
 
     /// `evaluate_shard`: one shard of an outer-search generation — a
-    /// list of candidate designs costed against a scenario's benchmark
-    /// suite on this worker's pool. This is the distributed
-    /// coordinator's fan-out primitive (`naas::distributed`): each
-    /// candidate runs through [`accel_search::evaluate_candidate`], the
-    /// exact evaluation a single-process `accel_search_step` performs,
-    /// so shard results merged in candidate order reproduce the local
-    /// search bit-for-bit. Infeasible candidates answer `null` (a
-    /// result, not a request failure). The reply piggybacks a
-    /// `cache_delta` of every mapping result this worker computed since
-    /// its last report, for the coordinator to relay to its siblings.
+    /// list of candidate designs evaluated on this worker's pool. This
+    /// is the distributed coordinator's fan-out primitive
+    /// (`naas::distributed`), in two modes:
+    ///
+    /// * **accelerator search** (default): each candidate is costed
+    ///   against a scenario's benchmark suite through
+    ///   [`accel_search::evaluate_candidate`], the exact evaluation a
+    ///   single-process `accel_search_step` performs;
+    /// * **joint search** (`joint` parameter present): each candidate
+    ///   runs its whole NAS evolution through
+    ///   [`crate::joint::evaluate_joint_candidate`], seeded by the
+    ///   coordinator-supplied slot-derived seeds.
+    ///
+    /// Either way, shard results merged in candidate order reproduce
+    /// the single-process search bit-for-bit. Infeasible candidates
+    /// answer `null` (a result, not a request failure). The reply
+    /// piggybacks a `cache_delta` of every mapping result this worker
+    /// computed since its last report, for the coordinator to relay to
+    /// its siblings.
     fn evaluate_shard(&self, request: &Request) -> Result<Value, ServiceError> {
-        let job = self.resolve_scenario(request)?;
-        if job.networks.is_empty() {
-            return Err(ServiceError::BadRequest(
-                "scenario has no benchmark networks".into(),
-            ));
-        }
         let candidates_value = request.param("candidates").ok_or_else(|| {
             ServiceError::BadRequest("`candidates` (array of design objects) is required".into())
         })?;
@@ -591,34 +653,13 @@ impl BatchEvalService {
                 .map_err(|e| ServiceError::BadRequest(format!("invalid mapping config: {e}")))?,
             None => self.mapping_config(request)?,
         };
-        let reward: RewardKind = match request.param("reward") {
-            Some(value) => serde_json::from_value(value)
-                .map_err(|e| ServiceError::BadRequest(format!("invalid reward kind: {e}")))?,
-            None => RewardKind::Geomean,
-        };
         self.absorb_cache_param(request)?;
         self.engine.cache().enable_journal();
 
-        let results = parallel_map(self.threads(), &candidates, |_idx, accel| {
-            accel_search::evaluate_candidate(
-                &self.engine,
-                &self.model,
-                accel,
-                &job.networks,
-                &mapping,
-                reward,
-            )
-        });
-        let entries: Vec<Value> = results
-            .iter()
-            .map(|outcome| match outcome {
-                None => Value::Null,
-                Some((per_network, reward)) => Value::Object(vec![
-                    ("reward".to_string(), Value::F64(*reward)),
-                    ("per_network".to_string(), serde_json::to_value(per_network)),
-                ]),
-            })
-            .collect();
+        let entries = match request.param("joint") {
+            Some(joint) => self.evaluate_joint_shard(joint, &candidates, &mapping)?,
+            None => self.evaluate_accel_shard(request, &candidates, &mapping)?,
+        };
         Ok(Value::Object(vec![
             ("count".to_string(), Value::U64(entries.len() as u64)),
             ("results".to_string(), Value::Array(entries)),
@@ -629,37 +670,169 @@ impl BatchEvalService {
         ]))
     }
 
-    /// `search_step`: advances a serialized [`AccelSearchState`] by one
-    /// generation on this worker and returns the updated state — a whole
-    /// remote-driven search for thin clients (state out ≡ state a local
-    /// [`accel_search::accel_search_step`] call would produce, since the
-    /// state embeds every bit of search trajectory). `advanced` is
-    /// `false` when the state's budget was already exhausted.
-    fn search_step(&self, request: &Request) -> Result<Value, ServiceError> {
+    /// The accelerator-search mode of [`Self::evaluate_shard`]:
+    /// candidates × the scenario's benchmark suite.
+    fn evaluate_accel_shard(
+        &self,
+        request: &Request,
+        candidates: &[Accelerator],
+        mapping: &MappingSearchConfig,
+    ) -> Result<Vec<Value>, ServiceError> {
         let job = self.resolve_scenario(request)?;
         if job.networks.is_empty() {
             return Err(ServiceError::BadRequest(
                 "scenario has no benchmark networks".into(),
             ));
         }
+        let reward: RewardKind = match request.param("reward") {
+            Some(value) => serde_json::from_value(value)
+                .map_err(|e| ServiceError::BadRequest(format!("invalid reward kind: {e}")))?,
+            None => RewardKind::Geomean,
+        };
+        let results = parallel_map(self.threads(), candidates, |_idx, accel| {
+            accel_search::evaluate_candidate(
+                &self.engine,
+                &self.model,
+                accel,
+                &job.networks,
+                mapping,
+                reward,
+            )
+        });
+        Ok(results
+            .iter()
+            .map(|outcome| match outcome {
+                None => Value::Null,
+                Some((per_network, reward)) => Value::Object(vec![
+                    ("reward".to_string(), Value::F64(*reward)),
+                    ("per_network".to_string(), serde_json::to_value(per_network)),
+                ]),
+            })
+            .collect())
+    }
+
+    /// The joint-search mode of [`Self::evaluate_shard`]: one whole NAS
+    /// evolution per candidate. The `joint` parameter carries the NAS
+    /// budget, one slot-derived seed per candidate
+    /// ([`crate::joint::joint_nas_seed`] — seeds travel instead of slot
+    /// indices so the worker needs no knowledge of the global
+    /// population layout), and optionally the accuracy surrogate (the
+    /// worker's default is used when absent — ship it whenever the
+    /// coordinator's is non-default).
+    fn evaluate_joint_shard(
+        &self,
+        joint: &Value,
+        candidates: &[Accelerator],
+        mapping: &MappingSearchConfig,
+    ) -> Result<Vec<Value>, ServiceError> {
+        let nas: NasConfig = serde_json::from_value(joint.get("nas").ok_or_else(|| {
+            ServiceError::BadRequest("`joint.nas` (NAS config object) is required".into())
+        })?)
+        .map_err(|e| ServiceError::BadRequest(format!("invalid joint.nas config: {e}")))?;
+        let seeds: Vec<u64> = serde_json::from_value(joint.get("seeds").ok_or_else(|| {
+            ServiceError::BadRequest("`joint.seeds` (one u64 per candidate) is required".into())
+        })?)
+        .map_err(|e| ServiceError::BadRequest(format!("invalid joint.seeds array: {e}")))?;
+        if seeds.len() != candidates.len() {
+            return Err(ServiceError::BadRequest(format!(
+                "joint.seeds/candidates length mismatch: {} vs {}",
+                seeds.len(),
+                candidates.len()
+            )));
+        }
+        let accuracy: AccuracyModel = match joint.get("accuracy") {
+            None | Some(Value::Null) => AccuracyModel::default(),
+            Some(value) => serde_json::from_value(value).map_err(|e| {
+                ServiceError::BadRequest(format!("invalid joint.accuracy model: {e}"))
+            })?,
+        };
+        let jobs: Vec<(&Accelerator, u64)> = candidates.iter().zip(seeds).collect();
+        let results = parallel_map(self.threads(), &jobs, |_idx, (accel, seed)| {
+            crate::joint::evaluate_joint_candidate(
+                &self.engine,
+                &self.model,
+                &accuracy,
+                accel,
+                mapping,
+                &nas,
+                *seed,
+            )
+        });
+        Ok(results
+            .iter()
+            .map(|outcome| match outcome {
+                None => Value::Null,
+                Some(out) => serde_json::to_value(out),
+            })
+            .collect())
+    }
+
+    /// `search_step`: advances a serialized search state by one
+    /// generation on this worker and returns the updated state — a whole
+    /// remote-driven search for thin clients (state out ≡ state the
+    /// equivalent local step call would produce, since the state embeds
+    /// every bit of search trajectory). With `joint: true` the state is
+    /// a [`crate::joint::JointSearchState`] (no scenario needed — the
+    /// NAS supplies the workload; an optional `accuracy` model overrides
+    /// the worker default); otherwise an [`AccelSearchState`] advanced
+    /// against the required scenario's suite. `advanced` is `false` when
+    /// the state's budget was already exhausted.
+    fn search_step(&self, request: &Request) -> Result<Value, ServiceError> {
         let state_value = request.param("state").ok_or_else(|| {
             ServiceError::BadRequest("`state` (search-state object) is required".into())
         })?;
+        let joint = match request.param("joint") {
+            None | Some(Value::Bool(false)) => false,
+            Some(Value::Bool(true)) => true,
+            Some(_) => {
+                return Err(ServiceError::BadRequest(
+                    "`joint` must be a boolean in search_step".into(),
+                ))
+            }
+        };
+        if joint {
+            let mut state: crate::joint::JointSearchState = serde_json::from_value(state_value)
+                .map_err(|e| {
+                    ServiceError::BadRequest(format!("invalid joint search state: {e}"))
+                })?;
+            let accuracy: AccuracyModel = match request.param("accuracy") {
+                None => AccuracyModel::default(),
+                Some(value) => serde_json::from_value(value).map_err(|e| {
+                    ServiceError::BadRequest(format!("invalid accuracy model: {e}"))
+                })?,
+            };
+            self.absorb_cache_param(request)?;
+            self.engine.cache().enable_journal();
+            let advanced =
+                crate::joint::joint_search_step(&self.engine, &self.model, &accuracy, &mut state);
+            return Ok(self.search_step_reply(advanced, state.is_done(), &state));
+        }
+        let job = self.resolve_scenario(request)?;
+        if job.networks.is_empty() {
+            return Err(ServiceError::BadRequest(
+                "scenario has no benchmark networks".into(),
+            ));
+        }
         let mut state: AccelSearchState = serde_json::from_value(state_value)
             .map_err(|e| ServiceError::BadRequest(format!("invalid search state: {e}")))?;
         self.absorb_cache_param(request)?;
         self.engine.cache().enable_journal();
         let advanced =
             accel_search::accel_search_step(&self.engine, &self.model, &job.networks, &mut state);
-        Ok(Value::Object(vec![
+        Ok(self.search_step_reply(advanced, state.is_done(), &state))
+    }
+
+    /// The common `search_step` reply shape for both state kinds.
+    fn search_step_reply<S: Serialize>(&self, advanced: bool, done: bool, state: &S) -> Value {
+        Value::Object(vec![
             ("advanced".to_string(), Value::Bool(advanced)),
-            ("done".to_string(), Value::Bool(state.is_done())),
-            ("state".to_string(), serde_json::to_value(&state)),
+            ("done".to_string(), Value::Bool(done)),
+            ("state".to_string(), serde_json::to_value(state)),
             (
                 "cache_delta".to_string(),
                 serde_json::to_value(&self.engine.cache().take_new_entries()),
             ),
-        ]))
+        ])
     }
 }
 
@@ -954,7 +1127,7 @@ mod tests {
         BatchEvalService::new(ServiceConfig {
             threads: 2,
             mapping: MappingSearchConfig::quick(7),
-            cache_file: None,
+            ..ServiceConfig::default()
         })
         .expect("no cache file to load")
     }
@@ -1002,6 +1175,42 @@ mod tests {
             .contains("internal panic"));
         // The service is still alive and answering.
         let resp = parse(&s.respond(r#"{"id": 4, "cmd": "cache_stats"}"#));
+        assert_eq!(resp.get("ok"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn hello_negotiates_and_rejects_mismatches() {
+        let s = service();
+        let resp = parse(&s.respond(&format!(
+            r#"{{"id": 10, "cmd": "hello", "protocol": {}, "client": "test"}}"#,
+            naas_engine::PROTOCOL_VERSION
+        )));
+        assert_eq!(resp.get("ok"), Some(&Value::Bool(true)));
+        let result = resp.get("result").unwrap();
+        assert_eq!(
+            result.get("protocol"),
+            Some(&Value::U64(naas_engine::PROTOCOL_VERSION))
+        );
+        let caps = result
+            .get("capabilities")
+            .and_then(Value::as_array)
+            .expect("capability array");
+        for required in CAPABILITIES {
+            assert!(
+                caps.iter().any(|c| c.as_str() == Some(required)),
+                "missing capability {required}"
+            );
+        }
+        // A stated mismatching version is refused cleanly.
+        let resp = parse(&s.respond(r#"{"id": 11, "cmd": "hello", "protocol": 1}"#));
+        assert_eq!(resp.get("ok"), Some(&Value::Bool(false)));
+        assert!(resp
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap()
+            .contains("protocol mismatch"));
+        // A versionless hello (pure discovery) still answers.
+        let resp = parse(&s.respond(r#"{"id": 12, "cmd": "hello"}"#));
         assert_eq!(resp.get("ok"), Some(&Value::Bool(true)));
     }
 

@@ -21,14 +21,22 @@
 //! same content that forms the key
 //! ([`crate::fingerprint::derive_seed`]) — never from slot or
 //! generation indices.
+//!
+//! The cache is unbounded by default (a single search's working set is
+//! design-space sized), but long-lived processes — week-long distributed
+//! fleets, resident `naas-search serve`/`worker` engines — can bound it
+//! with [`MemoCache::set_entry_cap`] (CLI: `--cache-cap`): occupancy
+//! then never exceeds the cap, enforced by a CLOCK (second-chance)
+//! eviction policy. Because entries are pure functions of their keys,
+//! eviction can only cost recomputation, never correctness.
 
 use crate::checkpoint::{self, CheckpointError};
 use crate::fingerprint::fnv1a;
 use naas_ir::ConvSpec;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Hashable identity of a convolution workload: two layers with equal
@@ -118,7 +126,57 @@ const SHARDS: usize = 16;
 /// [`MemoCache::enable_journal`].
 pub const JOURNAL_CAP: usize = 100_000;
 
-type Shard<V> = Mutex<HashMap<(u64, LayerKey), Arc<OnceLock<V>>>>;
+type CacheKey = (u64, LayerKey);
+
+/// One shard of the memo table: the map itself plus the CLOCK
+/// bookkeeping that drives eviction when an entry cap is configured.
+/// The `clock` queue holds keys in insertion/recency order; `touched`
+/// is the set of reference bits (a key present there was hit since it
+/// last survived an eviction scan and gets a second chance).
+struct ShardState<V> {
+    map: HashMap<CacheKey, Arc<OnceLock<V>>>,
+    clock: VecDeque<CacheKey>,
+    touched: HashSet<CacheKey>,
+}
+
+impl<V> ShardState<V> {
+    fn new() -> Self {
+        ShardState {
+            map: HashMap::new(),
+            clock: VecDeque::new(),
+            touched: HashSet::new(),
+        }
+    }
+
+    /// Evicts one initialized entry by the CLOCK (second-chance) rule.
+    /// Returns `false` when the shard has nothing safely evictable —
+    /// every resident cell is either still being computed (evicting it
+    /// would duplicate in-flight work) or was touched this rotation.
+    fn evict_one(&mut self) -> bool {
+        // One full rotation at most: a popped key either leaves the
+        // queue for good (stale or evicted) or re-enters with its
+        // reference bit cleared, so the scan terminates.
+        let mut budget = self.clock.len();
+        while budget > 0 {
+            budget -= 1;
+            let Some(key) = self.clock.pop_front() else {
+                return false;
+            };
+            let Some(cell) = self.map.get(&key) else {
+                continue; // stale queue entry: already evicted earlier
+            };
+            if self.touched.remove(&key) || cell.get().is_none() {
+                self.clock.push_back(key); // second chance / in flight
+                continue;
+            }
+            self.map.remove(&key);
+            return true;
+        }
+        false
+    }
+}
+
+type Shard<V> = Mutex<ShardState<V>>;
 
 /// A sharded concurrent memo table from `(design fingerprint, layer
 /// shape)` to a search result.
@@ -156,6 +214,14 @@ pub struct MemoCache<V> {
     shards: [Shard<V>; SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Resident entry count across all shards (kept in step with every
+    /// map mutation, so `len` and cap enforcement are O(1) reads).
+    entries: AtomicUsize,
+    /// Maximum resident entries; `0` means unbounded. See
+    /// [`MemoCache::set_entry_cap`].
+    cap: AtomicUsize,
+    /// Entries evicted to honour the cap (lifetime counter).
+    evicted: AtomicU64,
     /// Keys computed locally since the last [`MemoCache::take_new_entries`]
     /// drain — `None` until journaling is enabled. Only *computed* entries
     /// are journaled; absorbed ones came from elsewhere and would be
@@ -170,14 +236,45 @@ impl<V> Default for MemoCache<V> {
 }
 
 impl<V> MemoCache<V> {
-    /// Creates an empty cache.
+    /// Creates an empty, unbounded cache.
     pub fn new() -> Self {
         MemoCache {
-            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            shards: std::array::from_fn(|_| Mutex::new(ShardState::new())),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            entries: AtomicUsize::new(0),
+            cap: AtomicUsize::new(0),
+            evicted: AtomicU64::new(0),
             journal: Mutex::new(None),
         }
+    }
+
+    /// Bounds the cache to at most `cap` resident entries (`0` restores
+    /// the unbounded default). When an insert pushes occupancy past the
+    /// cap, entries are evicted by a CLOCK (second-chance) policy:
+    /// least-recently-touched first, entries hit since the last scan
+    /// survive one extra rotation. This is what keeps week-long fleets
+    /// (`naas-search … --cache-cap N`) at steady memory.
+    ///
+    /// Eviction never changes any answer — entries are pure functions
+    /// of their keys, so an evicted pair is simply recomputed on its
+    /// next use (and counted as a miss again). Entries whose value is
+    /// still being computed are never evicted. Under concurrent inserts
+    /// occupancy can transiently overshoot the cap by at most the
+    /// number of inserting threads; every inserter evicts down to the
+    /// cap before returning.
+    pub fn set_entry_cap(&self, cap: usize) {
+        self.cap.store(cap, Ordering::Relaxed);
+    }
+
+    /// The configured entry cap (`0` = unbounded).
+    pub fn entry_cap(&self) -> usize {
+        self.cap.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted so far to honour the cap (lifetime counter).
+    pub fn evictions(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
     }
 
     /// Starts journaling locally computed entries, so
@@ -199,29 +296,70 @@ impl<V> MemoCache<V> {
     fn record_journal(&self, design_fp: u64, key: LayerKey) {
         let mut journal = self.journal.lock().unwrap_or_else(|p| p.into_inner());
         if let Some(entries) = journal.as_mut() {
-            // A backlog this deep means nothing has drained for ~CAP
-            // computations — the consumer that enabled journaling is
-            // gone (e.g. a serve process whose coordinator left). Drop
-            // it rather than grow forever; deltas are an optimization,
-            // the cache still holds every value.
             if entries.len() >= JOURNAL_CAP {
-                entries.clear();
+                // The backlog hit its cap: compact first (an evicted and
+                // recomputed key is journaled once per computation, so
+                // duplicates accumulate on a capped cache), and only if
+                // the backlog is *still* full — nothing has drained for
+                // ~CAP distinct computations, the consumer that enabled
+                // journaling is gone — drop the oldest half rather than
+                // grow forever. Deltas are an optimization; the cache
+                // itself still holds every live value.
+                let mut seen = HashSet::with_capacity(entries.len());
+                entries.retain(|e| seen.insert(*e));
+                if entries.len() >= JOURNAL_CAP {
+                    entries.drain(..JOURNAL_CAP / 2);
+                }
             }
             entries.push((design_fp, key));
         }
     }
 
+    fn shard_idx(design_fp: u64, key: &LayerKey) -> usize {
+        (design_fp ^ key.fingerprint()) as usize % SHARDS
+    }
+
     fn shard(&self, design_fp: u64, key: &LayerKey) -> &Shard<V> {
-        let idx = (design_fp ^ key.fingerprint()) as usize % SHARDS;
-        &self.shards[idx]
+        &self.shards[Self::shard_idx(design_fp, key)]
+    }
+
+    /// Evicts entries until occupancy is back under the configured cap
+    /// (no-op when unbounded). Starts at the shard that just inserted
+    /// (`home`) and rotates through the others; locks are taken one
+    /// shard at a time, never nested.
+    fn enforce_cap(&self, home: usize) {
+        let cap = self.cap.load(Ordering::Relaxed);
+        if cap == 0 {
+            return;
+        }
+        let mut shard = home;
+        let mut stuck = 0;
+        // Two full rounds before giving up: the first may only clear
+        // reference bits (every entry touched since the last scan), the
+        // second then finds victims. Giving up is reachable only when
+        // everything resident is mid-computation.
+        while self.entries.load(Ordering::Relaxed) > cap && stuck < 2 * SHARDS {
+            let evicted = self.shards[shard]
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .evict_one();
+            if evicted {
+                self.entries.fetch_sub(1, Ordering::Relaxed);
+                self.evicted.fetch_add(1, Ordering::Relaxed);
+                stuck = 0;
+            } else {
+                // Nothing safely evictable here (empty, or every entry
+                // is mid-computation); try the next shard, give up after
+                // a full round with no progress.
+                shard = (shard + 1) % SHARDS;
+                stuck += 1;
+            }
+        }
     }
 
     /// Number of resident entries.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").len())
-            .sum()
+        self.entries.load(Ordering::Relaxed)
     }
 
     /// `true` if nothing is cached yet.
@@ -242,8 +380,12 @@ impl<V> MemoCache<V> {
     /// traffic, not occupancy).
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().expect("cache shard poisoned").clear();
+            let mut shard = shard.lock().expect("cache shard poisoned");
+            shard.map.clear();
+            shard.clock.clear();
+            shard.touched.clear();
         }
+        self.entries.store(0, Ordering::Relaxed);
     }
 }
 
@@ -252,17 +394,39 @@ impl<V: Clone> MemoCache<V> {
     /// and inserting its result on miss. Concurrent lookups of the same
     /// key run `compute` exactly once.
     pub fn get_or_compute(&self, design_fp: u64, key: LayerKey, compute: impl FnOnce() -> V) -> V {
+        let home = Self::shard_idx(design_fp, &key);
+        let bounded = self.cap.load(Ordering::Relaxed) != 0;
+        let mut inserted = false;
         let cell = {
-            let mut shard = self
-                .shard(design_fp, &key)
-                .lock()
-                .expect("cache shard poisoned");
-            Arc::clone(
-                shard
-                    .entry((design_fp, key))
-                    .or_insert_with(|| Arc::new(OnceLock::new())),
-            )
+            let mut shard = self.shards[home].lock().expect("cache shard poisoned");
+            match shard.map.get(&(design_fp, key)) {
+                Some(cell) => {
+                    let cell = Arc::clone(cell);
+                    if bounded {
+                        // CLOCK reference bit: a hit entry survives the
+                        // next eviction scan.
+                        shard.touched.insert((design_fp, key));
+                    }
+                    cell
+                }
+                None => {
+                    let cell = Arc::new(OnceLock::new());
+                    shard.map.insert((design_fp, key), Arc::clone(&cell));
+                    shard.clock.push_back((design_fp, key));
+                    if bounded {
+                        // Fresh entries start with the reference bit set,
+                        // so an insert never evicts itself when its own
+                        // shard is the only one with room to give.
+                        shard.touched.insert((design_fp, key));
+                    }
+                    inserted = true;
+                    cell
+                }
+            }
         };
+        if inserted {
+            self.entries.fetch_add(1, Ordering::Relaxed);
+        }
         let mut computed = false;
         let value = cell.get_or_init(|| {
             computed = true;
@@ -274,7 +438,15 @@ impl<V: Clone> MemoCache<V> {
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
-        value.clone()
+        let value = value.clone();
+        if inserted {
+            // Enforce only after the value is set: the fresh cell is
+            // in flight until then, and in-flight cells are never
+            // evicted — so the insert that overflows the cap always
+            // finds something *else* to evict.
+            self.enforce_cap(home);
+        }
+        value
     }
 
     /// Drains the journal (see [`MemoCache::enable_journal`]) into a
@@ -299,8 +471,15 @@ impl<V: Clone> MemoCache<V> {
                 None => Vec::new(),
             }
         };
+        // Compacting drain: on a capped cache a key can be evicted and
+        // recomputed between drains (journaled once per computation),
+        // and an evicted key has no value to export — dedupe, then peek.
+        let mut seen = HashSet::with_capacity(drained.len());
         let mut entries = Vec::with_capacity(drained.len());
         for (fp, key) in drained {
+            if !seen.insert((fp, key)) {
+                continue;
+            }
             if let Some(value) = self.peek(fp, &key) {
                 entries.push((fp, key, value));
             }
@@ -317,6 +496,7 @@ impl<V: Clone> MemoCache<V> {
             .lock()
             .expect("cache shard poisoned");
         shard
+            .map
             .get(&(design_fp, *key))
             .and_then(|cell| cell.get().cloned())
     }
@@ -328,7 +508,7 @@ impl<V: Clone> MemoCache<V> {
         let mut entries = Vec::new();
         for shard in &self.shards {
             let shard = shard.lock().expect("cache shard poisoned");
-            for ((fp, key), cell) in shard.iter() {
+            for ((fp, key), cell) in shard.map.iter() {
                 if let Some(value) = cell.get() {
                     entries.push((*fp, *key, value.clone()));
                 }
@@ -347,15 +527,32 @@ impl<V: Clone> MemoCache<V> {
     pub fn absorb(&self, snapshot: CacheSnapshot<V>) -> usize {
         let mut absorbed = 0;
         for (fp, key, value) in snapshot.entries {
-            let mut shard = self.shard(fp, &key).lock().expect("cache shard poisoned");
-            let cell = shard
-                .entry((fp, key))
-                .or_insert_with(|| Arc::new(OnceLock::new()));
+            let home = Self::shard_idx(fp, &key);
+            let mut shard = self.shards[home].lock().expect("cache shard poisoned");
+            let mut inserted = false;
+            let cell = shard.map.entry((fp, key)).or_insert_with(|| {
+                inserted = true;
+                Arc::new(OnceLock::new())
+            });
             if cell.get().is_none() {
                 // A concurrent computation may win the race; both values
                 // are the same pure function of the key, so either is fine.
                 let _ = cell.set(value);
                 absorbed += 1;
+            }
+            if inserted {
+                shard.clock.push_back((fp, key));
+                if self.cap.load(Ordering::Relaxed) != 0 {
+                    shard.touched.insert((fp, key));
+                }
+                drop(shard);
+                self.entries.fetch_add(1, Ordering::Relaxed);
+                // Enforce as we go, not once at the end: warm-loading a
+                // snapshot (much) larger than the cap must stream
+                // through bounded occupancy, never peak at the full
+                // file's size — that spike is exactly what `--cache-cap`
+                // exists to prevent at startup.
+                self.enforce_cap(home);
             }
         }
         absorbed
@@ -567,6 +764,140 @@ mod tests {
         let off: MemoCache<u64> = MemoCache::new();
         off.get_or_compute(1, key(1, 1), || 1);
         assert!(off.take_new_entries().entries.is_empty());
+    }
+
+    #[test]
+    fn entry_cap_is_never_exceeded() {
+        let cache: MemoCache<u64> = MemoCache::new();
+        cache.set_entry_cap(8);
+        assert_eq!(cache.entry_cap(), 8);
+        for i in 0..100u64 {
+            cache.get_or_compute(i, key(i, i), || i);
+            assert!(
+                cache.len() <= 8,
+                "cap violated after insert {i}: {} entries",
+                cache.len()
+            );
+        }
+        assert_eq!(cache.len(), 8);
+        assert_eq!(cache.evictions(), 92);
+        // Evicted entries recompute (and are counted as misses again);
+        // resident ones still hit.
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 100);
+        assert_eq!(stats.entries, 8);
+    }
+
+    #[test]
+    fn recently_touched_entries_survive_eviction_pressure() {
+        let cache: MemoCache<u64> = MemoCache::new();
+        cache.set_entry_cap(16);
+        // A hot working set, touched between every burst of one-off keys.
+        let hot: Vec<LayerKey> = (0..4).map(|i| key(1000 + i, 1)).collect();
+        for (i, k) in hot.iter().enumerate() {
+            cache.get_or_compute(0, *k, || i as u64);
+        }
+        let mut hot_recomputes = 0u64;
+        for burst in 0..20u64 {
+            for (i, k) in hot.iter().enumerate() {
+                let v = cache.get_or_compute(0, *k, || {
+                    hot_recomputes += 1;
+                    i as u64
+                });
+                assert_eq!(v, i as u64, "an evicted key recomputes the same value");
+            }
+            for j in 0..8u64 {
+                let cold = 100 + burst * 8 + j;
+                cache.get_or_compute(cold, key(cold, cold), || cold);
+            }
+        }
+        assert!(cache.len() <= 16);
+        // The reference bits keep the hot set mostly resident: out of 80
+        // hot lookups under constant churn, the vast majority still hit
+        // (the cap costs recomputation at the margin, not the hit rate).
+        assert!(
+            hot_recomputes <= 20,
+            "hot set thrashed: {hot_recomputes}/80 recomputed, stats {:?}",
+            cache.stats()
+        );
+        assert!(cache.stats().hits >= 60, "stats: {:?}", cache.stats());
+    }
+
+    #[test]
+    fn cap_respected_under_concurrent_inserts() {
+        let cache: MemoCache<u64> = MemoCache::new();
+        cache.set_entry_cap(32);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for i in 0..200u64 {
+                        let k = t * 1000 + i;
+                        cache.get_or_compute(k, key(k, k), || k);
+                    }
+                });
+            }
+        });
+        assert!(
+            cache.len() <= 32,
+            "cap violated at quiescence: {} entries",
+            cache.len()
+        );
+    }
+
+    #[test]
+    fn capped_cache_roundtrips_through_persistence() {
+        let cache: MemoCache<u64> = MemoCache::new();
+        cache.set_entry_cap(8);
+        for i in 0..50u64 {
+            cache.get_or_compute(i, key(i, i), || i * 3);
+        }
+        let path =
+            std::env::temp_dir().join(format!("naas-capped-cache-{}.json", std::process::id()));
+        cache.save_to(&path).unwrap();
+
+        // The snapshot holds only the resident (≤ cap) entries, and a
+        // capped cache absorbing an oversized snapshot enforces the cap
+        // while streaming it in.
+        let resident = cache.snapshot();
+        assert!(resident.entries.len() <= 8);
+        let warm: MemoCache<u64> = MemoCache::new();
+        warm.set_entry_cap(4);
+        warm.load_from(&path).unwrap();
+        assert!(warm.len() <= 4, "absorb must honour the cap");
+        for (fp, k, v) in &warm.snapshot().entries {
+            // Whatever survived still answers exactly what was saved.
+            assert_eq!(warm.peek(*fp, k), Some(*v));
+            assert_eq!(*v, fp * 3);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn journal_drain_compacts_recomputed_keys() {
+        // Cap 1 forces the same key to be evicted and recomputed; the
+        // drain must export it once, with its live value.
+        let cache: MemoCache<u64> = MemoCache::new();
+        cache.set_entry_cap(1);
+        cache.enable_journal();
+        for round in 0..3u64 {
+            cache.get_or_compute(1, key(1, 1), || 10);
+            cache.get_or_compute(2, key(2, 2), || 20 + round);
+        }
+        let delta = cache.take_new_entries();
+        let mut keys: Vec<u64> = delta.entries.iter().map(|(fp, ..)| *fp).collect();
+        keys.dedup();
+        assert_eq!(
+            keys.len(),
+            delta.entries.len(),
+            "drain must dedupe recomputed keys: {:?}",
+            delta.entries
+        );
+        // Only still-resident values export (evicted keys have nothing
+        // to ship); every exported value is the live one.
+        for (fp, k, v) in &delta.entries {
+            assert_eq!(cache.peek(*fp, k), Some(*v));
+        }
     }
 
     #[test]

@@ -62,7 +62,7 @@ pub use fingerprint::{derive_seed, fingerprint};
 pub use pool::{parallel_map, resolve_threads};
 pub use remote::{RemoteError, RemoteWorker};
 pub use scenario::{EvalJob, NetworkSpec, Scenario, ScenarioError};
-pub use service::{Batcher, ParseFailure, Request};
+pub use service::{Batcher, ParseFailure, Request, PROTOCOL_VERSION};
 
 /// Convenience re-exports for engine users.
 pub mod prelude {

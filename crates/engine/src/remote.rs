@@ -12,9 +12,40 @@
 //! Failure model: any I/O or framing error drops the connection and
 //! surfaces as a [`RemoteError`]. The next call transparently
 //! reconnects, so a caller that re-issues failed work (the coordinator's
-//! shard re-issue path) needs no connection bookkeeping of its own. The
-//! full wire specification lives in `docs/PROTOCOL.md`.
+//! shard re-issue and auto-rejoin paths) needs no connection bookkeeping
+//! of its own. The full wire specification lives in `docs/PROTOCOL.md`.
+//!
+//! ## The `hello` handshake
+//!
+//! With [`RemoteWorker::enable_handshake`], every (re)connect opens with
+//! a `hello` exchange: the client sends its [`PROTOCOL_VERSION`] and
+//! name, the server answers with its own version and capability list.
+//! Anything but an exact version match — including a pre-handshake
+//! server that rejects `hello` as an unknown command — surfaces as
+//! [`RemoteError::Incompatible`] and never reaches a semantic command,
+//! turning "two builds silently disagree about serialized state" into a
+//! clean connect-time error. Because the handshake runs inside
+//! [`RemoteWorker::connect`], a worker that died and was restarted with
+//! a *different* build is re-screened on rejoin, not just at startup.
+//!
+//! # Examples
+//!
+//! ```
+//! use naas_engine::remote::RemoteWorker;
+//!
+//! // Handles are cheap and lazy: nothing is dialed until the first
+//! // call (or an explicit `connect`).
+//! let mut worker = RemoteWorker::new("127.0.0.1:4801");
+//! worker.enable_handshake("doc-example");
+//! assert_eq!(worker.addr(), "127.0.0.1:4801");
+//! assert!(!worker.is_connected());
+//! // Capabilities are learned by the handshake; before it, none.
+//! assert!(!worker.has_capability("joint"));
+//! ```
+//!
+//! [`PROTOCOL_VERSION`]: crate::service::PROTOCOL_VERSION
 
+use crate::service::PROTOCOL_VERSION;
 use serde::Value;
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
@@ -31,6 +62,10 @@ pub enum RemoteError {
     /// The worker answered with an error response (`"ok": false`); the
     /// payload is its `error` message. The connection stays usable.
     Remote(String),
+    /// The `hello` handshake failed: the worker speaks a different
+    /// protocol version (or predates the handshake entirely). Re-dialing
+    /// cannot help until one side is rebuilt.
+    Incompatible(String),
 }
 
 impl fmt::Display for RemoteError {
@@ -39,6 +74,7 @@ impl fmt::Display for RemoteError {
             RemoteError::Io(e) => write!(f, "worker connection error: {e}"),
             RemoteError::Protocol(m) => write!(f, "worker protocol violation: {m}"),
             RemoteError::Remote(m) => write!(f, "worker error response: {m}"),
+            RemoteError::Incompatible(m) => write!(f, "worker version mismatch: {m}"),
         }
     }
 }
@@ -66,6 +102,14 @@ pub struct RemoteWorker {
     addr: String,
     conn: Option<Conn>,
     next_id: u64,
+    /// `Some(client name)` once [`RemoteWorker::enable_handshake`] was
+    /// called: every (re)connect then opens with a `hello` exchange.
+    handshake: Option<String>,
+    /// Capability strings the server advertised in its last successful
+    /// `hello` reply.
+    capabilities: Vec<String>,
+    /// Bound on how long a dial may block; `None` uses the OS default.
+    connect_timeout: Option<std::time::Duration>,
 }
 
 impl RemoteWorker {
@@ -76,7 +120,39 @@ impl RemoteWorker {
             addr: addr.into(),
             conn: None,
             next_id: 1,
+            handshake: None,
+            capabilities: Vec::new(),
+            connect_timeout: None,
         }
+    }
+
+    /// Bounds every future dial to `timeout`. Without one, a peer that
+    /// silently drops SYNs (powered-off machine, network partition)
+    /// blocks `connect` for the OS default — minutes on Linux. The
+    /// distributed coordinator sets this so its periodic rejoin probes
+    /// stay cheap: a probe against a down worker must cost a bounded
+    /// beat of the generation barrier, not a connect-timeout stall.
+    pub fn set_connect_timeout(&mut self, timeout: std::time::Duration) {
+        self.connect_timeout = Some(timeout);
+    }
+
+    /// Opens every (re)connect with the `hello` version handshake,
+    /// identifying this client as `client` (a free-form name the server
+    /// may log). See the module docs; the distributed coordinator
+    /// enables this on every worker it dials.
+    pub fn enable_handshake(&mut self, client: impl Into<String>) {
+        self.handshake = Some(client.into());
+    }
+
+    /// Capability strings advertised by the server's last `hello` reply
+    /// (empty before the first handshake, or when handshaking is off).
+    pub fn capabilities(&self) -> &[String] {
+        &self.capabilities
+    }
+
+    /// `true` when the server's last `hello` reply advertised `name`.
+    pub fn has_capability(&self, name: &str) -> bool {
+        self.capabilities.iter().any(|c| c == name)
     }
 
     /// The worker's address, as given to [`RemoteWorker::new`].
@@ -90,17 +166,61 @@ impl RemoteWorker {
         self.conn.is_some()
     }
 
-    /// Establishes the connection if there is none.
+    /// Establishes the connection if there is none, performing the
+    /// `hello` handshake first when [`RemoteWorker::enable_handshake`]
+    /// is on — so by the time `connect` returns `Ok`, version
+    /// compatibility is already proven and the advertised
+    /// [`RemoteWorker::capabilities`] are known.
     ///
     /// # Errors
     ///
-    /// [`RemoteError::Io`] when the worker cannot be reached.
+    /// [`RemoteError::Io`] when the worker cannot be reached;
+    /// [`RemoteError::Incompatible`] when the handshake finds a protocol
+    /// version mismatch (including a server too old to know `hello`).
     pub fn connect(&mut self) -> Result<(), RemoteError> {
-        if self.conn.is_none() {
-            let writer = TcpStream::connect(&self.addr)?;
-            let reader = BufReader::new(writer.try_clone()?);
-            self.conn = Some(Conn { reader, writer });
+        if self.conn.is_some() {
+            return Ok(());
         }
+        let writer = match self.connect_timeout {
+            None => TcpStream::connect(&self.addr)?,
+            Some(timeout) => {
+                // `connect_timeout` takes a resolved address; try each
+                // resolution like `TcpStream::connect` would.
+                use std::net::ToSocketAddrs;
+                let mut last = None;
+                let mut stream = None;
+                for resolved in self.addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&resolved, timeout) {
+                        Ok(s) => {
+                            stream = Some(s);
+                            break;
+                        }
+                        Err(e) => last = Some(e),
+                    }
+                }
+                match stream {
+                    Some(s) => s,
+                    None => {
+                        return Err(RemoteError::Io(last.unwrap_or_else(|| {
+                            std::io::Error::new(
+                                std::io::ErrorKind::InvalidInput,
+                                "address resolved to nothing",
+                            )
+                        })))
+                    }
+                }
+            }
+        };
+        let reader = BufReader::new(writer.try_clone()?);
+        let mut conn = Conn { reader, writer };
+        if let Some(client) = self.handshake.clone() {
+            // The handshake always uses the reserved id 0: it may run
+            // in the middle of a `call` (transparent reconnect), and
+            // stealing an id from the per-call sequence there would
+            // desynchronize the request↔response pairing.
+            self.capabilities = hello_exchange(&mut conn, 0, &client)?;
+        }
+        self.conn = Some(conn);
         Ok(())
     }
 
@@ -143,40 +263,96 @@ impl RemoteWorker {
     fn exchange(&mut self, line: &str, id: u64) -> Result<Value, RemoteError> {
         self.connect()?;
         let conn = self.conn.as_mut().expect("connected above");
-        conn.writer.write_all(line.as_bytes())?;
-        conn.writer.write_all(b"\n")?;
-        conn.writer.flush()?;
+        wire_exchange(conn, line, id)
+    }
+}
 
-        let mut response = String::new();
-        let n = conn.reader.read_line(&mut response)?;
-        if n == 0 {
-            return Err(RemoteError::Io(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "worker closed the connection mid-call",
-            )));
+/// One raw request/response round-trip on an open connection.
+fn wire_exchange(conn: &mut Conn, line: &str, id: u64) -> Result<Value, RemoteError> {
+    conn.writer.write_all(line.as_bytes())?;
+    conn.writer.write_all(b"\n")?;
+    conn.writer.flush()?;
+
+    let mut response = String::new();
+    let n = conn.reader.read_line(&mut response)?;
+    if n == 0 {
+        return Err(RemoteError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "worker closed the connection mid-call",
+        )));
+    }
+    let value: Value = serde_json::parse_str(response.trim_end())
+        .map_err(|e| RemoteError::Protocol(format!("invalid response JSON: {e}")))?;
+    if value.get("id") != Some(&Value::U64(id)) {
+        return Err(RemoteError::Protocol(format!(
+            "response id mismatch (sent {id}, got {:?})",
+            value.get("id")
+        )));
+    }
+    match value.get("ok") {
+        Some(&Value::Bool(true)) => Ok(value.get("result").cloned().unwrap_or(Value::Null)),
+        Some(&Value::Bool(false)) => Err(RemoteError::Remote(
+            value
+                .get("error")
+                .and_then(Value::as_str)
+                .unwrap_or("unspecified error")
+                .to_string(),
+        )),
+        _ => Err(RemoteError::Protocol(
+            "response has no boolean `ok` field".to_string(),
+        )),
+    }
+}
+
+/// Performs the `hello` exchange on a fresh connection: sends this
+/// build's [`PROTOCOL_VERSION`] and the client name, and requires the
+/// server to answer with the identical version. Returns the server's
+/// advertised capability list.
+fn hello_exchange(conn: &mut Conn, id: u64, client: &str) -> Result<Vec<String>, RemoteError> {
+    let request = Value::Object(vec![
+        ("id".to_string(), Value::U64(id)),
+        ("cmd".to_string(), Value::Str("hello".to_string())),
+        ("protocol".to_string(), Value::U64(PROTOCOL_VERSION)),
+        ("client".to_string(), Value::Str(client.to_string())),
+    ]);
+    let line = serde_json::to_string(&request).expect("value serialization is infallible");
+    let result = match wire_exchange(conn, &line, id) {
+        Ok(result) => result,
+        // An orderly error response to `hello` is itself a version
+        // signal: either a pre-handshake build ("unknown command") or a
+        // server that checked our version and refused. Both are
+        // incompatibility, not transient failure.
+        Err(RemoteError::Remote(m)) => {
+            return Err(RemoteError::Incompatible(format!(
+                "server rejected hello (protocol {PROTOCOL_VERSION}): {m}"
+            )))
         }
-        let value: Value = serde_json::parse_str(response.trim_end())
-            .map_err(|e| RemoteError::Protocol(format!("invalid response JSON: {e}")))?;
-        if value.get("id") != Some(&Value::U64(id)) {
-            return Err(RemoteError::Protocol(format!(
-                "response id mismatch (sent {id}, got {:?})",
-                value.get("id")
-            )));
+        Err(e) => return Err(e),
+    };
+    match result.get("protocol").and_then(Value::as_u64) {
+        Some(theirs) if theirs == PROTOCOL_VERSION => {}
+        Some(theirs) => {
+            return Err(RemoteError::Incompatible(format!(
+                "server speaks protocol {theirs}, this client speaks {PROTOCOL_VERSION}"
+            )))
         }
-        match value.get("ok") {
-            Some(&Value::Bool(true)) => Ok(value.get("result").cloned().unwrap_or(Value::Null)),
-            Some(&Value::Bool(false)) => Err(RemoteError::Remote(
-                value
-                    .get("error")
-                    .and_then(Value::as_str)
-                    .unwrap_or("unspecified error")
-                    .to_string(),
-            )),
-            _ => Err(RemoteError::Protocol(
-                "response has no boolean `ok` field".to_string(),
-            )),
+        None => {
+            return Err(RemoteError::Protocol(
+                "hello reply has no numeric `protocol` field".to_string(),
+            ))
         }
     }
+    let capabilities = result
+        .get("capabilities")
+        .and_then(Value::as_array)
+        .map(|caps| {
+            caps.iter()
+                .filter_map(Value::as_str)
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default();
+    Ok(capabilities)
 }
 
 #[cfg(test)]
@@ -243,6 +419,51 @@ mod tests {
         let err = worker.call("ping", vec![]).unwrap_err();
         assert!(matches!(err, RemoteError::Protocol(_)), "got {err}");
         assert!(!worker.is_connected());
+    }
+
+    #[test]
+    fn handshake_negotiates_version_and_capabilities() {
+        let addr = scripted_server(vec![
+            Some(format!(
+                r#"{{"id":0,"ok":true,"result":{{"protocol":{PROTOCOL_VERSION},"capabilities":["joint","cache_gossip"]}}}}"#
+            )),
+            Some(r#"{"id":1,"ok":true,"result":null}"#.into()),
+        ]);
+        let mut worker = RemoteWorker::new(&addr);
+        worker.enable_handshake("test");
+        assert!(worker.capabilities().is_empty(), "no handshake yet");
+        // The first call triggers connect → hello (reserved id 0) →
+        // the call itself (id 1).
+        worker.call("ping", vec![]).unwrap();
+        assert!(worker.has_capability("joint"));
+        assert!(worker.has_capability("cache_gossip"));
+        assert!(!worker.has_capability("time_travel"));
+    }
+
+    #[test]
+    fn version_mismatch_is_a_clean_incompatible_error() {
+        let addr = scripted_server(vec![Some(
+            r#"{"id":0,"ok":true,"result":{"protocol":99,"capabilities":[]}}"#.into(),
+        )]);
+        let mut worker = RemoteWorker::new(&addr);
+        worker.enable_handshake("test");
+        let err = worker.call("ping", vec![]).unwrap_err();
+        assert!(matches!(err, RemoteError::Incompatible(_)), "got {err}");
+        assert!(err.to_string().contains("protocol 99"), "got {err}");
+        assert!(!worker.is_connected(), "mismatch must not leave a conn");
+    }
+
+    #[test]
+    fn pre_handshake_server_is_incompatible_not_a_crash() {
+        // An old build answers `hello` like any unknown command: with an
+        // orderly error response. That must surface as Incompatible.
+        let addr = scripted_server(vec![Some(
+            r#"{"id":0,"ok":false,"error":"unknown command `hello`"}"#.into(),
+        )]);
+        let mut worker = RemoteWorker::new(&addr);
+        worker.enable_handshake("test");
+        let err = worker.call("ping", vec![]).unwrap_err();
+        assert!(matches!(err, RemoteError::Incompatible(_)), "got {err}");
     }
 
     #[test]

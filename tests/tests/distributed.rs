@@ -24,6 +24,7 @@ fn spawn_worker(threads: usize) -> SocketAddr {
         threads,
         mapping: MappingSearchConfig::quick(7),
         cache_file: None,
+        cache_cap: 0,
     })
     .expect("no cache file to load");
     let server = Arc::new(ServiceServer::start(Arc::new(service)));
@@ -43,6 +44,7 @@ fn spawn_flaky_worker(fail_after: usize) -> SocketAddr {
         threads: 1,
         mapping: MappingSearchConfig::quick(7),
         cache_file: None,
+        cache_cap: 0,
     })
     .expect("no cache file to load");
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
@@ -81,7 +83,8 @@ fn spawn_flaky_worker(fail_after: usize) -> SocketAddr {
 
 /// A worker whose process is healthy but whose every shard request is
 /// answered with an orderly error response — the contained-panic /
-/// rejected-request shape.
+/// rejected-request shape. It answers the `hello` handshake properly
+/// (it *is* a compatible build; only its evaluations are poisoned).
 fn spawn_rejecting_worker() -> SocketAddr {
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
     let addr = listener.local_addr().unwrap();
@@ -99,11 +102,28 @@ fn spawn_rejecting_worker() -> SocketAddr {
                     Ok(0) | Err(_) => break,
                     Ok(_) => {}
                 }
-                let id = serde_json::from_str::<Value>(line.trim_end())
-                    .ok()
+                let request = serde_json::from_str::<Value>(line.trim_end()).ok();
+                let id = request
+                    .as_ref()
                     .and_then(|v| v.get("id").cloned())
                     .unwrap_or(Value::Null);
-                let response = naas_engine::service::error_line(&id, "injected rejection");
+                let is_hello = request
+                    .as_ref()
+                    .and_then(|v| v.get("cmd"))
+                    .and_then(Value::as_str)
+                    == Some("hello");
+                let response = if is_hello {
+                    naas_engine::service::ok_line(
+                        &id,
+                        serde_json::parse_str(&format!(
+                            r#"{{"protocol": {}, "capabilities": ["evaluate_shard"]}}"#,
+                            naas_engine::PROTOCOL_VERSION
+                        ))
+                        .unwrap(),
+                    )
+                } else {
+                    naas_engine::service::error_line(&id, "injected rejection")
+                };
                 if writeln!(writer, "{response}")
                     .and_then(|_| writer.flush())
                     .is_err()
@@ -210,10 +230,12 @@ fn dead_worker_shard_is_reissued_with_identical_results() {
     let cfg = search_cfg(43);
     let local = run_local(&cfg, &networks);
 
-    // The flaky worker answers one shard (generation 0), then drops the
-    // connection mid-generation-1; the healthy worker absorbs its shard.
+    // The flaky worker answers the connect handshake and one shard
+    // (generation 0), then drops the connection mid-generation-1; the
+    // healthy worker absorbs its shard. Its listener is gone for good,
+    // so every rejoin re-dial is refused and it stays dead.
     let addrs = vec![
-        spawn_flaky_worker(1).to_string(),
+        spawn_flaky_worker(2).to_string(),
         spawn_worker(1).to_string(),
     ];
     let mut coordinator =
@@ -262,6 +284,8 @@ fn total_fleet_loss_falls_back_to_local_evaluation() {
     let cfg = search_cfg(47);
     let local = run_local(&cfg, &networks);
 
+    // One answered request is the handshake itself: the fleet's only
+    // worker dies on its very first shard.
     let addrs = vec![spawn_flaky_worker(1).to_string()];
     let mut coordinator =
         DistributedCoordinator::connect(&addrs, &scenario).expect("fleet reachable");
@@ -347,4 +371,243 @@ fn coordinator_absorbs_fleet_cache_deltas() {
         misses_before,
         "replay must be answered entirely from absorbed fleet results"
     );
+}
+
+/// A worker that answers `fail_after` requests, then "crashes" (drops
+/// its listener and every connection mid-call) and is immediately
+/// "restarted": a fresh serving stack — cold cache, new process state —
+/// rebinds the same address and serves indefinitely. The deterministic
+/// stand-in for `kill <worker-pid> && naas-search worker --port <same>`.
+fn spawn_restartable_worker(fail_after: usize) -> SocketAddr {
+    let service = BatchEvalService::new(ServiceConfig {
+        threads: 1,
+        mapping: MappingSearchConfig::quick(7),
+        cache_file: None,
+        cache_cap: 0,
+    })
+    .expect("no cache file to load");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        // Phase 1: serve until the crash point.
+        let mut answered = 0usize;
+        'crash: for stream in listener.incoming() {
+            let Ok(stream) = stream else { break };
+            let mut reader = BufReader::new(match stream.try_clone() {
+                Ok(clone) => clone,
+                Err(_) => break,
+            });
+            let mut writer = stream;
+            loop {
+                let mut line = String::new();
+                match reader.read_line(&mut line) {
+                    Ok(0) | Err(_) => break, // connection closed by peer
+                    Ok(_) => {}
+                }
+                if answered >= fail_after {
+                    break 'crash; // dies mid-call: connection + listener drop
+                }
+                answered += 1;
+                let response = service.respond(line.trim_end());
+                if writeln!(writer, "{response}")
+                    .and_then(|_| writer.flush())
+                    .is_err()
+                {
+                    break;
+                }
+            }
+        }
+        drop(listener);
+        drop(service);
+
+        // Phase 2: the restart. A brand-new serving stack rebinds the
+        // same port (retry while the OS releases it) and serves for the
+        // rest of the test.
+        let listener = loop {
+            match TcpListener::bind(addr) {
+                Ok(listener) => break listener,
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(10)),
+            }
+        };
+        let fresh = BatchEvalService::new(ServiceConfig {
+            threads: 1,
+            mapping: MappingSearchConfig::quick(7),
+            cache_file: None,
+            cache_cap: 0,
+        })
+        .expect("no cache file to load");
+        let server = Arc::new(ServiceServer::start(Arc::new(fresh)));
+        let _ = server.serve_listener(listener);
+    });
+    addr
+}
+
+/// The rejoin acceptance criterion: a worker killed mid-run and
+/// restarted on the same address is re-dialed at the next generation
+/// boundary, re-admitted into the shard plan, and the final result is
+/// still bit-identical to the uninterrupted single-process run.
+#[test]
+fn killed_and_restarted_worker_rejoins_with_identical_results() {
+    let (scenario, networks) = scenario_fixture();
+    let cfg = search_cfg(67);
+    assert!(
+        cfg.iterations >= 3,
+        "the timeline below needs ≥3 generations"
+    );
+    let local = run_local(&cfg, &networks);
+
+    // Timeline: the restartable worker answers the handshake + its
+    // generation-0 shard, crashes receiving its generation-1 shard
+    // (which is re-issued to the healthy worker), restarts immediately,
+    // and is re-dialed at the generation-2 boundary (death + 1).
+    let addrs = vec![
+        spawn_restartable_worker(2).to_string(),
+        spawn_worker(1).to_string(),
+    ];
+    let mut coordinator =
+        DistributedCoordinator::connect(&addrs, &scenario).expect("fleet reachable");
+    let distributed = run_distributed(&cfg, &networks, &mut coordinator);
+
+    assert_bit_identical(&distributed, &local, "worker killed and restarted");
+    assert_eq!(
+        coordinator.live_workers(),
+        2,
+        "the restarted worker must be re-admitted within one generation"
+    );
+}
+
+/// Distributed joint search: each candidate's whole NAS evolution runs
+/// on a worker, and the matched (accelerator, subnet, accuracy, EDP)
+/// tuple is bit-identical to the single-process joint search.
+#[test]
+fn distributed_joint_search_matches_single_process() {
+    let model = CostModel::new();
+    let accuracy = naas_nas::AccuracyModel::default();
+    let envelope = naas_accel::ResourceConstraint::from_design(&naas_accel::baselines::eyeriss());
+    let mut cfg = naas::JointConfig::quick(29);
+    cfg.accel.mapping = MappingSearchConfig::quick(7);
+    cfg.accel.threads = 1;
+
+    // Single-process reference trajectory.
+    let engine = CoSearchEngine::new(1);
+    let mut state = naas::joint_search_init(&envelope, &cfg);
+    while naas::joint_search_step(&engine, &model, &accuracy, &mut state) {}
+    let local = state.into_result().expect("joint search finds a pair");
+
+    // The same trajectory with every NAS evolution sharded over two
+    // workers (no scenario: the joint workload is the NAS space).
+    let addrs = vec![spawn_worker(1).to_string(), spawn_worker(1).to_string()];
+    let mut coordinator = DistributedCoordinator::connect_joint(&addrs).expect("fleet reachable");
+    let engine = CoSearchEngine::new(1);
+    let mut state = naas::joint_search_init(&envelope, &cfg);
+    while coordinator.step_joint(&engine, &model, &accuracy, &mut state) {}
+    let distributed = state.into_result().expect("joint search finds a pair");
+
+    assert_eq!(
+        distributed, local,
+        "distributed joint search must be bit-identical"
+    );
+    assert_eq!(coordinator.live_workers(), 2);
+}
+
+/// Joint search over a degraded fleet: a worker dying mid-run loses
+/// nothing — its shard of NAS evolutions is re-issued and the result
+/// still matches the uninterrupted single-process run.
+#[test]
+fn distributed_joint_search_survives_worker_death() {
+    let model = CostModel::new();
+    let accuracy = naas_nas::AccuracyModel::default();
+    let envelope = naas_accel::ResourceConstraint::from_design(&naas_accel::baselines::eyeriss());
+    let mut cfg = naas::JointConfig::quick(31);
+    cfg.accel.mapping = MappingSearchConfig::quick(7);
+    cfg.accel.threads = 1;
+
+    let engine = CoSearchEngine::new(1);
+    let mut state = naas::joint_search_init(&envelope, &cfg);
+    while naas::joint_search_step(&engine, &model, &accuracy, &mut state) {}
+    let local = state.into_result().expect("joint search finds a pair");
+
+    // Handshake + one shard, then death; the healthy worker (and the
+    // local fallback, if it comes to that) absorbs the rest.
+    let addrs = vec![
+        spawn_flaky_worker(2).to_string(),
+        spawn_worker(1).to_string(),
+    ];
+    let mut coordinator = DistributedCoordinator::connect_joint(&addrs).expect("fleet reachable");
+    let engine = CoSearchEngine::new(1);
+    let mut state = naas::joint_search_init(&envelope, &cfg);
+    while coordinator.step_joint(&engine, &model, &accuracy, &mut state) {}
+    let distributed = state.into_result().expect("joint search finds a pair");
+
+    assert_eq!(
+        distributed, local,
+        "worker death must not change the joint result"
+    );
+}
+
+/// Joint `search_step` over the wire: a thin client round-trips a
+/// serialized `JointSearchState` with `joint: true` and reproduces the
+/// in-process joint trajectory exactly.
+#[test]
+fn remote_joint_search_step_reproduces_local_trajectory() {
+    let model = CostModel::new();
+    let accuracy = naas_nas::AccuracyModel::default();
+    let envelope = naas_accel::ResourceConstraint::from_design(&naas_accel::baselines::eyeriss());
+    let mut cfg = naas::JointConfig::quick(37);
+    cfg.accel.mapping = MappingSearchConfig::quick(7);
+    cfg.accel.threads = 1;
+
+    let engine = CoSearchEngine::new(1);
+    let mut state = naas::joint_search_init(&envelope, &cfg);
+    while naas::joint_search_step(&engine, &model, &accuracy, &mut state) {}
+    let local = state.into_result().expect("joint search finds a pair");
+
+    let mut state = naas::joint_search_init(&envelope, &cfg);
+    let mut worker = naas_engine::RemoteWorker::new(spawn_worker(1).to_string());
+    loop {
+        let reply = worker
+            .call(
+                "search_step",
+                vec![
+                    ("joint".to_string(), Value::Bool(true)),
+                    ("state".to_string(), serde_json::to_value(&state)),
+                    ("accuracy".to_string(), serde_json::to_value(&accuracy)),
+                ],
+            )
+            .expect("remote joint step succeeds");
+        assert_eq!(
+            reply.get("advanced"),
+            Some(&Value::Bool(true)),
+            "remote step refused before the budget was exhausted"
+        );
+        state = serde_json::from_value(reply.get("state").expect("reply carries state"))
+            .expect("joint state round-trips");
+        if reply.get("done") == Some(&Value::Bool(true)) {
+            break;
+        }
+    }
+    let remote = state.into_result().expect("joint search finds a pair");
+    assert_eq!(remote, local);
+}
+
+/// The handshake end-to-end: a real worker advertises the joint
+/// capability, and a version-mismatched client is refused cleanly.
+#[test]
+fn worker_handshake_advertises_capabilities_end_to_end() {
+    let addr = spawn_worker(1).to_string();
+    let mut worker = naas_engine::RemoteWorker::new(&addr);
+    worker.enable_handshake("handshake-test");
+    worker
+        .connect()
+        .expect("handshake succeeds between same builds");
+    assert!(worker.has_capability("joint"));
+    assert!(worker.has_capability("evaluate_shard"));
+
+    // A client stating a wrong version is refused with an orderly error
+    // (the server side of the mismatch check).
+    let mut raw = naas_engine::RemoteWorker::new(&addr);
+    let err = raw
+        .call("hello", vec![("protocol".to_string(), Value::U64(9999))])
+        .unwrap_err();
+    assert!(err.to_string().contains("protocol mismatch"), "got: {err}");
 }

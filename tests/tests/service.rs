@@ -17,6 +17,7 @@ fn service(threads: usize) -> BatchEvalService {
         threads,
         mapping: MappingSearchConfig::quick(7),
         cache_file: None,
+        cache_cap: 0,
     })
     .expect("no cache file to load")
 }
@@ -281,6 +282,7 @@ fn persisted_cache_warms_next_service_with_identical_answers() {
         threads: 1,
         mapping: MappingSearchConfig::quick(7),
         cache_file: Some(path.clone()),
+        cache_cap: 0,
     })
     .unwrap();
     let cold_answer = cold.respond(request);
@@ -292,6 +294,7 @@ fn persisted_cache_warms_next_service_with_identical_answers() {
         threads: 1,
         mapping: MappingSearchConfig::quick(7),
         cache_file: Some(path.clone()),
+        cache_cap: 0,
     })
     .unwrap();
     let warm_answer = warm.respond(request);
