@@ -1,0 +1,207 @@
+//! Machine-readable perf snapshot: re-runs the `mapping_throughput` and
+//! `service_throughput` benchmark workloads with plain wall-clock
+//! timing and writes one JSON summary — the `BENCH_*.json` trajectory
+//! that future optimization PRs (surrogate pre-filter, SIMD hot path)
+//! are judged against.
+//!
+//! ```text
+//! cargo run -p naas-bench --release --bin bench_json [-- OUT.json]
+//! ```
+//!
+//! The default output path is `BENCH_6.json`. Each measurement is the
+//! median of several timed iterations after a warmup pass — noisier
+//! than criterion's estimator, but dependency-light and fast enough to
+//! run on every perf-relevant change.
+
+use naas::service::{BatchEvalService, ServiceConfig};
+use naas::MappingSearchConfig;
+use naas_opt::{EncodingScheme, MappingEncoder, Optimizer, RandomSearch};
+use serde::Value;
+use std::time::Instant;
+
+const POPULATION: usize = 64;
+
+/// Median wall-clock milliseconds of `runs` timed calls to `f`, after
+/// one untimed warmup call.
+fn median_ms(runs: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("elapsed times are finite"));
+    samples[samples.len() / 2]
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn mapping_throughput() -> Value {
+    let model = naas_cost::CostModel::new();
+    let layer = naas_ir::ConvSpec::conv2d("c", 64, 128, (28, 28), (3, 3), 1, 1).unwrap();
+
+    // Full cold-cache per-layer search at the default budget — the unit
+    // of work the outer loop pays per (design, layer-shape) cache miss.
+    let mut searches = Vec::new();
+    for accel in [
+        naas_accel::baselines::eyeriss(),
+        naas_accel::baselines::nvdla_256(),
+    ] {
+        let cfg = MappingSearchConfig {
+            seed: 7,
+            ..MappingSearchConfig::default()
+        };
+        let ms = median_ms(5, || {
+            std::hint::black_box(
+                naas::search_layer_mapping(&model, &layer, &accel, &cfg).expect("maps"),
+            );
+        });
+        searches.push((accel.name().to_string(), ms));
+    }
+
+    // Raw population scoring, scalar versus batched (the same 64
+    // candidates through both API shapes).
+    let accel = naas_accel::baselines::eyeriss();
+    let encoder = MappingEncoder::new(accel.connectivity().ndim(), EncodingScheme::Importance);
+    let mut sampler = RandomSearch::new(encoder.dim(), 3);
+    let thetas: Vec<Vec<f64>> = (0..POPULATION).map(|_| sampler.ask()).collect();
+    let scalar_ms = median_ms(30, || {
+        let mut acc = 0.0;
+        for theta in &thetas {
+            let mapping = encoder.decode(theta, &layer, accel.connectivity());
+            if let Ok(cost) = model.evaluate(&layer, &accel, &mapping) {
+                acc += cost.edp();
+            }
+        }
+        std::hint::black_box(acc);
+    });
+    let mut mappings = vec![naas_mapping::Mapping::new(Vec::new(), naas_ir::DIMS); thetas.len()];
+    let mut scratch = naas_cost::EvalScratch::new();
+    let mut results = Vec::new();
+    let batched_ms = median_ms(30, || {
+        for (theta, slot) in thetas.iter().zip(&mut mappings) {
+            encoder.decode_into(theta, &layer, accel.connectivity(), slot);
+        }
+        model.evaluate_batch(&layer, &accel, &mappings, &mut scratch, &mut results);
+        let acc: f64 = results
+            .iter()
+            .filter_map(|r| r.as_ref().ok().map(|c| c.edp()))
+            .sum();
+        std::hint::black_box(acc);
+    });
+
+    let mut fields = Vec::new();
+    for (name, ms) in &searches {
+        let key = format!(
+            "layer_search_{}_ms",
+            name.to_lowercase().replace(['-', ' '], "_")
+        );
+        fields.push((key, Value::F64(*ms)));
+    }
+    fields.push((
+        format!("population_eval_{POPULATION}_scalar_ms"),
+        Value::F64(scalar_ms),
+    ));
+    fields.push((
+        format!("population_eval_{POPULATION}_batched_ms"),
+        Value::F64(batched_ms),
+    ));
+    Value::Object(fields)
+}
+
+fn service_throughput() -> Value {
+    let layer = naas_ir::ConvSpec::conv2d("c", 64, 128, (28, 28), (3, 3), 1, 1).unwrap();
+    let accel = naas_accel::baselines::eyeriss();
+    let encoder = MappingEncoder::new(accel.connectivity().ndim(), EncodingScheme::Importance);
+    let mut sampler = RandomSearch::new(encoder.dim(), 3);
+    let mappings: Vec<naas_mapping::Mapping> = (0..POPULATION)
+        .map(|_| encoder.decode(&sampler.ask(), &layer, accel.connectivity()))
+        .collect();
+
+    let layer_json = serde_json::to_string(&layer).unwrap();
+    let scalar_requests: Vec<String> = mappings
+        .iter()
+        .map(|m| {
+            format!(
+                r#"{{"id":1,"cmd":"evaluate_batch","layer":{},"design":"Eyeriss","mappings":[{}]}}"#,
+                layer_json,
+                serde_json::to_string(m).unwrap()
+            )
+        })
+        .collect();
+    let batched_request = format!(
+        r#"{{"id":1,"cmd":"evaluate_batch","layer":{},"design":"Eyeriss","mappings":{}}}"#,
+        layer_json,
+        serde_json::to_string(&mappings).unwrap()
+    );
+
+    let service = BatchEvalService::new(ServiceConfig {
+        threads: 1,
+        mapping: MappingSearchConfig::quick(7),
+        cache_file: None,
+        cache_cap: 0,
+    })
+    .expect("no cache file");
+
+    let scalar_ms = median_ms(10, || {
+        for request in &scalar_requests {
+            std::hint::black_box(service.respond(request));
+        }
+    });
+    let batched_ms = median_ms(10, || {
+        std::hint::black_box(service.respond(&batched_request));
+    });
+    obj(vec![
+        ("population_64_scalar_requests_ms", Value::F64(scalar_ms)),
+        ("population_64_batched_request_ms", Value::F64(batched_ms)),
+        (
+            "batched_speedup",
+            Value::F64(if batched_ms > 0.0 {
+                scalar_ms / batched_ms
+            } else {
+                0.0
+            }),
+        ),
+    ])
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_6.json".to_string());
+
+    eprintln!("bench_json: timing mapping_throughput workloads...");
+    let mapping = mapping_throughput();
+    eprintln!("bench_json: timing service_throughput workloads...");
+    let service = service_throughput();
+
+    let summary = obj(vec![
+        ("bench", Value::Str("BENCH_6".to_string())),
+        (
+            "description",
+            Value::Str(
+                "median wall-clock ms of the mapping_throughput and service_throughput \
+                 benchmark workloads (see crates/bench/benches/)"
+                    .to_string(),
+            ),
+        ),
+        ("mapping_throughput", mapping),
+        ("service_throughput", service),
+    ]);
+    let text = serde_json::to_string_pretty(&summary).expect("value serialization is infallible");
+    std::fs::write(&out, format!("{text}\n")).unwrap_or_else(|e| {
+        eprintln!("bench_json: cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    println!("{text}");
+    eprintln!("bench_json: wrote {out}");
+}

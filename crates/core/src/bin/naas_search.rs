@@ -5,17 +5,20 @@
 //! naas-search run <scenario> [--preset smoke|quick|paper] [--seed N]
 //!                            [--threads N] [--checkpoint FILE] [--every K]
 //!                            [--cache-file FILE] [--cache-cap N]
-//!                            [--workers host:port,...]
+//!                            [--workers host:port,...] [--metrics-file FILE]
 //! naas-search run --file scenario.json [...]
 //! naas-search resume <checkpoint-file> [--threads N] [--cache-file FILE]
 //!                                      [--cache-cap N]
 //!                                      [--workers host:port,...|local]
+//!                                      [--metrics-file FILE]
 //! naas-search show <checkpoint-file>
 //! naas-search serve [--port N] [--bind ADDR] [--preset smoke|quick|paper]
 //!                   [--threads N] [--cache-file FILE] [--cache-cap N]
+//!                   [--metrics-file FILE]
 //! naas-search worker --port N [--bind ADDR] [--preset smoke|quick|paper]
 //!                    [--threads N] [--cache-file FILE] [--cache-cap N]
-//! naas-search client <host:port>
+//!                    [--metrics-file FILE]
+//! naas-search client <host:port> [metrics]
 //! ```
 //!
 //! `run` executes an accelerator search for a registered scenario (or one
@@ -53,11 +56,20 @@
 //! eviction; unbounded by default) — set it on week-long runs and on
 //! long-lived `serve`/`worker` processes so memory holds steady.
 //! Eviction costs recomputation, never correctness.
+//!
+//! `--metrics-file FILE` turns on the telemetry sink: structured fleet
+//! events and periodic metrics snapshots are appended to FILE as JSONL
+//! (one object per line, `"kind":"event"` or `"kind":"metrics"`) — on
+//! `run`/`resume` a snapshot per generation, on `serve`/`worker` one
+//! every 30 seconds. `naas-search client <host:port> metrics` fetches a
+//! one-shot snapshot from a live serving process instead. Telemetry is
+//! passive: results are bit-identical with or without it.
 
 use naas::prelude::*;
 use naas::{accel_search_init, AccelSearchState};
+use naas_engine::telemetry::{self, Level};
 use naas_engine::{checkpoint, scenario, CheckpointPolicy, Scenario};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::process::exit;
 
 /// What `naas-search` writes to disk: the search state plus the scenario
@@ -72,24 +84,32 @@ struct SearchCheckpoint {
 }
 
 fn usage() -> ! {
-    eprintln!(
+    telemetry::events().emit(
+        Level::Error,
+        "usage",
         "usage:\n  naas-search list\n  naas-search run <scenario|--file scenario.json> \
          [--preset smoke|quick|paper] [--seed N] [--threads N] [--checkpoint FILE] [--every K] \
-         [--cache-file FILE] [--cache-cap N] [--workers host:port,...]\n  \
+         [--cache-file FILE] [--cache-cap N] [--workers host:port,...] [--metrics-file FILE]\n  \
          naas-search resume <checkpoint-file> [--threads N] [--every K] [--cache-file FILE] \
-         [--cache-cap N] [--workers host:port,...|local]\n  \
+         [--cache-cap N] [--workers host:port,...|local] [--metrics-file FILE]\n  \
          naas-search show <checkpoint-file>\n  \
          naas-search serve [--port N] [--bind ADDR] [--preset smoke|quick|paper] \
-         [--threads N] [--cache-file FILE] [--cache-cap N]\n  \
+         [--threads N] [--cache-file FILE] [--cache-cap N] [--metrics-file FILE]\n  \
          naas-search worker --port N [--bind ADDR] [--preset smoke|quick|paper] \
-         [--threads N] [--cache-file FILE] [--cache-cap N]\n  \
-         naas-search client <host:port>"
+         [--threads N] [--cache-file FILE] [--cache-cap N] [--metrics-file FILE]\n  \
+         naas-search client <host:port> [metrics]",
+        &[],
     );
     exit(2);
 }
 
 fn fail(msg: impl std::fmt::Display) -> ! {
-    eprintln!("naas-search: {msg}");
+    telemetry::events().emit(
+        Level::Error,
+        "fatal",
+        &format!("naas-search: {msg}"),
+        &[("error", Value::Str(msg.to_string()))],
+    );
     exit(1);
 }
 
@@ -214,6 +234,7 @@ fn cmd_run(args: &Args) {
         cfg.iterations
     );
 
+    init_metrics_file(args);
     let engine = CoSearchEngine::new(cfg.threads);
     let cache_file = warm_load_cache(&engine, args);
     let model = CostModel::new();
@@ -317,6 +338,26 @@ fn warm_load_cache<'a>(engine: &CoSearchEngine, args: &'a Args) -> Option<&'a st
     Some(path)
 }
 
+/// Attaches the telemetry JSONL sink when `--metrics-file` is given.
+/// Returns whether a sink is now active (structured events and metrics
+/// snapshots flow to the file; stderr rendering is unaffected).
+fn init_metrics_file(args: &Args) -> bool {
+    let Some(path) = args.get("metrics-file") else {
+        return false;
+    };
+    telemetry::events()
+        .open_sink(path)
+        .unwrap_or_else(|e| fail(format!("cannot open metrics file {path}: {e}")));
+    true
+}
+
+/// Appends one metrics snapshot line for `engine` to the telemetry
+/// sink; a no-op without `--metrics-file`.
+fn write_metrics_snapshot(engine: &CoSearchEngine) {
+    telemetry::events()
+        .write_metrics(&telemetry::metrics().snapshot(telemetry::cache_counters(engine.cache())));
+}
+
 fn cmd_resume(args: &Args) {
     let path = args
         .positional
@@ -341,6 +382,7 @@ fn cmd_resume(args: &Args) {
         "resuming `{}` at generation {}/{} from {path}",
         job.scenario.name, snapshot.state.iteration, snapshot.state.config.iterations
     );
+    init_metrics_file(args);
     let engine = CoSearchEngine::new(threads);
     let cache_file = warm_load_cache(&engine, args);
     let model = CostModel::new();
@@ -356,9 +398,17 @@ fn cmd_resume(args: &Args) {
                     Driver::Distributed(coordinator)
                 }
                 Err(e) => {
-                    eprintln!(
-                        "recorded shard plan unreachable ({e}); resuming single-process \
-                         (results are identical either way)"
+                    telemetry::events().emit(
+                        Level::Warn,
+                        "shard_plan_unreachable",
+                        &format!(
+                            "recorded shard plan unreachable ({e}); resuming single-process \
+                             (results are identical either way)"
+                        ),
+                        &[
+                            ("error", Value::Str(e.to_string())),
+                            ("workers", Value::Str(plan.workers.join(","))),
+                        ],
                     );
                     Driver::Local
                 }
@@ -405,6 +455,7 @@ fn drive(
             last.valid,
             state.cache_stats.hit_rate() * 100.0
         );
+        write_metrics_snapshot(engine);
         let due = policy
             .map(|p| p.due_after(state.iteration - 1))
             .unwrap_or(false);
@@ -426,6 +477,7 @@ fn drive(
             }
         }
     }
+    write_metrics_snapshot(engine);
     report(state, started.elapsed());
 }
 
@@ -476,14 +528,42 @@ fn build_service(args: &Args, banner: &str) -> naas::BatchEvalService {
         cache_cap: args.get_num("cache-cap").unwrap_or(0),
     })
     .unwrap_or_else(|e| fail(format!("cannot start {banner}: {e}")));
-    eprintln!(
-        "naas-search {banner}: {} worker thread(s), mapping budget {}x{}, {} warm cache entries",
-        service.threads(),
-        mapping.population,
-        mapping.iterations,
-        service.engine().cache_stats().entries
+    telemetry::events().emit(
+        Level::Info,
+        "service_started",
+        &format!(
+            "naas-search {banner}: {} worker thread(s), mapping budget {}x{}, \
+             {} warm cache entries",
+            service.threads(),
+            mapping.population,
+            mapping.iterations,
+            service.engine().cache_stats().entries
+        ),
+        &[
+            ("mode", Value::Str(banner.to_string())),
+            ("threads", Value::U64(service.threads() as u64)),
+            (
+                "warm_entries",
+                Value::U64(service.engine().cache_stats().entries),
+            ),
+        ],
     );
     service
+}
+
+/// The periodic `--metrics-file` snapshot writer for the long-lived
+/// service modes (`serve`/`worker`): one metrics line every 30 seconds,
+/// from a detached thread that dies with the process. Structured events
+/// flow to the same sink as they happen.
+fn start_metrics_snapshots(args: &Args, service: &std::sync::Arc<naas::BatchEvalService>) {
+    if !init_metrics_file(args) {
+        return;
+    }
+    let service = std::sync::Arc::clone(service);
+    std::thread::spawn(move || loop {
+        std::thread::sleep(std::time::Duration::from_secs(30));
+        write_metrics_snapshot(service.engine());
+    });
 }
 
 /// `serve`: the batch-evaluation service. One warm engine answers JSONL
@@ -493,6 +573,7 @@ fn build_service(args: &Args, banner: &str) -> naas::BatchEvalService {
 /// `--port`, stdin EOF does the same.
 fn cmd_serve(args: &Args) {
     let service = std::sync::Arc::new(build_service(args, "serve"));
+    start_metrics_snapshots(args, &service);
     let server = naas::ServiceServer::start(std::sync::Arc::clone(&service));
 
     let port: Option<u16> = args.get_num("port");
@@ -539,7 +620,15 @@ fn bind_listener(args: &Args, port: u16) -> std::net::TcpListener {
     let bind = bind_addr(args);
     let listener = std::net::TcpListener::bind((bind, port))
         .unwrap_or_else(|e| fail(format!("cannot bind {bind}:{port}: {e}")));
-    eprintln!("listening on {bind}:{port}");
+    telemetry::events().emit(
+        Level::Info,
+        "listening",
+        &format!("listening on {bind}:{port}"),
+        &[
+            ("bind", Value::Str(bind.to_string())),
+            ("port", Value::U64(u64::from(port))),
+        ],
+    );
     listener
 }
 
@@ -555,6 +644,7 @@ fn cmd_worker(args: &Args) {
         .get_num("port")
         .unwrap_or_else(|| fail("worker mode requires --port"));
     let service = std::sync::Arc::new(build_service(args, "worker"));
+    start_metrics_snapshots(args, &service);
     let listener = bind_listener(args, port);
     let server = std::sync::Arc::new(naas::ServiceServer::start(service));
     match server.serve_listener(listener) {
@@ -580,7 +670,10 @@ fn finish_and_exit(server: &naas::ServiceServer) -> ! {
     exit(0);
 }
 
-/// `client`: bridges stdin/stdout to a serving process over TCP.
+/// `client`: bridges stdin/stdout to a serving process over TCP. With
+/// the `metrics` subcommand (`naas-search client <host:port> metrics`),
+/// sends one `metrics` request instead and prints the snapshot payload
+/// — the one-shot health probe for scripts and dashboards.
 fn cmd_client(args: &Args) {
     use std::io::{BufRead, Write};
     let addr = args
@@ -588,6 +681,13 @@ fn cmd_client(args: &Args) {
         .get(1)
         .map(String::as_str)
         .unwrap_or_else(|| usage());
+    match args.positional.get(2).map(String::as_str) {
+        Some("metrics") => client_metrics(addr),
+        Some(other) => fail(format!(
+            "unknown client subcommand `{other}` (try `metrics`)"
+        )),
+        None => {}
+    }
     let stream = std::net::TcpStream::connect(addr)
         .unwrap_or_else(|e| fail(format!("cannot connect to {addr}: {e}")));
     let mut write_half = stream
@@ -620,6 +720,20 @@ fn cmd_client(args: &Args) {
         Ok(result) => result.unwrap_or_else(|e| fail(format!("cannot send request: {e}"))),
         Err(_) => fail("stdin forwarder panicked"),
     }
+}
+
+/// One-shot `metrics` probe: fetches a registry snapshot from a live
+/// serving process and prints the result payload as a single JSON
+/// object (ready for `jq`). Exits nonzero if the server refuses.
+fn client_metrics(addr: &str) -> ! {
+    let mut worker = naas_engine::RemoteWorker::new(addr);
+    let result = worker
+        .call("metrics", Vec::new())
+        .unwrap_or_else(|e| fail(format!("metrics probe of {addr} failed: {e}")));
+    let line = serde_json::to_string(&result)
+        .unwrap_or_else(|e| fail(format!("cannot render metrics snapshot: {e}")));
+    println!("{line}");
+    exit(0);
 }
 
 fn report(state: AccelSearchState, elapsed: std::time::Duration) {

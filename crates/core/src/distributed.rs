@@ -92,6 +92,7 @@ use crate::mapping_search::MappingSearchResult;
 use naas_accel::Accelerator;
 use naas_cost::{CostModel, NetworkCost};
 use naas_engine::remote::{RemoteError, RemoteWorker};
+use naas_engine::telemetry::{self, Level};
 use naas_engine::{CacheSnapshot, LayerKey, Scenario};
 use naas_ir::Network;
 use naas_nas::search::NasOutcome;
@@ -207,6 +208,10 @@ pub struct DistributedCoordinator {
     /// still needs.
     delta_log: Vec<(usize, u64, LayerKey)>,
     seen: HashSet<(u64, LayerKey)>,
+    /// Slowest first-wave shard of the generation in progress
+    /// (worker address, wall micros) — telemetry only, reset every
+    /// fan-out, surfaced in the per-generation progress event.
+    last_slowest: Option<(String, u64)>,
 }
 
 impl DistributedCoordinator {
@@ -260,6 +265,7 @@ impl DistributedCoordinator {
             generation: 0,
             delta_log: Vec::new(),
             seen: HashSet::new(),
+            last_slowest: None,
         })
     }
 
@@ -295,6 +301,7 @@ impl DistributedCoordinator {
         assert!(!networks.is_empty(), "need at least one benchmark network");
         let cfg = state.config;
         self.generation = state.iteration;
+        let started = std::time::Instant::now();
         let advanced = accel_search_step_with(state, |slots| {
             self.try_rejoin();
             let scenario_value = self.scenario_value.clone();
@@ -325,6 +332,11 @@ impl DistributedCoordinator {
         if advanced {
             state.cache_stats = engine.cache_stats();
             self.compact_delta_log();
+            self.finish_generation(
+                started,
+                state.best().map(|b| b.reward),
+                engine.cache_stats().hit_rate(),
+            );
         }
         advanced
     }
@@ -348,6 +360,7 @@ impl DistributedCoordinator {
         let cfg = state.config;
         let iteration = state.iteration;
         self.generation = iteration;
+        let started = std::time::Instant::now();
         let advanced = joint_search_step_with(state, |slots| {
             self.try_rejoin();
             let build = |range: Range<usize>| -> Vec<(String, Value)> {
@@ -403,8 +416,56 @@ impl DistributedCoordinator {
         });
         if advanced {
             self.compact_delta_log();
+            self.finish_generation(
+                started,
+                state.best().map(|b| b.edp),
+                engine.cache_stats().hit_rate(),
+            );
         }
         advanced
+    }
+
+    /// Telemetry for one completed generation: records the wall time,
+    /// bumps the generation counter, and emits the per-generation
+    /// progress event (generation index, best reward, cache hit rate,
+    /// slowest first-wave shard). Debug level: it flows to the
+    /// `--metrics-file` sink without spamming stderr.
+    fn finish_generation(
+        &mut self,
+        started: std::time::Instant,
+        best_reward: Option<f64>,
+        hit_rate: f64,
+    ) {
+        let coordinator = &telemetry::metrics().coordinator;
+        coordinator.generations.inc();
+        coordinator
+            .generation_wall
+            .observe_duration(started.elapsed());
+        let mut fields = vec![
+            ("generation".to_string(), Value::U64(self.generation as u64)),
+            ("cache_hit_rate".to_string(), Value::F64(hit_rate)),
+            (
+                "wall_us".to_string(),
+                Value::U64(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX)),
+            ),
+        ];
+        if let Some(reward) = best_reward {
+            fields.push(("best_reward".to_string(), Value::F64(reward)));
+        }
+        if let Some((addr, micros)) = self.last_slowest.take() {
+            fields.push(("slowest_shard_worker".to_string(), Value::Str(addr)));
+            fields.push(("slowest_shard_us".to_string(), Value::U64(micros)));
+        }
+        let owned: Vec<(&str, Value)> = fields
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.clone()))
+            .collect();
+        telemetry::events().emit(
+            Level::Debug,
+            "generation",
+            &format!("generation {} complete", self.generation),
+            &owned,
+        );
     }
 
     /// Re-dials every dead, unbanned worker whose retry is due this
@@ -426,25 +487,53 @@ impl DistributedCoordinator {
                     slot.full_resync = true;
                     slot.synced = log_len;
                     slot.rejoin_attempts = 0;
-                    eprintln!(
-                        "worker {addr} rejoined the fleet at generation {generation}; \
-                         warming it with a full cache snapshot"
+                    telemetry::metrics().coordinator.rejoins.inc();
+                    telemetry::events().emit(
+                        Level::Info,
+                        "worker_rejoined",
+                        &format!(
+                            "worker {addr} rejoined the fleet at generation {generation}; \
+                             warming it with a full cache snapshot"
+                        ),
+                        &[
+                            ("worker", Value::Str(addr.clone())),
+                            ("generation", Value::U64(generation as u64)),
+                        ],
                     );
                 }
                 Err(e @ RemoteError::Incompatible(_)) => {
                     slot.banned = true;
-                    eprintln!(
-                        "worker {addr} came back with an incompatible build ({e}); \
-                         not re-admitting it"
+                    telemetry::events().emit(
+                        Level::Error,
+                        "worker_banned",
+                        &format!(
+                            "worker {addr} came back with an incompatible build ({e}); \
+                             not re-admitting it"
+                        ),
+                        &[
+                            ("worker", Value::Str(addr.clone())),
+                            ("generation", Value::U64(generation as u64)),
+                            ("error", Value::Str(e.to_string())),
+                        ],
                     );
                 }
                 Err(e) => {
                     slot.rejoin_attempts += 1;
                     let backoff = (1usize << slot.rejoin_attempts.min(8)).min(REJOIN_BACKOFF_CAP);
                     slot.next_retry = generation + backoff;
-                    eprintln!(
-                        "worker {addr} still unreachable ({e}); \
-                         next re-dial in {backoff} generation(s)"
+                    telemetry::events().emit(
+                        Level::Warn,
+                        "worker_unreachable",
+                        &format!(
+                            "worker {addr} still unreachable ({e}); \
+                             next re-dial in {backoff} generation(s)"
+                        ),
+                        &[
+                            ("worker", Value::Str(addr.clone())),
+                            ("generation", Value::U64(generation as u64)),
+                            ("backoff_generations", Value::U64(backoff as u64)),
+                            ("error", Value::Str(e.to_string())),
+                        ],
                     );
                 }
             }
@@ -496,19 +585,32 @@ impl DistributedCoordinator {
         }
 
         // Parallel fan-out: one blocking call per assigned worker.
+        type ShardOutcome = (Result<Value, RemoteError>, std::time::Duration);
         let mut outcomes: Vec<(usize, Range<usize>, Result<Value, RemoteError>)> = Vec::new();
+        let mut slowest: Option<(String, u64)> = None;
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (widx, slot) in self.workers.iter_mut().enumerate() {
                 if let Some((range, params)) = per_worker[widx].take() {
-                    let handle = scope.spawn(move || slot.remote.call("evaluate_shard", params));
-                    handles.push((widx, range, handle));
+                    let addr = slot.remote.addr().to_string();
+                    let handle = scope.spawn(move || -> ShardOutcome {
+                        let start = std::time::Instant::now();
+                        let outcome = slot.remote.call("evaluate_shard", params);
+                        (outcome, start.elapsed())
+                    });
+                    handles.push((widx, addr, range, handle));
                 }
             }
-            for (widx, range, handle) in handles {
-                outcomes.push((widx, range, handle.join().expect("shard caller panicked")));
+            for (widx, addr, range, handle) in handles {
+                let (outcome, elapsed) = handle.join().expect("shard caller panicked");
+                let micros = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+                if slowest.as_ref().is_none_or(|(_, m)| micros > *m) {
+                    slowest = Some((addr, micros));
+                }
+                outcomes.push((widx, range, outcome));
             }
         });
+        self.last_slowest = slowest;
 
         for (widx, range, outcome) in outcomes {
             match self.fold_shard_outcome(engine, widx, range.len(), outcome, parse) {
@@ -566,19 +668,47 @@ impl DistributedCoordinator {
     ) -> Result<Vec<T>, ()> {
         let generation = self.generation;
         let addr = self.workers[widx].remote.addr().to_string();
+        let coordinator = &telemetry::metrics().coordinator;
+        let worker_fields = |error: String| {
+            [
+                ("worker", Value::Str(addr.clone())),
+                ("generation", Value::U64(generation as u64)),
+                ("error", Value::Str(error)),
+            ]
+        };
         let reply = match outcome {
             Ok(reply) => reply,
             Err(e @ RemoteError::Remote(_)) => {
-                eprintln!("worker {addr} rejected its shard ({e}); evaluating it locally");
+                coordinator.reissues.inc();
+                telemetry::events().emit(
+                    Level::Warn,
+                    "shard_rejected",
+                    &format!("worker {addr} rejected its shard ({e}); evaluating it locally"),
+                    &worker_fields(e.to_string()),
+                );
                 return Err(());
             }
             Err(e @ RemoteError::Incompatible(_)) => {
-                eprintln!("worker {addr} reconnected incompatible ({e}); dropping it for good");
+                coordinator.reissues.inc();
+                coordinator.deaths.inc();
+                telemetry::events().emit(
+                    Level::Error,
+                    "worker_banned",
+                    &format!("worker {addr} reconnected incompatible ({e}); dropping it for good"),
+                    &worker_fields(e.to_string()),
+                );
                 self.workers[widx].mark_dead(generation, true);
                 return Err(());
             }
             Err(e) => {
-                eprintln!("worker {addr} died mid-generation ({e}); re-issuing its shard");
+                coordinator.reissues.inc();
+                coordinator.deaths.inc();
+                telemetry::events().emit(
+                    Level::Warn,
+                    "worker_died",
+                    &format!("worker {addr} died mid-generation ({e}); re-issuing its shard"),
+                    &worker_fields(e.to_string()),
+                );
                 self.workers[widx].mark_dead(generation, false);
                 return Err(());
             }
@@ -589,8 +719,16 @@ impl DistributedCoordinator {
                 Ok(results)
             }
             Err(message) => {
-                eprintln!(
-                    "worker {addr} violated the shard protocol ({message}); re-issuing its shard"
+                coordinator.reissues.inc();
+                coordinator.deaths.inc();
+                telemetry::events().emit(
+                    Level::Warn,
+                    "shard_protocol_violation",
+                    &format!(
+                        "worker {addr} violated the shard protocol ({message}); \
+                         re-issuing its shard"
+                    ),
+                    &worker_fields(message),
                 );
                 self.workers[widx].mark_dead(generation, false);
                 Err(())
@@ -623,7 +761,15 @@ impl DistributedCoordinator {
                 Err(()) => continue,                      // worker died; try the next one
             }
         }
-        eprintln!("evaluating shard on the coordinator");
+        telemetry::events().emit(
+            Level::Info,
+            "local_fallback",
+            "evaluating shard on the coordinator",
+            &[
+                ("generation", Value::U64(self.generation as u64)),
+                ("candidates", Value::U64(range.len() as u64)),
+            ],
+        );
         engine.cache().enable_journal();
         let results = fallback(range);
         let delta = engine.cache().take_new_entries();
@@ -662,6 +808,10 @@ impl DistributedCoordinator {
             CacheSnapshot { entries }
         };
         if !snapshot.entries.is_empty() {
+            telemetry::metrics()
+                .coordinator
+                .deltas_gossiped
+                .add(snapshot.entries.len() as u64);
             params.push(("cache".to_string(), serde_json::to_value(&snapshot)));
         }
         self.workers[widx].synced = self.delta_log.len();
@@ -883,6 +1033,7 @@ mod tests {
             generation: 0,
             delta_log: Vec::new(),
             seen: HashSet::new(),
+            last_slowest: None,
         }
     }
 

@@ -149,6 +149,7 @@ impl EvalPipeline {
         }
         self.reserve_proposals(population);
 
+        let pipeline_metrics = &naas_engine::telemetry::metrics().pipeline;
         let mut valid = 0usize;
         // The greedy automaton: slots fill strictly in order, so the only
         // live state is the current slot and its attempt count.
@@ -156,6 +157,7 @@ impl EvalPipeline {
         let mut cur_attempts = 0usize;
         while cur < population {
             let pending = population - cur;
+            pipeline_metrics.evaluations.add(pending as u64);
             es.ask_batch_into(&mut self.thetas[..pending]);
             for i in 0..pending {
                 encoder.decode_into(
@@ -190,6 +192,7 @@ impl EvalPipeline {
                         cur_attempts = 0;
                     }
                     Err(_) => {
+                        pipeline_metrics.resamples.inc();
                         entry.1 = f64::INFINITY;
                         if cur_attempts == resample_limit {
                             cur += 1;

@@ -21,6 +21,7 @@
 //! | `evaluate_shard` | a shard of outer-search candidates (the distributed fan-out primitive; accel or joint mode) |
 //! | `search_step`    | one generation of a serialized accel or joint search state |
 //! | `cache_stats`    | the shared cache's counters                         |
+//! | `metrics`        | a full process telemetry snapshot ([`naas_engine::telemetry`]) |
 //! | `shutdown`       | acknowledges, then the server drains and persists   |
 //!
 //! `evaluate_shard` and `search_step` carry optional `cache` payloads in
@@ -51,6 +52,7 @@ use crate::reward::RewardKind;
 use naas_accel::Accelerator;
 use naas_cost::{CostModel, LayerCost};
 use naas_engine::service::{error_line, ok_line, Batcher, ParseFailure, Request};
+use naas_engine::telemetry;
 use naas_engine::{parallel_map, scenario, CheckpointError};
 use naas_ir::{ConvKind, ConvSpec};
 use naas_mapping::Mapping;
@@ -114,7 +116,13 @@ pub struct ServiceConfig {
 /// Clients gate optional behaviour on these instead of sniffing errors:
 /// the distributed coordinator requires `"joint"` before routing joint
 /// generations to a worker.
-pub const CAPABILITIES: &[&str] = &["evaluate_shard", "search_step", "joint", "cache_gossip"];
+pub const CAPABILITIES: &[&str] = &[
+    "evaluate_shard",
+    "search_step",
+    "joint",
+    "cache_gossip",
+    "metrics",
+];
 
 /// A resident evaluation service over one warm [`CoSearchEngine`]. See
 /// the module docs for the protocol.
@@ -310,7 +318,8 @@ impl BatchEvalService {
             "evaluate_batch" => self.evaluate_batch(request),
             "evaluate_shard" => self.evaluate_shard(request),
             "search_step" => self.search_step(request),
-            "cache_stats" => Ok(serde_json::to_value(&self.engine.cache_stats())),
+            "cache_stats" => Ok(self.cache_stats()),
+            "metrics" => Ok(self.metrics()),
             "shutdown" => Ok(Value::Str("shutting down".to_string())),
             // Deliberate test hook: proves a panicking handler becomes an
             // error response, not a process abort (see tests/service.rs).
@@ -356,6 +365,35 @@ impl BatchEvalService {
                 Value::Str(format!("naas-search ({} threads)", self.threads())),
             ),
         ]))
+    }
+
+    /// `cache_stats`: the engine cache's own counters, extended with the
+    /// fields the cache always computed but never exposed over the wire
+    /// (`evictions`, `hit_rate`). Purely additive over the protocol-2
+    /// shape — old clients keep reading `hits`/`misses`/`entries`.
+    fn cache_stats(&self) -> Value {
+        let stats = self.engine.cache_stats();
+        Value::Object(vec![
+            ("hits".to_string(), Value::U64(stats.hits)),
+            ("misses".to_string(), Value::U64(stats.misses)),
+            ("entries".to_string(), Value::U64(stats.entries)),
+            (
+                "evictions".to_string(),
+                Value::U64(self.engine.cache().evictions()),
+            ),
+            ("hit_rate".to_string(), Value::F64(stats.hit_rate())),
+        ])
+    }
+
+    /// `metrics`: one point-in-time snapshot of the process-global
+    /// telemetry registry plus this engine's cache counters — the
+    /// machine-readable health probe behind `naas-search client metrics`.
+    /// Gated by the `"metrics"` capability string (additive; no
+    /// `PROTOCOL_VERSION` bump).
+    fn metrics(&self) -> Value {
+        let snapshot =
+            telemetry::metrics().snapshot(telemetry::cache_counters(self.engine.cache()));
+        serde_json::to_value(&snapshot)
     }
 
     fn list_scenarios(&self) -> Value {

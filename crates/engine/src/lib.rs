@@ -23,7 +23,11 @@
 //!   (`naas-search serve`);
 //! * [`remote`] — the client side of the same wire protocol: a blocking
 //!   JSONL RPC handle on a remote worker process, under the distributed
-//!   search coordinator (`naas-search run --workers`).
+//!   search coordinator (`naas-search run --workers`);
+//! * [`telemetry`] — passive fleet observability: a process-global
+//!   registry of atomic counters/gauges/histograms with a serializable
+//!   snapshot (the `metrics` service command), and a structured JSONL
+//!   event log behind the human-readable stderr messages.
 //!
 //! The engine deliberately knows nothing about *what* is being searched:
 //! it moves job indices, hashes serialized content, and stores opaque
@@ -55,6 +59,7 @@ pub mod pool;
 pub mod remote;
 pub mod scenario;
 pub mod service;
+pub mod telemetry;
 
 pub use cache::{CacheSnapshot, CacheStats, LayerKey, MemoCache};
 pub use checkpoint::{CheckpointError, CheckpointPolicy};
@@ -63,6 +68,7 @@ pub use pool::{parallel_map, resolve_threads};
 pub use remote::{RemoteError, RemoteWorker};
 pub use scenario::{EvalJob, NetworkSpec, Scenario, ScenarioError};
 pub use service::{Batcher, ParseFailure, Request, PROTOCOL_VERSION};
+pub use telemetry::{EventLog, Level, Metrics, MetricsSnapshot};
 
 /// Convenience re-exports for engine users.
 pub mod prelude {
@@ -71,4 +77,5 @@ pub mod prelude {
     pub use crate::fingerprint::{derive_seed, fingerprint};
     pub use crate::pool::{parallel_map, resolve_threads};
     pub use crate::scenario::{EvalJob, NetworkSpec, Scenario};
+    pub use crate::telemetry::{events, metrics, Level, MetricsSnapshot};
 }

@@ -70,9 +70,20 @@ where
     R: Send,
     F: Fn(usize, &J) -> R + Sync,
 {
+    let pool_metrics = &crate::telemetry::metrics().pool;
+    pool_metrics.jobs.add(jobs.len() as u64);
     let workers = resolve_threads(threads).min(jobs.len().max(1));
     if workers <= 1 {
-        return jobs.iter().enumerate().map(|(i, j)| f(i, j)).collect();
+        return jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| {
+                let start = std::time::Instant::now();
+                let result = f(i, j);
+                pool_metrics.job_latency.observe_duration(start.elapsed());
+                result
+            })
+            .collect();
     }
 
     // Round-robin initial distribution.
@@ -99,8 +110,15 @@ where
                         // keep draining the queue and the payload is
                         // re-raised (or converted by service callers)
                         // once every job has run.
-                        Some(idx) => produced
-                            .push((idx, catch_unwind(AssertUnwindSafe(|| f(idx, &jobs[idx]))))),
+                        Some(idx) => {
+                            let start = std::time::Instant::now();
+                            let outcome = catch_unwind(AssertUnwindSafe(|| f(idx, &jobs[idx])));
+                            pool_metrics.job_latency.observe_duration(start.elapsed());
+                            if outcome.is_err() {
+                                pool_metrics.panics.inc();
+                            }
+                            produced.push((idx, outcome));
+                        }
                         // A failed steal can race a victim that drained
                         // between the length scan and the split; retire
                         // only once every deque is actually empty, so no

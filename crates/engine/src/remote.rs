@@ -249,7 +249,18 @@ impl RemoteWorker {
         let line = serde_json::to_string(&Value::Object(fields))
             .expect("value serialization is infallible");
 
-        match self.exchange(&line, id) {
+        let start = std::time::Instant::now();
+        let outcome = self.exchange(&line, id);
+        let coordinator = &crate::telemetry::metrics().coordinator;
+        coordinator.rpcs.inc();
+        let elapsed = start.elapsed();
+        coordinator.rpc_latency.observe_duration(elapsed);
+        coordinator
+            .per_worker_rpc
+            .get(&self.addr)
+            .observe_duration(elapsed);
+
+        match outcome {
             Ok(result) => Ok(result),
             Err(e) => {
                 if !matches!(e, RemoteError::Remote(_)) {

@@ -210,7 +210,12 @@ impl<T> Batcher<T> {
             return false;
         }
         state.queue.push_back(item);
+        let depth = state.queue.len() as u64;
         drop(state);
+        crate::telemetry::metrics()
+            .batcher
+            .max_queue_depth
+            .set_max(depth);
         self.ready.notify_one();
         true
     }
@@ -229,7 +234,12 @@ impl<T> Batcher<T> {
         let mut state = self.lock();
         loop {
             if !state.queue.is_empty() {
-                return Some(state.queue.drain(..).collect());
+                let batch: Vec<T> = state.queue.drain(..).collect();
+                let batcher_metrics = &crate::telemetry::metrics().batcher;
+                batcher_metrics.batches.inc();
+                batcher_metrics.requests.add(batch.len() as u64);
+                batcher_metrics.batch_size.observe(batch.len() as u64);
+                return Some(batch);
             }
             if state.closed {
                 return None;

@@ -602,6 +602,7 @@ fn worker_handshake_advertises_capabilities_end_to_end() {
         .expect("handshake succeeds between same builds");
     assert!(worker.has_capability("joint"));
     assert!(worker.has_capability("evaluate_shard"));
+    assert!(worker.has_capability("metrics"));
 
     // A client stating a wrong version is refused with an orderly error
     // (the server side of the mismatch check).

@@ -406,3 +406,57 @@ fn unmappable_design_is_an_error_response() {
         .unwrap()
         .contains("cannot map"));
 }
+
+/// The `metrics` command round-trips a full telemetry snapshot: the
+/// served JSON deserializes back into [`naas_engine::MetricsSnapshot`]
+/// through the shim, and every top-level section is present. Counter
+/// values are only bounded loosely — the registry is process-global and
+/// other tests in this binary race with us.
+#[test]
+fn metrics_command_round_trips_a_full_snapshot() {
+    let s = service(1);
+    // Populate the cache counters with one real evaluation first
+    // (`score_design` routes through the content-addressed cache).
+    result_of(
+        &s.respond(
+            r#"{"id":1,"cmd":"score_design","scenario":"cifar-eyeriss","design":"Eyeriss"}"#,
+        ),
+    );
+    let snapshot_value = result_of(&s.respond(r#"{"id":2,"cmd":"metrics"}"#));
+
+    for section in ["cache", "pool", "batcher", "pipeline", "coordinator"] {
+        assert!(
+            snapshot_value.get(section).is_some(),
+            "snapshot is missing the {section} section"
+        );
+    }
+    let snapshot: naas_engine::MetricsSnapshot =
+        serde_json::from_value(&snapshot_value).expect("snapshot deserializes via the shim");
+    // The search above put at least one entry in this service's cache.
+    assert!(snapshot.cache.entries >= 1, "cache entries: {snapshot:?}");
+    assert!(snapshot.cache.hits + snapshot.cache.misses >= 1);
+    assert!((0.0..=1.0).contains(&snapshot.cache.hit_rate));
+    // Histogram invariant: bucket counts sum to the total observation count.
+    let hist = &snapshot.pool.job_latency_us;
+    assert_eq!(hist.counts.iter().sum::<u64>(), hist.count);
+}
+
+/// `cache_stats` exposes the extended counter set: entries, evictions,
+/// and a derived hit rate alongside the original hits/misses.
+#[test]
+fn cache_stats_reports_entries_evictions_and_hit_rate() {
+    let s = service(1);
+    result_of(
+        &s.respond(
+            r#"{"id":1,"cmd":"score_design","scenario":"cifar-eyeriss","design":"Eyeriss"}"#,
+        ),
+    );
+    let stats = result_of(&s.respond(r#"{"id":2,"cmd":"cache_stats"}"#));
+    for key in ["hits", "misses", "entries", "evictions", "hit_rate"] {
+        assert!(stats.get(key).is_some(), "cache_stats is missing {key}");
+    }
+    assert!(stats.get("entries").unwrap().as_u64().unwrap() >= 1);
+    assert_eq!(stats.get("evictions").unwrap().as_u64(), Some(0));
+    let hit_rate = stats.get("hit_rate").unwrap().as_f64().unwrap();
+    assert!((0.0..=1.0).contains(&hit_rate));
+}
