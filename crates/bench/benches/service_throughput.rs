@@ -49,6 +49,7 @@ fn bench(c: &mut Criterion) {
         mapping: MappingSearchConfig::quick(7),
         cache_file: None,
         cache_cap: 0,
+        eval_delay_us: 0,
     })
     .expect("no cache file");
 

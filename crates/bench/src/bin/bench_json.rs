@@ -1,22 +1,25 @@
 //! Machine-readable perf snapshot: re-runs the `mapping_throughput` and
-//! `service_throughput` benchmark workloads with plain wall-clock
-//! timing and writes one JSON summary — the `BENCH_*.json` trajectory
-//! that future optimization PRs (surrogate pre-filter, SIMD hot path)
-//! are judged against.
+//! `service_throughput` benchmark workloads — plus a
+//! `distributed_throughput` straggler workload over a live in-process
+//! fleet — with plain wall-clock timing and writes one JSON summary:
+//! the `BENCH_*.json` trajectory that future optimization PRs
+//! (surrogate pre-filter, SIMD hot path) are judged against.
 //!
 //! ```text
 //! cargo run -p naas-bench --release --bin bench_json [-- OUT.json]
 //! ```
 //!
-//! The default output path is `BENCH_6.json`. Each measurement is the
+//! The default output path is `BENCH_7.json`. Each measurement is the
 //! median of several timed iterations after a warmup pass — noisier
 //! than criterion's estimator, but dependency-light and fast enough to
 //! run on every perf-relevant change.
 
-use naas::service::{BatchEvalService, ServiceConfig};
+use naas::service::{BatchEvalService, ServiceConfig, ServiceServer};
 use naas::MappingSearchConfig;
 use naas_opt::{EncodingScheme, MappingEncoder, Optimizer, RandomSearch};
 use serde::Value;
+use std::net::TcpListener;
+use std::sync::Arc;
 use std::time::Instant;
 
 const POPULATION: usize = 64;
@@ -149,6 +152,7 @@ fn service_throughput() -> Value {
         mapping: MappingSearchConfig::quick(7),
         cache_file: None,
         cache_cap: 0,
+        eval_delay_us: 0,
     })
     .expect("no cache file");
 
@@ -174,28 +178,142 @@ fn service_throughput() -> Value {
     ])
 }
 
+/// Per-candidate injected delay of the "normal" machines in the
+/// straggler fleet, microseconds.
+const FAST_DELAY_US: u64 = 20_000;
+/// The straggler: 4× slower than its three peers.
+const SLOW_DELAY_US: u64 = 80_000;
+/// Candidates per generation of the distributed workload.
+const STRAGGLER_POPULATION: usize = 48;
+
+/// Spawns a detached in-process TCP worker — the serving stack behind
+/// `naas-search worker` — with an injected per-candidate evaluation
+/// delay, and returns its address.
+fn spawn_worker(eval_delay_us: u64) -> String {
+    let service = BatchEvalService::new(ServiceConfig {
+        threads: 1,
+        mapping: MappingSearchConfig::quick(7),
+        cache_file: None,
+        cache_cap: 0,
+        eval_delay_us,
+    })
+    .expect("no cache file");
+    let server = Arc::new(ServiceServer::start(Arc::new(service)));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().expect("bound socket").to_string();
+    std::thread::spawn(move || {
+        let _ = server.serve_listener(listener);
+    });
+    addr
+}
+
+/// Runs one sharded `cifar-eyeriss` search over a fresh fleet with the
+/// given per-worker delays and scheduler setting, returning each
+/// generation's wall-clock (ms, in order) plus the scheduler counters.
+/// `microshards == 0` selects the static one-shard-per-worker baseline.
+fn straggler_run(delays: &[u64], microshards: usize) -> (Vec<f64>, naas::SchedulerStats) {
+    let scenario = naas_engine::scenario::find("cifar-eyeriss").expect("registered scenario");
+    let job = scenario.resolve().expect("scenario resolves");
+    let mut cfg = naas::AccelSearchConfig::quick(17);
+    cfg.population = STRAGGLER_POPULATION;
+    cfg.iterations = 6;
+    cfg.mapping = MappingSearchConfig::quick(7);
+    cfg.threads = 1;
+
+    let addrs: Vec<String> = delays.iter().map(|&d| spawn_worker(d)).collect();
+    let mut coordinator =
+        naas::DistributedCoordinator::connect(&addrs, &scenario).expect("fleet reachable");
+    coordinator.set_microshards(microshards);
+
+    let engine = naas::CoSearchEngine::new(1);
+    let model = naas_cost::CostModel::new();
+    let mut state = naas::accel_search_init(&job.constraint, &cfg, &[]);
+    let mut gens = Vec::new();
+    loop {
+        let start = Instant::now();
+        if !coordinator.step(&engine, &model, &job.networks, &mut state) {
+            break;
+        }
+        gens.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    (gens, coordinator.scheduler_stats())
+}
+
+/// Median of the warm generations (generation 0 is excluded: it pays
+/// the cold mapping cache and, for the dynamic scheduler, runs before
+/// any throughput EWMA exists).
+fn warm_median_ms(gens: &[f64]) -> f64 {
+    let mut warm: Vec<f64> = gens[1..].to_vec();
+    warm.sort_by(|a, b| a.partial_cmp(b).expect("elapsed times are finite"));
+    warm[warm.len() / 2]
+}
+
+/// The straggler workload (ISSUE 7's acceptance criterion): 4 workers,
+/// one 4× slower. Per-generation wall-clock under the static
+/// one-shard-per-worker baseline versus the micro-shard scheduler,
+/// against the ideal of a uniform fleet of 4 fast machines. The
+/// acceptance bar is micro ≤ 1.4× ideal while static ≥ 2× ideal.
+fn distributed_throughput() -> Value {
+    let straggler = [FAST_DELAY_US, FAST_DELAY_US, FAST_DELAY_US, SLOW_DELAY_US];
+    let uniform = [FAST_DELAY_US; 4];
+
+    eprintln!("bench_json: distributed_throughput — static scheduler on the straggler fleet...");
+    let (static_gens, _) = straggler_run(&straggler, 0);
+    eprintln!(
+        "bench_json: distributed_throughput — micro-shard scheduler on the straggler fleet..."
+    );
+    let (micro_gens, stats) = straggler_run(&straggler, naas::distributed::DEFAULT_MICROSHARDS);
+    eprintln!("bench_json: distributed_throughput — ideal uniform fleet...");
+    let (ideal_gens, _) = straggler_run(&uniform, 0);
+
+    let static_ms = warm_median_ms(&static_gens);
+    let micro_ms = warm_median_ms(&micro_gens);
+    let ideal_ms = warm_median_ms(&ideal_gens);
+
+    obj(vec![
+        ("workers", Value::U64(4)),
+        ("population", Value::U64(STRAGGLER_POPULATION as u64)),
+        ("fast_delay_us", Value::U64(FAST_DELAY_US)),
+        ("slow_delay_us", Value::U64(SLOW_DELAY_US)),
+        ("generations_timed", Value::U64(static_gens.len() as u64)),
+        ("static_straggler_gen_ms", Value::F64(static_ms)),
+        ("microshard_straggler_gen_ms", Value::F64(micro_ms)),
+        ("ideal_uniform_gen_ms", Value::F64(ideal_ms)),
+        ("static_vs_ideal", Value::F64(static_ms / ideal_ms)),
+        ("microshard_vs_ideal", Value::F64(micro_ms / ideal_ms)),
+        ("steals", Value::U64(stats.steals)),
+        ("resplits", Value::U64(stats.resplits)),
+        ("speculations", Value::U64(stats.speculations)),
+        ("duplicate_replies", Value::U64(stats.duplicate_replies)),
+    ])
+}
+
 fn main() {
     let out = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_6.json".to_string());
+        .unwrap_or_else(|| "BENCH_7.json".to_string());
 
     eprintln!("bench_json: timing mapping_throughput workloads...");
     let mapping = mapping_throughput();
     eprintln!("bench_json: timing service_throughput workloads...");
     let service = service_throughput();
+    eprintln!("bench_json: timing distributed_throughput workloads...");
+    let distributed = distributed_throughput();
 
     let summary = obj(vec![
-        ("bench", Value::Str("BENCH_6".to_string())),
+        ("bench", Value::Str("BENCH_7".to_string())),
         (
             "description",
             Value::Str(
-                "median wall-clock ms of the mapping_throughput and service_throughput \
-                 benchmark workloads (see crates/bench/benches/)"
+                "median wall-clock ms of the mapping_throughput, service_throughput and \
+                 distributed_throughput benchmark workloads (see crates/bench/benches/ and \
+                 naas::distributed)"
                     .to_string(),
             ),
         ),
         ("mapping_throughput", mapping),
         ("service_throughput", service),
+        ("distributed_throughput", distributed),
     ]);
     let text = serde_json::to_string_pretty(&summary).expect("value serialization is infallible");
     std::fs::write(&out, format!("{text}\n")).unwrap_or_else(|e| {

@@ -6,11 +6,13 @@
 //!                            [--threads N] [--checkpoint FILE] [--every K]
 //!                            [--cache-file FILE] [--cache-cap N]
 //!                            [--workers host:port,...] [--metrics-file FILE]
+//!                            [--microshards N] [--steal-deadline MS]
 //! naas-search run --file scenario.json [...]
 //! naas-search resume <checkpoint-file> [--threads N] [--cache-file FILE]
 //!                                      [--cache-cap N]
 //!                                      [--workers host:port,...|local]
 //!                                      [--metrics-file FILE]
+//!                                      [--microshards N] [--steal-deadline MS]
 //! naas-search show <checkpoint-file>
 //! naas-search serve [--port N] [--bind ADDR] [--preset smoke|quick|paper]
 //!                   [--threads N] [--cache-file FILE] [--cache-cap N]
@@ -45,6 +47,17 @@
 //! recorded in checkpoints, so `resume` re-dials the same fleet by
 //! default (`--workers` overrides; `--workers local` forces
 //! single-process).
+//!
+//! `--microshards N` tunes how many micro-shards each live worker's
+//! queue is cut into per generation (default 6; `0` selects the static
+//! one-shard-per-worker scheduler, which disables work stealing and
+//! speculative re-issue). `--steal-deadline MS` is the age after which
+//! an in-flight micro-shard is speculatively re-issued to an idle
+//! worker (default 500 ms, first answer wins). Both are scheduling
+//! knobs only — results stay bit-identical at any setting — and both
+//! are recorded in the checkpointed shard plan, so `resume` keeps the
+//! tuning unless overridden. See docs/OPERATIONS.md ("Tuning the
+//! scheduler").
 //!
 //! `--cache-file` persists the engine's mapping memo cache: entries are
 //! warm-loaded before the search starts (if the file exists) and the
@@ -89,9 +102,11 @@ fn usage() -> ! {
         "usage",
         "usage:\n  naas-search list\n  naas-search run <scenario|--file scenario.json> \
          [--preset smoke|quick|paper] [--seed N] [--threads N] [--checkpoint FILE] [--every K] \
-         [--cache-file FILE] [--cache-cap N] [--workers host:port,...] [--metrics-file FILE]\n  \
+         [--cache-file FILE] [--cache-cap N] [--workers host:port,...] [--metrics-file FILE] \
+         [--microshards N] [--steal-deadline MS]\n  \
          naas-search resume <checkpoint-file> [--threads N] [--every K] [--cache-file FILE] \
-         [--cache-cap N] [--workers host:port,...|local] [--metrics-file FILE]\n  \
+         [--cache-cap N] [--workers host:port,...|local] [--metrics-file FILE] \
+         [--microshards N] [--steal-deadline MS]\n  \
          naas-search show <checkpoint-file>\n  \
          naas-search serve [--port N] [--bind ADDR] [--preset smoke|quick|paper] \
          [--threads N] [--cache-file FILE] [--cache-cap N] [--metrics-file FILE]\n  \
@@ -245,7 +260,7 @@ fn cmd_run(args: &Args) {
     };
 
     let state = accel_search_init(&job.constraint, &cfg, &seeds);
-    let mut driver = make_driver(args.get("workers"), &job.scenario);
+    let mut driver = make_driver(args, args.get("workers"), &job.scenario);
     drive(
         &engine,
         &model,
@@ -261,7 +276,7 @@ fn cmd_run(args: &Args) {
 /// of `naas-search worker` processes.
 enum Driver {
     Local,
-    Distributed(naas::DistributedCoordinator),
+    Distributed(Box<naas::DistributedCoordinator>),
 }
 
 impl Driver {
@@ -290,7 +305,7 @@ impl Driver {
 /// comma-separated `host:port` list shards over that fleet; absent or
 /// `local` runs in-process. Either way the search results are
 /// bit-identical — workers only relocate candidate evaluations.
-fn make_driver(workers: Option<&str>, scenario: &Scenario) -> Driver {
+fn make_driver(args: &Args, workers: Option<&str>, scenario: &Scenario) -> Driver {
     let Some(list) = workers else {
         return Driver::Local;
     };
@@ -306,14 +321,35 @@ fn make_driver(workers: Option<&str>, scenario: &Scenario) -> Driver {
     if addrs.is_empty() {
         fail("--workers expects a comma-separated host:port list (or `local`)");
     }
-    let coordinator = naas::DistributedCoordinator::connect(&addrs, scenario)
+    let mut coordinator = naas::DistributedCoordinator::connect(&addrs, scenario)
         .unwrap_or_else(|e| fail(format!("cannot connect worker fleet: {e}")));
+    apply_scheduler_flags(&mut coordinator, args, None);
     println!(
         "sharding over {} worker(s): {}",
         addrs.len(),
         addrs.join(", ")
     );
-    Driver::Distributed(coordinator)
+    Driver::Distributed(Box::new(coordinator))
+}
+
+/// Applies `--microshards` / `--steal-deadline` to a coordinator. On
+/// resume, a recorded shard `plan` supplies the defaults (the tuning an
+/// interrupted run was using), and explicit flags override it; old
+/// checkpoints without the fields keep the built-in defaults. Tuning
+/// never changes results — only how fast generations clear.
+fn apply_scheduler_flags(
+    coordinator: &mut naas::DistributedCoordinator,
+    args: &Args,
+    plan: Option<&naas::ShardPlan>,
+) {
+    let recorded = plan.and_then(|p| p.microshards);
+    if let Some(micro) = args.get_num("microshards").or(recorded) {
+        coordinator.set_microshards(micro);
+    }
+    let recorded_ms = plan.and_then(|p| p.steal_deadline_ms);
+    if let Some(ms) = args.get_num::<u64>("steal-deadline").or(recorded_ms) {
+        coordinator.set_steal_deadline(std::time::Duration::from_millis(ms));
+    }
 }
 
 /// Resolves `--cache-cap` (0 = unbounded) and `--cache-file`,
@@ -390,12 +426,13 @@ fn cmd_resume(args: &Args) {
     // the plan the interrupted run was sharded over. Either way the
     // resumed trajectory is identical — sharding never changes results.
     let mut driver = match (args.get("workers"), &snapshot.shards) {
-        (Some(flag), _) => make_driver(Some(flag), &job.scenario),
+        (Some(flag), _) => make_driver(args, Some(flag), &job.scenario),
         (None, Some(plan)) => {
             match naas::DistributedCoordinator::connect(&plan.workers, &job.scenario) {
-                Ok(coordinator) => {
+                Ok(mut coordinator) => {
+                    apply_scheduler_flags(&mut coordinator, args, Some(plan));
                     println!("re-dialed recorded shard plan: {}", plan.workers.join(", "));
-                    Driver::Distributed(coordinator)
+                    Driver::Distributed(Box::new(coordinator))
                 }
                 Err(e) => {
                     telemetry::events().emit(
@@ -521,11 +558,23 @@ fn build_service(args: &Args, banner: &str) -> naas::BatchEvalService {
     let threads = args.get_num("threads").unwrap_or(0);
     let seed = args.get_num("seed").unwrap_or(2021);
     let mapping = search_config(args, seed, threads).mapping;
+    // Chaos-testing hook: NAAS_EVAL_DELAY_US slows every shard
+    // evaluation by that many microseconds per candidate, serialized —
+    // a worker started with it set behaves like a genuinely slow
+    // machine. Never changes any answer.
+    let eval_delay_us = std::env::var("NAAS_EVAL_DELAY_US")
+        .ok()
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| fail(format!("NAAS_EVAL_DELAY_US expects a number, got `{v}`")))
+        })
+        .unwrap_or(0);
     let service = naas::BatchEvalService::new(naas::ServiceConfig {
         threads,
         mapping,
         cache_file: args.get("cache-file").map(std::path::PathBuf::from),
         cache_cap: args.get_num("cache-cap").unwrap_or(0),
+        eval_delay_us,
     })
     .unwrap_or_else(|e| fail(format!("cannot start {banner}: {e}")));
     telemetry::events().emit(

@@ -9,13 +9,43 @@
 //! a [`DistributedCoordinator`] runs the ordinary sampling/optimizer
 //! logic of [`accel_search_step_with`] (or [`joint_search_step_with`] for
 //! the joint loop) and only relocates the candidate evaluations — each
-//! generation's population is split into contiguous shards in candidate
-//! order, one `evaluate_shard` request per live worker (`naas-search
-//! worker` processes speaking the JSONL protocol of `docs/PROTOCOL.md`),
-//! and the replies are merged back in candidate order. The search
-//! trajectory — best design, history, evaluation counts — is
-//! **bit-identical** to the single-process run at any worker count,
-//! enforced by `tests/tests/distributed.rs`.
+//! generation's population is split into contiguous **micro-shards** in
+//! candidate order, fanned out as `evaluate_shard` requests to
+//! `naas-search worker` processes speaking the JSONL protocol of
+//! `docs/PROTOCOL.md`, and the replies are merged back in candidate
+//! order. The search trajectory — best design, history, evaluation
+//! counts — is **bit-identical** to the single-process run at any worker
+//! count, enforced by `tests/tests/distributed.rs`.
+//!
+//! ## The micro-shard scheduler
+//!
+//! A generation used to be a hard barrier: one contiguous shard per
+//! worker, one blocking RPC each, and the whole fleet idled until the
+//! slowest worker returned — a single slow or cold machine set the pace
+//! of the entire search. The scheduler replaces that with dynamic
+//! dispatch (see `--microshards` / `--steal-deadline`):
+//!
+//! * each worker gets a **queue** of ~[`DEFAULT_MICROSHARDS`] small
+//!   contiguous ranges, sized by a per-worker throughput EWMA measured
+//!   from its own completed work (unknown workers get the fleet mean);
+//! * every worker's RPC pipeline is kept full with **send-ahead**
+//!   requests ([`naas_engine::remote::RemoteWorker::send`] /
+//!   [`naas_engine::remote::RemoteWorker::recv_next`]) — the service
+//!   answers per-stream in request order, so no wire change;
+//! * an idle worker **steals** the un-issued tail of a straggler's
+//!   queue (re-splitting oversized tails), and a shard in flight past
+//!   the steal deadline is **speculatively re-issued** — first answer
+//!   wins, the loser's late reply is dropped by shard id and counted as
+//!   a duplicate, never treated as a protocol error;
+//! * known-slow workers are gated out of stealing, so the fast part of
+//!   the fleet drains the queue while the straggler finishes what it
+//!   already holds.
+//!
+//! Micro-shards are still contiguous candidate ranges merged in
+//! candidate order, so bit-identity is preserved *by construction* no
+//! matter which worker answers which shard in which order. Setting
+//! `--microshards 0` restores the static one-shard-per-worker plan
+//! (the baseline the `distributed_throughput` bench compares against).
 //!
 //! ## Version handshake
 //!
@@ -98,8 +128,10 @@ use naas_ir::Network;
 use naas_nas::search::NasOutcome;
 use naas_nas::AccuracyModel;
 use serde::{Deserialize, Serialize, Value};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::ops::Range;
+use std::sync::{mpsc, Mutex};
+use std::time::{Duration, Instant};
 
 /// The delta-log source marker for entries the coordinator computed
 /// itself (local fallback); never matches a worker index, so such
@@ -125,10 +157,31 @@ pub const SEEN_CAP: usize = 1 << 20;
 const JOINT_CAPABILITY: &str = "joint";
 
 /// Bound on every worker dial (first connect, transparent reconnect,
-/// rejoin probe). Rejoin probes run at the generation barrier, so an
-/// unreachable-but-not-refusing worker must cost a bounded beat there,
-/// never an OS-default connect stall of minutes.
+/// rejoin probe). Rejoin probes run on background threads, so this
+/// bounds how long a probe thread lives against a machine that drops
+/// SYNs silently — never an OS-default connect stall of minutes, and
+/// never on the generation critical path.
 pub const CONNECT_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(5);
+
+/// Default micro-shards per live worker. Enough granularity for the
+/// fleet to rebalance around a 4× straggler, few enough that the
+/// per-request overhead (JSON framing, batcher wakeups) stays noise.
+pub const DEFAULT_MICROSHARDS: usize = 6;
+
+/// Default age past which an in-flight shard on a slower worker is
+/// speculatively re-issued to an idle one.
+pub const DEFAULT_STEAL_DEADLINE: Duration = Duration::from_millis(500);
+
+/// The scheduler's receive/poll tick: how long an idle worker thread
+/// waits before re-checking for stealable or speculatable work.
+const SCHED_TICK: Duration = Duration::from_millis(5);
+
+/// How long a generation boundary waits for in-flight rejoin probes to
+/// report, so a freshly-restarted worker (connect succeeds in
+/// microseconds) is admitted into the very generation that probed it
+/// instead of the next one. Probes that outlive the grace keep running
+/// in the background and are admitted at a later boundary.
+const REJOIN_GRACE: Duration = Duration::from_millis(150);
 
 /// The serializable record of how a run is sharded — written into
 /// checkpoints so `naas-search resume` can re-dial the same fleet
@@ -137,6 +190,43 @@ pub const CONNECT_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(
 pub struct ShardPlan {
     /// Worker addresses (`host:port`), in shard order.
     pub workers: Vec<String>,
+    /// Micro-shards per live worker (`0` = static one-shard-per-worker
+    /// dispatch). `None` in checkpoints from before the scheduler
+    /// existed — resumed as the default.
+    pub microshards: Option<usize>,
+    /// Speculative re-issue deadline, milliseconds. `None` in old
+    /// checkpoints — resumed as the default.
+    pub steal_deadline_ms: Option<u64>,
+}
+
+/// Per-generation (and cumulative) counters of the micro-shard
+/// scheduler, exposed for tests and benches that need exact per-run
+/// numbers without racing on the process-global telemetry registry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Micro-shard requests issued (every copy, including speculation).
+    pub microshards: u64,
+    /// Micro-shards stolen from another worker's un-issued queue tail.
+    pub steals: u64,
+    /// Stolen tails re-split down to the stealer's fair chunk.
+    pub resplits: u64,
+    /// In-flight shards speculatively re-issued past the deadline.
+    pub speculations: u64,
+    /// Late losing replies of resolved shards, dropped by shard id.
+    pub duplicate_replies: u64,
+    /// Shard ranges re-routed after a worker failure or rejection.
+    pub reissues: u64,
+}
+
+impl SchedulerStats {
+    fn accumulate(&mut self, other: SchedulerStats) {
+        self.microshards += other.microshards;
+        self.steals += other.steals;
+        self.resplits += other.resplits;
+        self.speculations += other.speculations;
+        self.duplicate_replies += other.duplicate_replies;
+        self.reissues += other.reissues;
+    }
 }
 
 /// One candidate's evaluation outcome, as moved over the wire: per-network
@@ -150,12 +240,13 @@ type Delta = CacheSnapshot<Option<MappingSearchResult>>;
 type ShardParams = Vec<(String, Value)>;
 
 /// Builds the mode-specific request parameters for one candidate range
-/// (the coordinator appends the cache delta itself).
-type BuildShard<'a> = dyn Fn(Range<usize>) -> ShardParams + 'a;
+/// (the coordinator appends the cache delta itself). `Sync` because the
+/// scheduler's worker threads build their own requests.
+type BuildShard<'a> = dyn Fn(Range<usize>) -> ShardParams + Sync + 'a;
 
 /// Decodes one shard reply into per-candidate results plus the
-/// piggybacked cache delta.
-type ParseShard<T> = dyn Fn(&Value, usize) -> Result<(Vec<T>, Delta), String>;
+/// piggybacked cache delta (`Sync`: decoded on the worker threads).
+type ParseShard<T> = dyn Fn(&Value, usize) -> Result<(Vec<T>, Delta), String> + Sync;
 
 /// Evaluates one candidate range on the coordinator's own engine.
 type LocalFallback<'a, T> = dyn FnMut(Range<usize>) -> Vec<T> + 'a;
@@ -208,10 +299,27 @@ pub struct DistributedCoordinator {
     /// still needs.
     delta_log: Vec<(usize, u64, LayerKey)>,
     seen: HashSet<(u64, LayerKey)>,
-    /// Slowest first-wave shard of the generation in progress
-    /// (worker address, wall micros) — telemetry only, reset every
-    /// fan-out, surfaced in the per-generation progress event.
+    /// Busiest worker of the generation in progress (address, busy
+    /// micros) — telemetry only, surfaced in the progress event.
     last_slowest: Option<(String, u64)>,
+    /// Micro-shards per live worker; `0` = static dispatch.
+    microshards: usize,
+    /// Age past which an in-flight shard is speculatively re-issued.
+    steal_deadline: Duration,
+    /// Per-worker throughput EWMA, microseconds per candidate, fed by
+    /// each generation's busy-time measurements. `None` until a worker
+    /// first completes work.
+    rates: Vec<Option<f64>>,
+    /// Scheduler counters of the most recent generation.
+    stats_last: SchedulerStats,
+    /// Scheduler counters accumulated over the coordinator's lifetime.
+    stats_total: SchedulerStats,
+    /// Background rejoin probes report here: worker index plus either a
+    /// connected, handshaken replacement handle or the dial error.
+    probe_tx: mpsc::Sender<(usize, Result<RemoteWorker, RemoteError>)>,
+    probe_rx: mpsc::Receiver<(usize, Result<RemoteWorker, RemoteError>)>,
+    /// Workers with a probe currently in flight (never double-probe).
+    probing: Vec<bool>,
 }
 
 impl DistributedCoordinator {
@@ -259,6 +367,8 @@ impl DistributedCoordinator {
                 banned: false,
             });
         }
+        let worker_count = workers.len();
+        let (probe_tx, probe_rx) = mpsc::channel();
         Ok(DistributedCoordinator {
             workers,
             scenario_value,
@@ -266,10 +376,19 @@ impl DistributedCoordinator {
             delta_log: Vec::new(),
             seen: HashSet::new(),
             last_slowest: None,
+            microshards: DEFAULT_MICROSHARDS,
+            steal_deadline: DEFAULT_STEAL_DEADLINE,
+            rates: vec![None; worker_count],
+            stats_last: SchedulerStats::default(),
+            stats_total: SchedulerStats::default(),
+            probe_tx,
+            probe_rx,
+            probing: vec![false; worker_count],
         })
     }
 
-    /// The shard plan (worker addresses) this coordinator was built on.
+    /// The shard plan (worker addresses plus scheduler tuning) this
+    /// coordinator was built on.
     pub fn plan(&self) -> ShardPlan {
         ShardPlan {
             workers: self
@@ -277,7 +396,35 @@ impl DistributedCoordinator {
                 .iter()
                 .map(|w| w.remote.addr().to_string())
                 .collect(),
+            microshards: Some(self.microshards),
+            steal_deadline_ms: Some(
+                u64::try_from(self.steal_deadline.as_millis()).unwrap_or(u64::MAX),
+            ),
         }
+    }
+
+    /// Sets the micro-shards-per-worker target. `0` disables the
+    /// dynamic scheduler entirely: one shard per live worker, no
+    /// stealing, no speculation — the pre-scheduler dispatch, kept as
+    /// the measurable baseline.
+    pub fn set_microshards(&mut self, microshards: usize) {
+        self.microshards = microshards;
+    }
+
+    /// Sets the age past which an in-flight shard on a slower worker is
+    /// speculatively re-issued to an idle one.
+    pub fn set_steal_deadline(&mut self, deadline: Duration) {
+        self.steal_deadline = deadline;
+    }
+
+    /// Scheduler counters of the most recently completed generation.
+    pub fn last_generation_stats(&self) -> SchedulerStats {
+        self.stats_last
+    }
+
+    /// Scheduler counters accumulated since the coordinator connected.
+    pub fn scheduler_stats(&self) -> SchedulerStats {
+        self.stats_total
     }
 
     /// Workers currently considered alive.
@@ -468,88 +615,146 @@ impl DistributedCoordinator {
         );
     }
 
-    /// Re-dials every dead, unbanned worker whose retry is due this
-    /// generation. Runs at each generation boundary, before shards are
-    /// assigned, so a rejoined worker takes part in the very generation
-    /// that re-admitted it.
+    /// Re-admits dead, unbanned workers via **background** re-dial
+    /// probes. Runs at each generation boundary, before shards are
+    /// assigned: first it applies every probe result that arrived since
+    /// the last boundary, then it launches probes for the dead workers
+    /// whose retry is due, then it grace-waits a short beat
+    /// ([`REJOIN_GRACE`]) so a worker that was just restarted (its
+    /// connect resolves in microseconds) takes part in the very
+    /// generation that probed it. A probe against a machine that drops
+    /// SYNs silently keeps running on its thread for up to
+    /// [`CONNECT_TIMEOUT`] — *off* the critical path; its verdict is
+    /// applied at whichever boundary it lands before.
     fn try_rejoin(&mut self) {
+        // Verdicts that arrived while the previous generation ran.
+        while let Ok((widx, outcome)) = self.probe_rx.try_recv() {
+            self.apply_probe(widx, outcome);
+        }
+        // Launch probes for every dead worker whose retry is due.
         let generation = self.generation;
-        let log_len = self.delta_log.len();
-        for slot in &mut self.workers {
-            if slot.alive || slot.banned || generation < slot.next_retry {
+        let mut launched = false;
+        for widx in 0..self.workers.len() {
+            let slot = &self.workers[widx];
+            if slot.alive || slot.banned || self.probing[widx] || generation < slot.next_retry {
                 continue;
             }
             let addr = slot.remote.addr().to_string();
-            slot.remote.disconnect();
-            match slot.remote.connect() {
-                Ok(()) => {
-                    slot.alive = true;
-                    slot.full_resync = true;
-                    slot.synced = log_len;
-                    slot.rejoin_attempts = 0;
-                    telemetry::metrics().coordinator.rejoins.inc();
-                    telemetry::events().emit(
-                        Level::Info,
-                        "worker_rejoined",
-                        &format!(
-                            "worker {addr} rejoined the fleet at generation {generation}; \
-                             warming it with a full cache snapshot"
-                        ),
-                        &[
-                            ("worker", Value::Str(addr.clone())),
-                            ("generation", Value::U64(generation as u64)),
-                        ],
-                    );
-                }
-                Err(e @ RemoteError::Incompatible(_)) => {
-                    slot.banned = true;
-                    telemetry::events().emit(
-                        Level::Error,
-                        "worker_banned",
-                        &format!(
-                            "worker {addr} came back with an incompatible build ({e}); \
-                             not re-admitting it"
-                        ),
-                        &[
-                            ("worker", Value::Str(addr.clone())),
-                            ("generation", Value::U64(generation as u64)),
-                            ("error", Value::Str(e.to_string())),
-                        ],
-                    );
-                }
-                Err(e) => {
-                    slot.rejoin_attempts += 1;
-                    let backoff = (1usize << slot.rejoin_attempts.min(8)).min(REJOIN_BACKOFF_CAP);
-                    slot.next_retry = generation + backoff;
-                    telemetry::events().emit(
-                        Level::Warn,
-                        "worker_unreachable",
-                        &format!(
-                            "worker {addr} still unreachable ({e}); \
-                             next re-dial in {backoff} generation(s)"
-                        ),
-                        &[
-                            ("worker", Value::Str(addr.clone())),
-                            ("generation", Value::U64(generation as u64)),
-                            ("backoff_generations", Value::U64(backoff as u64)),
-                            ("error", Value::Str(e.to_string())),
-                        ],
-                    );
-                }
+            let tx = self.probe_tx.clone();
+            self.probing[widx] = true;
+            launched = true;
+            std::thread::spawn(move || {
+                let mut probe = RemoteWorker::new(addr);
+                probe.enable_handshake("naas-search coordinator");
+                probe.set_connect_timeout(CONNECT_TIMEOUT);
+                let outcome = probe.connect().map(|()| probe);
+                // The coordinator may be gone by the time a slow probe
+                // resolves; a dead channel just ends the thread.
+                let _ = tx.send((widx, outcome));
+            });
+        }
+        // Grace-wait for in-flight probes: a locally-refused connect
+        // reports in microseconds, so a restarted worker rejoins *this*
+        // generation. Probes still out after the grace (silent drops)
+        // report at a later boundary.
+        if !launched && !self.probing.iter().any(|&p| p) {
+            return;
+        }
+        let deadline = Instant::now() + REJOIN_GRACE;
+        while self.probing.iter().any(|&p| p) {
+            let now = Instant::now();
+            let Some(left) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                break;
+            };
+            match self.probe_rx.recv_timeout(left) {
+                Ok((widx, outcome)) => self.apply_probe(widx, outcome),
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Applies one background probe verdict: admit, ban, or back off.
+    fn apply_probe(&mut self, widx: usize, outcome: Result<RemoteWorker, RemoteError>) {
+        self.probing[widx] = false;
+        let generation = self.generation;
+        let slot = &mut self.workers[widx];
+        if slot.alive || slot.banned {
+            // The slot changed state while the probe was out (e.g. a
+            // stale probe from before a ban): drop the verdict.
+            return;
+        }
+        let addr = slot.remote.addr().to_string();
+        match outcome {
+            Ok(probe) => {
+                slot.remote = probe;
+                slot.alive = true;
+                slot.full_resync = true;
+                slot.synced = self.delta_log.len();
+                slot.rejoin_attempts = 0;
+                telemetry::metrics().coordinator.rejoins.inc();
+                telemetry::events().emit(
+                    Level::Info,
+                    "worker_rejoined",
+                    &format!(
+                        "worker {addr} rejoined the fleet at generation {generation}; \
+                         warming it with a full cache snapshot"
+                    ),
+                    &[
+                        ("worker", Value::Str(addr.clone())),
+                        ("generation", Value::U64(generation as u64)),
+                    ],
+                );
+            }
+            Err(e @ RemoteError::Incompatible(_)) => {
+                slot.banned = true;
+                telemetry::events().emit(
+                    Level::Error,
+                    "worker_banned",
+                    &format!(
+                        "worker {addr} came back with an incompatible build ({e}); \
+                         not re-admitting it"
+                    ),
+                    &[
+                        ("worker", Value::Str(addr.clone())),
+                        ("generation", Value::U64(generation as u64)),
+                        ("error", Value::Str(e.to_string())),
+                    ],
+                );
+            }
+            Err(e) => {
+                slot.rejoin_attempts += 1;
+                let backoff = (1usize << slot.rejoin_attempts.min(8)).min(REJOIN_BACKOFF_CAP);
+                slot.next_retry = generation + backoff;
+                telemetry::events().emit(
+                    Level::Warn,
+                    "worker_unreachable",
+                    &format!(
+                        "worker {addr} still unreachable ({e}); \
+                         next re-dial in {backoff} generation(s)"
+                    ),
+                    &[
+                        ("worker", Value::Str(addr.clone())),
+                        ("generation", Value::U64(generation as u64)),
+                        ("backoff_generations", Value::U64(backoff as u64)),
+                        ("error", Value::Str(e.to_string())),
+                    ],
+                );
             }
         }
     }
 
     /// The generic fan-out/merge/re-issue engine under both search
-    /// modes: shards `n` candidates over the live workers (optionally
-    /// only those advertising `capability`), sends one `evaluate_shard`
-    /// request per shard (built by `build`, with the worker's pending
-    /// cache delta appended), decodes replies with `parse`, re-issues
-    /// the shards of failed workers, and falls back to `fallback` on
-    /// the coordinator's own engine when no worker can take a shard.
+    /// modes: schedules `n` candidates over the live workers (optionally
+    /// only those advertising `capability`) as micro-shards with work
+    /// stealing, pipelined RPC and speculative re-issue (see the module
+    /// docs), decodes replies with `parse`, and falls back to `fallback`
+    /// on the coordinator's own engine for work no worker could finish.
     /// Results are merged in candidate order — the property that makes
     /// distribution invisible in the trajectory.
-    fn evaluate_sharded<T>(
+    fn evaluate_sharded<T: Send>(
         &mut self,
         engine: &CoSearchEngine,
         n: usize,
@@ -558,77 +763,45 @@ impl DistributedCoordinator {
         parse: &ParseShard<T>,
         fallback: &mut LocalFallback<'_, T>,
     ) -> Vec<T> {
+        self.stats_last = SchedulerStats::default();
         let mut merged: Vec<Option<T>> = (0..n).map(|_| None).collect();
-        let mut failed: Vec<Range<usize>> = Vec::new();
+        let mut leftovers: Vec<Range<usize>> = Vec::new();
 
-        // Assign contiguous shards (in candidate order) to eligible
-        // workers and build each request up front: the request body
-        // snapshots this worker's pending cache delta, and `synced`
-        // advances whether or not the call later succeeds (a failed
-        // worker is dead; a re-issued shard re-syncs through its new
-        // worker).
         let live: Vec<usize> = (0..self.workers.len())
             .filter(|&w| self.eligible(w, capability))
             .collect();
-        let mut per_worker: Vec<Option<(Range<usize>, ShardParams)>> =
-            (0..self.workers.len()).map(|_| None).collect();
         if live.is_empty() {
             // No worker can take this mode's shards (fleet dead, or no
             // capability match): everything goes to the fallback path.
-            failed.push(0..n);
-        }
-        for (shard, range) in shard_ranges(n, live.len()).into_iter().enumerate() {
-            let widx = live[shard];
-            let mut params = build(range.clone());
-            self.append_cache_param(engine, widx, &mut params);
-            per_worker[widx] = Some((range, params));
+            if n > 0 {
+                leftovers.push(0..n);
+            }
+        } else if n > 0 {
+            self.run_scheduler(engine, n, &live, build, parse, &mut merged, &mut leftovers);
         }
 
-        // Parallel fan-out: one blocking call per assigned worker.
-        type ShardOutcome = (Result<Value, RemoteError>, std::time::Duration);
-        let mut outcomes: Vec<(usize, Range<usize>, Result<Value, RemoteError>)> = Vec::new();
-        let mut slowest: Option<(String, u64)> = None;
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (widx, slot) in self.workers.iter_mut().enumerate() {
-                if let Some((range, params)) = per_worker[widx].take() {
-                    let addr = slot.remote.addr().to_string();
-                    let handle = scope.spawn(move || -> ShardOutcome {
-                        let start = std::time::Instant::now();
-                        let outcome = slot.remote.call("evaluate_shard", params);
-                        (outcome, start.elapsed())
-                    });
-                    handles.push((widx, addr, range, handle));
-                }
-            }
-            for (widx, addr, range, handle) in handles {
-                let (outcome, elapsed) = handle.join().expect("shard caller panicked");
-                let micros = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
-                if slowest.as_ref().is_none_or(|(_, m)| micros > *m) {
-                    slowest = Some((addr, micros));
-                }
-                outcomes.push((widx, range, outcome));
-            }
-        });
-        self.last_slowest = slowest;
-
-        for (widx, range, outcome) in outcomes {
-            match self.fold_shard_outcome(engine, widx, range.len(), outcome, parse) {
-                Ok(results) => {
-                    for (slot, result) in range.clone().zip(results) {
-                        merged[slot] = Some(result);
-                    }
-                }
-                Err(()) => failed.push(range),
-            }
-        }
-
-        // Re-issue failed shards to survivors; fall back to the local
-        // engine when no worker can take them. Purity makes *where* a
-        // shard lands irrelevant to the result.
-        for range in failed {
-            let results =
-                self.reissue_shard(engine, range.clone(), capability, build, parse, fallback);
+        // Evaluate locally whatever the fleet could not finish: orderly
+        // rejections (a deterministic failure must surface exactly as a
+        // single-process run would surface it) and orphans no surviving
+        // worker picked up. Purity makes *where* a shard lands
+        // irrelevant to the result.
+        for range in leftovers {
+            telemetry::events().emit(
+                Level::Info,
+                "local_fallback",
+                "evaluating shard on the coordinator",
+                &[
+                    ("generation", Value::U64(self.generation as u64)),
+                    ("candidates", Value::U64(range.len() as u64)),
+                ],
+            );
+            engine.cache().enable_journal();
+            let results = fallback(range.clone());
+            let delta = engine.cache().take_new_entries();
+            self.log_keys(
+                SELF_SOURCE,
+                delta.entries.iter().map(|(fp, key, _)| (*fp, *key)),
+            );
             for (slot, result) in range.zip(results) {
                 merged[slot] = Some(result);
             }
@@ -639,6 +812,219 @@ impl DistributedCoordinator {
             .collect()
     }
 
+    /// Runs one generation's micro-shard scheduler over the `live`
+    /// workers: plans per-worker queues by throughput, spawns one
+    /// pipelining thread per worker against the shared scheduler state,
+    /// then applies the post-mortem — merges, cache deltas, EWMA
+    /// updates, deaths/rejections, telemetry — back onto `self`.
+    /// Un-finished ranges are appended to `leftovers` for the caller's
+    /// local fallback.
+    #[allow(clippy::too_many_arguments)]
+    fn run_scheduler<T: Send>(
+        &mut self,
+        engine: &CoSearchEngine,
+        n: usize,
+        live: &[usize],
+        build: &BuildShard<'_>,
+        parse: &ParseShard<T>,
+        merged: &mut Vec<Option<T>>,
+        leftovers: &mut Vec<Range<usize>>,
+    ) {
+        let dynamic = self.microshards > 0;
+        let per_worker = if dynamic { self.microshards } else { 1 };
+        // Static mode ignores the EWMA: equal shards, like the
+        // pre-scheduler dispatch it exists to baseline against.
+        let live_rates: Vec<Option<f64>> = if dynamic {
+            live.iter().map(|&w| self.rates[w]).collect()
+        } else {
+            vec![None; live.len()]
+        };
+        let blocks = microshard_plan(n, &live_rates, per_worker);
+
+        let worker_count = self.workers.len();
+        let mut queues: Vec<VecDeque<Range<usize>>> =
+            (0..worker_count).map(|_| VecDeque::new()).collect();
+        let mut active = vec![false; worker_count];
+        for (i, &w) in live.iter().enumerate() {
+            queues[w] = blocks[i].iter().cloned().collect();
+            active[w] = true;
+        }
+        let sched = Mutex::new(Sched {
+            queues,
+            pool: VecDeque::new(),
+            flights: Vec::new(),
+            local: Vec::new(),
+            active,
+            rates: self.rates.clone(),
+            base_chunk: n.div_ceil(live.len() * per_worker).max(1),
+            stats: SchedulerStats::default(),
+        });
+        let merge = Mutex::new(MergeState {
+            merged: std::mem::take(merged),
+            deltas: Vec::new(),
+        });
+
+        // Pre-compute each worker's piggybacked cache delta (and a
+        // rollback snapshot of its sync point, for workers that end up
+        // never receiving a single request).
+        let prev_sync: Vec<(usize, bool)> = self
+            .workers
+            .iter()
+            .map(|s| (s.synced, s.full_resync))
+            .collect();
+        let mut setups: Vec<Option<(Option<Value>, bool)>> =
+            (0..worker_count).map(|_| None).collect();
+        for &w in live {
+            let cache = self.take_cache_param(engine, w);
+            setups[w] = Some((cache, self.rates[w].is_some()));
+        }
+        let cfg = SchedCfg {
+            tick: SCHED_TICK,
+            deadline: self.steal_deadline,
+            dynamic,
+        };
+
+        let mut ends: Vec<WorkerEnd> = Vec::new();
+        std::thread::scope(|scope| {
+            let sched = &sched;
+            let merge = &merge;
+            let mut handles = Vec::new();
+            for (widx, slot) in self.workers.iter_mut().enumerate() {
+                let Some((cache, rate_known)) = setups[widx].take() else {
+                    continue;
+                };
+                let remote = &mut slot.remote;
+                handles.push(scope.spawn(move || {
+                    worker_loop(
+                        remote, widx, cache, rate_known, cfg, sched, merge, build, parse,
+                    )
+                }));
+            }
+            for handle in handles {
+                ends.push(handle.join().expect("shard worker thread panicked"));
+            }
+        });
+
+        let mut sched = sched.into_inner().unwrap_or_else(|p| p.into_inner());
+        let merge = merge.into_inner().unwrap_or_else(|p| p.into_inner());
+        *merged = merge.merged;
+        // Deltas in flight order: deterministic relay-log order no
+        // matter which thread's reply landed first.
+        let mut deltas = merge.deltas;
+        deltas.sort_by_key(|(fid, ..)| *fid);
+        for (_, widx, delta) in deltas {
+            self.record_delta(engine, widx, delta);
+        }
+
+        // Per-worker post-mortem: busy-share gauges, EWMA feed, sync
+        // rollback for workers that never got a request, deaths and
+        // rejections (with the same operator-facing events the blocking
+        // dispatcher emitted).
+        let generation = self.generation;
+        let coordinator = &telemetry::metrics().coordinator;
+        let mut slowest: Option<(String, u64)> = None;
+        for end in &ends {
+            let addr = self.workers[end.widx].remote.addr().to_string();
+            if slowest.as_ref().is_none_or(|(_, m)| end.busy_us > *m) {
+                slowest = Some((addr.clone(), end.busy_us));
+            }
+            coordinator
+                .worker_share
+                .get(&addr)
+                .set(end.completed.saturating_mul(1000) / n as u64);
+            if end.completed > 0 {
+                let measured = end.busy_us as f64 / end.completed as f64;
+                self.rates[end.widx] = Some(match self.rates[end.widx] {
+                    Some(rate) => 0.4 * rate + 0.6 * measured,
+                    None => measured,
+                });
+            }
+            if !end.sent_any {
+                let (synced, full_resync) = prev_sync[end.widx];
+                self.workers[end.widx].synced = synced;
+                self.workers[end.widx].full_resync = full_resync;
+            }
+            let worker_fields = |error: String| {
+                [
+                    ("worker", Value::Str(addr.clone())),
+                    ("generation", Value::U64(generation as u64)),
+                    ("error", Value::Str(error)),
+                ]
+            };
+            for error in &end.rejections {
+                telemetry::events().emit(
+                    Level::Warn,
+                    "shard_rejected",
+                    &format!("worker {addr} rejected its shard ({error}); evaluating it locally"),
+                    &worker_fields(error.clone()),
+                );
+            }
+            match &end.death {
+                None => {}
+                Some(DeathCause::Incompatible(e)) => {
+                    coordinator.deaths.inc();
+                    telemetry::events().emit(
+                        Level::Error,
+                        "worker_banned",
+                        &format!(
+                            "worker {addr} reconnected incompatible ({e}); dropping it for good"
+                        ),
+                        &worker_fields(e.clone()),
+                    );
+                    self.workers[end.widx].mark_dead(generation, true);
+                }
+                Some(DeathCause::Protocol(e)) => {
+                    coordinator.deaths.inc();
+                    telemetry::events().emit(
+                        Level::Warn,
+                        "shard_protocol_violation",
+                        &format!(
+                            "worker {addr} violated the shard protocol ({e}); \
+                             re-issuing its shard"
+                        ),
+                        &worker_fields(e.clone()),
+                    );
+                    self.workers[end.widx].mark_dead(generation, false);
+                }
+                Some(DeathCause::Transport(e)) => {
+                    coordinator.deaths.inc();
+                    telemetry::events().emit(
+                        Level::Warn,
+                        "worker_died",
+                        &format!("worker {addr} died mid-generation ({e}); re-issuing its shard"),
+                        &worker_fields(e.clone()),
+                    );
+                    self.workers[end.widx].mark_dead(generation, false);
+                }
+            }
+        }
+        self.last_slowest = slowest;
+
+        let stats = sched.stats;
+        coordinator.microshards.add(stats.microshards);
+        coordinator.steals.add(stats.steals);
+        coordinator.resplits.add(stats.resplits);
+        coordinator.speculations.add(stats.speculations);
+        coordinator.duplicate_replies.add(stats.duplicate_replies);
+        coordinator.reissues.add(stats.reissues);
+        self.stats_last = stats;
+        self.stats_total.accumulate(stats);
+
+        // Whatever the fleet never finished goes to the caller's local
+        // fallback: rejected ranges, plus orphans left when every
+        // worker that could have drained the pool died or deactivated.
+        leftovers.append(&mut sched.local);
+        leftovers.extend(sched.pool.drain(..));
+        for queue in &mut sched.queues {
+            leftovers.extend(queue.drain(..));
+        }
+        for flight in &sched.flights {
+            if !flight.done {
+                leftovers.push(flight.range.clone());
+            }
+        }
+    }
+
     /// Whether worker `widx` can take a shard: alive, and advertising
     /// `capability` when one is required.
     fn eligible(&self, widx: usize, capability: Option<&str>) -> bool {
@@ -646,154 +1032,16 @@ impl DistributedCoordinator {
         slot.alive && capability.is_none_or(|c| slot.remote.has_capability(c))
     }
 
-    /// Folds one worker's shard call outcome: merged results on success,
-    /// `Err(())` ("re-issue this shard") on worker death. An orderly
-    /// error *response* ([`RemoteError::Remote`]) does **not** kill the
-    /// worker — the connection and process are fine, the *request*
-    /// failed, and re-issuing it elsewhere would just fail (or panic)
-    /// every healthy worker in turn. It is reported as a re-issue so the
-    /// shard lands on the coordinator's local fallback path, where a
-    /// deterministic evaluation failure surfaces exactly as it would in
-    /// a single-process run. A handshake failure on a transparent
-    /// reconnect ([`RemoteError::Incompatible`] — the worker was
-    /// restarted with a different build mid-run) bans the worker from
-    /// rejoin on top of marking it dead.
-    fn fold_shard_outcome<T>(
-        &mut self,
-        engine: &CoSearchEngine,
-        widx: usize,
-        expected: usize,
-        outcome: Result<Value, RemoteError>,
-        parse: &ParseShard<T>,
-    ) -> Result<Vec<T>, ()> {
-        let generation = self.generation;
-        let addr = self.workers[widx].remote.addr().to_string();
-        let coordinator = &telemetry::metrics().coordinator;
-        let worker_fields = |error: String| {
-            [
-                ("worker", Value::Str(addr.clone())),
-                ("generation", Value::U64(generation as u64)),
-                ("error", Value::Str(error)),
-            ]
-        };
-        let reply = match outcome {
-            Ok(reply) => reply,
-            Err(e @ RemoteError::Remote(_)) => {
-                coordinator.reissues.inc();
-                telemetry::events().emit(
-                    Level::Warn,
-                    "shard_rejected",
-                    &format!("worker {addr} rejected its shard ({e}); evaluating it locally"),
-                    &worker_fields(e.to_string()),
-                );
-                return Err(());
-            }
-            Err(e @ RemoteError::Incompatible(_)) => {
-                coordinator.reissues.inc();
-                coordinator.deaths.inc();
-                telemetry::events().emit(
-                    Level::Error,
-                    "worker_banned",
-                    &format!("worker {addr} reconnected incompatible ({e}); dropping it for good"),
-                    &worker_fields(e.to_string()),
-                );
-                self.workers[widx].mark_dead(generation, true);
-                return Err(());
-            }
-            Err(e) => {
-                coordinator.reissues.inc();
-                coordinator.deaths.inc();
-                telemetry::events().emit(
-                    Level::Warn,
-                    "worker_died",
-                    &format!("worker {addr} died mid-generation ({e}); re-issuing its shard"),
-                    &worker_fields(e.to_string()),
-                );
-                self.workers[widx].mark_dead(generation, false);
-                return Err(());
-            }
-        };
-        match parse(&reply, expected) {
-            Ok((results, delta)) => {
-                self.record_delta(engine, widx, delta);
-                Ok(results)
-            }
-            Err(message) => {
-                coordinator.reissues.inc();
-                coordinator.deaths.inc();
-                telemetry::events().emit(
-                    Level::Warn,
-                    "shard_protocol_violation",
-                    &format!(
-                        "worker {addr} violated the shard protocol ({message}); \
-                         re-issuing its shard"
-                    ),
-                    &worker_fields(message),
-                );
-                self.workers[widx].mark_dead(generation, false);
-                Err(())
-            }
-        }
-    }
-
-    /// Sends one shard to the first surviving eligible worker (marking
-    /// further casualties dead as it goes); evaluates locally once none
-    /// remain or a worker returns an orderly error response (see
-    /// [`Self::fold_shard_outcome`]). Local fallback work is journaled
-    /// and gossiped like any worker's.
-    fn reissue_shard<T>(
-        &mut self,
-        engine: &CoSearchEngine,
-        range: Range<usize>,
-        capability: Option<&str>,
-        build: &BuildShard<'_>,
-        parse: &ParseShard<T>,
-        fallback: &mut LocalFallback<'_, T>,
-    ) -> Vec<T> {
-        while let Some(widx) = (0..self.workers.len()).find(|&w| self.eligible(w, capability)) {
-            let mut params = build(range.clone());
-            self.append_cache_param(engine, widx, &mut params);
-            let outcome = self.workers[widx].remote.call("evaluate_shard", params);
-            let was_remote_rejection = matches!(outcome, Err(RemoteError::Remote(_)));
-            match self.fold_shard_outcome(engine, widx, range.len(), outcome, parse) {
-                Ok(results) => return results,
-                Err(()) if was_remote_rejection => break, // worker is fine; go local
-                Err(()) => continue,                      // worker died; try the next one
-            }
-        }
-        telemetry::events().emit(
-            Level::Info,
-            "local_fallback",
-            "evaluating shard on the coordinator",
-            &[
-                ("generation", Value::U64(self.generation as u64)),
-                ("candidates", Value::U64(range.len() as u64)),
-            ],
-        );
-        engine.cache().enable_journal();
-        let results = fallback(range);
-        let delta = engine.cache().take_new_entries();
-        self.log_keys(
-            SELF_SOURCE,
-            delta.entries.iter().map(|(fp, key, _)| (*fp, *key)),
-        );
-        results
-    }
-
-    /// Appends the `cache` parameter for `widx`'s next shard request and
-    /// advances its sync point: an incremental delta of every logged
-    /// entry this worker has not seen and did not itself report — or,
-    /// right after a rejoin, a full snapshot of the coordinator's engine
-    /// cache (the restarted worker lost everything; this is the backlog
-    /// replay that makes it warm again). Values are fetched from the
-    /// engine cache at build time, so evicted entries simply drop out of
-    /// the relay.
-    fn append_cache_param(
-        &mut self,
-        engine: &CoSearchEngine,
-        widx: usize,
-        params: &mut Vec<(String, Value)>,
-    ) {
+    /// Builds the `cache` parameter value for `widx`'s first shard
+    /// request of the generation and advances its sync point: an
+    /// incremental delta of every logged entry this worker has not seen
+    /// and did not itself report — or, right after a rejoin, a full
+    /// snapshot of the coordinator's engine cache (the restarted worker
+    /// lost everything; this is the backlog replay that makes it warm
+    /// again). Values are fetched from the engine cache at build time,
+    /// so evicted entries simply drop out of the relay. Returns `None`
+    /// when the worker is already up to date.
+    fn take_cache_param(&mut self, engine: &CoSearchEngine, widx: usize) -> Option<Value> {
         let full_resync = std::mem::take(&mut self.workers[widx].full_resync);
         let synced = self.workers[widx].synced;
         let snapshot = if full_resync {
@@ -807,14 +1055,15 @@ impl DistributedCoordinator {
                 .collect();
             CacheSnapshot { entries }
         };
-        if !snapshot.entries.is_empty() {
-            telemetry::metrics()
-                .coordinator
-                .deltas_gossiped
-                .add(snapshot.entries.len() as u64);
-            params.push(("cache".to_string(), serde_json::to_value(&snapshot)));
-        }
         self.workers[widx].synced = self.delta_log.len();
+        if snapshot.entries.is_empty() {
+            return None;
+        }
+        telemetry::metrics()
+            .coordinator
+            .deltas_gossiped
+            .add(snapshot.entries.len() as u64);
+        Some(serde_json::to_value(&snapshot))
     }
 
     /// Folds a worker's reply delta into the coordinator: absorb the
@@ -870,6 +1119,507 @@ impl DistributedCoordinator {
     fn delta_log_len(&self) -> usize {
         self.delta_log.len()
     }
+}
+
+// ---------------------------------------------------------------------------
+// The micro-shard scheduler
+// ---------------------------------------------------------------------------
+
+/// Immutable per-generation scheduler tuning, copied into every worker
+/// thread.
+#[derive(Clone, Copy)]
+struct SchedCfg {
+    /// Receive/poll tick of the worker threads.
+    tick: Duration,
+    /// Age past which an in-flight shard is speculatively re-issued.
+    deadline: Duration,
+    /// `false` = static mode: no stealing, no speculation, no
+    /// pipelining (pool pickup of orphaned work still happens).
+    dynamic: bool,
+}
+
+/// One issued micro-shard: a contiguous candidate range with up to two
+/// live copies in flight (the second from speculation). First answer
+/// wins; a copy whose every issue failed is retired by re-routing the
+/// range (pool or local) and marking the flight done.
+struct Flight {
+    range: Range<usize>,
+    /// Worker that first issued it (speculation does not reassign —
+    /// the owner's rate is what the speculation gate compares against).
+    owner: usize,
+    issued_at: Instant,
+    /// Copies issued so far.
+    issues: u32,
+    /// Copies that failed (death, rejection, lost connection).
+    failed: u32,
+    /// Resolved: merged, or re-routed. Late replies for a done flight
+    /// are duplicates — dropped, never an error.
+    done: bool,
+}
+
+/// Where a failed flight's range goes when its last copy dies.
+enum Reroute {
+    /// Back to the shared pool — any worker may pick it up (deaths:
+    /// the work itself is fine, the worker was not).
+    Pool,
+    /// To the coordinator's local fallback (orderly rejections: the
+    /// *request* failed, and re-issuing it would fail every healthy
+    /// worker in turn).
+    Local,
+}
+
+/// The shared scheduler state, one instance per generation behind a
+/// mutex. Lock hold times are O(queue length) pops and pushes — the
+/// heavy work (serialization, I/O, parsing) happens outside.
+struct Sched {
+    /// Per-worker queues of un-issued ranges (indexed by worker index).
+    queues: Vec<VecDeque<Range<usize>>>,
+    /// Orphaned ranges any worker may take (ungated: orphan work must
+    /// finish even if only slow workers remain).
+    pool: VecDeque<Range<usize>>,
+    flights: Vec<Flight>,
+    /// Ranges destined for the coordinator's local fallback.
+    local: Vec<Range<usize>>,
+    /// Workers still taking part in this generation.
+    active: Vec<bool>,
+    /// Throughput EWMA (µs per candidate) snapshot, for gates.
+    rates: Vec<Option<f64>>,
+    /// The fair chunk size stolen tails are re-split down to.
+    base_chunk: usize,
+    stats: SchedulerStats,
+}
+
+impl Sched {
+    /// Everything resolved: nothing queued, pooled, or in flight.
+    fn done(&self) -> bool {
+        self.pool.is_empty()
+            && self.queues.iter().all(|q| q.is_empty())
+            && self.flights.iter().all(|f| f.done)
+    }
+
+    /// Takes worker `widx` out of the generation and hands its
+    /// un-issued queue to the pool.
+    fn deactivate(&mut self, widx: usize) {
+        self.active[widx] = false;
+        let queue = std::mem::take(&mut self.queues[widx]);
+        self.pool.extend(queue);
+    }
+
+    /// Records that one copy of `fid` failed; when no live copy
+    /// remains, retires the flight by re-routing its range.
+    fn fail_copy(&mut self, fid: usize, reroute: Reroute) {
+        let flight = &mut self.flights[fid];
+        if flight.done {
+            return;
+        }
+        flight.failed += 1;
+        if flight.failed >= flight.issues {
+            flight.done = true;
+            let range = flight.range.clone();
+            self.stats.reissues += 1;
+            match reroute {
+                Reroute::Pool => self.pool.push_back(range),
+                Reroute::Local => self.local.push(range),
+            }
+        }
+    }
+
+    /// Registers a fresh issue of `range` by `owner` and returns the
+    /// flight id.
+    fn issue(&mut self, range: Range<usize>, owner: usize) -> (usize, Range<usize>) {
+        let fid = self.flights.len();
+        self.flights.push(Flight {
+            range: range.clone(),
+            owner,
+            issued_at: Instant::now(),
+            issues: 1,
+            failed: 0,
+            done: false,
+        });
+        self.stats.microshards += 1;
+        (fid, range)
+    }
+
+    /// Picks the next shard for worker `widx`: own queue, then the
+    /// shared pool, then (dynamic mode only) stealing a straggler's
+    /// un-issued tail, then speculative re-issue of an overdue flight.
+    /// `mine` is the set of flight ids `widx` already has in the air —
+    /// a worker never speculates against itself.
+    fn next_work(
+        &mut self,
+        widx: usize,
+        mine: &HashSet<usize>,
+        cfg: SchedCfg,
+    ) -> Option<(usize, Range<usize>)> {
+        if let Some(range) = self.queues[widx].pop_front() {
+            return Some(self.issue(range, widx));
+        }
+        if let Some(range) = self.pool.pop_front() {
+            return Some(self.issue(range, widx));
+        }
+        if !cfg.dynamic {
+            return None;
+        }
+        // Gate: a known-slow worker (over 2× the best live rate) must
+        // not vacuum work from faster ones — idle slow beats busy slow
+        // when the fast fleet can still absorb the queue.
+        let my_rate = self.rates[widx];
+        let best = self
+            .rates
+            .iter()
+            .enumerate()
+            .filter(|(w, _)| self.active[*w])
+            .filter_map(|(_, r)| *r)
+            .fold(f64::INFINITY, f64::min);
+        let known_slow = matches!(my_rate, Some(r) if best.is_finite() && r > 2.0 * best);
+        if !known_slow {
+            // Steal from the victim with the most un-issued work.
+            let victim = (0..self.queues.len())
+                .filter(|&v| v != widx && self.active[v] && !self.queues[v].is_empty())
+                .max_by_key(|&v| self.queues[v].iter().map(Range::len).sum::<usize>());
+            if let Some(victim) = victim {
+                let mut range = self.queues[victim]
+                    .pop_back()
+                    .expect("victim queue checked non-empty");
+                self.stats.steals += 1;
+                if range.len() > 2 * self.base_chunk {
+                    // Take a fair chunk off the tail, leave the rest.
+                    let cut = range.end - self.base_chunk;
+                    self.queues[victim].push_back(range.start..cut);
+                    range = cut..range.end;
+                    self.stats.resplits += 1;
+                }
+                return Some(self.issue(range, widx));
+            }
+        }
+        // Speculate on an overdue single-copy flight. Gated on beating
+        // the owner's known rate — except long past the deadline, when
+        // any copy beats a possibly-hung owner.
+        let overdue = self
+            .flights
+            .iter()
+            .enumerate()
+            .find(|(fid, f)| {
+                !f.done
+                    && f.issues - f.failed == 1
+                    && !mine.contains(fid)
+                    && f.issued_at.elapsed() > cfg.deadline
+                    && (f.issued_at.elapsed() > 4 * cfg.deadline
+                        || match (my_rate, self.rates[f.owner]) {
+                            (Some(me), Some(owner)) => me < owner,
+                            _ => true,
+                        })
+            })
+            .map(|(fid, f)| (fid, f.range.clone()));
+        if let Some((fid, range)) = overdue {
+            self.flights[fid].issues += 1;
+            self.stats.speculations += 1;
+            return Some((fid, range));
+        }
+        None
+    }
+}
+
+/// Why a worker thread declared its worker dead.
+enum DeathCause {
+    /// Connection/framing failure (I/O error, EOF, bad JSON).
+    Transport(String),
+    /// The transparent reconnect's handshake failed: the worker was
+    /// restarted with a different build mid-run. Ban it.
+    Incompatible(String),
+    /// A semantically malformed reply (wrong cardinality, bad fields).
+    Protocol(String),
+}
+
+/// What one scheduler worker thread reports back to the coordinator.
+struct WorkerEnd {
+    widx: usize,
+    death: Option<DeathCause>,
+    /// Orderly rejection messages (the worker stays alive; its ranges
+    /// went to the local fallback).
+    rejections: Vec<String>,
+    /// Whether at least one request was actually written — if not, the
+    /// pre-computed cache sync advance is rolled back.
+    sent_any: bool,
+    /// Candidates this worker completed (first-answer wins only).
+    completed: u64,
+    /// Wall time with at least one request in flight, microseconds —
+    /// the busy-fraction numerator and the EWMA denominator's clock.
+    busy_us: u64,
+}
+
+fn us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+fn sched_lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Results and reply deltas accumulated across the worker threads.
+struct MergeState<T> {
+    merged: Vec<Option<T>>,
+    /// `(flight id, source worker, delta)` in completion order;
+    /// sorted by flight id before being applied.
+    deltas: Vec<(usize, usize, Delta)>,
+}
+
+/// One worker's scheduler thread: keeps the RPC pipeline full from the
+/// shared queues (own → pool → steal → speculate), merges winning
+/// replies, drops duplicate late replies by shard id, and reports how
+/// it ended. Never touches the coordinator — deaths, events and EWMA
+/// updates are applied post-scope from the returned [`WorkerEnd`].
+#[allow(clippy::too_many_arguments)]
+fn worker_loop<T: Send>(
+    remote: &mut RemoteWorker,
+    widx: usize,
+    mut cache_param: Option<Value>,
+    rate_known: bool,
+    cfg: SchedCfg,
+    sched: &Mutex<Sched>,
+    merge: &Mutex<MergeState<T>>,
+    build: &BuildShard<'_>,
+    parse: &ParseShard<T>,
+) -> WorkerEnd {
+    let mut end = WorkerEnd {
+        widx,
+        death: None,
+        rejections: Vec::new(),
+        sent_any: false,
+        completed: 0,
+        busy_us: 0,
+    };
+    // Request id → flight id for this worker's in-flight requests.
+    let mut my_flights: HashMap<u64, usize> = HashMap::new();
+    let mut busy_start: Option<Instant> = None;
+    // Send-ahead depth: 2 once this worker's rate is known, 1 before
+    // (don't over-commit to an unmeasured worker), 1 in static mode.
+    let depth = if cfg.dynamic && rate_known { 2 } else { 1 };
+
+    'run: loop {
+        // ---- death cleanup (entered via `continue 'run` below) ----
+        if end.death.is_some() {
+            let mut s = sched_lock(sched);
+            s.deactivate(widx);
+            for (_, fid) in my_flights.drain() {
+                s.fail_copy(fid, Reroute::Pool);
+            }
+            drop(s);
+            remote.abandon();
+            if let Some(start) = busy_start.take() {
+                end.busy_us += us(start.elapsed());
+            }
+            break 'run;
+        }
+
+        // ---- receive one reply, waiting at most a tick ----
+        if remote.pending() > 0 {
+            match remote.recv_next(cfg.tick) {
+                Ok(None) => {}
+                Ok(Some((id, inner))) => {
+                    let fid = my_flights
+                        .remove(&id)
+                        .expect("every pipelined id maps to a flight");
+                    match inner {
+                        Ok(reply) => {
+                            // First answer wins: claim the flight, or
+                            // drop a stale losing copy.
+                            let claim = {
+                                let mut s = sched_lock(sched);
+                                let flight = &mut s.flights[fid];
+                                if flight.done {
+                                    s.stats.duplicate_replies += 1;
+                                    None
+                                } else {
+                                    flight.done = true;
+                                    Some(flight.range.clone())
+                                }
+                            };
+                            if let Some(range) = claim {
+                                match parse(&reply, range.len()) {
+                                    Ok((results, delta)) => {
+                                        end.completed += range.len() as u64;
+                                        let mut m = sched_lock(merge);
+                                        for (slot, result) in range.clone().zip(results) {
+                                            m.merged[slot] = Some(result);
+                                        }
+                                        m.deltas.push((fid, widx, delta));
+                                    }
+                                    Err(message) => {
+                                        // Un-claim so the range re-routes.
+                                        let mut s = sched_lock(sched);
+                                        s.flights[fid].done = false;
+                                        s.fail_copy(fid, Reroute::Pool);
+                                        drop(s);
+                                        end.death = Some(DeathCause::Protocol(message));
+                                        continue 'run;
+                                    }
+                                }
+                            }
+                        }
+                        Err(e @ RemoteError::Remote(_)) => {
+                            // Orderly rejection: the worker is healthy,
+                            // the request failed. Deactivate it for the
+                            // generation; sole-copy ranges go local.
+                            end.rejections.push(e.to_string());
+                            let mut s = sched_lock(sched);
+                            s.deactivate(widx);
+                            s.fail_copy(fid, Reroute::Local);
+                        }
+                        Err(e) => unreachable!("recv_next inner error is always Remote: {e}"),
+                    }
+                    if remote.pending() == 0 {
+                        if let Some(start) = busy_start.take() {
+                            end.busy_us += us(start.elapsed());
+                        }
+                    }
+                }
+                Err(e) => {
+                    end.death = Some(match e {
+                        RemoteError::Incompatible(_) => DeathCause::Incompatible(e.to_string()),
+                        _ => DeathCause::Transport(e.to_string()),
+                    });
+                    continue 'run;
+                }
+            }
+        }
+
+        // ---- keep the pipeline full ----
+        let mut progressed = false;
+        while remote.pending() < depth {
+            let work = {
+                let mut s = sched_lock(sched);
+                if s.active[widx] {
+                    let mine: HashSet<usize> = my_flights.values().copied().collect();
+                    s.next_work(widx, &mine, cfg)
+                } else {
+                    None
+                }
+            };
+            let Some((fid, range)) = work else { break };
+            let mut params = build(range);
+            if let Some(cache) = cache_param.take() {
+                params.push(("cache".to_string(), cache));
+            }
+            match remote.send("evaluate_shard", params) {
+                Ok(id) => {
+                    end.sent_any = true;
+                    progressed = true;
+                    if busy_start.is_none() {
+                        busy_start = Some(Instant::now());
+                    }
+                    my_flights.insert(id, fid);
+                }
+                Err(e) => {
+                    sched_lock(sched).fail_copy(fid, Reroute::Pool);
+                    end.death = Some(match e {
+                        RemoteError::Incompatible(_) => DeathCause::Incompatible(e.to_string()),
+                        _ => DeathCause::Transport(e.to_string()),
+                    });
+                    continue 'run;
+                }
+            }
+        }
+
+        // ---- exit / idle ----
+        let (done, im_active) = {
+            let s = sched_lock(sched);
+            (s.done(), s.active[widx])
+        };
+        if remote.pending() == 0 {
+            if done || !im_active {
+                break 'run;
+            }
+            // Nothing in flight and nothing to take yet: idle a beat so
+            // stealable or speculatable work can appear.
+            if !progressed {
+                std::thread::sleep(cfg.tick);
+            }
+        } else if done {
+            // Every flight resolved (this worker's leftovers won by
+            // speculation elsewhere): any reply still owed is stale.
+            // Abandon the conversation — the worker stays alive and the
+            // next generation re-dials transparently.
+            remote.abandon();
+            my_flights.clear();
+            if let Some(start) = busy_start.take() {
+                end.busy_us += us(start.elapsed());
+            }
+            break 'run;
+        }
+    }
+    end
+}
+
+/// Plans one generation's per-worker micro-shard queues: `n` candidates
+/// split among `rates.len()` workers proportionally to throughput
+/// (1/rate; unknown rates get the mean known weight) by largest-
+/// remainder allocation, each worker's contiguous block then split into
+/// at most `per_worker` micro-shards. Blocks are contiguous in
+/// candidate order, so any completion order merges bit-identically.
+fn microshard_plan(n: usize, rates: &[Option<f64>], per_worker: usize) -> Vec<Vec<Range<usize>>> {
+    let k = rates.len();
+    if k == 0 {
+        return Vec::new();
+    }
+    let known: Vec<f64> = rates
+        .iter()
+        .filter_map(|r| *r)
+        .filter(|r| *r > 0.0)
+        .map(|r| 1.0 / r)
+        .collect();
+    let default_weight = if known.is_empty() {
+        1.0
+    } else {
+        known.iter().sum::<f64>() / known.len() as f64
+    };
+    let weights: Vec<f64> = rates
+        .iter()
+        .map(|r| match r {
+            Some(rate) if *rate > 0.0 => 1.0 / rate,
+            _ => default_weight,
+        })
+        .collect();
+    let total: f64 = weights.iter().sum();
+
+    // Largest-remainder apportionment of n candidates to k workers.
+    let mut alloc: Vec<usize> = Vec::with_capacity(k);
+    let mut remainders: Vec<(f64, usize)> = Vec::with_capacity(k);
+    let mut assigned = 0usize;
+    for (i, w) in weights.iter().enumerate() {
+        let exact = n as f64 * w / total;
+        let floor = exact.floor() as usize;
+        alloc.push(floor);
+        assigned += floor;
+        remainders.push((exact - floor as f64, i));
+    }
+    // Ties break toward the lower worker index: deterministic plans.
+    remainders.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    for (_, i) in remainders {
+        if assigned >= n {
+            break;
+        }
+        alloc[i] += 1;
+        assigned += 1;
+    }
+
+    let mut out = Vec::with_capacity(k);
+    let mut start = 0usize;
+    for len in alloc {
+        let block = start..start + len;
+        start += len;
+        out.push(split_range(block, per_worker));
+    }
+    debug_assert_eq!(start, n, "the plan covers every candidate exactly once");
+    out
+}
+
+/// Splits `range` into at most `k` contiguous, near-equal sub-ranges.
+fn split_range(range: Range<usize>, k: usize) -> Vec<Range<usize>> {
+    shard_ranges(range.len(), k)
+        .into_iter()
+        .map(|r| range.start + r.start..range.start + r.end)
+        .collect()
 }
 
 /// Splits `n` candidates into `k` contiguous, near-equal ranges in
@@ -1027,6 +1777,7 @@ mod tests {
                 banned: false,
             })
             .collect();
+        let (probe_tx, probe_rx) = mpsc::channel();
         DistributedCoordinator {
             workers,
             scenario_value: Value::Null,
@@ -1034,6 +1785,14 @@ mod tests {
             delta_log: Vec::new(),
             seen: HashSet::new(),
             last_slowest: None,
+            microshards: DEFAULT_MICROSHARDS,
+            steal_deadline: DEFAULT_STEAL_DEADLINE,
+            rates: vec![None; worker_count],
+            stats_last: SchedulerStats::default(),
+            stats_total: SchedulerStats::default(),
+            probe_tx,
+            probe_rx,
+            probing: vec![false; worker_count],
         }
     }
 
@@ -1069,6 +1828,97 @@ mod tests {
         // by genuinely new work.
         c.log_keys(1, [(3, some_key(3)), (99, some_key(99))]);
         assert_eq!(c.delta_log_len(), 1);
+    }
+
+    /// Flattens a plan and checks it tiles `0..n` exactly, in order.
+    fn assert_plan_covers(plan: &[Vec<Range<usize>>], n: usize) {
+        let mut covered = 0;
+        for block in plan {
+            for r in block {
+                assert_eq!(r.start, covered, "contiguous in candidate order");
+                covered = r.end;
+            }
+        }
+        assert_eq!(covered, n, "the plan covers every candidate exactly once");
+    }
+
+    #[test]
+    fn microshard_plan_is_near_equal_when_rates_are_unknown() {
+        for (n, k, per) in [(48, 4, 6), (7, 3, 4), (3, 5, 2), (0, 3, 6), (100, 1, 8)] {
+            let plan = microshard_plan(n, &vec![None; k], per);
+            assert_eq!(plan.len(), k);
+            assert_plan_covers(&plan, n);
+            let sizes: Vec<usize> = plan
+                .iter()
+                .map(|b| b.iter().map(Range::len).sum())
+                .collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(
+                max - min <= 1,
+                "near-equal blocks for n={n} k={k}: {sizes:?}"
+            );
+            for block in &plan {
+                assert!(block.len() <= per.max(1), "at most {per} micro-shards");
+            }
+        }
+    }
+
+    #[test]
+    fn microshard_plan_shrinks_the_slow_workers_share() {
+        // Three workers at 1 µs/candidate, one at 4 µs: the slow one
+        // should get about 1/13 of the work (weights 1,1,1,¼).
+        let rates = [Some(1.0), Some(1.0), Some(1.0), Some(4.0)];
+        let plan = microshard_plan(52, &rates, 6);
+        assert_plan_covers(&plan, 52);
+        let sizes: Vec<usize> = plan
+            .iter()
+            .map(|b| b.iter().map(Range::len).sum())
+            .collect();
+        assert_eq!(sizes, vec![16, 16, 16, 4]);
+    }
+
+    #[test]
+    fn microshard_plan_gives_unknown_workers_the_mean_known_weight() {
+        // One measured fast worker, one unmeasured: the unknown one is
+        // assumed to match the known mean, so the split stays even.
+        let plan = microshard_plan(10, &[Some(2.0), None], 4);
+        assert_plan_covers(&plan, 10);
+        let sizes: Vec<usize> = plan
+            .iter()
+            .map(|b| b.iter().map(Range::len).sum())
+            .collect();
+        assert_eq!(sizes, vec![5, 5]);
+    }
+
+    #[test]
+    fn split_range_offsets_preserve_the_parent_range() {
+        let parts = split_range(10..25, 4);
+        assert_eq!(parts.first().unwrap().start, 10);
+        assert_eq!(parts.last().unwrap().end, 25);
+        let mut covered = 10;
+        for r in &parts {
+            assert_eq!(r.start, covered);
+            covered = r.end;
+        }
+        assert_eq!(covered, 25);
+    }
+
+    #[test]
+    fn scheduler_stats_accumulate() {
+        let mut total = SchedulerStats::default();
+        let gen = SchedulerStats {
+            microshards: 12,
+            steals: 3,
+            resplits: 1,
+            speculations: 2,
+            duplicate_replies: 1,
+            reissues: 0,
+        };
+        total.accumulate(gen);
+        total.accumulate(gen);
+        assert_eq!(total.steals, 6);
+        assert_eq!(total.microshards, 24);
+        assert_eq!(total.duplicate_replies, 2);
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub use accel_search::{
     AccelSearchConfig, AccelSearchResult, AccelSearchState, IterationStats, NoValidDesign,
     SearchStrategy,
 };
-pub use distributed::{DistributedCoordinator, ShardPlan};
+pub use distributed::{DistributedCoordinator, SchedulerStats, ShardPlan};
 pub use engine::CoSearchEngine;
 pub use joint::{
     evaluate_joint_candidate, joint_nas_seed, joint_search_init, joint_search_step,

@@ -110,6 +110,13 @@ pub struct ServiceConfig {
     /// worker in a week-long fleet should set this; eviction costs
     /// recomputation, never correctness.
     pub cache_cap: usize,
+    /// Artificial per-candidate delay (microseconds) injected into
+    /// `evaluate_shard`, serialized across concurrent requests so the
+    /// whole worker slows down like a genuinely underpowered machine.
+    /// `NAAS_EVAL_DELAY_US` on the CLI; `0` (the default) disables it.
+    /// Chaos-testing only — it never changes any answer, just when the
+    /// answer arrives.
+    pub eval_delay_us: u64,
 }
 
 /// Capability strings this build advertises in its `hello` reply.
@@ -160,6 +167,11 @@ pub struct BatchEvalService {
     /// would be pure repeated work on the generation barrier. Bounded
     /// by the number of *distinct* scenarios a service ever sees.
     resolved_scenarios: std::sync::Mutex<BTreeMap<u64, Arc<naas_engine::EvalJob>>>,
+    /// Serializes the injected `eval_delay_us` sleeps: the batcher runs
+    /// concurrent shard requests in parallel, but a genuinely slow
+    /// machine is slow *in total*, not per-stream — so throttled
+    /// requests queue on this gate one at a time.
+    delay_gate: std::sync::Mutex<()>,
 }
 
 /// The layer parameter of `search_layer` / `evaluate_batch`: the numeric
@@ -232,6 +244,7 @@ impl BatchEvalService {
             model: CostModel::new(),
             config,
             resolved_scenarios: std::sync::Mutex::new(BTreeMap::new()),
+            delay_gate: std::sync::Mutex::new(()),
         };
         // Cap before warm-loading, so an oversized cache file is
         // trimmed on absorption instead of ballooning at startup.
@@ -693,6 +706,18 @@ impl BatchEvalService {
         };
         self.absorb_cache_param(request)?;
         self.engine.cache().enable_journal();
+
+        if self.config.eval_delay_us > 0 {
+            let _slow = self
+                .delay_gate
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            std::thread::sleep(std::time::Duration::from_micros(
+                self.config
+                    .eval_delay_us
+                    .saturating_mul(candidates.len() as u64),
+            ));
+        }
 
         let entries = match request.param("joint") {
             Some(joint) => self.evaluate_joint_shard(joint, &candidates, &mapping)?,

@@ -47,9 +47,11 @@
 
 use crate::service::PROTOCOL_VERSION;
 use serde::Value;
+use std::collections::VecDeque;
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 /// Why a remote call failed.
 #[derive(Debug)]
@@ -90,18 +92,44 @@ impl From<std::io::Error> for RemoteError {
 struct Conn {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// Bytes of a response line read so far. Pipelined receives use a
+    /// socket read timeout, which can expire mid-line; whatever already
+    /// arrived must survive the tick or the framing is corrupted.
+    partial: Vec<u8>,
+    /// The read timeout currently applied to the socket (mirrors the
+    /// kernel state so `read_line_tick` only issues the `setsockopt`
+    /// when the deadline mode actually changes).
+    read_timeout: Option<Duration>,
 }
+
+/// What one [`RemoteWorker::recv_next`] tick yields: `None` when the
+/// tick expired with nothing resolved, or the oldest in-flight request's
+/// id paired with its outcome (a result, or an orderly remote error that
+/// keeps the pipeline intact).
+pub type PipelinedReply = Option<(u64, Result<Value, RemoteError>)>;
 
 /// One remote serving process, addressed as `host:port`.
 ///
-/// Calls are synchronous and sequential per worker (the service answers
-/// a stream's responses in request order, so pipelining within one
-/// coordinator↔worker conversation buys nothing); fan-out across
-/// workers is the caller's concern — hand each worker to its own thread.
+/// Two calling modes share one connection:
+///
+/// * **Sequential** ([`RemoteWorker::call`]): write one request line,
+///   block for the matching response. Simple, used by one-shot clients
+///   and the CLI.
+/// * **Pipelined** ([`RemoteWorker::send`] / [`RemoteWorker::recv_next`]):
+///   queue several requests ahead of their replies so the worker never
+///   drains its inbox dry between shards. The service answers each
+///   stream's responses *in request order* (see `docs/PROTOCOL.md`), so
+///   replies are matched to the oldest in-flight id — no wire change.
+///
+/// Fan-out across workers is the caller's concern — hand each worker to
+/// its own thread.
 pub struct RemoteWorker {
     addr: String,
     conn: Option<Conn>,
     next_id: u64,
+    /// Ids of pipelined requests written but not yet answered, oldest
+    /// first, each with its issue instant (for latency telemetry).
+    pending: VecDeque<(u64, Instant)>,
     /// `Some(client name)` once [`RemoteWorker::enable_handshake`] was
     /// called: every (re)connect then opens with a `hello` exchange.
     handshake: Option<String>,
@@ -120,6 +148,7 @@ impl RemoteWorker {
             addr: addr.into(),
             conn: None,
             next_id: 1,
+            pending: VecDeque::new(),
             handshake: None,
             capabilities: Vec::new(),
             connect_timeout: None,
@@ -212,7 +241,12 @@ impl RemoteWorker {
             }
         };
         let reader = BufReader::new(writer.try_clone()?);
-        let mut conn = Conn { reader, writer };
+        let mut conn = Conn {
+            reader,
+            writer,
+            partial: Vec::new(),
+            read_timeout: None,
+        };
         if let Some(client) = self.handshake.clone() {
             // The handshake always uses the reserved id 0: it may run
             // in the middle of a `call` (transparent reconnect), and
@@ -224,9 +258,118 @@ impl RemoteWorker {
         Ok(())
     }
 
-    /// Drops the connection; the next call reconnects.
+    /// Drops the connection; the next call reconnects. Any pipelined
+    /// requests still in flight are forgotten — their replies can never
+    /// be read once the stream is gone.
     pub fn disconnect(&mut self) {
         self.conn = None;
+        self.pending.clear();
+    }
+
+    /// Alias of [`RemoteWorker::disconnect`] that reads as what the
+    /// scheduler means by it: give up on this conversation (typically a
+    /// hung worker whose outstanding shards were already re-issued
+    /// elsewhere) without declaring the worker dead. The next
+    /// generation's first `send`/`call` transparently re-dials.
+    pub fn abandon(&mut self) {
+        self.disconnect();
+    }
+
+    /// Number of pipelined requests written but not yet answered.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Writes one request (`cmd` plus `params`, with a fresh numeric
+    /// `id`) **without waiting for the reply**, connecting first if
+    /// needed. Returns the request id; the reply is claimed later by
+    /// [`RemoteWorker::recv_next`]. Queue as many as the pipeline depth
+    /// calls for — the service answers in request order.
+    ///
+    /// # Errors
+    ///
+    /// [`RemoteError::Io`] when the dial or the write fails, and
+    /// [`RemoteError::Incompatible`] from the connect-time handshake.
+    /// Any error drops the connection and forgets the in-flight queue.
+    pub fn send(&mut self, cmd: &str, params: Vec<(String, Value)>) -> Result<u64, RemoteError> {
+        if let Err(e) = self.connect() {
+            self.disconnect();
+            return Err(e);
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut fields = Vec::with_capacity(params.len() + 2);
+        fields.push(("id".to_string(), Value::U64(id)));
+        fields.push(("cmd".to_string(), Value::Str(cmd.to_string())));
+        fields.extend(params);
+        let line = serde_json::to_string(&Value::Object(fields))
+            .expect("value serialization is infallible");
+        let conn = self.conn.as_mut().expect("connected above");
+        match write_line(conn, &line) {
+            Ok(()) => {
+                crate::telemetry::metrics().coordinator.rpcs.inc();
+                self.pending.push_back((id, Instant::now()));
+                Ok(id)
+            }
+            Err(e) => {
+                self.disconnect();
+                Err(e)
+            }
+        }
+    }
+
+    /// Waits up to `tick` for the next pipelined reply.
+    ///
+    /// Returns `Ok(None)` when the tick expires first (or nothing is in
+    /// flight) — partial data already read is kept, so ticking is free —
+    /// and `Ok(Some((id, outcome)))` when the oldest in-flight request
+    /// resolves. The inner outcome is only ever `Ok(result)` or an
+    /// orderly [`RemoteError::Remote`] (which keeps the connection and
+    /// pipeline intact).
+    ///
+    /// # Errors
+    ///
+    /// An outer `Err` is a transport or framing failure: the connection
+    /// is dropped and **all** in-flight requests are lost (the caller
+    /// re-issues them elsewhere).
+    pub fn recv_next(&mut self, tick: Duration) -> Result<PipelinedReply, RemoteError> {
+        let Some(&(id, issued)) = self.pending.front() else {
+            return Ok(None);
+        };
+        let conn = match self.conn.as_mut() {
+            Some(conn) => conn,
+            None => {
+                self.pending.clear();
+                return Err(RemoteError::Io(std::io::Error::new(
+                    std::io::ErrorKind::NotConnected,
+                    "pipelined requests outstanding on a closed connection",
+                )));
+            }
+        };
+        let line = match read_line_tick(conn, Some(tick)) {
+            Ok(Some(line)) => line,
+            Ok(None) => return Ok(None),
+            Err(e) => {
+                self.disconnect();
+                return Err(e);
+            }
+        };
+        self.pending.pop_front();
+        let coordinator = &crate::telemetry::metrics().coordinator;
+        let elapsed = issued.elapsed();
+        coordinator.rpc_latency.observe_duration(elapsed);
+        coordinator
+            .per_worker_rpc
+            .get(&self.addr)
+            .observe_duration(elapsed);
+        match parse_response(&line, id) {
+            Ok(result) => Ok(Some((id, Ok(result)))),
+            Err(RemoteError::Remote(m)) => Ok(Some((id, Err(RemoteError::Remote(m))))),
+            Err(e) => {
+                self.disconnect();
+                Err(e)
+            }
+        }
     }
 
     /// Sends one request (`cmd` plus `params`, with a fresh numeric `id`)
@@ -240,6 +383,10 @@ impl RemoteWorker {
     /// longer be trusted); [`RemoteError::Remote`] is an orderly error
     /// response and keeps it open.
     pub fn call(&mut self, cmd: &str, params: Vec<(String, Value)>) -> Result<Value, RemoteError> {
+        assert!(
+            self.pending.is_empty(),
+            "call() while pipelined requests are in flight would desynchronize reply pairing"
+        );
         let id = self.next_id;
         self.next_id += 1;
         let mut fields = Vec::with_capacity(params.len() + 2);
@@ -278,20 +425,69 @@ impl RemoteWorker {
     }
 }
 
-/// One raw request/response round-trip on an open connection.
-fn wire_exchange(conn: &mut Conn, line: &str, id: u64) -> Result<Value, RemoteError> {
+/// Writes one framed request line.
+fn write_line(conn: &mut Conn, line: &str) -> Result<(), RemoteError> {
     conn.writer.write_all(line.as_bytes())?;
     conn.writer.write_all(b"\n")?;
     conn.writer.flush()?;
+    Ok(())
+}
 
-    let mut response = String::new();
-    let n = conn.reader.read_line(&mut response)?;
-    if n == 0 {
-        return Err(RemoteError::Io(std::io::Error::new(
-            std::io::ErrorKind::UnexpectedEof,
-            "worker closed the connection mid-call",
-        )));
+/// Reads one `\n`-terminated line, optionally bounded by a socket read
+/// timeout. With `tick: None` it blocks until a full line (or failure);
+/// with `Some(tick)` it returns `Ok(None)` when the deadline expires
+/// first, parking any partially-read bytes in `conn.partial` so the
+/// next attempt resumes mid-line instead of corrupting the framing.
+fn read_line_tick(conn: &mut Conn, tick: Option<Duration>) -> Result<Option<String>, RemoteError> {
+    if conn.read_timeout != tick {
+        conn.reader.get_ref().set_read_timeout(tick)?;
+        conn.read_timeout = tick;
     }
+    loop {
+        let buf = match conn.reader.fill_buf() {
+            Ok(buf) => buf,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if tick.is_some()
+                    && matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+            {
+                return Ok(None)
+            }
+            Err(e) => return Err(RemoteError::Io(e)),
+        };
+        if buf.is_empty() {
+            return Err(RemoteError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "worker closed the connection mid-call",
+            )));
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                conn.partial.extend_from_slice(&buf[..pos]);
+                conn.reader.consume(pos + 1);
+                let bytes = std::mem::take(&mut conn.partial);
+                return match String::from_utf8(bytes) {
+                    Ok(line) => Ok(Some(line)),
+                    Err(_) => Err(RemoteError::Protocol(
+                        "response line is not UTF-8".to_string(),
+                    )),
+                };
+            }
+            None => {
+                let n = buf.len();
+                conn.partial.extend_from_slice(buf);
+                conn.reader.consume(n);
+            }
+        }
+    }
+}
+
+/// Parses one response line, requiring it to echo `id`, and splits the
+/// orderly `ok: true/false` outcomes from framing violations.
+fn parse_response(response: &str, id: u64) -> Result<Value, RemoteError> {
     let value: Value = serde_json::parse_str(response.trim_end())
         .map_err(|e| RemoteError::Protocol(format!("invalid response JSON: {e}")))?;
     if value.get("id") != Some(&Value::U64(id)) {
@@ -313,6 +509,13 @@ fn wire_exchange(conn: &mut Conn, line: &str, id: u64) -> Result<Value, RemoteEr
             "response has no boolean `ok` field".to_string(),
         )),
     }
+}
+
+/// One raw request/response round-trip on an open connection.
+fn wire_exchange(conn: &mut Conn, line: &str, id: u64) -> Result<Value, RemoteError> {
+    write_line(conn, line)?;
+    let response = read_line_tick(conn, None)?.expect("a blocking read never ticks out");
+    parse_response(&response, id)
 }
 
 /// Performs the `hello` exchange on a fresh connection: sends this
@@ -475,6 +678,105 @@ mod tests {
         worker.enable_handshake("test");
         let err = worker.call("ping", vec![]).unwrap_err();
         assert!(matches!(err, RemoteError::Incompatible(_)), "got {err}");
+    }
+
+    #[test]
+    fn pipelined_send_recv_matches_oldest_pending_id() {
+        let addr = scripted_server(vec![
+            Some(r#"{"id":1,"ok":true,"result":10}"#.into()),
+            Some(r#"{"id":2,"ok":false,"error":"nope"}"#.into()),
+            Some(r#"{"id":3,"ok":true,"result":30}"#.into()),
+        ]);
+        let mut worker = RemoteWorker::new(&addr);
+        assert_eq!(worker.send("ping", vec![]).unwrap(), 1);
+        assert_eq!(worker.send("ping", vec![]).unwrap(), 2);
+        assert_eq!(worker.send("ping", vec![]).unwrap(), 3);
+        assert_eq!(worker.pending(), 3);
+
+        let tick = Duration::from_secs(5);
+        let (id, outcome) = worker.recv_next(tick).unwrap().unwrap();
+        assert_eq!(id, 1);
+        assert_eq!(outcome.unwrap(), Value::U64(10));
+        // An orderly error response resolves its request and keeps the
+        // connection (and the rest of the pipeline) intact.
+        let (id, outcome) = worker.recv_next(tick).unwrap().unwrap();
+        assert_eq!(id, 2);
+        assert!(matches!(outcome, Err(RemoteError::Remote(ref m)) if m == "nope"));
+        assert!(worker.is_connected());
+        let (id, outcome) = worker.recv_next(tick).unwrap().unwrap();
+        assert_eq!(id, 3);
+        assert_eq!(outcome.unwrap(), Value::U64(30));
+        assert_eq!(worker.pending(), 0);
+        // Nothing in flight → an immediate quiet tick, not an error.
+        assert!(worker.recv_next(tick).unwrap().is_none());
+    }
+
+    #[test]
+    fn recv_tick_preserves_partial_lines() {
+        // A server that dribbles its reply in two chunks with a pause in
+        // between: ticks must expire without dropping the first chunk.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = stream;
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            write!(writer, r#"{{"id":1,"ok":tr"#).unwrap();
+            writer.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(120));
+            writeln!(writer, r#"ue,"result":7}}"#).unwrap();
+            writer.flush().unwrap();
+            // Hold the socket open until the client is done reading.
+            let mut rest = String::new();
+            let _ = reader.read_line(&mut rest);
+        });
+        let mut worker = RemoteWorker::new(&addr);
+        worker.send("ping", vec![]).unwrap();
+        let tick = Duration::from_millis(15);
+        let mut quiet_ticks = 0usize;
+        let reply = loop {
+            match worker.recv_next(tick).unwrap() {
+                Some(reply) => break reply,
+                None => quiet_ticks += 1,
+            }
+            assert!(quiet_ticks < 400, "reply never arrived");
+        };
+        assert!(quiet_ticks > 0, "the pause must produce at least one tick");
+        assert_eq!(reply.0, 1);
+        assert_eq!(reply.1.unwrap(), Value::U64(7));
+    }
+
+    #[test]
+    fn pipelined_death_clears_all_in_flight() {
+        let addr = scripted_server(vec![
+            Some(r#"{"id":1,"ok":true,"result":null}"#.into()),
+            None, // scripted death before the second reply
+        ]);
+        let mut worker = RemoteWorker::new(&addr);
+        worker.send("ping", vec![]).unwrap();
+        worker.send("ping", vec![]).unwrap();
+        let tick = Duration::from_secs(5);
+        assert!(worker.recv_next(tick).unwrap().is_some());
+        let err = worker.recv_next(tick).unwrap_err();
+        assert!(matches!(err, RemoteError::Io(_)), "got {err}");
+        assert_eq!(worker.pending(), 0, "a dead stream forgets its queue");
+        assert!(!worker.is_connected());
+    }
+
+    #[test]
+    fn abandon_forgets_the_pipeline_without_killing_the_handle() {
+        let addr = scripted_server(vec![Some(r#"{"id":2,"ok":true,"result":null}"#.into())]);
+        let mut worker = RemoteWorker::new(&addr);
+        worker.send("ping", vec![]).unwrap();
+        worker.abandon();
+        assert_eq!(worker.pending(), 0);
+        assert!(!worker.is_connected());
+        // The handle stays usable: the next call re-dials. (The scripted
+        // server only serves one connection, so just assert the local
+        // bookkeeping reset — id allocation continues from where it was.)
+        assert_eq!(worker.addr(), addr);
     }
 
     #[test]

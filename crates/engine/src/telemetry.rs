@@ -226,6 +226,52 @@ impl HistogramFamily {
     }
 }
 
+/// A label → gauge map for low-cardinality labelled values, e.g. the
+/// per-worker share of a generation's candidates keyed by address.
+#[derive(Debug)]
+pub struct GaugeFamily {
+    members: Mutex<Vec<(String, Arc<Gauge>)>>,
+}
+
+impl GaugeFamily {
+    /// An empty family.
+    pub fn new() -> Self {
+        Self {
+            members: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The gauge for `label`, created on first use.
+    pub fn get(&self, label: &str) -> Arc<Gauge> {
+        let mut members = lock(&self.members);
+        if let Some((_, g)) = members.iter().find(|(l, _)| l == label) {
+            return Arc::clone(g);
+        }
+        let g = Arc::new(Gauge::new());
+        members.push((label.to_string(), Arc::clone(&g)));
+        g
+    }
+
+    /// Point-in-time copy of every member, sorted by label.
+    pub fn snapshot(&self) -> Vec<LabeledGauge> {
+        let mut out: Vec<LabeledGauge> = lock(&self.members)
+            .iter()
+            .map(|(label, g)| LabeledGauge {
+                label: label.clone(),
+                value: g.get(),
+            })
+            .collect();
+        out.sort_by(|a, b| a.label.cmp(&b.label));
+        out
+    }
+}
+
+impl Default for GaugeFamily {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Locks a mutex, tolerating poisoning (telemetry must never be the
 /// thing that turns a contained panic into a cascade).
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
@@ -268,6 +314,15 @@ pub struct LabeledHistogramSnapshot {
     pub label: String,
     /// That member's histogram.
     pub histogram: HistogramSnapshot,
+}
+
+/// One labelled member of a [`GaugeFamily`] snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LabeledGauge {
+    /// The member label (for worker share: the worker address).
+    pub label: String,
+    /// The gauge's value at snapshot time.
+    pub value: u64,
 }
 
 /// Memo-cache counters as exposed over the wire: the per-instance
@@ -353,6 +408,22 @@ pub struct CoordinatorSnapshot {
     pub deaths: u64,
     /// Cache delta entries gossiped out to workers.
     pub deltas_gossiped: u64,
+    /// Micro-shard requests issued by the dynamic scheduler.
+    pub microshards: u64,
+    /// Micro-shards stolen from a straggler's un-issued queue tail.
+    pub steals: u64,
+    /// Stolen tail ranges split down to the stealer's fair chunk.
+    pub resplits: u64,
+    /// In-flight shards speculatively re-issued past the deadline.
+    pub speculations: u64,
+    /// Late answers from the losing copy of a speculated shard,
+    /// dropped by shard id instead of failing the worker.
+    pub duplicate_replies: u64,
+    /// Per-worker share of the last generation's candidates, in
+    /// per-mille of the population — the scheduler's utilization /
+    /// busy-fraction view (a straggler's share sinks as the fleet
+    /// steals its queue).
+    pub worker_share_permille: Vec<LabeledGauge>,
 }
 
 /// One point-in-time copy of the whole registry, plus the counters of
@@ -431,6 +502,19 @@ pub struct CoordinatorMetrics {
     pub deaths: Counter,
     /// Cache delta entries gossiped to workers.
     pub deltas_gossiped: Counter,
+    /// Micro-shard requests issued by the dynamic scheduler.
+    pub microshards: Counter,
+    /// Micro-shards stolen from a straggler's queue tail.
+    pub steals: Counter,
+    /// Stolen ranges split down to the stealer's fair chunk.
+    pub resplits: Counter,
+    /// In-flight shards speculatively re-issued past the deadline.
+    pub speculations: Counter,
+    /// Late losing answers of speculated shards, dropped by id.
+    pub duplicate_replies: Counter,
+    /// Per-worker share of the last generation's candidates (per-mille),
+    /// keyed by worker address.
+    pub worker_share: GaugeFamily,
 }
 
 /// The process-global metrics registry. Obtain it via [`metrics`].
@@ -471,6 +555,12 @@ impl Metrics {
                 rejoins: Counter::new(),
                 deaths: Counter::new(),
                 deltas_gossiped: Counter::new(),
+                microshards: Counter::new(),
+                steals: Counter::new(),
+                resplits: Counter::new(),
+                speculations: Counter::new(),
+                duplicate_replies: Counter::new(),
+                worker_share: GaugeFamily::new(),
             },
         }
     }
@@ -507,6 +597,12 @@ impl Metrics {
                 rejoins: self.coordinator.rejoins.get(),
                 deaths: self.coordinator.deaths.get(),
                 deltas_gossiped: self.coordinator.deltas_gossiped.get(),
+                microshards: self.coordinator.microshards.get(),
+                steals: self.coordinator.steals.get(),
+                resplits: self.coordinator.resplits.get(),
+                speculations: self.coordinator.speculations.get(),
+                duplicate_replies: self.coordinator.duplicate_replies.get(),
+                worker_share_permille: self.coordinator.worker_share.snapshot(),
             },
         }
     }
@@ -786,6 +882,20 @@ mod tests {
     }
 
     #[test]
+    fn gauge_family_labels_are_stable() {
+        let fam = GaugeFamily::new();
+        fam.get("b:2").set(40);
+        fam.get("a:1").set(960);
+        fam.get("b:2").set(55);
+        let snap = fam.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].label, "a:1", "snapshot is label-sorted");
+        assert_eq!(snap[0].value, 960);
+        assert_eq!(snap[1].label, "b:2");
+        assert_eq!(snap[1].value, 55, "get returns the same member");
+    }
+
+    #[test]
     fn metrics_snapshot_round_trips_through_the_shim() {
         let registry = Metrics::new();
         registry.pool.jobs.add(3);
@@ -793,6 +903,9 @@ mod tests {
         registry.batcher.batch_size.observe(16);
         registry.batcher.max_queue_depth.set_max(9);
         registry.coordinator.per_worker_rpc.get("w:1").observe(500);
+        registry.coordinator.steals.add(2);
+        registry.coordinator.duplicate_replies.inc();
+        registry.coordinator.worker_share.get("w:1").set(750);
         let snap = registry.snapshot(CacheCounters {
             hits: 10,
             misses: 5,
@@ -806,6 +919,10 @@ mod tests {
         assert_eq!(back.pool.jobs, 3);
         assert_eq!(back.batcher.max_queue_depth, 9);
         assert_eq!(back.coordinator.per_worker_rpc_us[0].label, "w:1");
+        assert_eq!(back.coordinator.steals, 2);
+        assert_eq!(back.coordinator.duplicate_replies, 1);
+        assert_eq!(back.coordinator.worker_share_permille.len(), 1);
+        assert_eq!(back.coordinator.worker_share_permille[0].value, 750);
     }
 
     #[test]

@@ -20,11 +20,19 @@ use std::sync::Arc;
 /// `naas-search worker` — and returns its address. The worker thread is
 /// detached; it dies with the test process.
 fn spawn_worker(threads: usize) -> SocketAddr {
+    spawn_slow_worker(threads, 0)
+}
+
+/// [`spawn_worker`] with an injected per-candidate evaluation delay
+/// (microseconds, serialized across requests) — the deterministic
+/// stand-in for an underpowered machine in a heterogeneous fleet.
+fn spawn_slow_worker(threads: usize, eval_delay_us: u64) -> SocketAddr {
     let service = BatchEvalService::new(ServiceConfig {
         threads,
         mapping: MappingSearchConfig::quick(7),
         cache_file: None,
         cache_cap: 0,
+        eval_delay_us,
     })
     .expect("no cache file to load");
     let server = Arc::new(ServiceServer::start(Arc::new(service)));
@@ -45,6 +53,7 @@ fn spawn_flaky_worker(fail_after: usize) -> SocketAddr {
         mapping: MappingSearchConfig::quick(7),
         cache_file: None,
         cache_cap: 0,
+        eval_delay_us: 0,
     })
     .expect("no cache file to load");
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
@@ -384,6 +393,7 @@ fn spawn_restartable_worker(fail_after: usize) -> SocketAddr {
         mapping: MappingSearchConfig::quick(7),
         cache_file: None,
         cache_cap: 0,
+        eval_delay_us: 0,
     })
     .expect("no cache file to load");
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
@@ -434,6 +444,7 @@ fn spawn_restartable_worker(fail_after: usize) -> SocketAddr {
             mapping: MappingSearchConfig::quick(7),
             cache_file: None,
             cache_cap: 0,
+            eval_delay_us: 0,
         })
         .expect("no cache file to load");
         let server = Arc::new(ServiceServer::start(Arc::new(fresh)));
@@ -588,6 +599,81 @@ fn remote_joint_search_step_reproduces_local_trajectory() {
     }
     let remote = state.into_result().expect("joint search finds a pair");
     assert_eq!(remote, local);
+}
+
+/// Permutation fuzzing of the merge path: heterogeneous per-worker
+/// delays plus an aggressive steal deadline drive the scheduler through
+/// adversarial completion orders — steals, re-splits, speculative
+/// re-issues and duplicate late replies — across several seeds. The
+/// merged result must stay byte-identical to the single-process run in
+/// every ordering, because micro-shards are contiguous candidate ranges
+/// merged by position, never by arrival.
+#[test]
+fn adversarial_completion_orders_stay_bit_identical() {
+    let (scenario, networks) = scenario_fixture();
+    for (seed, delays) in [(71u64, [0u64, 2_000]), (73, [2_000, 0]), (79, [900, 300])] {
+        let cfg = search_cfg(seed);
+        let local = run_local(&cfg, &networks);
+
+        let addrs = vec![
+            spawn_slow_worker(1, delays[0]).to_string(),
+            spawn_slow_worker(1, delays[1]).to_string(),
+        ];
+        let mut coordinator =
+            DistributedCoordinator::connect(&addrs, &scenario).expect("fleet reachable");
+        coordinator.set_microshards(5);
+        coordinator.set_steal_deadline(std::time::Duration::from_millis(2));
+        let distributed = run_distributed(&cfg, &networks, &mut coordinator);
+
+        assert_bit_identical(
+            &distributed,
+            &local,
+            &format!("seed {seed}, delays {delays:?}"),
+        );
+        assert!(
+            coordinator.scheduler_stats().microshards > 0,
+            "the dynamic scheduler actually ran"
+        );
+    }
+}
+
+/// Speculative re-issue end-to-end: a worker an order of magnitude
+/// slower than its peer, under a tiny steal deadline, forces in-flight
+/// shards past the deadline — the fast worker re-issues them, wins, and
+/// the loser's late answer is dropped as a counted duplicate instead of
+/// a protocol error. The run stays bit-identical throughout.
+#[test]
+fn speculative_reissue_tolerates_duplicate_late_replies() {
+    let (scenario, networks) = scenario_fixture();
+    let cfg = search_cfg(83);
+    let local = run_local(&cfg, &networks);
+
+    let addrs = vec![
+        spawn_slow_worker(1, 20_000).to_string(),
+        spawn_worker(1).to_string(),
+    ];
+    let mut coordinator =
+        DistributedCoordinator::connect(&addrs, &scenario).expect("fleet reachable");
+    coordinator.set_microshards(6);
+    coordinator.set_steal_deadline(std::time::Duration::from_millis(2));
+    let distributed = run_distributed(&cfg, &networks, &mut coordinator);
+
+    assert_bit_identical(&distributed, &local, "10× straggler with speculation");
+    let stats = coordinator.scheduler_stats();
+    assert!(
+        stats.speculations > 0,
+        "a 20 ms/candidate straggler against a 2 ms deadline must trigger \
+         speculative re-issue, got {stats:?}"
+    );
+    assert!(
+        stats.duplicate_replies > 0,
+        "the losing copy's late reply must be dropped and counted, got {stats:?}"
+    );
+    assert_eq!(
+        coordinator.live_workers(),
+        2,
+        "slow is not dead: both workers survive the run"
+    );
 }
 
 /// The handshake end-to-end: a real worker advertises the joint

@@ -18,6 +18,7 @@ fn service(threads: usize) -> BatchEvalService {
         mapping: MappingSearchConfig::quick(7),
         cache_file: None,
         cache_cap: 0,
+        eval_delay_us: 0,
     })
     .expect("no cache file to load")
 }
@@ -283,6 +284,7 @@ fn persisted_cache_warms_next_service_with_identical_answers() {
         mapping: MappingSearchConfig::quick(7),
         cache_file: Some(path.clone()),
         cache_cap: 0,
+        eval_delay_us: 0,
     })
     .unwrap();
     let cold_answer = cold.respond(request);
@@ -295,6 +297,7 @@ fn persisted_cache_warms_next_service_with_identical_answers() {
         mapping: MappingSearchConfig::quick(7),
         cache_file: Some(path.clone()),
         cache_cap: 0,
+        eval_delay_us: 0,
     })
     .unwrap();
     let warm_answer = warm.respond(request);
