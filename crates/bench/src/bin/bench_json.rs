@@ -1,15 +1,17 @@
 //! Machine-readable perf snapshot: re-runs the `mapping_throughput` and
 //! `service_throughput` benchmark workloads — plus a
 //! `distributed_throughput` straggler workload over a live in-process
-//! fleet — with plain wall-clock timing and writes one JSON summary:
-//! the `BENCH_*.json` trajectory that future optimization PRs
-//! (surrogate pre-filter, SIMD hot path) are judged against.
+//! fleet and a `pareto_search` workload comparing scalar-objective and
+//! Pareto-archive search at the same seed and budget — with plain
+//! wall-clock timing and writes one JSON summary: the `BENCH_*.json`
+//! trajectory that future optimization PRs (surrogate pre-filter, SIMD
+//! hot path) are judged against.
 //!
 //! ```text
 //! cargo run -p naas-bench --release --bin bench_json [-- OUT.json]
 //! ```
 //!
-//! The default output path is `BENCH_7.json`. Each measurement is the
+//! The default output path is `BENCH_8.json`. Each measurement is the
 //! median of several timed iterations after a warmup pass — noisier
 //! than criterion's estimator, but dependency-light and fast enough to
 //! run on every perf-relevant change.
@@ -288,10 +290,72 @@ fn distributed_throughput() -> Value {
     ])
 }
 
+/// Candidates per generation of the `pareto_search` workload.
+const PARETO_POPULATION: usize = 16;
+/// Generations of the `pareto_search` workload.
+const PARETO_ITERATIONS: usize = 6;
+
+/// Runs one in-process `cifar-eyeriss` accelerator search to completion
+/// under the given objective policy, on a shared warm engine, returning
+/// the final state.
+fn objective_run(
+    engine: &naas::CoSearchEngine,
+    objectives: naas::ObjectivePolicy,
+) -> naas::AccelSearchState {
+    let scenario = naas_engine::scenario::find("cifar-eyeriss").expect("registered scenario");
+    let job = scenario.resolve().expect("scenario resolves");
+    let mut cfg = naas::AccelSearchConfig::quick(17);
+    cfg.population = PARETO_POPULATION;
+    cfg.iterations = PARETO_ITERATIONS;
+    cfg.mapping = MappingSearchConfig::quick(7);
+    cfg.threads = 1;
+    cfg.objectives = objectives;
+    let model = naas_cost::CostModel::new();
+    let mut state = naas::accel_search_init(&job.constraint, &cfg, &[]);
+    while naas::accel_search_step(engine, &model, &job.networks, &mut state) {}
+    state
+}
+
+/// The archive-overhead workload (ISSUE 8): the same accelerator search
+/// at the same seed and budget, scalar objectives versus the Pareto
+/// archive. One untimed pass warms the shared mapping cache, so the
+/// timed comparison isolates search-loop cost — the scalarized
+/// trajectory is identical in both modes, and the delta is the price of
+/// dominance inserts plus hypervolume truncation.
+fn pareto_search() -> Value {
+    let engine = naas::CoSearchEngine::new(1);
+    let scalar_ms = median_ms(3, || {
+        std::hint::black_box(objective_run(&engine, naas::ObjectivePolicy::Scalar));
+    });
+    let pareto_ms = median_ms(3, || {
+        std::hint::black_box(objective_run(&engine, naas::ObjectivePolicy::Pareto));
+    });
+    let state = objective_run(&engine, naas::ObjectivePolicy::Pareto);
+    let archive = state.archive().expect("pareto mode keeps an archive");
+    obj(vec![
+        ("population", Value::U64(PARETO_POPULATION as u64)),
+        ("iterations", Value::U64(PARETO_ITERATIONS as u64)),
+        ("scalar_search_ms", Value::F64(scalar_ms)),
+        ("pareto_search_ms", Value::F64(pareto_ms)),
+        (
+            "archive_overhead",
+            Value::F64(if scalar_ms > 0.0 {
+                pareto_ms / scalar_ms
+            } else {
+                0.0
+            }),
+        ),
+        ("front_size", Value::U64(archive.len() as u64)),
+        ("archive_inserts", Value::U64(archive.inserts)),
+        ("archive_rejections", Value::U64(archive.rejections)),
+        ("hypervolume", Value::F64(archive.hypervolume())),
+    ])
+}
+
 fn main() {
     let out = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_7.json".to_string());
+        .unwrap_or_else(|| "BENCH_8.json".to_string());
 
     eprintln!("bench_json: timing mapping_throughput workloads...");
     let mapping = mapping_throughput();
@@ -299,21 +363,24 @@ fn main() {
     let service = service_throughput();
     eprintln!("bench_json: timing distributed_throughput workloads...");
     let distributed = distributed_throughput();
+    eprintln!("bench_json: timing pareto_search workload...");
+    let pareto = pareto_search();
 
     let summary = obj(vec![
-        ("bench", Value::Str("BENCH_7".to_string())),
+        ("bench", Value::Str("BENCH_8".to_string())),
         (
             "description",
             Value::Str(
-                "median wall-clock ms of the mapping_throughput, service_throughput and \
-                 distributed_throughput benchmark workloads (see crates/bench/benches/ and \
-                 naas::distributed)"
+                "median wall-clock ms of the mapping_throughput, service_throughput, \
+                 distributed_throughput and pareto_search benchmark workloads (see \
+                 crates/bench/benches/, naas::distributed and naas::pareto)"
                     .to_string(),
             ),
         ),
         ("mapping_throughput", mapping),
         ("service_throughput", service),
         ("distributed_throughput", distributed),
+        ("pareto_search", pareto),
     ]);
     let text = serde_json::to_string_pretty(&summary).expect("value serialization is infallible");
     std::fs::write(&out, format!("{text}\n")).unwrap_or_else(|e| {

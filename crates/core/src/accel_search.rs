@@ -19,9 +19,10 @@
 
 use crate::engine::CoSearchEngine;
 use crate::mapping_search::MappingSearchConfig;
-use crate::reward::RewardKind;
-use naas_accel::{Accelerator, ResourceConstraint};
-use naas_cost::{CostModel, NetworkCost};
+use crate::pareto::ParetoArchive;
+use crate::reward::{ObjectivePolicy, RewardKind};
+use naas_accel::{area::AreaModel, Accelerator, ResourceConstraint};
+use naas_cost::{CostModel, NetworkCost, ObjectiveVector};
 use naas_engine::{parallel_map, CacheStats, CheckpointPolicy};
 use naas_ir::Network;
 use naas_opt::{CemEs, EncodingScheme, EsConfig, HardwareEncoder, Optimizer, RandomSearch};
@@ -54,6 +55,9 @@ pub struct AccelSearchConfig {
     /// How per-network EDPs aggregate into the reward (geomean in the
     /// paper; worst-case ablated in `ablation_reward`).
     pub reward: RewardKind,
+    /// Scalar-only search (the default) or scalar + Pareto archive.
+    /// Never changes the trajectory — see [`ObjectivePolicy`].
+    pub objectives: ObjectivePolicy,
     /// Attempts to decode a valid design per population slot.
     pub resample_limit: usize,
     /// RNG seed.
@@ -74,6 +78,7 @@ impl AccelSearchConfig {
             es: EsConfig::default(),
             mapping: MappingSearchConfig::default(),
             reward: RewardKind::Geomean,
+            objectives: ObjectivePolicy::Scalar,
             resample_limit: 50,
             seed,
             threads: 0,
@@ -91,6 +96,23 @@ impl AccelSearchConfig {
     }
 }
 
+/// One candidate's complete evaluation — what flows up from the cost
+/// layer through every seam (local pool, `evaluate_shard` wire,
+/// coordinator merge) before anything is collapsed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CandidateEval {
+    /// Mapping-searched whole-suite cost per benchmark network, in
+    /// input order — the only place per-network quantities survive.
+    pub per_network: Vec<NetworkCost>,
+    /// The multi-objective view: suite latency and energy summed over
+    /// `per_network`, the design's area, and the matched accuracy
+    /// ([`ObjectiveVector::NO_ACCURACY`] in accelerator-only searches).
+    pub objectives: ObjectiveVector,
+    /// The scalarized reward ([`RewardKind::aggregate`] over the
+    /// per-network EDPs) — the one number the optimizer consumes.
+    pub reward: f64,
+}
+
 /// A fully evaluated design point.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AccelCandidate {
@@ -98,7 +120,11 @@ pub struct AccelCandidate {
     pub accelerator: Accelerator,
     /// Mapping-searched cost per benchmark network, in input order.
     pub per_network: Vec<NetworkCost>,
-    /// Geometric-mean EDP across the benchmarks (the outer reward).
+    /// The candidate's objective vector (latency, energy, area,
+    /// accuracy) — carried alongside the scalar, never re-derived.
+    pub objectives: ObjectiveVector,
+    /// The scalarized reward: [`RewardKind::aggregate`] over the
+    /// per-network whole-suite EDPs (geomean in the paper's setup).
     pub reward: f64,
 }
 
@@ -107,9 +133,13 @@ pub struct AccelCandidate {
 pub struct IterationStats {
     /// Generation index (0-based).
     pub iteration: usize,
-    /// Mean EDP of the generation's valid candidates.
+    /// Mean *scalarized reward* ([`RewardKind::aggregate`] of each
+    /// candidate's per-network EDPs) over the generation's valid
+    /// candidates. Named `mean_edp` for checkpoint stability; under the
+    /// default geomean policy it is the mean of geomean-EDPs.
     pub mean_edp: f64,
-    /// Best (lowest) EDP seen up to and including this generation.
+    /// Best (lowest) scalarized reward seen up to and including this
+    /// generation.
     pub best_edp: f64,
     /// Valid candidates in this generation.
     pub valid: usize,
@@ -214,6 +244,11 @@ pub struct AccelSearchState {
     best_theta: Option<Vec<f64>>,
     history: Vec<IterationStats>,
     evaluations: usize,
+    /// The Pareto front, present iff the config's [`ObjectivePolicy`]
+    /// is `Pareto`. Serialized with the state so a resumed run restores
+    /// a bit-identical front (`Option` so pre-archive checkpoints,
+    /// where the field reads as null, still load).
+    archive: Option<ParetoArchive>,
     /// Cache counters as of the last completed generation
     /// (informational; the cache itself is content-addressed and
     /// rebuilds on demand after resume).
@@ -235,6 +270,12 @@ impl AccelSearchState {
     /// Per-generation statistics so far.
     pub fn history(&self) -> &[IterationStats] {
         &self.history
+    }
+
+    /// The Pareto archive, if this search runs with
+    /// [`ObjectivePolicy::Pareto`].
+    pub fn archive(&self) -> Option<&ParetoArchive> {
+        self.archive.as_ref()
     }
 
     /// Consumes the state into a final result.
@@ -284,14 +325,21 @@ pub fn accel_search_init(
         best_theta: None,
         history: Vec::with_capacity(cfg.iterations),
         evaluations: 0,
+        archive: match cfg.objectives {
+            ObjectivePolicy::Scalar => None,
+            ObjectivePolicy::Pareto => Some(ParetoArchive::new()),
+        },
         cache_stats: CacheStats::default(),
     }
 }
 
 /// Evaluates one decoded design against a benchmark suite through the
-/// engine's shared cache: runs (or reuses) the mapping search per network
-/// and aggregates the reward. Returns `None` if any network has an
-/// un-mappable layer on this design.
+/// engine's shared cache: runs (or reuses) the mapping search per
+/// network, derives the objective vector from the cost reports and the
+/// area model, and scalarizes the reward ([`RewardKind::aggregate`] of
+/// the per-network EDPs — the single collapse point of the stack).
+/// Returns `None` if any network has an un-mappable layer on this
+/// design.
 pub fn evaluate_candidate(
     engine: &CoSearchEngine,
     model: &CostModel,
@@ -299,7 +347,7 @@ pub fn evaluate_candidate(
     networks: &[Network],
     mapping_cfg: &MappingSearchConfig,
     reward_kind: RewardKind,
-) -> Option<(Vec<NetworkCost>, f64)> {
+) -> Option<CandidateEval> {
     // One fingerprint per candidate, shared by all its network evals.
     let design_fp = crate::mapping_search::design_fingerprint(accel, mapping_cfg);
     let mut per_network = Vec::with_capacity(networks.len());
@@ -315,7 +363,14 @@ pub fn evaluate_candidate(
     }
     let edps: Vec<f64> = per_network.iter().map(NetworkCost::edp).collect();
     let reward = reward_kind.aggregate(&edps);
-    Some((per_network, reward))
+    let area_um2 = AreaModel::default().area_mm2(accel) * 1e6;
+    let objectives =
+        ObjectiveVector::from_suite(&per_network, area_um2, ObjectiveVector::NO_ACCURACY);
+    Some(CandidateEval {
+        per_network,
+        objectives,
+        reward,
+    })
 }
 
 /// Advances the search by one generation: sample, evaluate the population
@@ -355,7 +410,7 @@ pub fn accel_search_step(
 /// evaluator has no local cache to read).
 pub fn accel_search_step_with<F>(state: &mut AccelSearchState, evaluate: F) -> bool
 where
-    F: FnOnce(&[(Vec<f64>, Accelerator)]) -> Vec<Option<(Vec<NetworkCost>, f64)>>,
+    F: FnOnce(&[(Vec<f64>, Accelerator)]) -> Vec<Option<CandidateEval>>,
 {
     if state.is_done() {
         return false;
@@ -404,22 +459,34 @@ where
 
     // Collect scores in slot order; infeasible candidates score +inf,
     // rejected decodes are also reported to the optimizer as infeasible.
+    // `rewards` holds the generation's *aggregated* scalar rewards (one
+    // per valid candidate), not per-network EDPs — those live inside
+    // each candidate's `per_network` reports.
     let mut scored: Vec<(Vec<f64>, f64)> = Vec::with_capacity(slots.len() + rejected.len());
-    let mut edps = Vec::new();
-    for ((theta, accel), result) in slots.into_iter().zip(results) {
+    let mut rewards = Vec::new();
+    for (slot, ((theta, accel), result)) in slots.into_iter().zip(results).enumerate() {
         match result {
-            Some((per_network, reward)) => {
+            Some(eval) => {
                 state.evaluations += 1;
-                edps.push(reward);
-                if state.best.as_ref().is_none_or(|b| reward < b.reward) {
+                rewards.push(eval.reward);
+                if let Some(archive) = state.archive.as_mut() {
+                    // Global candidate order: this fold runs in slot
+                    // order in every execution mode (local pool,
+                    // distributed merge, resume), so the archive sees
+                    // the identical offer sequence everywhere.
+                    let candidate_index = iteration as u64 * cfg.population as u64 + slot as u64;
+                    archive.offer(candidate_index, eval.objectives, &accel);
+                }
+                if state.best.as_ref().is_none_or(|b| eval.reward < b.reward) {
                     state.best = Some(AccelCandidate {
                         accelerator: accel,
-                        per_network,
-                        reward,
+                        per_network: eval.per_network,
+                        objectives: eval.objectives,
+                        reward: eval.reward,
                     });
                     state.best_theta = Some(theta.clone());
                 }
-                scored.push((theta, reward));
+                scored.push((theta, eval.reward));
             }
             None => scored.push((theta, f64::INFINITY)),
         }
@@ -439,13 +506,13 @@ where
 
     state.history.push(IterationStats {
         iteration,
-        mean_edp: if edps.is_empty() {
+        mean_edp: if rewards.is_empty() {
             f64::INFINITY
         } else {
-            edps.iter().sum::<f64>() / edps.len() as f64
+            rewards.iter().sum::<f64>() / rewards.len() as f64
         },
         best_edp: state.best.as_ref().map_or(f64::INFINITY, |b| b.reward),
-        valid: edps.len(),
+        valid: rewards.len(),
     });
     state.iteration += 1;
     true
@@ -653,7 +720,7 @@ mod tests {
         // reproduces that evaluation exactly, so the final best can only
         // match or beat it.
         let fresh = CoSearchEngine::single_threaded();
-        let (_, seed_reward) = evaluate_candidate(
+        let seed_reward = evaluate_candidate(
             &fresh,
             &model,
             &baseline,
@@ -661,7 +728,8 @@ mod tests {
             &cfg.mapping,
             cfg.reward,
         )
-        .expect("edge tpu maps the net");
+        .expect("edge tpu maps the net")
+        .reward;
         assert!(
             result.best.reward <= seed_reward,
             "seeded search lost to its seed: {} vs {}",

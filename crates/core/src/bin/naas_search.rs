@@ -7,12 +7,14 @@
 //!                            [--cache-file FILE] [--cache-cap N]
 //!                            [--workers host:port,...] [--metrics-file FILE]
 //!                            [--microshards N] [--steal-deadline MS]
+//!                            [--objectives scalar|pareto]
 //! naas-search run --file scenario.json [...]
 //! naas-search resume <checkpoint-file> [--threads N] [--cache-file FILE]
 //!                                      [--cache-cap N]
 //!                                      [--workers host:port,...|local]
 //!                                      [--metrics-file FILE]
 //!                                      [--microshards N] [--steal-deadline MS]
+//!                                      [--objectives scalar|pareto]
 //! naas-search show <checkpoint-file>
 //! naas-search serve [--port N] [--bind ADDR] [--preset smoke|quick|paper]
 //!                   [--threads N] [--cache-file FILE] [--cache-cap N]
@@ -70,6 +72,17 @@
 //! long-lived `serve`/`worker` processes so memory holds steady.
 //! Eviction costs recomputation, never correctness.
 //!
+//! `--objectives pareto` keeps, alongside the unchanged scalarized
+//! search, a deterministic bounded Pareto archive over
+//! `(latency, energy, area, accuracy)` objective vectors; `run` and
+//! `show` print the resulting front. The scalar trajectory is
+//! bit-identical with or without the archive — the optimizer still
+//! consumes the scalarized reward. The policy is recorded in the
+//! checkpointed search config, so `resume` continues it automatically;
+//! passing `--objectives` on resume merely asserts the recorded policy
+//! (a mismatch is a hard error, because switching policies mid-run
+//! would make the resumed front unreproducible).
+//!
 //! `--metrics-file FILE` turns on the telemetry sink: structured fleet
 //! events and periodic metrics snapshots are appended to FILE as JSONL
 //! (one object per line, `"kind":"event"` or `"kind":"metrics"`) — on
@@ -103,10 +116,10 @@ fn usage() -> ! {
         "usage:\n  naas-search list\n  naas-search run <scenario|--file scenario.json> \
          [--preset smoke|quick|paper] [--seed N] [--threads N] [--checkpoint FILE] [--every K] \
          [--cache-file FILE] [--cache-cap N] [--workers host:port,...] [--metrics-file FILE] \
-         [--microshards N] [--steal-deadline MS]\n  \
+         [--microshards N] [--steal-deadline MS] [--objectives scalar|pareto]\n  \
          naas-search resume <checkpoint-file> [--threads N] [--every K] [--cache-file FILE] \
          [--cache-cap N] [--workers host:port,...|local] [--metrics-file FILE] \
-         [--microshards N] [--steal-deadline MS]\n  \
+         [--microshards N] [--steal-deadline MS] [--objectives scalar|pareto]\n  \
          naas-search show <checkpoint-file>\n  \
          naas-search serve [--port N] [--bind ADDR] [--preset smoke|quick|paper] \
          [--threads N] [--cache-file FILE] [--cache-cap N] [--metrics-file FILE]\n  \
@@ -212,7 +225,14 @@ fn search_config(args: &Args, seed: u64, threads: usize) -> AccelSearchConfig {
     cfg.mapping.iterations = map_iterations;
     cfg.mapping.seed = seed;
     cfg.threads = threads;
+    cfg.objectives = objectives_flag(args).unwrap_or_default();
     cfg
+}
+
+/// Parses `--objectives scalar|pareto`; `None` when the flag is absent.
+fn objectives_flag(args: &Args) -> Option<naas::ObjectivePolicy> {
+    args.get("objectives")
+        .map(|spec| naas::ObjectivePolicy::parse(spec).unwrap_or_else(|e| fail(e)))
 }
 
 fn cmd_run(args: &Args) {
@@ -403,6 +423,19 @@ fn cmd_resume(args: &Args) {
     let snapshot: SearchCheckpoint = checkpoint::load(std::path::Path::new(path))
         .unwrap_or_else(|e| fail(format!("cannot load {path}: {e}")));
     let job = snapshot.scenario.resolve().unwrap_or_else(|e| fail(e));
+    // The objective policy is part of the recorded search config: a
+    // resumed run must continue it, or the front would not reproduce
+    // the uninterrupted run's. `--objectives` on resume is an assertion
+    // only — a mismatch is refused rather than silently switched.
+    if let Some(requested) = objectives_flag(args) {
+        let recorded = snapshot.state.config.objectives;
+        if requested != recorded {
+            fail(format!(
+                "--objectives {requested} conflicts with the checkpoint's recorded \
+                 policy `{recorded}`; a resumed run always continues the recorded policy"
+            ));
+        }
+    }
     let threads = args
         .get_num("threads")
         .unwrap_or(snapshot.state.config.threads);
@@ -543,6 +576,9 @@ fn cmd_show(args: &Args) {
             best.accelerator.design_card()
         ),
         None => println!("no valid design found yet"),
+    }
+    if let Some(archive) = state.archive() {
+        println!("\n{}", archive.render());
     }
 }
 
@@ -787,6 +823,9 @@ fn client_metrics(addr: &str) -> ! {
 
 fn report(state: AccelSearchState, elapsed: std::time::Duration) {
     let stats = state.cache_stats;
+    if let Some(archive) = state.archive() {
+        println!("\n{}", archive.render());
+    }
     // A search can legitimately end with no valid design (envelope too
     // small for the suite): exit with a diagnostic and nonzero status,
     // not a panic.

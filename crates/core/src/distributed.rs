@@ -113,19 +113,22 @@
 //! let _ = DistributedCoordinator::connect(&[], &scenario);
 //! ```
 
-use crate::accel_search::{accel_search_step_with, evaluate_candidate, AccelSearchState};
+use crate::accel_search::{
+    accel_search_step_with, evaluate_candidate, AccelSearchState, CandidateEval,
+};
 use crate::engine::CoSearchEngine;
 use crate::joint::{
-    evaluate_joint_candidate, joint_nas_seed, joint_search_step_with, JointSearchState,
+    evaluate_joint_candidate, joint_nas_seed, joint_search_step_with, JointCandidateEval,
+    JointSearchState,
 };
 use crate::mapping_search::MappingSearchResult;
+use crate::pareto::ParetoArchive;
 use naas_accel::Accelerator;
-use naas_cost::{CostModel, NetworkCost};
+use naas_cost::{CostModel, NetworkCost, ObjectiveVector};
 use naas_engine::remote::{RemoteError, RemoteWorker};
 use naas_engine::telemetry::{self, Level};
 use naas_engine::{CacheSnapshot, LayerKey, Scenario};
 use naas_ir::Network;
-use naas_nas::search::NasOutcome;
 use naas_nas::AccuracyModel;
 use serde::{Deserialize, Serialize, Value};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -229,9 +232,10 @@ impl SchedulerStats {
     }
 }
 
-/// One candidate's evaluation outcome, as moved over the wire: per-network
-/// costs plus the aggregated reward, or `None` for an infeasible design.
-pub type CandidateOutcome = Option<(Vec<NetworkCost>, f64)>;
+/// One candidate's evaluation outcome, as moved over the wire: the full
+/// [`CandidateEval`] (per-network costs, objective vector, scalarized
+/// reward), or `None` for an infeasible design.
+pub type CandidateOutcome = Option<CandidateEval>;
 
 /// The incremental cache image piggybacked on shard replies.
 type Delta = CacheSnapshot<Option<MappingSearchResult>>;
@@ -320,6 +324,11 @@ pub struct DistributedCoordinator {
     probe_rx: mpsc::Receiver<(usize, Result<RemoteWorker, RemoteError>)>,
     /// Workers with a probe currently in flight (never double-probe).
     probing: Vec<bool>,
+    /// Archive counters already published to the process-global
+    /// telemetry registry (inserts, rejections): telemetry counters are
+    /// process-lifetime, the archive's are state-lifetime, so only the
+    /// growth since the last publication is added.
+    pareto_published: (u64, u64),
 }
 
 impl DistributedCoordinator {
@@ -384,6 +393,7 @@ impl DistributedCoordinator {
             probe_tx,
             probe_rx,
             probing: vec![false; worker_count],
+            pareto_published: (0, 0),
         })
     }
 
@@ -479,6 +489,9 @@ impl DistributedCoordinator {
         if advanced {
             state.cache_stats = engine.cache_stats();
             self.compact_delta_log();
+            if let Some(archive) = state.archive() {
+                self.publish_pareto_telemetry(archive);
+            }
             self.finish_generation(
                 started,
                 state.best().map(|b| b.reward),
@@ -563,6 +576,9 @@ impl DistributedCoordinator {
         });
         if advanced {
             self.compact_delta_log();
+            if let Some(archive) = state.archive() {
+                self.publish_pareto_telemetry(archive);
+            }
             self.finish_generation(
                 started,
                 state.best().map(|b| b.edp),
@@ -570,6 +586,26 @@ impl DistributedCoordinator {
             );
         }
         advanced
+    }
+
+    /// Publishes the archive's state to the `coordinator.pareto_*`
+    /// instruments: front size and hypervolume as gauges, the
+    /// state-lifetime insert/rejection counters as process-lifetime
+    /// counter growth.
+    fn publish_pareto_telemetry(&mut self, archive: &ParetoArchive) {
+        let coordinator = &telemetry::metrics().coordinator;
+        let (inserts0, rejections0) = self.pareto_published;
+        coordinator
+            .pareto_inserts
+            .add(archive.inserts.saturating_sub(inserts0));
+        coordinator
+            .pareto_rejections
+            .add(archive.rejections.saturating_sub(rejections0));
+        self.pareto_published = (archive.inserts, archive.rejections);
+        coordinator.pareto_front_size.set(archive.len() as u64);
+        coordinator
+            .pareto_hypervolume_bits
+            .set(archive.hypervolume().to_bits());
     }
 
     /// Telemetry for one completed generation: records the wall time,
@@ -1668,8 +1704,24 @@ fn parse_reply_frame(reply: &Value, expected: usize) -> Result<(&[Value], Delta)
     Ok((results, delta))
 }
 
-/// Decodes one accelerator-search `evaluate_shard` reply into
-/// per-candidate outcomes and the piggybacked cache delta.
+/// Validates wire-sourced evaluation values at the deserialization seam
+/// — the trust boundary of the coordinator. `RewardKind::aggregate` and
+/// the search fold assume finite positive rewards and well-formed
+/// objective vectors; a worker that replies with NaN/negative poison
+/// must become a shard error (death + re-issue on another worker),
+/// never a panic inside the coordinator's aggregation code.
+fn validate_wire_eval(reward: f64, objectives: &ObjectiveVector) -> Result<(), String> {
+    if !reward.is_finite() || reward <= 0.0 {
+        return Err(format!("wire reward must be finite positive, got {reward}"));
+    }
+    objectives
+        .validate()
+        .map_err(|e| format!("wire objectives rejected: {e}"))
+}
+
+/// Decodes one accelerator-search `evaluate_shard` reply (protocol v3:
+/// each result carries `reward`, `per_network` **and** `objectives`)
+/// into per-candidate outcomes and the piggybacked cache delta.
 fn parse_shard_reply(
     reply: &Value,
     expected: usize,
@@ -1690,7 +1742,18 @@ fn parse_shard_reply(
                         .ok_or_else(|| "candidate result has no `per_network`".to_string())?,
                 )
                 .map_err(|e| format!("invalid `per_network`: {e}"))?;
-                Some((per_network, reward))
+                let objectives: ObjectiveVector = serde_json::from_value(
+                    value
+                        .get("objectives")
+                        .ok_or_else(|| "candidate result has no `objectives`".to_string())?,
+                )
+                .map_err(|e| format!("invalid `objectives`: {e}"))?;
+                validate_wire_eval(reward, &objectives)?;
+                Some(CandidateEval {
+                    per_network,
+                    objectives,
+                    reward,
+                })
             }
         });
     }
@@ -1698,20 +1761,24 @@ fn parse_shard_reply(
 }
 
 /// Decodes one joint-mode `evaluate_shard` reply: per-candidate
-/// [`NasOutcome`]s (`null` = no feasible subnet) and the cache delta.
+/// [`JointCandidateEval`]s (`null` = no feasible subnet) and the cache
+/// delta. Wire values pass the same trust-boundary validation as
+/// accelerator-mode replies.
 fn parse_joint_shard_reply(
     reply: &Value,
     expected: usize,
-) -> Result<(Vec<Option<NasOutcome>>, Delta), String> {
+) -> Result<(Vec<Option<JointCandidateEval>>, Delta), String> {
     let (results, delta) = parse_reply_frame(reply, expected)?;
     let mut outcomes = Vec::with_capacity(expected);
     for entry in results {
         outcomes.push(match entry {
             Value::Null => None,
-            value => Some(
-                serde_json::from_value(value)
-                    .map_err(|e| format!("invalid joint candidate outcome: {e}"))?,
-            ),
+            value => {
+                let eval: JointCandidateEval = serde_json::from_value(value)
+                    .map_err(|e| format!("invalid joint candidate outcome: {e}"))?;
+                validate_wire_eval(eval.reward, &eval.objectives)?;
+                Some(eval)
+            }
         });
     }
     Ok((outcomes, delta))
@@ -1741,16 +1808,23 @@ mod tests {
         }
     }
 
+    const GOOD_OBJECTIVES: &str =
+        r#"{"latency_cycles": 1000, "energy_nj": 5.0, "area_um2": 2.0e6, "accuracy": 0.0}"#;
+
     #[test]
     fn shard_reply_parsing_rejects_malformed_replies() {
-        let good: Value = serde_json::parse_str(
-            r#"{"results": [null, {"reward": 2.5, "per_network": [{"layers": []}]}]}"#,
-        )
+        let good: Value = serde_json::parse_str(&format!(
+            r#"{{"results": [null, {{"reward": 2.5, "per_network": [{{"layers": []}}], "objectives": {GOOD_OBJECTIVES}}}]}}"#,
+        ))
         .unwrap();
         let (outcomes, delta) = parse_shard_reply(&good, 2).unwrap();
         assert_eq!(outcomes.len(), 2);
         assert!(outcomes[0].is_none());
-        assert_eq!(outcomes[1].as_ref().unwrap().1, 2.5);
+        assert_eq!(outcomes[1].as_ref().unwrap().reward, 2.5);
+        assert_eq!(
+            outcomes[1].as_ref().unwrap().objectives.latency_cycles,
+            1000
+        );
         assert!(delta.entries.is_empty());
 
         // Wrong cardinality: a truncated reply must not silently merge.
@@ -1761,6 +1835,53 @@ mod tests {
         assert!(parse_shard_reply(&no_results, 1)
             .unwrap_err()
             .contains("results"));
+        // Protocol v3: a v2-shaped result (no objective vector) is a
+        // protocol error, not a silently defaulted vector.
+        let v2_shape: Value = serde_json::parse_str(
+            r#"{"results": [{"reward": 2.5, "per_network": [{"layers": []}]}]}"#,
+        )
+        .unwrap();
+        assert!(parse_shard_reply(&v2_shape, 1)
+            .unwrap_err()
+            .contains("objectives"));
+    }
+
+    #[test]
+    fn wire_poison_is_a_shard_error_not_a_panic() {
+        // NaN reward, non-positive reward, NaN/negative objective
+        // components: each must surface as Err from the deserialization
+        // seam — the coordinator turns that into worker death +
+        // re-issue, and `RewardKind::aggregate`'s panics stay
+        // unreachable for wire data.
+        for poison in [
+            r#"{"reward": null, "per_network": [], "objectives": OBJ}"#.to_string(),
+            r#"{"reward": -1.0, "per_network": [], "objectives": OBJ}"#.to_string(),
+            r#"{"reward": 2.5, "per_network": [], "objectives": {"latency_cycles": 0, "energy_nj": 5.0, "area_um2": 2.0e6, "accuracy": 0.0}}"#.to_string(),
+            r#"{"reward": 2.5, "per_network": [], "objectives": {"latency_cycles": 10, "energy_nj": -5.0, "area_um2": 2.0e6, "accuracy": 0.0}}"#.to_string(),
+            r#"{"reward": 2.5, "per_network": [], "objectives": {"latency_cycles": 10, "energy_nj": 5.0, "area_um2": 2.0e6, "accuracy": -3.0}}"#.to_string(),
+        ] {
+            let reply: Value = serde_json::parse_str(&format!(
+                r#"{{"results": [{}]}}"#,
+                poison.replace("OBJ", GOOD_OBJECTIVES)
+            ))
+            .unwrap();
+            assert!(
+                parse_shard_reply(&reply, 1).is_err(),
+                "poison accepted: {poison}"
+            );
+        }
+        // NaN cannot appear in JSON text, but the seam must still hold
+        // if a Value carries one (e.g. a future binary framing).
+        let mut objectives = ObjectiveVector {
+            latency_cycles: 10,
+            energy_nj: f64::NAN,
+            area_um2: 2.0e6,
+            accuracy: 0.0,
+        };
+        assert!(validate_wire_eval(2.5, &objectives).is_err());
+        objectives.energy_nj = 5.0;
+        assert!(validate_wire_eval(f64::NAN, &objectives).is_err());
+        assert!(validate_wire_eval(2.5, &objectives).is_ok());
     }
 
     fn synthetic_coordinator(worker_count: usize) -> DistributedCoordinator {
@@ -1793,6 +1914,7 @@ mod tests {
             probe_tx,
             probe_rx,
             probing: vec![false; worker_count],
+            pareto_published: (0, 0),
         }
     }
 

@@ -29,8 +29,10 @@
 
 use crate::accel_search::AccelSearchConfig;
 use crate::engine::CoSearchEngine;
-use naas_accel::{Accelerator, ResourceConstraint};
-use naas_cost::CostModel;
+use crate::pareto::ParetoArchive;
+use crate::reward::ObjectivePolicy;
+use naas_accel::{area::AreaModel, Accelerator, ResourceConstraint};
+use naas_cost::{CostModel, ObjectiveVector};
 use naas_engine::{parallel_map, CheckpointPolicy};
 use naas_nas::search::search_subnet;
 use naas_nas::{AccuracyModel, NasConfig, Subnet};
@@ -61,6 +63,27 @@ impl JointConfig {
             },
         }
     }
+}
+
+/// One joint candidate's complete evaluation: the NAS outcome for this
+/// accelerator (best feasible subnet, its accuracy and EDP-reward,
+/// evaluation count) plus the matched pair's objective vector — the
+/// unit that crosses the `evaluate_shard` wire in joint mode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JointCandidateEval {
+    /// Best accuracy-feasible subnet found on this candidate.
+    pub subnet: Subnet,
+    /// The subnet's EDP on this candidate (cycles · nJ) — the scalar
+    /// the outer ES consumes as the candidate's reward.
+    pub reward: f64,
+    /// The subnet's predicted top-1 accuracy (percent).
+    pub accuracy: f64,
+    /// Subnets evaluated by this candidate's NAS evolution.
+    pub evaluations: usize,
+    /// The matched (accelerator, subnet) pair's objective vector:
+    /// suite latency/energy of the subnet on the design, design area,
+    /// and the subnet's accuracy.
+    pub objectives: ObjectiveVector,
 }
 
 /// Result of the joint co-search.
@@ -98,6 +121,11 @@ pub struct JointSearchState {
     es: CemEs,
     best: Option<JointResult>,
     total_evals: usize,
+    /// The Pareto front, present iff `config.accel.objectives` is
+    /// `Pareto`. Serialized with the state so a resumed run restores a
+    /// bit-identical front (`Option` so pre-archive checkpoints, where
+    /// the field reads as null, still load).
+    archive: Option<ParetoArchive>,
 }
 
 impl JointSearchState {
@@ -114,6 +142,12 @@ impl JointSearchState {
     /// Subnet evaluations across all candidates so far.
     pub fn evaluations(&self) -> usize {
         self.total_evals
+    }
+
+    /// The Pareto archive, if this search runs with
+    /// [`ObjectivePolicy::Pareto`].
+    pub fn archive(&self) -> Option<&ParetoArchive> {
+        self.archive.as_ref()
     }
 
     /// Consumes the state into the final result: the best matched tuple
@@ -138,6 +172,10 @@ pub fn joint_search_init(constraint: &ResourceConstraint, cfg: &JointConfig) -> 
         es: CemEs::new(encoder.dim(), cfg.accel.es, cfg.accel.seed),
         best: None,
         total_evals: 0,
+        archive: match cfg.accel.objectives {
+            ObjectivePolicy::Scalar => None,
+            ObjectivePolicy::Pareto => Some(ParetoArchive::new()),
+        },
     }
 }
 
@@ -167,7 +205,7 @@ pub fn evaluate_joint_candidate(
     mapping_cfg: &crate::mapping_search::MappingSearchConfig,
     nas_cfg: &NasConfig,
     nas_seed: u64,
-) -> Option<naas_nas::search::NasOutcome> {
+) -> Option<JointCandidateEval> {
     let nas_cfg = NasConfig {
         seed: nas_seed,
         ..*nas_cfg
@@ -175,7 +213,7 @@ pub fn evaluate_joint_candidate(
     // One fingerprint per candidate: every subnet the NAS proposes
     // shares it.
     let design_fp = crate::mapping_search::design_fingerprint(accel, mapping_cfg);
-    search_subnet(&nas_cfg, accuracy_model, |net| {
+    let out = search_subnet(&nas_cfg, accuracy_model, |net| {
         crate::mapping_search::network_mapping_search_memo(
             model,
             net,
@@ -185,6 +223,28 @@ pub fn evaluate_joint_candidate(
             design_fp,
         )
         .map(|cost| cost.edp())
+    })?;
+    // Re-derive the winning subnet's full cost report for the objective
+    // vector: the NAS loop evaluated it moments ago through the same
+    // memo cache with content-derived seeds, so this is a cache hit and
+    // bit-identical to the evaluation that produced `out.reward`.
+    let cost = crate::mapping_search::network_mapping_search_memo(
+        model,
+        &out.subnet.to_network(),
+        accel,
+        mapping_cfg,
+        engine.cache(),
+        design_fp,
+    )?;
+    let area_um2 = AreaModel::default().area_mm2(accel) * 1e6;
+    let objectives =
+        ObjectiveVector::from_suite(std::slice::from_ref(&cost), area_um2, out.accuracy);
+    Some(JointCandidateEval {
+        subnet: out.subnet,
+        reward: out.reward,
+        accuracy: out.accuracy,
+        evaluations: out.evaluations,
+        objectives,
     })
 }
 
@@ -236,12 +296,13 @@ pub fn joint_search_step(
 /// produces a bit-identical search trajectory.
 pub fn joint_search_step_with<F>(state: &mut JointSearchState, evaluate: F) -> bool
 where
-    F: FnOnce(&[(usize, Vec<f64>, Accelerator)]) -> Vec<Option<naas_nas::search::NasOutcome>>,
+    F: FnOnce(&[(usize, Vec<f64>, Accelerator)]) -> Vec<Option<JointCandidateEval>>,
 {
     if state.is_done() {
         return false;
     }
     let cfg = state.config;
+    let iteration = state.iteration;
     let encoder = HardwareEncoder::new(state.constraint.clone(), cfg.accel.scheme);
 
     // Sample the generation sequentially (the ES is stateful).
@@ -279,10 +340,18 @@ where
 
     // Fold results in slot order (deterministic tie-breaks).
     let mut scored: Vec<(Vec<f64>, f64)> = Vec::with_capacity(slots.len() + infeasible.len());
-    for ((_, theta, accel), outcome) in slots.into_iter().zip(outcomes) {
+    for ((slot, theta, accel), outcome) in slots.into_iter().zip(outcomes) {
         match outcome {
             Some(out) => {
                 state.total_evals += out.evaluations;
+                if let Some(archive) = state.archive.as_mut() {
+                    // Global candidate order (slot indices are stable
+                    // even when some slots fail to decode), identical
+                    // in every execution mode.
+                    let candidate_index =
+                        iteration as u64 * cfg.accel.population as u64 + slot as u64;
+                    archive.offer(candidate_index, out.objectives, &accel);
+                }
                 if state.best.as_ref().is_none_or(|b| out.reward < b.edp) {
                     state.best = Some(JointResult {
                         accelerator: accel,

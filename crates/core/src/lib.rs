@@ -44,6 +44,7 @@ pub mod engine;
 pub mod joint;
 pub mod layer_cache;
 pub mod mapping_search;
+pub mod pareto;
 pub mod pipeline;
 pub mod reward;
 pub mod service;
@@ -51,22 +52,23 @@ pub mod service;
 pub use accel_search::{
     accel_search_init, accel_search_step, accel_search_step_with, resume_accel_search,
     search_accelerator, search_accelerator_seeded, search_accelerator_with, AccelCandidate,
-    AccelSearchConfig, AccelSearchResult, AccelSearchState, IterationStats, NoValidDesign,
-    SearchStrategy,
+    AccelSearchConfig, AccelSearchResult, AccelSearchState, CandidateEval, IterationStats,
+    NoValidDesign, SearchStrategy,
 };
 pub use distributed::{DistributedCoordinator, SchedulerStats, ShardPlan};
 pub use engine::CoSearchEngine;
 pub use joint::{
     evaluate_joint_candidate, joint_nas_seed, joint_search_init, joint_search_step,
     joint_search_step_with, pareto_sweep, resume_joint_search, search_joint, search_joint_with,
-    JointConfig, JointResult, JointSearchState, ParetoEntry,
+    JointCandidateEval, JointConfig, JointResult, JointSearchState, ParetoEntry,
 };
 pub use mapping_search::{
     network_mapping_search_cached, search_layer_mapping, search_layer_mapping_with,
     MappingSearchConfig, MappingSearchResult,
 };
+pub use pareto::{ArchiveEntry, ParetoArchive};
 pub use pipeline::{with_thread_pipeline, EvalPipeline};
-pub use reward::{geomean, RewardKind};
+pub use reward::{geomean, ObjectivePolicy, RewardKind};
 pub use service::{BatchEvalService, ServiceConfig, ServiceError, ServiceServer};
 
 /// Convenience re-exports for downstream code and examples.

@@ -1,0 +1,425 @@
+//! Deterministic bounded Pareto archive for multi-objective search.
+//!
+//! In `--objectives pareto` mode the search keeps, alongside its scalar
+//! trajectory, the non-dominated front of every valid candidate's
+//! [`ObjectiveVector`]. The archive is the *only* multi-objective state:
+//! the optimizer still consumes the scalarized reward, so the candidate
+//! stream is bit-identical to scalar mode and the archive's content is a
+//! pure function of that stream. Determinism is load-bearing — the
+//! distributed coordinator merges shard results in candidate order and
+//! must produce a byte-identical front to a single-process run — so
+//! every rule below is total and stable:
+//!
+//! * **Insert order** is global candidate order: `candidate_index =
+//!   iteration * population + slot`, assigned before any sharding.
+//! * **Dominance insert**: a candidate dominated by (or equal to) an
+//!   archived entry is rejected (counted); otherwise it evicts every
+//!   entry it dominates and joins the front, which stays sorted by
+//!   `candidate_index`.
+//! * **Bounded truncation**: past [`ParetoArchive::capacity`], the entry
+//!   with the smallest hypervolume contribution (exclusive hypervolume
+//!   against [`REFERENCE`]) is dropped; contribution ties drop the
+//!   *largest* `candidate_index` — the front prefers older discoveries,
+//!   which is the stable choice under resume.
+//!
+//! Hypervolume is computed exactly (HSO-style recursive dimension
+//! sweep) in a normalized minimization space: each objective is mapped
+//! to `[0, 1)` against the fixed reference point, so archives from any
+//! run are comparable and contributions keep full `f64` resolution
+//! instead of cancelling at ~1e47 magnitudes.
+
+use naas_accel::Accelerator;
+use naas_cost::ObjectiveVector;
+use serde::{Deserialize, Serialize};
+
+/// The fixed hypervolume reference point (worst corner). Chosen far
+/// beyond any design this cost model can produce (suite latencies and
+/// energies sit around 1e9–1e12, areas below 1e9 µm²) so it never
+/// clips a real candidate, and *fixed* so hypervolume gauges are
+/// comparable across runs, processes and checkpoints. Accuracy is −1
+/// (one point below "no accuracy information") so accelerator-only
+/// fronts, where every vector carries [`ObjectiveVector::NO_ACCURACY`],
+/// still span a non-degenerate box along the accuracy axis.
+pub const REFERENCE: ObjectiveVector = ObjectiveVector {
+    latency_cycles: 1_000_000_000_000_000,
+    energy_nj: 1e15,
+    area_um2: 1e15,
+    accuracy: -1.0,
+};
+
+/// Default archive bound: enough to render a useful frontier, small
+/// enough that exact hypervolume truncation stays cheap.
+pub const DEFAULT_CAPACITY: usize = 32;
+
+/// One archived non-dominated candidate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArchiveEntry {
+    /// Global position in the candidate stream
+    /// (`iteration * population + slot`) — the stable tie-break key.
+    pub candidate_index: u64,
+    /// The candidate's objective vector.
+    pub objectives: ObjectiveVector,
+    /// The accelerator design that achieved it.
+    pub accelerator: Accelerator,
+}
+
+/// Deterministic bounded Pareto archive (see module docs for the
+/// insert/truncate rules). Serialized whole into search checkpoints so
+/// a resumed run restores a bit-identical front, counters included.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParetoArchive {
+    capacity: usize,
+    entries: Vec<ArchiveEntry>,
+    /// Candidates that entered the front (possibly evicted later).
+    pub inserts: u64,
+    /// Candidates rejected as dominated by (or equal to) the front.
+    pub rejections: u64,
+}
+
+impl ParetoArchive {
+    /// An empty archive with [`DEFAULT_CAPACITY`].
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// An empty archive bounded at `capacity` entries (min 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        ParetoArchive {
+            capacity: capacity.max(1),
+            entries: Vec::new(),
+            inserts: 0,
+            rejections: 0,
+        }
+    }
+
+    /// The archive bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current front, sorted by `candidate_index` ascending.
+    pub fn entries(&self) -> &[ArchiveEntry] {
+        &self.entries
+    }
+
+    /// Number of entries on the front.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the front is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Offers one candidate to the archive; returns `true` if it joined
+    /// the front. Must be called in global candidate order — the
+    /// `candidate_index` tie-breaks are only meaningful if inserts are
+    /// replayed identically everywhere (single-process, distributed
+    /// merge, resume).
+    pub fn offer(
+        &mut self,
+        candidate_index: u64,
+        objectives: ObjectiveVector,
+        accelerator: &Accelerator,
+    ) -> bool {
+        let dominated = self
+            .entries
+            .iter()
+            .any(|e| e.objectives.dominates(&objectives) || e.objectives == objectives);
+        if dominated {
+            self.rejections += 1;
+            return false;
+        }
+        self.entries
+            .retain(|e| !objectives.dominates(&e.objectives));
+        let pos = self
+            .entries
+            .partition_point(|e| e.candidate_index < candidate_index);
+        self.entries.insert(
+            pos,
+            ArchiveEntry {
+                candidate_index,
+                objectives,
+                accelerator: accelerator.clone(),
+            },
+        );
+        self.inserts += 1;
+        self.truncate_to_capacity();
+        true
+    }
+
+    /// Exact hypervolume of the front against [`REFERENCE`], in
+    /// normalized units (each axis scaled to `[0, 1]`, so the value is
+    /// bounded by 1). Monotone under insert; the telemetry gauge.
+    pub fn hypervolume(&self) -> f64 {
+        let points: Vec<Vec<f64>> = self
+            .entries
+            .iter()
+            .filter_map(|e| normalized(&e.objectives))
+            .collect();
+        union_volume(points)
+    }
+
+    fn truncate_to_capacity(&mut self) {
+        while self.entries.len() > self.capacity {
+            let coords: Vec<Option<Vec<f64>>> = self
+                .entries
+                .iter()
+                .map(|e| normalized(&e.objectives))
+                .collect();
+            let all: Vec<Vec<f64>> = coords.iter().flatten().cloned().collect();
+            let total = union_volume(all);
+            // Smallest exclusive contribution loses; on ties the largest
+            // candidate_index loses (entries are sorted ascending, so a
+            // later equal-contribution entry overwrites the pick).
+            let mut drop_at = 0usize;
+            let mut drop_contribution = f64::INFINITY;
+            for i in 0..self.entries.len() {
+                let rest: Vec<Vec<f64>> = coords
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .filter_map(|(_, p)| p.clone())
+                    .collect();
+                let contribution = total - union_volume(rest);
+                if contribution <= drop_contribution {
+                    drop_at = i;
+                    drop_contribution = contribution;
+                }
+            }
+            self.entries.remove(drop_at);
+        }
+    }
+
+    /// A compact textual rendering of the front for CLI output, one
+    /// line per entry in candidate order.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "pareto front: {} entries (capacity {}), hypervolume {:.6e}\n",
+            self.entries.len(),
+            self.capacity,
+            self.hypervolume()
+        ));
+        out.push_str(&format!(
+            "  inserts {}  dominated-rejections {}\n",
+            self.inserts, self.rejections
+        ));
+        for e in &self.entries {
+            out.push_str(&format!(
+                "  #{:<6} latency {:>12} cyc  energy {:>12.4e} nJ  area {:>10.4e} um2  accuracy {:>6.2}\n",
+                e.candidate_index,
+                e.objectives.latency_cycles,
+                e.objectives.energy_nj,
+                e.objectives.area_um2,
+                e.objectives.accuracy,
+            ));
+        }
+        out
+    }
+}
+
+impl Default for ParetoArchive {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Maps a vector into normalized minimization space against
+/// [`REFERENCE`]: every coordinate lands in `[0, 1)` (0 is best), or
+/// `None` if the vector sits at or beyond the reference on some axis —
+/// such a point spans no volume and is skipped by the hypervolume
+/// computation (it can still occupy the front via dominance).
+fn normalized(o: &ObjectiveVector) -> Option<Vec<f64>> {
+    let accuracy_span = 100.0 - REFERENCE.accuracy;
+    let coords = vec![
+        o.latency_cycles as f64 / REFERENCE.latency_cycles as f64,
+        o.energy_nj / REFERENCE.energy_nj,
+        o.area_um2 / REFERENCE.area_um2,
+        (100.0 - o.accuracy) / accuracy_span,
+    ];
+    if coords.iter().any(|&c| c >= 1.0) {
+        return None;
+    }
+    Some(coords.into_iter().map(|c| c.max(0.0)).collect())
+}
+
+/// Exact volume of the union of boxes `[p, 1]^d` over normalized
+/// minimization points — HSO-style recursion: slice along the last
+/// dimension at each point's coordinate, recurse on the projection of
+/// the points active in each slab.
+fn union_volume(mut points: Vec<Vec<f64>>) -> f64 {
+    if points.is_empty() {
+        return 0.0;
+    }
+    let d = points[0].len();
+    if d == 1 {
+        let lowest = points.iter().map(|p| p[0]).fold(1.0, f64::min);
+        return 1.0 - lowest;
+    }
+    // All coordinates are finite members of [0, 1], so the comparison
+    // is total; ties produce zero-width slabs and cannot affect the sum.
+    points.sort_by(|a, b| {
+        a[d - 1]
+            .partial_cmp(&b[d - 1])
+            .expect("normalized coordinates are finite")
+    });
+    let mut volume = 0.0;
+    for i in 0..points.len() {
+        let z0 = points[i][d - 1];
+        let z1 = if i + 1 < points.len() {
+            points[i + 1][d - 1]
+        } else {
+            1.0
+        };
+        if z1 > z0 {
+            let slab: Vec<Vec<f64>> = points[..=i].iter().map(|p| p[..d - 1].to_vec()).collect();
+            volume += (z1 - z0) * union_volume(slab);
+        }
+    }
+    volume
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naas_accel::baselines;
+
+    fn v(lat: u64, e: f64, a: f64, acc: f64) -> ObjectiveVector {
+        ObjectiveVector {
+            latency_cycles: lat,
+            energy_nj: e,
+            area_um2: a,
+            accuracy: acc,
+        }
+    }
+
+    fn design() -> Accelerator {
+        baselines::eyeriss()
+    }
+
+    #[test]
+    fn dominated_offers_are_rejected_and_counted() {
+        let mut a = ParetoArchive::new();
+        assert!(a.offer(0, v(100, 10.0, 1.0, 0.0), &design()));
+        assert!(!a.offer(1, v(200, 20.0, 2.0, 0.0), &design()), "dominated");
+        assert!(!a.offer(2, v(100, 10.0, 1.0, 0.0), &design()), "equal");
+        assert_eq!((a.inserts, a.rejections), (1, 2));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn dominating_offer_evicts_the_dominated() {
+        let mut a = ParetoArchive::new();
+        a.offer(0, v(100, 10.0, 1.0, 0.0), &design());
+        a.offer(1, v(90, 12.0, 1.0, 0.0), &design()); // incomparable, joins
+        assert_eq!(a.len(), 2);
+        assert!(
+            a.offer(2, v(80, 9.0, 0.5, 0.0), &design()),
+            "dominates both"
+        );
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.entries()[0].candidate_index, 2);
+    }
+
+    #[test]
+    fn front_stays_sorted_by_candidate_index() {
+        let mut a = ParetoArchive::new();
+        a.offer(5, v(100, 10.0, 1.0, 0.0), &design());
+        a.offer(7, v(90, 12.0, 1.0, 0.0), &design());
+        a.offer(9, v(95, 11.0, 0.9, 0.0), &design());
+        let indices: Vec<u64> = a.entries().iter().map(|e| e.candidate_index).collect();
+        assert_eq!(indices, vec![5, 7, 9]);
+    }
+
+    #[test]
+    fn hypervolume_is_monotone_under_insert() {
+        let mut a = ParetoArchive::new();
+        let mut last = 0.0;
+        let points = [
+            v(1_000_000, 1e6, 1e6, 0.0),
+            v(900_000, 1.1e6, 1e6, 0.0),
+            v(800_000, 1.2e6, 1e6, 0.0),
+            v(1_100_000, 0.9e6, 1e6, 0.0),
+        ];
+        for (i, p) in points.iter().enumerate() {
+            a.offer(i as u64, *p, &design());
+            let hv = a.hypervolume();
+            assert!(
+                hv >= last - 1e-12,
+                "hypervolume shrank after insert: {hv} < {last}"
+            );
+            last = hv;
+        }
+        assert!(last > 0.0);
+    }
+
+    #[test]
+    fn truncation_drops_smallest_contribution() {
+        let mut a = ParetoArchive::with_capacity(2);
+        // Three mutually incomparable points; the middle one is nearly
+        // dominated (tiny exclusive contribution) and must be dropped.
+        a.offer(0, v(100_000, 1e6, 1e6, 0.0), &design());
+        a.offer(1, v(99_999, 1.000_001e6, 1e6, 0.0), &design());
+        a.offer(2, v(50_000, 2e6, 1e6, 0.0), &design());
+        assert_eq!(a.len(), 2);
+        let indices: Vec<u64> = a.entries().iter().map(|e| e.candidate_index).collect();
+        // #1 buys almost nothing over #0 (1 cycle at 1e-3 nJ cost);
+        // #0 and #2 anchor large exclusive regions.
+        assert_eq!(indices, vec![0, 2]);
+    }
+
+    #[test]
+    fn truncation_ties_drop_the_later_candidate() {
+        // Points at or beyond the reference span no volume, so their
+        // exclusive contributions are *exactly* 0.0 — a guaranteed tie
+        // (float subtraction makes symmetric constructions only
+        // approximately equal). The later candidate_index must lose.
+        const FAR: u64 = 2_000_000_000_000_000; // past REFERENCE.latency_cycles
+        let mut a = ParetoArchive::with_capacity(2);
+        a.offer(0, v(FAR, 300.0, 100.0, 0.0), &design());
+        a.offer(1, v(FAR + 1, 200.0, 100.0, 0.0), &design());
+        a.offer(2, v(FAR + 2, 100.0, 100.0, 0.0), &design());
+        let indices: Vec<u64> = a.entries().iter().map(|e| e.candidate_index).collect();
+        assert_eq!(indices, vec![0, 1], "tied contributions drop the newest");
+        // And with a real-volume anchor present, ties still resolve
+        // among the zero-contribution entries only.
+        let mut b = ParetoArchive::with_capacity(2);
+        b.offer(0, v(FAR, 300.0, 100.0, 0.0), &design());
+        b.offer(1, v(1_000, 400.0, 100.0, 0.0), &design());
+        b.offer(2, v(FAR + 5, 100.0, 100.0, 0.0), &design());
+        let indices: Vec<u64> = b.entries().iter().map(|e| e.candidate_index).collect();
+        assert_eq!(indices, vec![0, 1], "positive contribution survives");
+    }
+
+    #[test]
+    fn archive_round_trips_through_serde() {
+        let mut a = ParetoArchive::with_capacity(4);
+        a.offer(0, v(100_000, 1e6, 1e6, 0.0), &design());
+        a.offer(1, v(90_000, 1.1e6, 1e6, 0.0), &design());
+        a.offer(2, v(150_000, 0.9e6, 1e6, 0.0), &design());
+        let json = serde_json::to_string(&a).unwrap();
+        let back: ParetoArchive = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, a);
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+
+    #[test]
+    fn points_beyond_the_reference_span_no_volume() {
+        let mut a = ParetoArchive::new();
+        a.offer(0, v(u64::MAX, 1e20, 1e20, 0.0), &design());
+        assert_eq!(a.len(), 1, "dominance still archives it");
+        assert_eq!(a.hypervolume(), 0.0);
+    }
+
+    #[test]
+    fn render_names_every_entry() {
+        let mut a = ParetoArchive::new();
+        a.offer(3, v(100, 10.0, 1.0, 75.5), &design());
+        let text = a.render();
+        assert!(text.contains("1 entries"));
+        assert!(text.contains("#3"));
+        assert!(text.contains("75.50"));
+    }
+}

@@ -1,17 +1,28 @@
-//! Reward aggregation across benchmark networks.
+//! Reward policies: scalarization of per-network EDPs, and the opt-in
+//! multi-objective alternative.
 //!
 //! The paper uses the *geometric mean* of per-network EDP as the outer
 //! loop's reward, "to provide a balanced performance on all benchmarks"
 //! (§III-B) — an arithmetic mean would let one heavy network (VGG16)
-//! dominate the gradient.
+//! dominate the gradient. That geomean is one *scalarization policy*
+//! over the candidate's full objective vector
+//! ([`naas_cost::ObjectiveVector`]): every evaluation carries the
+//! vector, [`RewardKind`] collapses it (via the per-network EDPs) into
+//! the scalar the evolutionary optimizer consumes, and
+//! [`ObjectivePolicy`] selects whether the search *additionally*
+//! maintains the non-dominated front ([`crate::pareto`]).
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
-/// How per-network EDPs aggregate into the outer loop's scalar reward.
+/// How per-network EDPs scalarize into the outer loop's reward.
 ///
 /// The paper uses the geometric mean (§III-B); worst-case is the natural
 /// alternative when a deployment must bound tail latency across models —
-/// ablated in `benches/ablation_reward.rs`.
+/// ablated in `benches/ablation_reward.rs`. Either way the inputs are
+/// the **per-network whole-suite EDPs** (`NetworkCost::edp`, cycles·nJ)
+/// of one candidate — not per-layer EDPs, and not already-aggregated
+/// rewards (see `naas::accel_search::evaluate_candidate` for the one
+/// place the collapse happens).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum RewardKind {
     /// Geometric mean over the benchmark networks (the paper's choice).
@@ -22,11 +33,19 @@ pub enum RewardKind {
 }
 
 impl RewardKind {
-    /// Aggregates per-network EDPs into the scalar reward.
+    /// Aggregates one candidate's per-network EDPs into its scalar
+    /// reward — the single scalarization point of the search stack.
     ///
     /// # Panics
     ///
-    /// Panics on an empty slice or non-positive values (like [`geomean`]).
+    /// Panics on an empty slice or non-positive/non-finite values (like
+    /// [`geomean`]): locally computed EDPs satisfy the contract by
+    /// construction, so a violation is a calling-loop bug. Values that
+    /// crossed a trust boundary (the `evaluate_shard` wire) must be
+    /// validated *before* they reach this function — the distributed
+    /// coordinator rejects NaN/non-positive wire values at its
+    /// deserialization seam (`naas::distributed`) and re-issues the
+    /// shard instead of panicking here.
     pub fn aggregate(self, edps: &[f64]) -> f64 {
         match self {
             RewardKind::Geomean => geomean(edps),
@@ -40,6 +59,79 @@ impl RewardKind {
                     acc.max(v)
                 })
             }
+        }
+    }
+}
+
+/// Whether the search optimizes the scalarized reward alone, or also
+/// maintains a Pareto archive of the non-dominated objective vectors.
+///
+/// The policy never changes the search *trajectory*: in both modes the
+/// optimizer consumes the [`RewardKind`]-scalarized reward, so a
+/// `Pareto` run visits the exact candidates the default run visits and
+/// its best-design output is bit-identical. `Pareto` additionally feeds
+/// every valid candidate's objective vector through the deterministic
+/// bounded archive in the search state ([`crate::pareto::ParetoArchive`])
+/// and serializes the front into checkpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ObjectivePolicy {
+    /// Optimize and report only the scalarized reward (the default —
+    /// the paper's behaviour).
+    #[default]
+    Scalar,
+    /// Scalar trajectory plus a deterministic bounded Pareto archive
+    /// over `(latency, energy, area, accuracy)`.
+    Pareto,
+}
+
+impl ObjectivePolicy {
+    /// Parses the CLI spelling (`--objectives scalar|pareto`).
+    ///
+    /// # Errors
+    ///
+    /// The unknown value, echoed for the usage message.
+    pub fn parse(value: &str) -> Result<Self, String> {
+        match value {
+            "scalar" => Ok(ObjectivePolicy::Scalar),
+            "pareto" => Ok(ObjectivePolicy::Pareto),
+            other => Err(format!(
+                "unknown objective policy `{other}` (scalar|pareto)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for ObjectivePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ObjectivePolicy::Scalar => write!(f, "scalar"),
+            ObjectivePolicy::Pareto => write!(f, "pareto"),
+        }
+    }
+}
+
+// Hand-written (rather than derived) so that an *absent* field — a
+// checkpoint written before the policy existed — deserializes to the
+// default instead of failing the load: the vendored serde shim reads
+// missing object fields as `Null`.
+impl Serialize for ObjectivePolicy {
+    fn serialize(&self) -> Value {
+        match self {
+            ObjectivePolicy::Scalar => Value::Str("Scalar".to_string()),
+            ObjectivePolicy::Pareto => Value::Str("Pareto".to_string()),
+        }
+    }
+}
+
+impl Deserialize for ObjectivePolicy {
+    fn deserialize(value: &Value) -> Result<Self, serde::Error> {
+        match value {
+            Value::Null => Ok(ObjectivePolicy::default()),
+            Value::Str(s) if s == "Scalar" => Ok(ObjectivePolicy::Scalar),
+            Value::Str(s) if s == "Pareto" => Ok(ObjectivePolicy::Pareto),
+            other => Err(serde::Error(format!(
+                "unrecognized ObjectivePolicy encoding: {other:?}"
+            ))),
         }
     }
 }
@@ -124,5 +216,33 @@ mod tests {
     fn worst_case_dominates_geomean() {
         let edps = [1.0, 100.0];
         assert!(RewardKind::WorstCase.aggregate(&edps) >= RewardKind::Geomean.aggregate(&edps));
+    }
+
+    #[test]
+    fn objective_policy_round_trips_and_defaults_on_absence() {
+        for policy in [ObjectivePolicy::Scalar, ObjectivePolicy::Pareto] {
+            let back = ObjectivePolicy::deserialize(&policy.serialize()).unwrap();
+            assert_eq!(back, policy);
+        }
+        // A pre-policy checkpoint has no such field; the shim hands the
+        // deserializer `Null`, which must yield the default, not an error.
+        assert_eq!(
+            ObjectivePolicy::deserialize(&Value::Null).unwrap(),
+            ObjectivePolicy::Scalar
+        );
+        assert!(ObjectivePolicy::deserialize(&Value::Str("Nope".into())).is_err());
+    }
+
+    #[test]
+    fn objective_policy_parses_cli_spellings() {
+        assert_eq!(
+            ObjectivePolicy::parse("scalar"),
+            Ok(ObjectivePolicy::Scalar)
+        );
+        assert_eq!(
+            ObjectivePolicy::parse("pareto"),
+            Ok(ObjectivePolicy::Pareto)
+        );
+        assert!(ObjectivePolicy::parse("both").is_err());
     }
 }

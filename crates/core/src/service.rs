@@ -129,6 +129,7 @@ pub const CAPABILITIES: &[&str] = &[
     "joint",
     "cache_gossip",
     "metrics",
+    "objectives",
 ];
 
 /// A resident evaluation service over one warm [`CoSearchEngine`]. See
@@ -766,9 +767,18 @@ impl BatchEvalService {
             .iter()
             .map(|outcome| match outcome {
                 None => Value::Null,
-                Some((per_network, reward)) => Value::Object(vec![
-                    ("reward".to_string(), Value::F64(*reward)),
-                    ("per_network".to_string(), serde_json::to_value(per_network)),
+                // Protocol v3 result shape: the scalarized reward, the
+                // per-network cost reports, and the objective vector.
+                Some(eval) => Value::Object(vec![
+                    ("reward".to_string(), Value::F64(eval.reward)),
+                    (
+                        "per_network".to_string(),
+                        serde_json::to_value(&eval.per_network),
+                    ),
+                    (
+                        "objectives".to_string(),
+                        serde_json::to_value(&eval.objectives),
+                    ),
                 ]),
             })
             .collect())

@@ -39,6 +39,7 @@
 pub mod capacity;
 pub mod energy;
 pub mod model;
+pub mod objective;
 pub mod report;
 pub mod reuse;
 pub mod scratch;
@@ -49,6 +50,7 @@ pub mod widths;
 
 pub use energy::EnergyTable;
 pub use model::{CostError, CostModel, EnergyBreakdown, LayerCost, NetworkCost};
+pub use objective::ObjectiveVector;
 pub use scratch::EvalScratch;
 pub use tensor::Tensor;
 pub use traffic::TrafficBreakdown;

@@ -1,0 +1,180 @@
+//! The multi-objective view of one candidate evaluation.
+//!
+//! NAAS (§III-B) collapses a candidate's per-network EDPs into one
+//! scalar reward before the optimizer ever sees them. That scalar is a
+//! *policy* — one way of flattening the latency/energy/area/accuracy
+//! trade-off surface accelerator co-design actually navigates. This
+//! module keeps the surface: every candidate evaluation produces an
+//! [`ObjectiveVector`] alongside the scalar, and the search layers above
+//! decide whether to scalarize it (the default, bit-identical to the
+//! historical reward) or to archive the non-dominated front
+//! (`naas::pareto`).
+//!
+//! Orientation is fixed once, here: **latency, energy and area are
+//! minimized; accuracy is maximized.** Every dominance comparison in the
+//! workspace goes through [`ObjectiveVector::dominates`], so no caller
+//! re-derives (and silently flips) the orientation.
+
+use crate::model::NetworkCost;
+use serde::{Deserialize, Serialize};
+
+/// The four objectives of one candidate evaluation.
+///
+/// Latency and energy are summed over the benchmark suite (every
+/// network the candidate was scored against, in `cycles` and `nJ`);
+/// area is the candidate design's estimated silicon area in µm²; and
+/// `accuracy` is the matched subnet's predicted top-1 accuracy in
+/// percent — fixed at [`ObjectiveVector::NO_ACCURACY`] for
+/// accelerator-only searches, where the workload is given rather than
+/// searched (equal values are dominance-neutral, so the comparison
+/// degrades to the three cost axes).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ObjectiveVector {
+    /// Total suite latency in cycles (minimized).
+    pub latency_cycles: u64,
+    /// Total suite energy in nanojoules (minimized).
+    pub energy_nj: f64,
+    /// Estimated silicon area of the design in µm² (minimized).
+    pub area_um2: f64,
+    /// Predicted top-1 accuracy in percent (maximized);
+    /// [`ObjectiveVector::NO_ACCURACY`] when no NAS level supplies one.
+    pub accuracy: f64,
+}
+
+impl ObjectiveVector {
+    /// The accuracy placeholder of accelerator-only searches: a real,
+    /// finite constant (never NaN — vectors must stay comparable and
+    /// serializable bit-exactly), equal for every candidate so it can
+    /// never decide a dominance comparison.
+    pub const NO_ACCURACY: f64 = 0.0;
+
+    /// Builds the vector for a suite evaluation: latency and energy
+    /// summed over `per_network` in suite order, with the design's
+    /// `area_um2` and the matched `accuracy` supplied by the caller
+    /// (pass [`ObjectiveVector::NO_ACCURACY`] when there is none).
+    pub fn from_suite(per_network: &[NetworkCost], area_um2: f64, accuracy: f64) -> Self {
+        ObjectiveVector {
+            latency_cycles: per_network.iter().map(NetworkCost::cycles).sum(),
+            energy_nj: per_network.iter().map(NetworkCost::energy_nj).sum(),
+            area_um2,
+            accuracy,
+        }
+    }
+
+    /// Pareto dominance under the fixed orientation (minimize latency,
+    /// energy, area; maximize accuracy): `true` iff `self` is no worse
+    /// on every objective and strictly better on at least one.
+    pub fn dominates(&self, other: &Self) -> bool {
+        let no_worse = self.latency_cycles <= other.latency_cycles
+            && self.energy_nj <= other.energy_nj
+            && self.area_um2 <= other.area_um2
+            && self.accuracy >= other.accuracy;
+        let better = self.latency_cycles < other.latency_cycles
+            || self.energy_nj < other.energy_nj
+            || self.area_um2 < other.area_um2
+            || self.accuracy > other.accuracy;
+        no_worse && better
+    }
+
+    /// Validates a vector that crossed a trust boundary (the
+    /// `evaluate_shard` wire): every float must be finite, the cost
+    /// axes strictly positive, accuracy non-negative. Locally computed
+    /// vectors satisfy this by construction; wire-sourced ones are
+    /// checked at the deserialization seam so a malformed worker reply
+    /// becomes a shard error (re-issued elsewhere), never a panic
+    /// inside the coordinator's aggregation code.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.latency_cycles == 0 {
+            return Err("latency_cycles must be positive".to_string());
+        }
+        for (name, v, positive) in [
+            ("energy_nj", self.energy_nj, true),
+            ("area_um2", self.area_um2, true),
+            ("accuracy", self.accuracy, false),
+        ] {
+            if !v.is_finite() {
+                return Err(format!("{name} must be finite, got {v}"));
+            }
+            if positive && v <= 0.0 {
+                return Err(format!("{name} must be positive, got {v}"));
+            }
+            if !positive && v < 0.0 {
+                return Err(format!("{name} must be non-negative, got {v}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(lat: u64, e: f64, a: f64, acc: f64) -> ObjectiveVector {
+        ObjectiveVector {
+            latency_cycles: lat,
+            energy_nj: e,
+            area_um2: a,
+            accuracy: acc,
+        }
+    }
+
+    #[test]
+    fn dominance_requires_strict_improvement_somewhere() {
+        let base = v(100, 10.0, 1.0, 70.0);
+        assert!(!base.dominates(&base), "a vector never dominates itself");
+        assert!(v(99, 10.0, 1.0, 70.0).dominates(&base));
+        assert!(
+            v(100, 10.0, 1.0, 71.0).dominates(&base),
+            "higher accuracy dominates"
+        );
+        assert!(
+            !v(99, 11.0, 1.0, 70.0).dominates(&base),
+            "trade-offs are incomparable"
+        );
+        assert!(!base.dominates(&v(99, 11.0, 1.0, 70.0)));
+    }
+
+    #[test]
+    fn from_suite_sums_networks() {
+        use crate::model::{CostModel, NetworkCost};
+        use naas_accel::baselines;
+        use naas_ir::models;
+        use naas_mapping::Mapping;
+        let model = CostModel::new();
+        let accel = baselines::nvdla_1024();
+        let net = models::cifar_resnet20();
+        let mappings: Vec<Mapping> = net.iter().map(|l| Mapping::balanced(l, &accel)).collect();
+        let cost = model.evaluate_network(&net, &accel, &mappings).unwrap();
+        let suite = [cost.clone(), cost.clone()];
+        let o = ObjectiveVector::from_suite(&suite, 5.0e6, ObjectiveVector::NO_ACCURACY);
+        assert_eq!(o.latency_cycles, 2 * NetworkCost::cycles(&cost));
+        assert!((o.energy_nj - 2.0 * cost.energy_nj()).abs() < 1e-9 * o.energy_nj);
+        assert_eq!(o.area_um2, 5.0e6);
+        assert!(o.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_wire_poison() {
+        let good = v(100, 10.0, 1.0, 70.0);
+        assert!(good.validate().is_ok());
+        assert!(v(0, 10.0, 1.0, 70.0).validate().is_err());
+        assert!(v(100, f64::NAN, 1.0, 70.0).validate().is_err());
+        assert!(v(100, 10.0, -1.0, 70.0).validate().is_err());
+        assert!(v(100, 10.0, 1.0, f64::INFINITY).validate().is_err());
+        assert!(v(100, 10.0, 1.0, -0.5).validate().is_err());
+        assert!(v(100, -10.0, 1.0, 70.0).validate().is_err());
+    }
+
+    #[test]
+    fn round_trips_through_serde() {
+        let o = v(12345, 6.75, 9.5e6, 76.25);
+        let json = serde_json::to_string(&o).unwrap();
+        let back: ObjectiveVector = serde_json::from_str(&json).unwrap();
+        assert_eq!(o, back);
+    }
+}

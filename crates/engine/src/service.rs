@@ -42,12 +42,15 @@ use std::sync::{Condvar, Mutex};
 /// `hello` command (see `docs/PROTOCOL.md` § Versioning). Version 1 is
 /// the pre-handshake protocol (no `hello` command); version 2 added the
 /// handshake, capability lists, and the joint-search extensions of
-/// `evaluate_shard`/`search_step`. A client and server interoperate only
-/// on an exact match — the distributed driver ships serialized configs
-/// and search states whose layout follows the crate types, so "close
-/// enough" versions are exactly the undefined behaviour the handshake
-/// exists to rule out.
-pub const PROTOCOL_VERSION: u64 = 2;
+/// `evaluate_shard`/`search_step`; version 3 made every `evaluate_shard`
+/// result carry the candidate's objective vector (`objectives`,
+/// advertised by the `"objectives"` capability) alongside the scalar
+/// reward — an incompatible reply-shape change, hence the bump. A client
+/// and server interoperate only on an exact match — the distributed
+/// driver ships serialized configs and search states whose layout
+/// follows the crate types, so "close enough" versions are exactly the
+/// undefined behaviour the handshake exists to rule out.
+pub const PROTOCOL_VERSION: u64 = 3;
 
 /// A parsed service request: the echoed `id`, the command name, and the
 /// full request object (commands read their parameters out of it).

@@ -424,6 +424,16 @@ pub struct CoordinatorSnapshot {
     /// busy-fraction view (a straggler's share sinks as the fleet
     /// steals its queue).
     pub worker_share_permille: Vec<LabeledGauge>,
+    /// Candidates that entered the Pareto archive (Pareto mode only).
+    pub pareto_inserts: u64,
+    /// Candidates rejected as dominated by the archived front.
+    pub pareto_rejections: u64,
+    /// Current size of the Pareto front.
+    pub pareto_front_size: u64,
+    /// Hypervolume of the front against the fixed reference point,
+    /// encoded as raw `f64` bits (`f64::to_bits`) so the snapshot stays
+    /// `Eq`-comparable; decode with `f64::from_bits`.
+    pub pareto_hypervolume_bits: u64,
 }
 
 /// One point-in-time copy of the whole registry, plus the counters of
@@ -515,6 +525,18 @@ pub struct CoordinatorMetrics {
     /// Per-worker share of the last generation's candidates (per-mille),
     /// keyed by worker address.
     pub worker_share: GaugeFamily,
+    /// Candidates that entered the Pareto archive (Pareto mode only —
+    /// stays zero in scalar runs).
+    pub pareto_inserts: Counter,
+    /// Candidates rejected as dominated by (or equal to) the front.
+    pub pareto_rejections: Counter,
+    /// Current Pareto-front size.
+    pub pareto_front_size: Gauge,
+    /// Front hypervolume against the fixed reference point, stored as
+    /// raw `f64` bits (gauges are integral; decode with
+    /// `f64::from_bits`). Monotone per run — a stalling value alerts
+    /// on a front that stopped improving.
+    pub pareto_hypervolume_bits: Gauge,
 }
 
 /// The process-global metrics registry. Obtain it via [`metrics`].
@@ -561,6 +583,10 @@ impl Metrics {
                 speculations: Counter::new(),
                 duplicate_replies: Counter::new(),
                 worker_share: GaugeFamily::new(),
+                pareto_inserts: Counter::new(),
+                pareto_rejections: Counter::new(),
+                pareto_front_size: Gauge::new(),
+                pareto_hypervolume_bits: Gauge::new(),
             },
         }
     }
@@ -603,6 +629,10 @@ impl Metrics {
                 speculations: self.coordinator.speculations.get(),
                 duplicate_replies: self.coordinator.duplicate_replies.get(),
                 worker_share_permille: self.coordinator.worker_share.snapshot(),
+                pareto_inserts: self.coordinator.pareto_inserts.get(),
+                pareto_rejections: self.coordinator.pareto_rejections.get(),
+                pareto_front_size: self.coordinator.pareto_front_size.get(),
+                pareto_hypervolume_bits: self.coordinator.pareto_hypervolume_bits.get(),
             },
         }
     }

@@ -698,3 +698,264 @@ fn worker_handshake_advertises_capabilities_end_to_end() {
         .unwrap_err();
     assert!(err.to_string().contains("protocol mismatch"), "got: {err}");
 }
+
+/// A worker that answers the handshake as a fully compatible build but
+/// poisons every `evaluate_shard` result with objective values no
+/// honest cost model can produce (negative energy) — the deterministic
+/// stand-in for a corrupted or hostile machine. The coordinator must
+/// reject the reply at the deserialization seam, mark the worker dead
+/// and re-issue the shard; the poison must never reach the reward
+/// aggregation as a panic.
+fn spawn_poison_worker() -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { break };
+            let mut reader = BufReader::new(match stream.try_clone() {
+                Ok(clone) => clone,
+                Err(_) => break,
+            });
+            let mut writer = stream;
+            loop {
+                let mut line = String::new();
+                match reader.read_line(&mut line) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {}
+                }
+                let request = serde_json::from_str::<Value>(line.trim_end()).ok();
+                let id = request
+                    .as_ref()
+                    .and_then(|v| v.get("id").cloned())
+                    .unwrap_or(Value::Null);
+                let cmd = request
+                    .as_ref()
+                    .and_then(|v| v.get("cmd"))
+                    .and_then(Value::as_str)
+                    .unwrap_or("")
+                    .to_string();
+                let response = match cmd.as_str() {
+                    "hello" => naas_engine::service::ok_line(
+                        &id,
+                        serde_json::parse_str(&format!(
+                            r#"{{"protocol": {}, "capabilities": ["evaluate_shard"]}}"#,
+                            naas_engine::PROTOCOL_VERSION
+                        ))
+                        .unwrap(),
+                    ),
+                    "evaluate_shard" => {
+                        let count = request
+                            .as_ref()
+                            .and_then(|v| v.get("candidates"))
+                            .and_then(Value::as_array)
+                            .map(|c| c.len())
+                            .unwrap_or(0);
+                        let poison = r#"{"reward": 1.0, "per_network": [], "objectives": {"latency_cycles": 1000, "energy_nj": -5.0, "area_um2": 1.0e6, "accuracy": 0.0}}"#;
+                        let results: Vec<String> = vec![poison.to_string(); count];
+                        naas_engine::service::ok_line(
+                            &id,
+                            serde_json::parse_str(&format!(
+                                r#"{{"results": [{}]}}"#,
+                                results.join(", ")
+                            ))
+                            .unwrap(),
+                        )
+                    }
+                    _ => naas_engine::service::error_line(&id, "unsupported by poison worker"),
+                };
+                if writeln!(writer, "{response}")
+                    .and_then(|_| writer.flush())
+                    .is_err()
+                {
+                    break;
+                }
+            }
+        }
+    });
+    addr
+}
+
+/// The trust-boundary regression (ISSUE 8): a worker whose replies carry
+/// well-formed JSON but physically impossible objective values is a
+/// *shard error* — worker marked dead, shard re-issued, run bit-identical
+/// — never a coordinator panic.
+#[test]
+fn poisoned_objectives_are_a_shard_error_not_a_panic() {
+    let (scenario, networks) = scenario_fixture();
+    let cfg = search_cfg(89);
+    let local = run_local(&cfg, &networks);
+
+    let addrs = vec![
+        spawn_poison_worker().to_string(),
+        spawn_worker(1).to_string(),
+    ];
+    let mut coordinator =
+        DistributedCoordinator::connect(&addrs, &scenario).expect("fleet reachable");
+    let distributed = run_distributed(&cfg, &networks, &mut coordinator);
+
+    assert_bit_identical(&distributed, &local, "worker replying poisoned objectives");
+    assert_eq!(
+        coordinator.live_workers(),
+        1,
+        "a worker replying invalid objective values must be marked dead"
+    );
+}
+
+/// Runs the search to completion and returns the final state — archive
+/// included — instead of folding it into a result.
+fn run_local_state(cfg: &AccelSearchConfig, networks: &[Network]) -> naas::AccelSearchState {
+    let scenario = scenario::find("cifar-eyeriss").unwrap();
+    let job = scenario.resolve().unwrap();
+    let engine = CoSearchEngine::new(cfg.threads);
+    let model = CostModel::new();
+    let mut state = accel_search_init(&job.constraint, cfg, &[]);
+    while naas::accel_search_step(&engine, &model, networks, &mut state) {}
+    state
+}
+
+/// The serialized bytes of a state's Pareto front — the byte-identity
+/// currency of the distributed acceptance criterion.
+fn front_bytes(state: &naas::AccelSearchState) -> String {
+    serde_json::to_string(state.archive().expect("pareto mode keeps an archive"))
+        .expect("archive serializes")
+}
+
+/// The multi-objective acceptance criterion: in `--objectives pareto`
+/// mode, a two-worker run under adversarial completion orders (steals,
+/// re-splits, speculative re-issues, duplicate late replies) produces a
+/// serialized front *byte-identical* to the single-process run — the
+/// archive folds offers in candidate order, never arrival order.
+#[test]
+fn pareto_front_stays_byte_identical_across_adversarial_orders() {
+    let (scenario, networks) = scenario_fixture();
+    for (seed, delays) in [(101u64, [0u64, 2_000]), (103, [1_500, 0])] {
+        let mut cfg = search_cfg(seed);
+        cfg.objectives = naas::ObjectivePolicy::Pareto;
+        let local = run_local_state(&cfg, &networks);
+
+        let addrs = vec![
+            spawn_slow_worker(1, delays[0]).to_string(),
+            spawn_slow_worker(1, delays[1]).to_string(),
+        ];
+        let mut coordinator =
+            DistributedCoordinator::connect(&addrs, &scenario).expect("fleet reachable");
+        coordinator.set_microshards(5);
+        coordinator.set_steal_deadline(std::time::Duration::from_millis(2));
+
+        let job = scenario.resolve().unwrap();
+        let engine = CoSearchEngine::new(cfg.threads);
+        let model = CostModel::new();
+        let mut state = accel_search_init(&job.constraint, &cfg, &[]);
+        while coordinator.step(&engine, &model, &networks, &mut state) {}
+
+        assert_eq!(
+            front_bytes(&state),
+            front_bytes(&local),
+            "seed {seed}, delays {delays:?}: serialized fronts must be byte-identical"
+        );
+        let local_result = local.into_result().expect("search finds a design");
+        let distributed_result = state.into_result().expect("search finds a design");
+        assert_bit_identical(
+            &distributed_result,
+            &local_result,
+            &format!("pareto mode, seed {seed}, delays {delays:?}"),
+        );
+    }
+}
+
+/// Pareto mode through the full failure gauntlet: a worker killed
+/// mid-run and restarted on the same address, *plus* a mid-run
+/// checkpoint round-trip of the search state (serialize → deserialize →
+/// continue). The resumed, degraded run's front is still byte-identical
+/// to the uninterrupted single-process front — the archive lives inside
+/// the checkpointed state and folds deterministically.
+#[test]
+fn pareto_front_survives_kill_restart_and_checkpoint_resume() {
+    let (scenario, networks) = scenario_fixture();
+    let mut cfg = search_cfg(107);
+    cfg.objectives = naas::ObjectivePolicy::Pareto;
+    assert!(
+        cfg.iterations >= 3,
+        "the timeline below needs ≥3 generations"
+    );
+    let local = run_local_state(&cfg, &networks);
+
+    let addrs = vec![
+        spawn_restartable_worker(2).to_string(),
+        spawn_worker(1).to_string(),
+    ];
+    let mut coordinator =
+        DistributedCoordinator::connect(&addrs, &scenario).expect("fleet reachable");
+
+    let job = scenario.resolve().unwrap();
+    let engine = CoSearchEngine::new(cfg.threads);
+    let model = CostModel::new();
+    let mut state = accel_search_init(&job.constraint, &cfg, &[]);
+
+    // Generation 0 lands, then the state takes a checkpoint round-trip —
+    // exactly what `naas-search resume` replays from disk.
+    assert!(coordinator.step(&engine, &model, &networks, &mut state));
+    let checkpoint = serde_json::to_string(&state).expect("state serializes");
+    let mut state: naas::AccelSearchState =
+        serde_json::from_str(&checkpoint).expect("state deserializes");
+    while coordinator.step(&engine, &model, &networks, &mut state) {}
+
+    assert_eq!(
+        front_bytes(&state),
+        front_bytes(&local),
+        "kill/restart + checkpoint resume: serialized fronts must be byte-identical"
+    );
+    assert_eq!(
+        coordinator.live_workers(),
+        2,
+        "the restarted worker must be re-admitted"
+    );
+}
+
+/// Mixed-version fleet protection: yesterday's build speaks protocol 2
+/// (its shard results carry no `objectives`), and the v3 handshake must
+/// reject it as `Incompatible` before a single shard is exchanged — a
+/// v2 worker silently admitted would poison the byte-identity of every
+/// merged generation.
+#[test]
+fn v2_worker_is_rejected_as_incompatible() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().unwrap().to_string();
+    std::thread::spawn(move || {
+        let Ok((stream, _)) = listener.accept() else {
+            return;
+        };
+        let mut reader = BufReader::new(match stream.try_clone() {
+            Ok(clone) => clone,
+            Err(_) => return,
+        });
+        let mut writer = stream;
+        let mut line = String::new();
+        if reader.read_line(&mut line).unwrap_or(0) == 0 {
+            return;
+        }
+        let id = serde_json::from_str::<Value>(line.trim_end())
+            .ok()
+            .and_then(|v| v.get("id").cloned())
+            .unwrap_or(Value::Null);
+        let reply = naas_engine::service::ok_line(
+            &id,
+            serde_json::parse_str(r#"{"protocol": 2, "capabilities": ["evaluate_shard"]}"#)
+                .unwrap(),
+        );
+        let _ = writeln!(writer, "{reply}").and_then(|_| writer.flush());
+    });
+
+    let mut worker = naas_engine::RemoteWorker::new(&addr);
+    worker.enable_handshake("v3-client");
+    let err = worker.connect().expect_err("v2 worker must be refused");
+    assert!(
+        matches!(err, naas_engine::RemoteError::Incompatible(_)),
+        "got {err}"
+    );
+    assert!(err.to_string().contains("protocol 2"), "got {err}");
+    assert!(
+        !worker.is_connected(),
+        "mismatch must not leave a connection"
+    );
+}

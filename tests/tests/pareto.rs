@@ -1,0 +1,142 @@
+//! Property-based invariants of the multi-objective core: Pareto
+//! dominance is a strict partial order, the bounded archive never grows
+//! past capacity or loses its candidate-order sort, hypervolume is
+//! monotone under insertion, and a serialized archive round-trips to a
+//! bit-identical front.
+
+use naas::{ObjectivePolicy, ParetoArchive};
+use naas_accel::baselines;
+use naas_cost::ObjectiveVector;
+use proptest::prelude::*;
+
+/// Random-but-valid objective vectors, spanning several orders of
+/// magnitude but staying inside the hypervolume reference box.
+fn arb_objectives() -> impl Strategy<Value = ObjectiveVector> {
+    (
+        1u64..1_000_000_000_000,
+        1.0f64..1.0e12,
+        1.0f64..1.0e12,
+        0.0f64..=100.0,
+    )
+        .prop_map(
+            |(latency_cycles, energy_nj, area_um2, accuracy)| ObjectiveVector {
+                latency_cycles,
+                energy_nj,
+                area_um2,
+                accuracy,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Dominance is irreflexive and antisymmetric: nothing dominates
+    /// itself, and no two vectors dominate each other.
+    #[test]
+    fn dominance_is_irreflexive_and_antisymmetric(
+        a in arb_objectives(),
+        b in arb_objectives(),
+    ) {
+        prop_assert!(!a.dominates(&a));
+        prop_assert!(!(a.dominates(&b) && b.dominates(&a)));
+    }
+
+    /// Dominance is transitive: a ≻ b and b ≻ c imply a ≻ c.
+    #[test]
+    fn dominance_is_transitive(
+        a in arb_objectives(),
+        b in arb_objectives(),
+        c in arb_objectives(),
+    ) {
+        if a.dominates(&b) && b.dominates(&c) {
+            prop_assert!(a.dominates(&c), "a={a:?} b={b:?} c={c:?}");
+        }
+    }
+
+    /// Hypervolume never decreases as offers arrive: an accepted point
+    /// only adds dominated volume, a rejected point changes nothing.
+    #[test]
+    fn hypervolume_is_monotone_under_offers(
+        offers in proptest::collection::vec(arb_objectives(), 1..24),
+    ) {
+        let accel = baselines::eyeriss();
+        let mut archive = ParetoArchive::new();
+        let mut previous = archive.hypervolume();
+        for (i, objectives) in offers.into_iter().enumerate() {
+            archive.offer(i as u64, objectives, &accel);
+            let now = archive.hypervolume();
+            prop_assert!(
+                now + 1e-12 >= previous,
+                "hypervolume regressed at offer {i}: {previous} -> {now}"
+            );
+            previous = now;
+        }
+    }
+
+    /// Bounded-archive structural invariants under random offer streams
+    /// and a tiny capacity: the front never exceeds capacity, stays
+    /// sorted by candidate index, and stays mutually non-dominated.
+    #[test]
+    fn archive_respects_capacity_order_and_non_domination(
+        offers in proptest::collection::vec(arb_objectives(), 1..32),
+    ) {
+        let accel = baselines::eyeriss();
+        let mut archive = ParetoArchive::with_capacity(4);
+        for (i, objectives) in offers.into_iter().enumerate() {
+            archive.offer(i as u64, objectives, &accel);
+            prop_assert!(archive.len() <= archive.capacity());
+        }
+        let entries = archive.entries();
+        for pair in entries.windows(2) {
+            prop_assert!(pair[0].candidate_index < pair[1].candidate_index);
+        }
+        for a in entries {
+            for b in entries {
+                prop_assert!(
+                    a.candidate_index == b.candidate_index
+                        || !a.objectives.dominates(&b.objectives),
+                    "front must be mutually non-dominated"
+                );
+            }
+        }
+    }
+
+    /// A checkpointed archive round-trips bit-identically: serialize →
+    /// deserialize → serialize yields the same bytes, and the recovered
+    /// front renders identically.
+    #[test]
+    fn archive_round_trips_to_a_bit_identical_front(
+        offers in proptest::collection::vec(arb_objectives(), 1..24),
+    ) {
+        let accel = baselines::eyeriss();
+        let mut archive = ParetoArchive::with_capacity(6);
+        for (i, objectives) in offers.into_iter().enumerate() {
+            archive.offer(i as u64, objectives, &accel);
+        }
+        let bytes = serde_json::to_string(&archive).expect("archive serializes");
+        let recovered: ParetoArchive =
+            serde_json::from_str(&bytes).expect("archive deserializes");
+        prop_assert_eq!(
+            serde_json::to_string(&recovered).expect("archive serializes"),
+            bytes
+        );
+        prop_assert_eq!(recovered.render(), archive.render());
+        prop_assert_eq!(recovered, archive);
+    }
+}
+
+/// The policy spellings the CLI and checkpoints rely on.
+#[test]
+fn objective_policy_spellings_are_stable() {
+    assert_eq!(
+        ObjectivePolicy::parse("pareto").unwrap(),
+        ObjectivePolicy::Pareto
+    );
+    assert_eq!(
+        ObjectivePolicy::parse("scalar").unwrap(),
+        ObjectivePolicy::Scalar
+    );
+    assert_eq!(ObjectivePolicy::default(), ObjectivePolicy::Scalar);
+    assert!(ObjectivePolicy::parse("lexicographic").is_err());
+}
