@@ -22,7 +22,15 @@
 //! naas-search worker --port N [--bind ADDR] [--preset smoke|quick|paper]
 //!                    [--threads N] [--cache-file FILE] [--cache-cap N]
 //!                    [--metrics-file FILE]
+//! naas-search gateway [--port N] [--bind ADDR] [--max-jobs N]
+//!                     [--tenant-quota N] [--executors N]
+//!                     [--workers host:port,...] [--threads N]
+//!                     [--cache-file FILE] [--cache-cap N]
+//!                     [--metrics-file FILE]
 //! naas-search client <host:port> [metrics]
+//! naas-search client <host:port> submit --scenario NAME [--kind accel|joint]
+//!                     [--tenant T] [--weight N] [--seed N] [--preset quick|paper]
+//! naas-search client <host:port> status|events|cancel|result|wait --job N
 //! ```
 //!
 //! `run` executes an accelerator search for a registered scenario (or one
@@ -83,6 +91,19 @@
 //! (a mismatch is a hard error, because switching policies mid-run
 //! would make the resumed front unreproducible).
 //!
+//! `gateway` is the multi-tenant job multiplexer (protocol 4, `"jobs"`
+//! capability): it serves everything `serve` does *plus* the `job_*`
+//! command family, running many concurrent accel/joint search jobs as
+//! checkpointed step-loops interleaved on one shared engine — and, with
+//! `--workers`, one shared worker fleet. `--max-jobs` bounds resident
+//! jobs (submits beyond it answer `rejected:over_capacity`),
+//! `--tenant-quota` caps any one tenant's in-flight generations, and
+//! `--executors` sets cross-job concurrency. The `client` job verbs
+//! (`submit`/`status`/`events`/`cancel`/`result`/`wait`) drive it from
+//! scripts; `events --follow true` streams per-generation progress as
+//! JSONL. Results are byte-identical to running each job alone — see
+//! docs/OPERATIONS.md ("Multi-tenant runs").
+//!
 //! `--metrics-file FILE` turns on the telemetry sink: structured fleet
 //! events and periodic metrics snapshots are appended to FILE as JSONL
 //! (one object per line, `"kind":"event"` or `"kind":"metrics"`) — on
@@ -125,7 +146,13 @@ fn usage() -> ! {
          [--threads N] [--cache-file FILE] [--cache-cap N] [--metrics-file FILE]\n  \
          naas-search worker --port N [--bind ADDR] [--preset smoke|quick|paper] \
          [--threads N] [--cache-file FILE] [--cache-cap N] [--metrics-file FILE]\n  \
-         naas-search client <host:port> [metrics]",
+         naas-search gateway [--port N] [--bind ADDR] [--max-jobs N] [--tenant-quota N] \
+         [--executors N] [--workers host:port,...] [--threads N] [--cache-file FILE] \
+         [--cache-cap N] [--metrics-file FILE]\n  \
+         naas-search client <host:port> [metrics]\n  \
+         naas-search client <host:port> submit --scenario NAME [--kind accel|joint] \
+         [--tenant T] [--weight N] [--seed N] [--preset quick|paper]\n  \
+         naas-search client <host:port> status|events|cancel|result|wait --job N",
         &[],
     );
     exit(2);
@@ -190,6 +217,7 @@ fn main() {
         Some("show") => cmd_show(&args),
         Some("serve") => cmd_serve(&args),
         Some("worker") => cmd_worker(&args),
+        Some("gateway") => cmd_gateway(&args),
         Some("client") => cmd_client(&args),
         _ => usage(),
     }
@@ -738,14 +766,99 @@ fn cmd_worker(args: &Args) {
     }
 }
 
-/// The shutdown path shared by `serve --port` and `worker`: drain the
-/// batcher (every queued request across all connections gets its
-/// response computed and handed to its stream), persist the cache, then
-/// exit 0. The stream that requested shutdown is fully flushed before
-/// this runs; sibling connections get a grace period to flush their
-/// final responses — best-effort, since a sibling stalled on TCP
+/// `gateway`: the multi-tenant job multiplexer — everything `serve`
+/// answers plus the `job_*` command family, running concurrent search
+/// jobs interleaved on the shared engine (and, with `--workers`, a
+/// shared fleet). Same stdio/TCP plumbing as `serve`.
+fn cmd_gateway(args: &Args) {
+    let inner = std::sync::Arc::new(build_service(args, "gateway"));
+    let fleet = match args.get("workers") {
+        None | Some("local") => None,
+        Some(list) => {
+            let addrs: Vec<String> = list
+                .split(',')
+                .map(str::trim)
+                .filter(|a| !a.is_empty())
+                .map(String::from)
+                .collect();
+            if addrs.is_empty() {
+                fail("--workers expects a comma-separated host:port list (or `local`)");
+            }
+            let coordinator = naas::DistributedCoordinator::connect_fleet(&addrs)
+                .unwrap_or_else(|e| fail(format!("cannot connect worker fleet: {e}")));
+            let shared = naas::SharedCoordinator::new(coordinator);
+            shared.configure(
+                args.get_num("microshards"),
+                args.get_num::<u64>("steal-deadline")
+                    .map(std::time::Duration::from_millis),
+            );
+            println!(
+                "gateway sharding over {} worker(s): {}",
+                addrs.len(),
+                addrs.join(", ")
+            );
+            Some(shared)
+        }
+    };
+    let gateway = std::sync::Arc::new(naas::GatewayService::start(
+        std::sync::Arc::clone(&inner),
+        fleet,
+        naas::GatewayConfig {
+            max_jobs: args.get_num("max-jobs").unwrap_or(0),
+            tenant_quota: args.get_num("tenant-quota").unwrap_or(0),
+            executors: args.get_num("executors").unwrap_or(0),
+        },
+    ));
+    if init_metrics_file(args) {
+        let inner = std::sync::Arc::clone(&inner);
+        std::thread::spawn(move || loop {
+            std::thread::sleep(std::time::Duration::from_secs(30));
+            write_metrics_snapshot(inner.engine());
+        });
+    }
+    let server = naas::ServiceServer::start(std::sync::Arc::clone(&gateway));
+
+    let port: Option<u16> = args.get_num("port");
+    match port {
+        None => {
+            let stdin = std::io::BufReader::new(std::io::stdin());
+            let stdout = std::io::stdout().lock();
+            server
+                .serve_stream(stdin, stdout)
+                .unwrap_or_else(|e| fail(format!("stdio stream failed: {e}")));
+            server
+                .stop()
+                .unwrap_or_else(|e| fail(format!("cannot persist cache: {e}")));
+        }
+        Some(port) => {
+            let listener = bind_listener(args, port);
+            let server = std::sync::Arc::new(server);
+            let tcp = {
+                let server = std::sync::Arc::clone(&server);
+                std::thread::spawn(move || match server.serve_listener(listener) {
+                    Ok(_) => finish_and_exit(&server),
+                    Err(e) => fail(format!("TCP listener failed: {e}")),
+                })
+            };
+            let stdin = std::io::BufReader::new(std::io::stdin());
+            let stdout = std::io::stdout().lock();
+            if let Ok(true) = server.serve_stream(stdin, stdout) {
+                finish_and_exit(&server);
+            }
+            let _ = tcp.join();
+            unreachable!("TCP listener thread exits the process");
+        }
+    }
+}
+
+/// The shutdown path shared by `serve --port`, `worker` and `gateway`:
+/// drain the batcher (every queued request across all connections gets
+/// its response computed and handed to its stream), persist the cache,
+/// then exit 0. The stream that requested shutdown is fully flushed
+/// before this runs; sibling connections get a grace period to flush
+/// their final responses — best-effort, since a sibling stalled on TCP
 /// backpressure cannot be waited out forever.
-fn finish_and_exit(server: &naas::ServiceServer) -> ! {
+fn finish_and_exit<S: naas::WireService>(server: &naas::ServiceServer<S>) -> ! {
     server.drain();
     std::thread::sleep(std::time::Duration::from_millis(200));
     server
@@ -768,8 +881,12 @@ fn cmd_client(args: &Args) {
         .unwrap_or_else(|| usage());
     match args.positional.get(2).map(String::as_str) {
         Some("metrics") => client_metrics(addr),
+        Some(verb @ ("submit" | "status" | "events" | "cancel" | "result" | "wait")) => {
+            client_job(addr, verb, args)
+        }
         Some(other) => fail(format!(
-            "unknown client subcommand `{other}` (try `metrics`)"
+            "unknown client subcommand `{other}` \
+             (try `metrics`, `submit`, `status`, `events`, `cancel`, `result`, `wait`)"
         )),
         None => {}
     }
@@ -805,6 +922,94 @@ fn cmd_client(args: &Args) {
         Ok(result) => result.unwrap_or_else(|e| fail(format!("cannot send request: {e}"))),
         Err(_) => fail("stdin forwarder panicked"),
     }
+}
+
+/// The gateway job verbs: each sends one (or, for `events --follow` /
+/// `wait`, a polling sequence of) `job_*` requests to a running
+/// `naas-search gateway` and prints the result payload as JSON, ready
+/// for `jq`. `events` prints one JSON line per progress event — the
+/// JSONL stream of the job's generations.
+fn client_job(addr: &str, verb: &str, args: &Args) -> ! {
+    let mut worker = naas_engine::RemoteWorker::new(addr);
+    let mut call = |cmd: &str, params: Vec<(String, Value)>| {
+        worker
+            .call(cmd, params)
+            .unwrap_or_else(|e| fail(format!("{cmd} against {addr} failed: {e}")))
+    };
+    let job_param = || -> (String, Value) {
+        let job_id: u64 = args
+            .get_num("job")
+            .unwrap_or_else(|| fail(format!("client {verb} requires --job <id>")));
+        ("job_id".to_string(), Value::U64(job_id))
+    };
+    let print_value = |value: &Value| {
+        let line = serde_json::to_string(value)
+            .unwrap_or_else(|e| fail(format!("cannot render reply: {e}")));
+        println!("{line}");
+    };
+    match verb {
+        "submit" => {
+            let scenario = args
+                .get("scenario")
+                .unwrap_or_else(|| fail("client submit requires --scenario <name>"));
+            let mut params = vec![("scenario".to_string(), Value::Str(scenario.to_string()))];
+            for key in ["kind", "tenant", "preset"] {
+                if let Some(value) = args.get(key) {
+                    params.push((key.to_string(), Value::Str(value.to_string())));
+                }
+            }
+            for key in ["weight", "seed"] {
+                if let Some(value) = args.get_num::<u64>(key) {
+                    params.push((key.to_string(), Value::U64(value)));
+                }
+            }
+            print_value(&call("job_submit", params));
+        }
+        "status" => print_value(&call("job_status", vec![job_param()])),
+        "cancel" => print_value(&call("job_cancel", vec![job_param()])),
+        "result" => print_value(&call("job_result", vec![job_param()])),
+        "events" => {
+            let follow = args.get("follow") == Some("true");
+            let mut since = args.get_num::<u64>("since").unwrap_or(0);
+            loop {
+                let reply = call(
+                    "job_events",
+                    vec![job_param(), ("since".to_string(), Value::U64(since))],
+                );
+                if let Some(events) = reply.get("events").and_then(Value::as_array) {
+                    for event in events {
+                        print_value(event);
+                    }
+                }
+                since = reply.get("next").and_then(Value::as_u64).unwrap_or(since);
+                let done = reply.get("done") == Some(&Value::Bool(true));
+                if !follow || done {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(200));
+            }
+        }
+        "wait" => loop {
+            let status = call("job_status", vec![job_param()]);
+            match status.get("status").and_then(Value::as_str) {
+                Some("done") => {
+                    print_value(&call("job_result", vec![job_param()]));
+                    break;
+                }
+                Some("cancelled") => fail("job was cancelled"),
+                Some("failed") => {
+                    let error = status
+                        .get("error")
+                        .and_then(Value::as_str)
+                        .unwrap_or("unknown failure");
+                    fail(format!("job failed: {error}"));
+                }
+                _ => std::thread::sleep(std::time::Duration::from_millis(200)),
+            }
+        },
+        other => fail(format!("unknown job verb `{other}`")),
+    }
+    exit(0);
 }
 
 /// One-shot `metrics` probe: fetches a registry snapshot from a live

@@ -354,6 +354,16 @@ impl DistributedCoordinator {
         Self::connect_with(addrs, Value::Null)
     }
 
+    /// [`DistributedCoordinator::connect`] without a pinned scenario:
+    /// the fleet handle the gateway shares across jobs. Accelerator
+    /// steps through such a coordinator must ship their scenario per
+    /// call ([`DistributedCoordinator::step_with_scenario`]) — each job
+    /// may target a different scenario, so none is baked into the
+    /// connection. Joint steps work unchanged.
+    pub fn connect_fleet(addrs: &[String]) -> Result<Self, RemoteError> {
+        Self::connect_with(addrs, Value::Null)
+    }
+
     fn connect_with(addrs: &[String], scenario_value: Value) -> Result<Self, RemoteError> {
         assert!(!addrs.is_empty(), "need at least one worker address");
         let mut workers = Vec::with_capacity(addrs.len());
@@ -455,13 +465,31 @@ impl DistributedCoordinator {
         networks: &[Network],
         state: &mut AccelSearchState,
     ) -> bool {
+        let scenario_value = self.scenario_value.clone();
+        self.step_with_scenario(scenario_value, engine, model, networks, state)
+    }
+
+    /// [`DistributedCoordinator::step`] with the scenario supplied per
+    /// call instead of taken from the connection — the shape a shared
+    /// fleet needs, where concurrent gateway jobs targeting different
+    /// scenarios interleave their generations onto one coordinator.
+    /// Purity makes the interleaving invisible: each shard request is
+    /// self-contained (scenario + candidates + mapping config), so the
+    /// trajectory stays bit-identical to a solo run of the same job.
+    pub fn step_with_scenario(
+        &mut self,
+        scenario_value: Value,
+        engine: &CoSearchEngine,
+        model: &CostModel,
+        networks: &[Network],
+        state: &mut AccelSearchState,
+    ) -> bool {
         assert!(!networks.is_empty(), "need at least one benchmark network");
         let cfg = state.config;
         self.generation = state.iteration;
         let started = std::time::Instant::now();
         let advanced = accel_search_step_with(state, |slots| {
             self.try_rejoin();
-            let scenario_value = self.scenario_value.clone();
             let build = |range: Range<usize>| -> Vec<(String, Value)> {
                 let candidates: Vec<Accelerator> =
                     slots[range].iter().map(|(_, a)| a.clone()).collect();
@@ -1154,6 +1182,88 @@ impl DistributedCoordinator {
     #[cfg(test)]
     fn delta_log_len(&self) -> usize {
         self.delta_log.len()
+    }
+}
+
+/// A fleet handle sharable across concurrent jobs: the gateway's view
+/// of one [`DistributedCoordinator`]. Clones share the underlying
+/// coordinator behind a mutex, and every step method takes `&self` —
+/// concurrent jobs serialize on the fleet one generation at a time
+/// (generations are the natural quantum: each is a self-contained
+/// fan-out), while the memo-cache gossip they generate is shared, so
+/// tenants exploring the same design space warm each other's caches.
+/// Because every candidate evaluation is a pure function of its
+/// content, interleaving generations of different jobs onto one
+/// coordinator leaves each job's trajectory bit-identical to a solo
+/// run (fixture-enforced by `tests/tests/gateway.rs`).
+#[derive(Clone)]
+pub struct SharedCoordinator {
+    inner: std::sync::Arc<Mutex<DistributedCoordinator>>,
+}
+
+impl SharedCoordinator {
+    /// Wraps a connected coordinator for cross-job sharing.
+    pub fn new(coordinator: DistributedCoordinator) -> Self {
+        Self {
+            inner: std::sync::Arc::new(Mutex::new(coordinator)),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, DistributedCoordinator> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// One accelerator-search generation on the shared fleet, with the
+    /// job's scenario shipped per call
+    /// ([`DistributedCoordinator::step_with_scenario`]).
+    pub fn step_accel(
+        &self,
+        scenario_value: Value,
+        engine: &CoSearchEngine,
+        model: &CostModel,
+        networks: &[Network],
+        state: &mut AccelSearchState,
+    ) -> bool {
+        self.lock()
+            .step_with_scenario(scenario_value, engine, model, networks, state)
+    }
+
+    /// One joint-search generation on the shared fleet
+    /// ([`DistributedCoordinator::step_joint`]).
+    pub fn step_joint(
+        &self,
+        engine: &CoSearchEngine,
+        model: &CostModel,
+        accuracy: &AccuracyModel,
+        state: &mut JointSearchState,
+    ) -> bool {
+        self.lock().step_joint(engine, model, accuracy, state)
+    }
+
+    /// Workers currently considered alive.
+    pub fn live_workers(&self) -> usize {
+        self.lock().live_workers()
+    }
+
+    /// Scheduler counters accumulated since the coordinator connected.
+    pub fn scheduler_stats(&self) -> SchedulerStats {
+        self.lock().scheduler_stats()
+    }
+
+    /// The shard plan the underlying coordinator was built on.
+    pub fn plan(&self) -> ShardPlan {
+        self.lock().plan()
+    }
+
+    /// Applies scheduler tuning to the underlying coordinator.
+    pub fn configure(&self, microshards: Option<usize>, steal_deadline: Option<Duration>) {
+        let mut coordinator = self.lock();
+        if let Some(microshards) = microshards {
+            coordinator.set_microshards(microshards);
+        }
+        if let Some(deadline) = steal_deadline {
+            coordinator.set_steal_deadline(deadline);
+        }
     }
 }
 

@@ -41,6 +41,7 @@ pub mod baselines;
 pub mod cost_accounting;
 pub mod distributed;
 pub mod engine;
+pub mod gateway;
 pub mod joint;
 pub mod layer_cache;
 pub mod mapping_search;
@@ -55,8 +56,9 @@ pub use accel_search::{
     AccelSearchConfig, AccelSearchResult, AccelSearchState, CandidateEval, IterationStats,
     NoValidDesign, SearchStrategy,
 };
-pub use distributed::{DistributedCoordinator, SchedulerStats, ShardPlan};
+pub use distributed::{DistributedCoordinator, SchedulerStats, ShardPlan, SharedCoordinator};
 pub use engine::CoSearchEngine;
+pub use gateway::{GatewayConfig, GatewayService, JobStatus};
 pub use joint::{
     evaluate_joint_candidate, joint_nas_seed, joint_search_init, joint_search_step,
     joint_search_step_with, pareto_sweep, resume_joint_search, search_joint, search_joint_with,
@@ -69,7 +71,7 @@ pub use mapping_search::{
 pub use pareto::{ArchiveEntry, ParetoArchive};
 pub use pipeline::{with_thread_pipeline, EvalPipeline};
 pub use reward::{geomean, ObjectivePolicy, RewardKind};
-pub use service::{BatchEvalService, ServiceConfig, ServiceError, ServiceServer};
+pub use service::{BatchEvalService, ServiceConfig, ServiceError, ServiceServer, WireService};
 
 /// Convenience re-exports for downstream code and examples.
 pub mod prelude {

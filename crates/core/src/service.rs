@@ -122,7 +122,9 @@ pub struct ServiceConfig {
 /// Capability strings this build advertises in its `hello` reply.
 /// Clients gate optional behaviour on these instead of sniffing errors:
 /// the distributed coordinator requires `"joint"` before routing joint
-/// generations to a worker.
+/// generations to a worker. A [`crate::gateway::GatewayService`] appends
+/// `"jobs"` on top of this list — only processes actually serving the
+/// `job_*` command family advertise it.
 pub const CAPABILITIES: &[&str] = &[
     "evaluate_shard",
     "search_step",
@@ -131,6 +133,42 @@ pub const CAPABILITIES: &[&str] = &[
     "metrics",
     "objectives",
 ];
+
+/// What the stream/batcher plumbing ([`ServiceServer`]) needs from a
+/// service: answer one framed request line, size the batch fan-out, and
+/// persist state on graceful shutdown. [`BatchEvalService`] is the base
+/// implementation; [`crate::gateway::GatewayService`] layers the job
+/// commands on top and reuses every byte of the server plumbing —
+/// stream framing, coalescing, ordered writes, listener lifecycle —
+/// unchanged.
+pub trait WireService: Send + Sync + 'static {
+    /// Answers one parsed request line with one response line. Must
+    /// contain handler panics (see [`BatchEvalService::answer`]) — one
+    /// bad request must never abort a shared process.
+    fn answer(&self, parsed: &Result<Request, ParseFailure>) -> String;
+    /// Worker threads for the scheduler's batch fan-out.
+    fn threads(&self) -> usize;
+    /// Persists durable state (the memo cache) on graceful shutdown.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying checkpoint write failure.
+    fn persist_cache(&self) -> Result<(), CheckpointError>;
+}
+
+impl WireService for BatchEvalService {
+    fn answer(&self, parsed: &Result<Request, ParseFailure>) -> String {
+        BatchEvalService::answer(self, parsed)
+    }
+
+    fn threads(&self) -> usize {
+        BatchEvalService::threads(self)
+    }
+
+    fn persist_cache(&self) -> Result<(), CheckpointError> {
+        BatchEvalService::persist_cache(self)
+    }
+}
 
 /// A resident evaluation service over one warm [`CoSearchEngine`]. See
 /// the module docs for the protocol.
@@ -929,16 +967,21 @@ pub struct InFlight {
 /// as they arrive; whatever is in flight when the scheduler comes
 /// around — across *all* connections — is answered in one
 /// `parallel_map` call.
-pub struct ServiceServer {
-    service: Arc<BatchEvalService>,
+///
+/// Generic over the [`WireService`] behind it (defaulting to
+/// [`BatchEvalService`]): the gateway serves its job commands through
+/// the identical plumbing by starting a
+/// `ServiceServer<GatewayService>`.
+pub struct ServiceServer<S: WireService = BatchEvalService> {
+    service: Arc<S>,
     batcher: Arc<Batcher<InFlight>>,
     scheduler: Option<std::thread::JoinHandle<()>>,
     drained: Arc<(std::sync::Mutex<bool>, std::sync::Condvar)>,
 }
 
-impl ServiceServer {
+impl<S: WireService> ServiceServer<S> {
     /// Starts the scheduler thread over `service`.
-    pub fn start(service: Arc<BatchEvalService>) -> Self {
+    pub fn start(service: Arc<S>) -> Self {
         let batcher: Arc<Batcher<InFlight>> = Arc::new(Batcher::new());
         let drained = Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
         let scheduler = {
@@ -971,7 +1014,7 @@ impl ServiceServer {
     }
 
     /// The underlying service.
-    pub fn service(&self) -> &BatchEvalService {
+    pub fn service(&self) -> &S {
         &self.service
     }
 
@@ -1183,7 +1226,7 @@ impl ServiceServer {
     }
 }
 
-impl Drop for ServiceServer {
+impl<S: WireService> Drop for ServiceServer<S> {
     fn drop(&mut self) {
         self.batcher.close();
         if let Some(handle) = self.scheduler.take() {

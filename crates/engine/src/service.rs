@@ -45,12 +45,18 @@ use std::sync::{Condvar, Mutex};
 /// `evaluate_shard`/`search_step`; version 3 made every `evaluate_shard`
 /// result carry the candidate's objective vector (`objectives`,
 /// advertised by the `"objectives"` capability) alongside the scalar
-/// reward — an incompatible reply-shape change, hence the bump. A client
-/// and server interoperate only on an exact match — the distributed
-/// driver ships serialized configs and search states whose layout
-/// follows the crate types, so "close enough" versions are exactly the
-/// undefined behaviour the handshake exists to rule out.
-pub const PROTOCOL_VERSION: u64 = 3;
+/// reward — an incompatible reply-shape change, hence the bump. Version
+/// 4 introduced the multi-tenant gateway: the `job_*` command family
+/// (advertised by the `"jobs"` capability) and a `gateway` section in
+/// every `metrics` snapshot — the snapshot-shape change is what makes
+/// the bump required rather than additive, since a v4 reader of a
+/// serialized `MetricsSnapshot` rejects a v3 image that lacks the new
+/// required section. A
+/// client and server interoperate only on an exact match — the
+/// distributed driver ships serialized configs and search states whose
+/// layout follows the crate types, so "close enough" versions are
+/// exactly the undefined behaviour the handshake exists to rule out.
+pub const PROTOCOL_VERSION: u64 = 4;
 
 /// A parsed service request: the echoed `id`, the command name, and the
 /// full request object (commands read their parameters out of it).
@@ -207,6 +213,18 @@ impl<T> Batcher<T> {
 
     /// Enqueues one in-flight item. Returns `false` (dropping the item)
     /// if the batcher is already closed.
+    ///
+    /// # Multi-consumer contract
+    ///
+    /// A push wakes exactly **one** blocked consumer (`notify_one`), not
+    /// all of them — with several [`Batcher::next_batch`] loops parked
+    /// (the gateway runs one per executor), one item wakes one thread
+    /// and the rest stay asleep instead of stampeding the lock only to
+    /// find the queue already drained. A consumer that does lose the
+    /// race (woken between a sibling's drain and its own lock
+    /// acquisition) observes an empty queue and re-blocks on the
+    /// condvar; it never spins. [`Batcher::close`] is the one event
+    /// every consumer must observe, so it alone uses `notify_all`.
     pub fn push(&self, item: T) -> bool {
         let mut state = self.lock();
         if state.closed {
@@ -233,6 +251,12 @@ impl<T> Batcher<T> {
     /// Blocks until at least one item is queued, then drains and returns
     /// **all** queued items (the coalescing step). Returns `None` when
     /// the batcher is closed and empty.
+    ///
+    /// Safe to call from many threads at once: each queued item is
+    /// delivered to exactly one consumer (the drain happens under the
+    /// state lock), and after [`Batcher::close`] every blocked consumer
+    /// unblocks and returns `None` once the queue is empty. See the
+    /// wakeup contract on [`Batcher::push`].
     pub fn next_batch(&self) -> Option<Vec<T>> {
         let mut state = self.lock();
         loop {
@@ -350,6 +374,43 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         b.push(9);
         assert_eq!(consumer.join().unwrap().unwrap(), vec![9]);
+    }
+
+    #[test]
+    fn multiple_consumers_share_the_queue_without_loss_or_spin() {
+        // Regression test for the gateway's multi-consumer use: several
+        // next_batch loops drain one batcher concurrently. Every pushed
+        // item must be consumed exactly once, and every consumer must
+        // terminate after close() — a lost wakeup would hang the join,
+        // a stampeding wakeup would show up as duplicated items.
+        let b: Arc<Batcher<usize>> = Arc::new(Batcher::new());
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || {
+                    let mut taken = Vec::new();
+                    while let Some(batch) = b.next_batch() {
+                        taken.extend(batch);
+                    }
+                    taken
+                })
+            })
+            .collect();
+        for i in 0..400 {
+            assert!(b.push(i));
+            if i % 7 == 0 {
+                // Let consumers park between bursts so the single-wakeup
+                // path (not just the drain-all path) is exercised.
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+        }
+        b.close();
+        let mut all = Vec::new();
+        for consumer in consumers {
+            all.extend(consumer.join().unwrap());
+        }
+        all.sort_unstable();
+        assert_eq!(all, (0..400).collect::<Vec<_>>());
     }
 
     #[test]

@@ -436,6 +436,33 @@ pub struct CoordinatorSnapshot {
     pub pareto_hypervolume_bits: u64,
 }
 
+/// Snapshot of the multi-tenant gateway section. All zeros in a
+/// process that never ran `naas-search gateway` (a worker, a plain
+/// `serve`). Protocol v4 made this section a required part of every
+/// serialized snapshot — see `naas_engine::service::PROTOCOL_VERSION`.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct GatewaySnapshot {
+    /// Jobs accepted by `job_submit` (lifetime total).
+    pub jobs_submitted: u64,
+    /// Submissions refused with `rejected:over_capacity`.
+    pub jobs_rejected: u64,
+    /// Jobs that reached `done`.
+    pub jobs_completed: u64,
+    /// Jobs that reached `cancelled`.
+    pub jobs_cancelled: u64,
+    /// Jobs that reached `failed`.
+    pub jobs_failed: u64,
+    /// Search generations stepped on behalf of any job.
+    pub job_generations: u64,
+    /// Jobs currently holding an executor (point-in-time).
+    pub jobs_running: u64,
+    /// Jobs resident but not running: queued or checkpointed between
+    /// generations (point-in-time).
+    pub jobs_queued: u64,
+    /// Generations stepped per tenant, keyed by tenant name.
+    pub tenant_generations: Vec<LabeledGauge>,
+}
+
 /// One point-in-time copy of the whole registry, plus the counters of
 /// the process's memo cache. This is the payload of the `metrics`
 /// service command and of each `--metrics-file` snapshot line.
@@ -451,6 +478,8 @@ pub struct MetricsSnapshot {
     pub pipeline: PipelineSnapshot,
     /// Distributed-coordination counters.
     pub coordinator: CoordinatorSnapshot,
+    /// Multi-tenant gateway counters.
+    pub gateway: GatewaySnapshot,
 }
 
 // ---------------------------------------------------------------------------
@@ -539,6 +568,29 @@ pub struct CoordinatorMetrics {
     pub pareto_hypervolume_bits: Gauge,
 }
 
+/// Multi-tenant gateway instruments (updated by `naas::gateway`).
+#[derive(Debug)]
+pub struct GatewayMetrics {
+    /// Jobs accepted by `job_submit`.
+    pub jobs_submitted: Counter,
+    /// Submissions refused with `rejected:over_capacity`.
+    pub jobs_rejected: Counter,
+    /// Jobs that reached `done`.
+    pub jobs_completed: Counter,
+    /// Jobs that reached `cancelled`.
+    pub jobs_cancelled: Counter,
+    /// Jobs that reached `failed`.
+    pub jobs_failed: Counter,
+    /// Search generations stepped on behalf of any job.
+    pub job_generations: Counter,
+    /// Jobs currently holding an executor.
+    pub jobs_running: Gauge,
+    /// Jobs resident but between generations (queued or checkpointed).
+    pub jobs_queued: Gauge,
+    /// Generations stepped per tenant, keyed by tenant name.
+    pub tenant_generations: GaugeFamily,
+}
+
 /// The process-global metrics registry. Obtain it via [`metrics`].
 #[derive(Debug)]
 pub struct Metrics {
@@ -550,6 +602,8 @@ pub struct Metrics {
     pub pipeline: PipelineMetrics,
     /// Distributed-coordination section.
     pub coordinator: CoordinatorMetrics,
+    /// Multi-tenant gateway section.
+    pub gateway: GatewayMetrics,
 }
 
 impl Metrics {
@@ -587,6 +641,17 @@ impl Metrics {
                 pareto_rejections: Counter::new(),
                 pareto_front_size: Gauge::new(),
                 pareto_hypervolume_bits: Gauge::new(),
+            },
+            gateway: GatewayMetrics {
+                jobs_submitted: Counter::new(),
+                jobs_rejected: Counter::new(),
+                jobs_completed: Counter::new(),
+                jobs_cancelled: Counter::new(),
+                jobs_failed: Counter::new(),
+                job_generations: Counter::new(),
+                jobs_running: Gauge::new(),
+                jobs_queued: Gauge::new(),
+                tenant_generations: GaugeFamily::new(),
             },
         }
     }
@@ -633,6 +698,17 @@ impl Metrics {
                 pareto_rejections: self.coordinator.pareto_rejections.get(),
                 pareto_front_size: self.coordinator.pareto_front_size.get(),
                 pareto_hypervolume_bits: self.coordinator.pareto_hypervolume_bits.get(),
+            },
+            gateway: GatewaySnapshot {
+                jobs_submitted: self.gateway.jobs_submitted.get(),
+                jobs_rejected: self.gateway.jobs_rejected.get(),
+                jobs_completed: self.gateway.jobs_completed.get(),
+                jobs_cancelled: self.gateway.jobs_cancelled.get(),
+                jobs_failed: self.gateway.jobs_failed.get(),
+                job_generations: self.gateway.job_generations.get(),
+                jobs_running: self.gateway.jobs_running.get(),
+                jobs_queued: self.gateway.jobs_queued.get(),
+                tenant_generations: self.gateway.tenant_generations.snapshot(),
             },
         }
     }
@@ -936,6 +1012,9 @@ mod tests {
         registry.coordinator.steals.add(2);
         registry.coordinator.duplicate_replies.inc();
         registry.coordinator.worker_share.get("w:1").set(750);
+        registry.gateway.jobs_submitted.add(4);
+        registry.gateway.jobs_running.set(2);
+        registry.gateway.tenant_generations.get("acme").set(17);
         let snap = registry.snapshot(CacheCounters {
             hits: 10,
             misses: 5,
@@ -953,6 +1032,10 @@ mod tests {
         assert_eq!(back.coordinator.duplicate_replies, 1);
         assert_eq!(back.coordinator.worker_share_permille.len(), 1);
         assert_eq!(back.coordinator.worker_share_permille[0].value, 750);
+        assert_eq!(back.gateway.jobs_submitted, 4);
+        assert_eq!(back.gateway.jobs_running, 2);
+        assert_eq!(back.gateway.tenant_generations[0].label, "acme");
+        assert_eq!(back.gateway.tenant_generations[0].value, 17);
     }
 
     #[test]

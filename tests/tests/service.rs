@@ -427,7 +427,14 @@ fn metrics_command_round_trips_a_full_snapshot() {
     );
     let snapshot_value = result_of(&s.respond(r#"{"id":2,"cmd":"metrics"}"#));
 
-    for section in ["cache", "pool", "batcher", "pipeline", "coordinator"] {
+    for section in [
+        "cache",
+        "pool",
+        "batcher",
+        "pipeline",
+        "coordinator",
+        "gateway",
+    ] {
         assert!(
             snapshot_value.get(section).is_some(),
             "snapshot is missing the {section} section"
@@ -442,6 +449,207 @@ fn metrics_command_round_trips_a_full_snapshot() {
     // Histogram invariant: bucket counts sum to the total observation count.
     let hist = &snapshot.pool.job_latency_us;
     assert_eq!(hist.counts.iter().sum::<u64>(), hist.count);
+}
+
+/// Deterministic seeded protocol fuzzer: hundreds of truncated,
+/// spliced, garbage-injected, duplicate-id and oversized JSONL lines
+/// are fed through the full `serve_stream` path (and the vendored
+/// parser directly). The wire contract under attack: no panic ever, one
+/// response per consumed line, every response a valid JSON object whose
+/// `id` echoes whatever id was recoverable from the line, and the
+/// stream survives to answer the orderly `shutdown` at the end.
+#[test]
+fn fuzzed_protocol_lines_never_panic_and_always_get_correlatable_replies() {
+    // The corpus is cheap commands only (no evaluations), and contains
+    // neither the word `shutdown` nor the letter `w` anywhere — so no
+    // mutation can splice together an early stream termination.
+    const CORPUS: &[&str] = &[
+        r#"{"id": 1, "cmd": "cache_stats"}"#,
+        r#"{"id": "alpha", "cmd": "hello"}"#,
+        r#"{"id": 2, "cmd": "list_scenarios"}"#,
+        r#"{"id": 3, "cmd": "nope_cmd", "param": [1, 2, {"k": "v"}]}"#,
+        r#"{"id": 4, "cmd": "hello", "note": "esc\"aped A text", "n": -2.5e3}"#,
+        r#"{"id": 5, "cmd": 42}"#,
+        r#"{"cmd": "cache_stats"}"#,
+        r#"{"id": [6, "deep"], "cmd": "metrics"}"#,
+    ];
+    let garbage_charset: &[u8] = br#"{}[]",:.0123456789abcqxyzXYZ\ -"#;
+
+    // xorshift64 — the whole fuzz run is a pure function of this seed.
+    let mut rng: u64 = 0x5eed_cafe_f00d_2021;
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+
+    let mut lines: Vec<String> = Vec::new();
+    for round in 0..300u64 {
+        let base = CORPUS[(next() % CORPUS.len() as u64) as usize];
+        let line = match round % 5 {
+            // Truncation at an arbitrary byte — including mid-token and
+            // mid-escape (the corpus carries `\"` and `A`).
+            0 => base[..(next() % base.len() as u64 + 1) as usize].to_string(),
+            // Splice: prefix of one corpus line + suffix of another —
+            // interleaved frames on one line.
+            1 => {
+                let other = CORPUS[(next() % CORPUS.len() as u64) as usize];
+                let cut_a = (next() % base.len() as u64) as usize;
+                let cut_b = (next() % other.len() as u64) as usize;
+                format!("{}{}", &base[..cut_a], &other[cut_b..])
+            }
+            // Garbage injection at a random position.
+            2 => {
+                let mut bytes = base.as_bytes().to_vec();
+                let at = (next() % (bytes.len() as u64 + 1)) as usize;
+                for _ in 0..(next() % 8 + 1) {
+                    bytes.insert(
+                        at,
+                        garbage_charset[(next() % garbage_charset.len() as u64) as usize],
+                    );
+                }
+                String::from_utf8(bytes).expect("charset is ASCII")
+            }
+            // Duplicate ids: the same correlation id on many lines —
+            // each must still get its own response.
+            3 => format!(r#"{{"id": 1000, "cmd": "cache_stats", "round": {round}}}"#),
+            // Pass-through: valid lines interleaved with the attacks.
+            _ => base.to_string(),
+        };
+        // The vendored parser itself must never panic on any of this.
+        let _ = serde_json::parse_str(&line);
+        lines.push(line);
+    }
+    // Oversized lines: a huge string payload and a huge garbage blob.
+    lines.push(format!(
+        r#"{{"id": 9000, "cmd": "{}"}}"#,
+        "x".repeat(200_000)
+    ));
+    lines.push("[".repeat(50_000));
+    // Mid-escape truncations, explicitly.
+    lines.push(r#"{"id": 6, "cmd": "hel\"#.to_string());
+    lines.push(r#"{"id": 7, "cmd": "hel\u00"#.to_string());
+    // Recoverable id on a malformed request (cmd is not a string).
+    lines.push(r#"{"id": 77, "cmd": 42}"#.to_string());
+
+    let total = lines.len() + 1; // + the final orderly shutdown
+    let input = format!(
+        "{}\n{}\n",
+        lines.join("\n"),
+        r#"{"id": "end", "cmd": "shutdown"}"#
+    );
+
+    let server = ServiceServer::start(Arc::new(service(2)));
+    let mut out: Vec<u8> = Vec::new();
+    let wants_shutdown = server
+        .serve_stream(input.as_bytes(), &mut out)
+        .expect("the stream must survive every malformed line");
+    assert!(wants_shutdown, "the final shutdown must still be honoured");
+
+    let responses: Vec<String> = String::from_utf8(out)
+        .unwrap()
+        .lines()
+        .map(String::from)
+        .collect();
+    assert_eq!(
+        responses.len(),
+        total,
+        "every consumed line gets exactly one response"
+    );
+    let mut duplicate_id_replies = 0;
+    for (line, response) in lines.iter().zip(&responses) {
+        let reply = parse(response);
+        assert!(
+            matches!(reply.get("ok"), Some(Value::Bool(_))),
+            "malformed reply to fuzzed line {line:?}: {response}"
+        );
+        // Responses correlate: the reply's id is exactly what the
+        // framing layer recovers from the line (parsed or failed).
+        let expected_id = match naas_engine::service::Request::parse(line) {
+            Ok(request) => request.id,
+            Err(failure) => failure.id,
+        };
+        assert_eq!(
+            reply.get("id"),
+            Some(&expected_id),
+            "id mismatch for fuzzed line {line:?}"
+        );
+        if reply.get("id") == Some(&Value::U64(1000)) {
+            duplicate_id_replies += 1;
+        }
+        if reply.get("ok") == Some(&Value::Bool(false)) {
+            assert!(
+                reply.get("error").and_then(Value::as_str).is_some(),
+                "error responses carry a message: {response}"
+            );
+        }
+    }
+    // Every duplicate-id line was answered individually (60 of the 300
+    // rounds take the duplicate-id arm: rounds ≡ 3 mod 5).
+    assert_eq!(duplicate_id_replies, 60);
+    // The recoverable-id case: malformed line, correlatable error.
+    let recovered = parse(&responses[lines.len() - 1]);
+    assert_eq!(recovered.get("id"), Some(&Value::U64(77)));
+    assert_eq!(recovered.get("ok"), Some(&Value::Bool(false)));
+    server.stop().expect("clean stop after the fuzz run");
+}
+
+/// Batcher stress (the producer side): N seeded producer threads push
+/// into one `Batcher` while M consumer threads drain it concurrently.
+/// Drain-all semantics must hold exactly — every pushed item delivered
+/// once, to exactly one consumer, nothing dropped, nothing duplicated —
+/// and `close` must release every blocked consumer.
+#[test]
+fn batcher_under_producer_and_consumer_stress_never_drops_or_duplicates() {
+    use naas_engine::service::Batcher;
+    const PRODUCERS: u64 = 4;
+    const PER_PRODUCER: u64 = 250;
+    let batcher = Arc::new(Batcher::<u64>::new());
+
+    let consumed: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let batcher = Arc::clone(&batcher);
+                scope.spawn(move || {
+                    let mut seen = Vec::new();
+                    while let Some(batch) = batcher.next_batch() {
+                        seen.extend(batch);
+                    }
+                    seen
+                })
+            })
+            .collect();
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|producer| {
+                let batcher = Arc::clone(&batcher);
+                scope.spawn(move || {
+                    let mut rng = 0xfeed_beef ^ (producer + 1);
+                    for i in 0..PER_PRODUCER {
+                        rng ^= rng << 13;
+                        rng ^= rng >> 7;
+                        rng ^= rng << 17;
+                        if rng % 11 == 0 {
+                            // Seeded random pacing: some pushes land in
+                            // coalesced batches, some wake an idle consumer.
+                            std::thread::sleep(std::time::Duration::from_micros(rng % 200));
+                        }
+                        batcher.push(producer * PER_PRODUCER + i);
+                    }
+                })
+            })
+            .collect();
+        for producer in producers {
+            producer.join().unwrap();
+        }
+        batcher.close();
+        consumers.into_iter().map(|c| c.join().unwrap()).collect()
+    });
+
+    let mut all: Vec<u64> = consumed.into_iter().flatten().collect();
+    all.sort_unstable();
+    let expected: Vec<u64> = (0..PRODUCERS * PER_PRODUCER).collect();
+    assert_eq!(all, expected, "drain-all dropped or duplicated items");
 }
 
 /// `cache_stats` exposes the extended counter set: entries, evictions,

@@ -44,6 +44,7 @@ pub fn parse_str(text: &str) -> Result<Value, Error> {
     let mut parser = Parser {
         bytes: text.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     parser.skip_ws();
     let value = parser.parse_value()?;
@@ -154,9 +155,18 @@ fn write_string(out: &mut String, s: &str) {
 
 // --- parser ------------------------------------------------------------
 
+/// Maximum container nesting the parser will descend into. The parser
+/// is recursive-descent, so nesting depth is stack depth: without a
+/// bound, a line of a few tens of thousands of `[` bytes overflows the
+/// thread stack and aborts the whole process — fatal for a server that
+/// promises to answer every line of an untrusted stream with an error
+/// at worst. 128 is far beyond anything the wire protocol produces.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -195,6 +205,19 @@ impl Parser<'_> {
 
     fn parse_value(&mut self) -> Result<Value, Error> {
         self.skip_ws();
+        if self.depth >= MAX_DEPTH {
+            return Err(Error(format!(
+                "nesting deeper than {MAX_DEPTH} at byte {}",
+                self.pos
+            )));
+        }
+        self.depth += 1;
+        let value = self.parse_value_inner();
+        self.depth -= 1;
+        value
+    }
+
+    fn parse_value_inner(&mut self) -> Result<Value, Error> {
         match self.peek() {
             Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
             Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
@@ -434,6 +457,25 @@ mod tests {
             let v: Value = from_str(&text).unwrap();
             assert_eq!(v, Value::Str(s.into()), "for {s:?}");
         }
+    }
+
+    #[test]
+    fn pathological_nesting_is_an_error_not_a_stack_overflow() {
+        // Regression: unbounded recursion on `[[[[…` aborted the whole
+        // process. Depth within the bound still parses.
+        assert!(parse_str(&"[".repeat(50_000)).is_err());
+        let balanced = format!(
+            "{}0{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        assert!(parse_str(&balanced).is_err());
+        let shallow = format!(
+            "{}0{}",
+            "[".repeat(MAX_DEPTH - 1),
+            "]".repeat(MAX_DEPTH - 1)
+        );
+        assert!(parse_str(&shallow).is_ok());
     }
 
     #[test]
