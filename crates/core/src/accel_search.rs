@@ -412,8 +412,47 @@ pub fn accel_search_step_with<F>(state: &mut AccelSearchState, evaluate: F) -> b
 where
     F: FnOnce(&[(Vec<f64>, Accelerator)]) -> Vec<Option<CandidateEval>>,
 {
-    if state.is_done() {
+    let Some(sampled) = accel_sample_generation(state) else {
         return false;
+    };
+    // Evaluate the population. Inner seeds are content-derived inside
+    // `network_mapping_search_memo`, so results are independent of slot
+    // order, thread count, cache warmth — and of which process ran them.
+    let results = evaluate(&sampled.slots);
+    accel_commit_generation(state, sampled, results);
+    true
+}
+
+/// One sampled-but-not-yet-committed generation: the decoded population
+/// in slot order, plus the decode-rejected draws that must still be
+/// reported to the optimizer as infeasible at commit time.
+///
+/// Produced by [`accel_sample_generation`], consumed by
+/// [`accel_commit_generation`]; [`accel_search_step_with`] is exactly
+/// the two in sequence around one evaluator call. The split is the
+/// optimizer fork/rollback seam the overlapped coordinator
+/// (`crate::distributed`) builds on: a speculative next generation is
+/// sampled from a *cloned* state fed a predicted commit, and reusing its
+/// evaluations is gated on whole-struct equality with the real sample —
+/// candidates are pure functions of their content, so equal samples mean
+/// equal results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SampledGeneration {
+    /// The iteration this generation was sampled for.
+    pub iteration: usize,
+    /// Decoded candidates in slot order.
+    pub slots: Vec<(Vec<f64>, Accelerator)>,
+    /// Draws the encoder rejected; they score +inf at commit.
+    pub rejected: Vec<Vec<f64>>,
+}
+
+/// The sampling half of [`accel_search_step_with`]: consumes the
+/// optimizer's RNG (and, on iteration 0, the warm-start seeds) to draw
+/// one generation. Returns `None` — without touching any state — once
+/// the budget is exhausted.
+pub fn accel_sample_generation(state: &mut AccelSearchState) -> Option<SampledGeneration> {
+    if state.is_done() {
+        return None;
     }
     let cfg = state.config;
     let iteration = state.iteration;
@@ -446,15 +485,39 @@ where
             break; // envelope nearly un-satisfiable; keep what we have
         }
     }
+    Some(SampledGeneration {
+        iteration,
+        slots,
+        rejected,
+    })
+}
 
-    // Evaluate the population. Inner seeds are content-derived inside
-    // `network_mapping_search_memo`, so results are independent of slot
-    // order, thread count, cache warmth — and of which process ran them.
-    let results = evaluate(&slots);
+/// The commit half of [`accel_search_step_with`]: folds one result per
+/// sampled candidate (slot order) into the state — evaluation counters,
+/// Pareto archive, incumbent, the optimizer's `tell`, history — and
+/// advances the iteration counter. The predecessor generation's tell has
+/// necessarily happened by construction: the only way to obtain a
+/// `SampledGeneration` for iteration N is from a state whose iteration
+/// counter already reached N.
+pub fn accel_commit_generation(
+    state: &mut AccelSearchState,
+    sampled: SampledGeneration,
+    results: Vec<Option<CandidateEval>>,
+) {
+    let cfg = state.config;
+    let SampledGeneration {
+        iteration,
+        slots,
+        rejected,
+    } = sampled;
     assert_eq!(
         results.len(),
         slots.len(),
         "evaluator must return one result per candidate"
+    );
+    assert_eq!(
+        iteration, state.iteration,
+        "a sampled generation commits against the state that sampled it"
     );
 
     // Collect scores in slot order; infeasible candidates score +inf,
@@ -515,7 +578,6 @@ where
         valid: rewards.len(),
     });
     state.iteration += 1;
-    true
 }
 
 /// Runs the NAAS outer loop: search accelerator + mapping within a

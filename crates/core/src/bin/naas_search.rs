@@ -7,13 +7,14 @@
 //!                            [--cache-file FILE] [--cache-cap N]
 //!                            [--workers host:port,...] [--metrics-file FILE]
 //!                            [--microshards N] [--steal-deadline MS]
-//!                            [--objectives scalar|pareto]
+//!                            [--overlap on|off] [--objectives scalar|pareto]
 //! naas-search run --file scenario.json [...]
 //! naas-search resume <checkpoint-file> [--threads N] [--cache-file FILE]
 //!                                      [--cache-cap N]
 //!                                      [--workers host:port,...|local]
 //!                                      [--metrics-file FILE]
 //!                                      [--microshards N] [--steal-deadline MS]
+//!                                      [--overlap on|off]
 //!                                      [--objectives scalar|pareto]
 //! naas-search show <checkpoint-file>
 //! naas-search serve [--port N] [--bind ADDR] [--preset smoke|quick|paper]
@@ -26,7 +27,7 @@
 //!                     [--tenant-quota N] [--executors N]
 //!                     [--workers host:port,...] [--threads N]
 //!                     [--cache-file FILE] [--cache-cap N]
-//!                     [--metrics-file FILE]
+//!                     [--metrics-file FILE] [--overlap on|off]
 //! naas-search client <host:port> [metrics]
 //! naas-search client <host:port> submit --scenario NAME [--kind accel|joint]
 //!                     [--tenant T] [--weight N] [--seed N] [--preset quick|paper]
@@ -67,7 +68,20 @@
 //! knobs only — results stay bit-identical at any setting — and both
 //! are recorded in the checkpointed shard plan, so `resume` keeps the
 //! tuning unless overridden. See docs/OPERATIONS.md ("Tuning the
-//! scheduler").
+//! scheduler"). Degenerate tunings (`--steal-deadline 0`,
+//! `--microshards` above the population) are rejected at parse time.
+//!
+//! `--overlap on` switches the coordinator from the barrier scheduler
+//! to the event-driven overlap reactor: while a generation's
+//! micro-shards are in flight, the next generation is speculatively
+//! sampled from a forked optimizer state and dispatched to workers
+//! that would otherwise idle; if merging the real results changes the
+//! trajectory, the speculation is rolled back and re-asked. Results
+//! stay bit-identical to `--overlap off` (the default) at any
+//! completion order — overlap is a latency optimization, never a
+//! semantic one. The setting is recorded in the checkpointed shard
+//! plan, so `resume` keeps it unless overridden. See
+//! docs/ARCHITECTURE.md ("The overlap reactor").
 //!
 //! `--cache-file` persists the engine's mapping memo cache: entries are
 //! warm-loaded before the search starts (if the file exists) and the
@@ -137,10 +151,12 @@ fn usage() -> ! {
         "usage:\n  naas-search list\n  naas-search run <scenario|--file scenario.json> \
          [--preset smoke|quick|paper] [--seed N] [--threads N] [--checkpoint FILE] [--every K] \
          [--cache-file FILE] [--cache-cap N] [--workers host:port,...] [--metrics-file FILE] \
-         [--microshards N] [--steal-deadline MS] [--objectives scalar|pareto]\n  \
+         [--microshards N] [--steal-deadline MS] [--overlap on|off] \
+         [--objectives scalar|pareto]\n  \
          naas-search resume <checkpoint-file> [--threads N] [--every K] [--cache-file FILE] \
          [--cache-cap N] [--workers host:port,...|local] [--metrics-file FILE] \
-         [--microshards N] [--steal-deadline MS] [--objectives scalar|pareto]\n  \
+         [--microshards N] [--steal-deadline MS] [--overlap on|off] \
+         [--objectives scalar|pareto]\n  \
          naas-search show <checkpoint-file>\n  \
          naas-search serve [--port N] [--bind ADDR] [--preset smoke|quick|paper] \
          [--threads N] [--cache-file FILE] [--cache-cap N] [--metrics-file FILE]\n  \
@@ -148,7 +164,7 @@ fn usage() -> ! {
          [--threads N] [--cache-file FILE] [--cache-cap N] [--metrics-file FILE]\n  \
          naas-search gateway [--port N] [--bind ADDR] [--max-jobs N] [--tenant-quota N] \
          [--executors N] [--workers host:port,...] [--threads N] [--cache-file FILE] \
-         [--cache-cap N] [--metrics-file FILE]\n  \
+         [--cache-cap N] [--metrics-file FILE] [--overlap on|off]\n  \
          naas-search client <host:port> [metrics]\n  \
          naas-search client <host:port> submit --scenario NAME [--kind accel|joint] \
          [--tenant T] [--weight N] [--seed N] [--preset quick|paper]\n  \
@@ -282,6 +298,7 @@ fn cmd_run(args: &Args) {
     let seed = args.get_num("seed").unwrap_or(job.scenario.seed);
     let threads = args.get_num("threads").unwrap_or(0);
     let cfg = search_config(args, seed, threads);
+    check_scheduler_flags(args, cfg.population);
 
     let policy = args.get("checkpoint").map(|path| CheckpointPolicy {
         path: path.into(),
@@ -380,11 +397,12 @@ fn make_driver(args: &Args, workers: Option<&str>, scenario: &Scenario) -> Drive
     Driver::Distributed(Box::new(coordinator))
 }
 
-/// Applies `--microshards` / `--steal-deadline` to a coordinator. On
-/// resume, a recorded shard `plan` supplies the defaults (the tuning an
-/// interrupted run was using), and explicit flags override it; old
-/// checkpoints without the fields keep the built-in defaults. Tuning
-/// never changes results — only how fast generations clear.
+/// Applies `--microshards` / `--steal-deadline` / `--overlap` to a
+/// coordinator. On resume, a recorded shard `plan` supplies the
+/// defaults (the tuning an interrupted run was using), and explicit
+/// flags override it; old checkpoints without the fields keep the
+/// built-in defaults. Tuning never changes results — only how fast
+/// generations clear.
 fn apply_scheduler_flags(
     coordinator: &mut naas::DistributedCoordinator,
     args: &Args,
@@ -398,6 +416,33 @@ fn apply_scheduler_flags(
     if let Some(ms) = args.get_num::<u64>("steal-deadline").or(recorded_ms) {
         coordinator.set_steal_deadline(std::time::Duration::from_millis(ms));
     }
+    let recorded_overlap = plan.and_then(|p| p.overlap);
+    if let Some(on) = overlap_flag(args).or(recorded_overlap) {
+        coordinator.set_overlap(on);
+    }
+}
+
+/// Parses `--overlap on|off`; `None` when the flag is absent.
+fn overlap_flag(args: &Args) -> Option<bool> {
+    args.get("overlap").map(|v| match v {
+        "on" => true,
+        "off" => false,
+        other => fail(format!("--overlap expects `on` or `off`, got `{other}`")),
+    })
+}
+
+/// Rejects degenerate scheduler tunings at parse time, before any
+/// worker is dialed or any generation runs. Only explicitly-given
+/// flags are checked — absent flags fall back to defaults that are
+/// valid by construction, and recorded checkpoint values were already
+/// validated by the run that wrote them.
+fn check_scheduler_flags(args: &Args, population: usize) {
+    naas::validate_scheduler_flags(
+        args.get_num("microshards").unwrap_or(0),
+        args.get_num("steal-deadline").unwrap_or(1),
+        population,
+    )
+    .unwrap_or_else(|e| fail(e));
 }
 
 /// Resolves `--cache-cap` (0 = unbounded) and `--cache-file`,
@@ -467,6 +512,7 @@ fn cmd_resume(args: &Args) {
     let threads = args
         .get_num("threads")
         .unwrap_or(snapshot.state.config.threads);
+    check_scheduler_flags(args, snapshot.state.config.population);
     // A resumed run keeps checkpointing to the file it came from (same
     // cadence flag as `run`), so a second interruption loses at most
     // `--every` generations — not everything since the first crash.
@@ -786,12 +832,20 @@ fn cmd_gateway(args: &Args) {
             }
             let coordinator = naas::DistributedCoordinator::connect_fleet(&addrs)
                 .unwrap_or_else(|e| fail(format!("cannot connect worker fleet: {e}")));
+            // Gateway jobs pick their own populations per preset, so
+            // the microshard bound cannot be checked here — the
+            // coordinator clamps shard counts per generation anyway.
+            // The steal-deadline check still applies.
+            check_scheduler_flags(args, usize::MAX);
             let shared = naas::SharedCoordinator::new(coordinator);
             shared.configure(
                 args.get_num("microshards"),
                 args.get_num::<u64>("steal-deadline")
                     .map(std::time::Duration::from_millis),
             );
+            if let Some(on) = overlap_flag(args) {
+                shared.set_overlap(on);
+            }
             println!(
                 "gateway sharding over {} worker(s): {}",
                 addrs.len(),

@@ -794,7 +794,12 @@ impl GatewayCore {
         let engine = self.inner.engine();
         match state {
             JobState::Accel(state) => match &self.fleet {
-                Some(fleet) => fleet.step_accel(
+                // Keyed by job id: with the overlap reactor on, each
+                // job's speculative fork lives in its own bank slot, so
+                // interleaved tenants never consume (or invalidate)
+                // each other's speculation.
+                Some(fleet) => fleet.step_accel_keyed(
+                    ctx.job_id,
                     ctx.scenario_value.clone(),
                     engine,
                     &self.model,

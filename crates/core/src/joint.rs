@@ -298,8 +298,37 @@ pub fn joint_search_step_with<F>(state: &mut JointSearchState, evaluate: F) -> b
 where
     F: FnOnce(&[(usize, Vec<f64>, Accelerator)]) -> Vec<Option<JointCandidateEval>>,
 {
-    if state.is_done() {
+    let Some(sampled) = joint_sample_generation(state) else {
         return false;
+    };
+    let outcomes = evaluate(&sampled.slots);
+    joint_commit_generation(state, sampled, outcomes);
+    true
+}
+
+/// One sampled-but-not-yet-committed joint generation — the joint-mode
+/// counterpart of [`crate::accel_search::SampledGeneration`], produced
+/// by [`joint_sample_generation`] and consumed by
+/// [`joint_commit_generation`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JointSampledGeneration {
+    /// The outer iteration this generation was sampled for.
+    pub iteration: usize,
+    /// Decoded candidates as `(slot, theta, accelerator)` in slot order;
+    /// slot indices stay stable even when some slots fail to decode
+    /// (they seed [`joint_nas_seed`]).
+    pub slots: Vec<(usize, Vec<f64>, Accelerator)>,
+    /// Last rejected draw of each slot that never decoded; scores +inf
+    /// at commit.
+    pub infeasible: Vec<Vec<f64>>,
+}
+
+/// The sampling half of [`joint_search_step_with`]: consumes the ES RNG
+/// to draw one outer generation. Returns `None` — without touching any
+/// state — once the budget is exhausted.
+pub fn joint_sample_generation(state: &mut JointSearchState) -> Option<JointSampledGeneration> {
+    if state.is_done() {
+        return None;
     }
     let cfg = state.config;
     let iteration = state.iteration;
@@ -330,12 +359,35 @@ where
             }
         }
     }
+    Some(JointSampledGeneration {
+        iteration,
+        slots,
+        infeasible,
+    })
+}
 
-    let outcomes = evaluate(&slots);
+/// The commit half of [`joint_search_step_with`]: folds one outcome per
+/// sampled candidate (slot order) into the state and advances the outer
+/// iteration counter.
+pub fn joint_commit_generation(
+    state: &mut JointSearchState,
+    sampled: JointSampledGeneration,
+    outcomes: Vec<Option<JointCandidateEval>>,
+) {
+    let cfg = state.config;
+    let JointSampledGeneration {
+        iteration,
+        slots,
+        infeasible,
+    } = sampled;
     assert_eq!(
         outcomes.len(),
         slots.len(),
         "evaluator must return one outcome per candidate"
+    );
+    assert_eq!(
+        iteration, state.iteration,
+        "a sampled generation commits against the state that sampled it"
     );
 
     // Fold results in slot order (deterministic tie-breaks).
@@ -371,7 +423,6 @@ where
     }
     state.es.tell(&scored);
     state.iteration += 1;
-    true
 }
 
 /// Runs the joint neural-accelerator-compiler co-search on a private

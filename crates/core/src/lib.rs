@@ -51,18 +51,23 @@ pub mod reward;
 pub mod service;
 
 pub use accel_search::{
-    accel_search_init, accel_search_step, accel_search_step_with, resume_accel_search,
-    search_accelerator, search_accelerator_seeded, search_accelerator_with, AccelCandidate,
-    AccelSearchConfig, AccelSearchResult, AccelSearchState, CandidateEval, IterationStats,
-    NoValidDesign, SearchStrategy,
+    accel_commit_generation, accel_sample_generation, accel_search_init, accel_search_step,
+    accel_search_step_with, resume_accel_search, search_accelerator, search_accelerator_seeded,
+    search_accelerator_with, AccelCandidate, AccelSearchConfig, AccelSearchResult,
+    AccelSearchState, CandidateEval, IterationStats, NoValidDesign, SampledGeneration,
+    SearchStrategy,
 };
-pub use distributed::{DistributedCoordinator, SchedulerStats, ShardPlan, SharedCoordinator};
+pub use distributed::{
+    validate_scheduler_flags, DistributedCoordinator, OverlapStats, SchedulerStats, ShardPlan,
+    SharedCoordinator,
+};
 pub use engine::CoSearchEngine;
 pub use gateway::{GatewayConfig, GatewayService, JobStatus};
 pub use joint::{
-    evaluate_joint_candidate, joint_nas_seed, joint_search_init, joint_search_step,
-    joint_search_step_with, pareto_sweep, resume_joint_search, search_joint, search_joint_with,
-    JointCandidateEval, JointConfig, JointResult, JointSearchState, ParetoEntry,
+    evaluate_joint_candidate, joint_commit_generation, joint_nas_seed, joint_sample_generation,
+    joint_search_init, joint_search_step, joint_search_step_with, pareto_sweep,
+    resume_joint_search, search_joint, search_joint_with, JointCandidateEval, JointConfig,
+    JointResult, JointSampledGeneration, JointSearchState, ParetoEntry,
 };
 pub use mapping_search::{
     network_mapping_search_cached, search_layer_mapping, search_layer_mapping_with,

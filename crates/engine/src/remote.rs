@@ -240,6 +240,11 @@ impl RemoteWorker {
                 }
             }
         };
+        // Line-oriented request/response over small JSON payloads:
+        // Nagle batching against delayed ACKs stalls every pipelined
+        // round trip by tens of milliseconds, which dwarfs the work in
+        // a micro-shard. Flush segments immediately.
+        let _ = writer.set_nodelay(true);
         let reader = BufReader::new(writer.try_clone()?);
         let mut conn = Conn {
             reader,
@@ -370,6 +375,34 @@ impl RemoteWorker {
                 Err(e)
             }
         }
+    }
+
+    /// Claims the next pipelined reply only if one has **already
+    /// arrived** — a full response line sitting in the read buffer.
+    /// Never blocks on the socket: this is the event-driven fast path
+    /// of the scheduler's reactor loop, letting a worker thread drain
+    /// every reply that has landed before paying a blocking tick on
+    /// [`RemoteWorker::recv_next`].
+    ///
+    /// Returns `Ok(None)` when nothing is in flight or the next reply
+    /// has not fully arrived.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`RemoteWorker::recv_next`].
+    pub fn recv_ready(&mut self) -> Result<PipelinedReply, RemoteError> {
+        if self.pending.is_empty() {
+            return Ok(None);
+        }
+        let ready = self
+            .conn
+            .as_ref()
+            .is_some_and(|c| c.reader.buffer().contains(&b'\n'));
+        if !ready {
+            return Ok(None);
+        }
+        // The line completes from the buffer, so the tick never runs.
+        self.recv_next(Duration::from_micros(1))
     }
 
     /// Sends one request (`cmd` plus `params`, with a fresh numeric `id`)

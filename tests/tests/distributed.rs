@@ -959,3 +959,34 @@ fn v2_worker_is_rejected_as_incompatible() {
         "mismatch must not leave a connection"
     );
 }
+
+/// Scheduler-flag validation is a parse-time contract: the exact
+/// refusals the CLI prints for a zero steal deadline and for more
+/// micro-shards than candidates are pinned here, so `naas_search`
+/// keeps rejecting these before any worker is dialed.
+#[test]
+fn scheduler_flag_validation_rejects_degenerate_plans() {
+    let err = naas::validate_scheduler_flags(6, 0, 10)
+        .expect_err("a zero steal deadline must be refused");
+    assert!(
+        err.contains("--steal-deadline must be at least 1 ms"),
+        "got {err}"
+    );
+    assert!(
+        err.contains("speculatively duplicate all work"),
+        "the refusal must say why: got {err}"
+    );
+
+    let err = naas::validate_scheduler_flags(11, 500, 10)
+        .expect_err("more micro-shards than candidates must be refused");
+    assert!(
+        err.contains("--microshards 11 exceeds the population size 10"),
+        "got {err}"
+    );
+    assert!(err.contains("at most one per candidate"), "got {err}");
+
+    // The boundary cases stay legal: unset shards (0 means "default"),
+    // the minimum deadline, and exactly one shard per candidate.
+    naas::validate_scheduler_flags(0, 1, 1).expect("defaults are valid");
+    naas::validate_scheduler_flags(10, 500, 10).expect("one shard per candidate is valid");
+}
